@@ -1,0 +1,274 @@
+(* Benchmark & reproduction harness.
+
+   With no argument: regenerate every table and figure of the paper at
+   the default (scaled-down) campaign sizes.  Individual artefacts can
+   be selected by name; `perf` runs one Bechamel micro-benchmark per
+   table/figure kernel.  REVEAL_FULL=1 or --full switches to the
+   paper's campaign sizes (220k profiling windows, 25k attacked
+   coefficients) — minutes instead of seconds. *)
+
+let out_dir = "bench_out"
+
+let ensure_out_dir () = if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755
+
+let save_csv name samples =
+  ensure_out_dir ();
+  let path = Filename.concat out_dir name in
+  let oc = open_out path in
+  output_string oc "index,power\n";
+  Array.iteri (fun i s -> output_string oc (Printf.sprintf "%d,%.6f\n" i s)) samples;
+  close_out oc;
+  Printf.printf "(csv written to %s)\n" path
+
+let full_requested () =
+  (match Sys.getenv_opt "REVEAL_FULL" with Some ("1" | "true" | "yes") -> true | _ -> false)
+  || Array.exists (fun a -> a = "--full") Sys.argv
+
+let config () =
+  if full_requested () then begin
+    print_endline "campaign: FULL (paper sizes: ~220k profiling windows, 25 x 1024 attacked coefficients)";
+    Reveal.Experiment.paper_scale
+  end
+  else begin
+    print_endline
+      "campaign: scaled-down default (n=256, 400 windows/value, 20 traces); REVEAL_FULL=1 for paper sizes";
+    Reveal.Experiment.default
+  end
+
+let env_cache : Reveal.Experiment.env option ref = ref None
+
+let env cfg =
+  match !env_cache with
+  | Some e -> e
+  | None ->
+      Printf.printf "profiling templates and running single-trace attacks...\n%!";
+      let t0 = Unix.gettimeofday () in
+      let e = Reveal.Experiment.prepare cfg in
+      Printf.printf "(campaign finished in %.1f s)\n%!" (Unix.gettimeofday () -. t0);
+      env_cache := Some e;
+      e
+
+let section title = Printf.printf "\n===== %s =====\n%!" title
+
+let run_fig3 cfg =
+  section "Figure 3";
+  let f = Reveal.Experiment.fig3 cfg in
+  print_string (Reveal.Experiment.render_fig3 f);
+  save_csv "fig3a_full_trace.csv" f.Reveal.Experiment.full_portion;
+  save_csv "fig3b_zero.csv" f.Reveal.Experiment.sub_zero;
+  save_csv "fig3b_pos.csv" f.Reveal.Experiment.sub_pos;
+  save_csv "fig3b_neg.csv" f.Reveal.Experiment.sub_neg
+
+let run_table1 cfg = section "Table I"; print_string (Reveal.Experiment.render_table1 (env cfg))
+let run_table2 cfg = section "Table II"; print_string (Reveal.Experiment.render_table2 (Reveal.Experiment.table2 (env cfg)))
+let run_table3 cfg = section "Table III"; print_string (Reveal.Experiment.render_table3 (Reveal.Experiment.table3 (env cfg)))
+let run_table4 cfg = section "Table IV"; print_string (Reveal.Experiment.render_table4 (Reveal.Experiment.table4 (env cfg)))
+let run_signs cfg = section "Sign recovery (Section IV-B)"; print_string (Reveal.Experiment.render_signs (Reveal.Experiment.signs (env cfg)))
+
+let run_recover cfg =
+  section "End-to-end message recovery (Section III-A)";
+  print_string (Reveal.Experiment.render_recovery (Reveal.Experiment.recovery cfg))
+
+let run_toylattice cfg =
+  section "Estimator vs. lattice solver (validation)";
+  print_string (Reveal.Experiment.render_toylattice (Reveal.Experiment.toylattice cfg))
+
+let run_defenses cfg =
+  section "Countermeasures (Section V-A)";
+  print_string (Reveal.Experiment.render_defenses (Reveal.Experiment.defenses cfg))
+
+let run_tvla cfg =
+  section "Leakage assessment (TVLA)";
+  print_string (Reveal.Experiment.render_tvla (Reveal.Experiment.tvla cfg))
+
+let run_averaging cfg =
+  section "Multi-trace averaging baseline";
+  print_string (Reveal.Experiment.render_averaging (Reveal.Experiment.averaging cfg))
+
+let run_ablate_leakage cfg =
+  section "Ablation: leakage model";
+  print_string (Reveal.Experiment.render_ablation ~title:"leakage model" (Reveal.Experiment.ablate_leakage cfg))
+
+let run_ablate_noise cfg =
+  section "Ablation: measurement noise";
+  print_string (Reveal.Experiment.render_ablation ~title:"measurement noise" (Reveal.Experiment.ablate_noise cfg))
+
+let run_ablate_timing cfg =
+  section "Ablation: CPU timing model";
+  print_string (Reveal.Experiment.render_ablation ~title:"CPU timing model" (Reveal.Experiment.ablate_timing cfg))
+
+let run_ablate_features cfg =
+  section "Ablation: feature extraction (POI vs PCA)";
+  print_string (Reveal.Experiment.render_features (Reveal.Experiment.ablate_features cfg))
+
+let run_ablate_poi cfg =
+  section "Ablation: POI count";
+  print_string (Reveal.Experiment.render_ablation ~title:"POI count" (Reveal.Experiment.ablate_poi cfg))
+
+(* --- Bechamel micro-benchmarks: one per table/figure kernel ------------- *)
+
+let perf_tests () =
+  let open Bechamel in
+  let rng = Mathkit.Prng.create ~seed:1L () in
+  (* fig3 kernel: simulate + synthesise one 3-coefficient trace *)
+  let device3 = Reveal.Device.create ~n:3 () in
+  let fig3_kernel =
+    Test.make ~name:"fig3: simulate+synthesise 3-coeff trace"
+      (Staged.stage (fun () -> ignore (Reveal.Device.run device3 ~scope_rng:rng ~draws:[| (0, 1); (4, 0); (-5, 2) |])))
+  in
+  (* table1 kernel: classify one trace *)
+  let small = { Reveal.Experiment.default with Reveal.Experiment.device_n = 64; per_value = 60; attack_traces = 1 } in
+  let e = Reveal.Experiment.prepare small in
+  let prof = Reveal.Experiment.env_profile e in
+  let device = Reveal.Device.create ~n:64 () in
+  let run = Reveal.Device.run_gaussian device ~scope_rng:rng ~sampler_rng:rng in
+  let table1_kernel =
+    Test.make ~name:"table1: segment+classify one 64-coeff trace"
+      (Staged.stage (fun () -> ignore (Reveal.Campaign.attack_trace prof run)))
+  in
+  (* table2 kernel: one Bayesian posterior *)
+  let window =
+    let samples = run.Reveal.Device.trace.Power.Ptrace.samples in
+    let wins = Sca.Segment.windows prof.Reveal.Campaign.segment samples in
+    (Sca.Segment.vectorize samples wins ~length:prof.Reveal.Campaign.window_length).(0)
+  in
+  let table2_kernel =
+    Test.make ~name:"table2: posterior over 29 candidates"
+      (Staged.stage (fun () -> ignore (Sca.Attack.posterior_all prof.Reveal.Campaign.attack window)))
+  in
+  (* table3 kernel: integrate 1024 hints and re-estimate beta *)
+  let table3_kernel =
+    Test.make ~name:"table3: 1024 DBDD hints + beta search"
+      (Staged.stage (fun () ->
+           let d = Hints.Dbdd.create Hints.Lwe.seal_128_1024 in
+           for i = 0 to 1023 do
+             if i mod 3 = 0 then Hints.Dbdd.perfect_hint d i
+             else Hints.Dbdd.posterior_hint d i ~posterior_variance:0.5
+           done;
+           ignore (Hints.Dbdd.estimate_bikz d)))
+  in
+  (* table4 kernel: sign hints + beta search *)
+  let table4_kernel =
+    Test.make ~name:"table4: sign hints + beta search"
+      (Staged.stage (fun () ->
+           let d = Hints.Dbdd.create Hints.Lwe.seal_128_1024 in
+           let hv = 3.2 *. 3.2 *. (1.0 -. (2.0 /. Float.pi)) in
+           for i = 0 to 1023 do
+             if i mod 8 = 0 then Hints.Dbdd.perfect_hint d i else Hints.Dbdd.posterior_hint d i ~posterior_variance:hv
+           done;
+           ignore (Hints.Dbdd.estimate_bikz d)))
+  in
+  (* substrate kernels *)
+  let md = Mathkit.Modular.modulus 132120577 in
+  let plan = Mathkit.Ntt.plan md 1024 in
+  let a = Mathkit.Poly.uniform rng md 1024 and b = Mathkit.Poly.uniform rng md 1024 in
+  let ntt_kernel =
+    Test.make ~name:"substrate: NTT multiply (n=1024)" (Staged.stage (fun () -> ignore (Mathkit.Ntt.multiply plan a b)))
+  in
+  let ctx = Bfv.Rq.context Bfv.Params.seal_128_1024 in
+  let sk = Bfv.Keygen.secret_key rng ctx in
+  let pk = Bfv.Keygen.public_key rng ctx sk in
+  let msg = Bfv.Keys.plaintext_of_coeffs Bfv.Params.seal_128_1024 (Array.make 1024 7) in
+  let bfv_kernel =
+    Test.make ~name:"substrate: BFV encrypt (n=1024, v3.2 sampler)"
+      (Staged.stage (fun () -> ignore (Bfv.Encryptor.encrypt rng ctx pk msg)))
+  in
+  let lll_kernel =
+    Test.make ~name:"substrate: LLL on dim-33 Kannan embedding"
+      (Staged.stage (fun () ->
+           let g = Mathkit.Prng.create ~seed:9L () in
+           let qm = Mathkit.Modular.modulus 521 in
+           let p1 = Mathkit.Poly.uniform g qm 16 in
+           let inst =
+             {
+               Lattice.Embed.q = 521;
+               a = Lattice.Embed.negacyclic_matrix ~q:521 p1;
+               b = Array.init 16 (fun _ -> Mathkit.Prng.int g 521);
+             }
+           in
+           let basis = Lattice.Embed.kannan_basis inst in
+           Lattice.Lll.reduce basis))
+  in
+  [ fig3_kernel; table1_kernel; table2_kernel; table3_kernel; table4_kernel; ntt_kernel; bfv_kernel; lll_kernel ]
+
+let run_perf () =
+  section "Bechamel micro-benchmarks (one per table/figure kernel)";
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let ols =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instance results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-48s %12.1f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-48s (no estimate)\n%!" name)
+        ols)
+    (perf_tests ())
+
+let usage () =
+  print_endline
+    "usage: bench/main.exe [--full] [command]\n\
+     commands:\n\
+    \  all (default)   every table and figure\n\
+    \  fig3            Fig. 3 (a) full-trace peaks and (b) branch sub-traces\n\
+    \  table1          Table I   confusion matrix of the template attack\n\
+    \  table2          Table II  per-measurement guessing probabilities\n\
+    \  table3          Table III bikz with/without hints (full attack)\n\
+    \  table4          Table IV  bikz from the branch vulnerability only\n\
+    \  signs           sign-recovery success rate\n\
+    \  recover         end-to-end single-trace message recovery\n\
+    \  toylattice      estimator vs. LLL/BKZ on toy instances\n\
+    \  defenses        countermeasure study (v3.6 / shuffling)\n\
+    \  tvla            Welch t-test leakage assessment per sampler variant\n\
+    \  averaging       multi-trace averaging baseline (why single-trace matters)\n\
+    \  ablate-leakage  leakage-model ablation\n\
+    \  ablate-noise    measurement-noise sweep\n\
+    \  ablate-poi      POI-count sweep\n\
+    \  ablate-features feature-extraction comparison (SOST/SOSD/PCA/correlation)\n\
+    \  perf            Bechamel micro-benchmarks"
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--full") in
+  let cfg = config () in
+  match args with
+  | [] | [ "all" ] ->
+      run_fig3 cfg;
+      run_table1 cfg;
+      run_table2 cfg;
+      run_table3 cfg;
+      run_table4 cfg;
+      run_signs cfg;
+      run_recover cfg;
+      run_toylattice cfg;
+      run_defenses cfg;
+      run_tvla cfg;
+      run_averaging cfg;
+      run_ablate_leakage cfg;
+      run_ablate_noise cfg;
+      run_ablate_poi cfg;
+      run_ablate_features cfg;
+      run_ablate_timing cfg;
+      print_endline "\nall artefacts regenerated; see EXPERIMENTS.md for paper-vs-measured discussion"
+  | [ "fig3" ] | [ "fig3a" ] | [ "fig3b" ] -> run_fig3 cfg
+  | [ "table1" ] -> run_table1 cfg
+  | [ "table2" ] -> run_table2 cfg
+  | [ "table3" ] -> run_table3 cfg
+  | [ "table4" ] -> run_table4 cfg
+  | [ "signs" ] -> run_signs cfg
+  | [ "recover" ] -> run_recover cfg
+  | [ "toylattice" ] -> run_toylattice cfg
+  | [ "defenses" ] -> run_defenses cfg
+  | [ "tvla" ] -> run_tvla cfg
+  | [ "averaging" ] -> run_averaging cfg
+  | [ "ablate-leakage" ] -> run_ablate_leakage cfg
+  | [ "ablate-noise" ] -> run_ablate_noise cfg
+  | [ "ablate-poi" ] -> run_ablate_poi cfg
+  | [ "ablate-features" ] -> run_ablate_features cfg
+  | [ "ablate-timing" ] -> run_ablate_timing cfg
+  | [ "perf" ] -> run_perf ()
+  | _ -> usage ()

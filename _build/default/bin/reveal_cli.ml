@@ -1,0 +1,162 @@
+(* reveal — command-line front end.
+
+   Subcommands:
+     disasm    print the RV32IM listing of a sampler firmware variant
+     trace     capture one sampler power trace (ASCII plot / CSV)
+     attack    run the single-trace attack once and print per-coefficient results
+     estimate  DBDD security estimates for SEAL parameter sets with hint counts *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "PRNG seed (all randomness is explicit and reproducible)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let n_arg default =
+  let doc = "Number of coefficients the firmware samples per run." in
+  Arg.(value & opt int default & info [ "n" ] ~docv:"N" ~doc)
+
+let variant_arg =
+  let doc = "Sampler variant: v32 (vulnerable), v36 (branchless) or shuffled." in
+  let variant_conv =
+    Arg.enum
+      [ ("v32", Riscv.Sampler_prog.Vulnerable); ("v36", Riscv.Sampler_prog.Branchless); ("shuffled", Riscv.Sampler_prog.Shuffled) ]
+  in
+  Arg.(value & opt variant_conv Riscv.Sampler_prog.Vulnerable & info [ "variant" ] ~docv:"VARIANT" ~doc)
+
+let rng_of_seed seed = Mathkit.Prng.create ~seed:(Int64.of_int seed) ()
+
+(* --- disasm ------------------------------------------------------------ *)
+
+let disasm variant n =
+  let prog = Riscv.Sampler_prog.build ~variant ~n ~k:1 () in
+  List.iter print_endline prog.Riscv.Asm.listing;
+  Printf.printf "; %d instructions\n" (Array.length prog.Riscv.Asm.words)
+
+let disasm_cmd =
+  let doc = "Print the RV32IM assembly listing of the sampler firmware." in
+  Cmd.v (Cmd.info "disasm" ~doc) Term.(const disasm $ variant_arg $ n_arg 4)
+
+(* --- trace -------------------------------------------------------------- *)
+
+let trace seed variant n csv =
+  let rng = rng_of_seed seed in
+  let device = Reveal.Device.create ~variant ~n () in
+  let run =
+    if variant = Riscv.Sampler_prog.Shuffled then begin
+      let perm = Array.init n (fun i -> i) in
+      Mathkit.Prng.shuffle rng perm;
+      Reveal.Device.run_shuffled device ~scope_rng:rng ~sampler_rng:rng ~perm
+    end
+    else Reveal.Device.run_gaussian device ~scope_rng:rng ~sampler_rng:rng
+  in
+  Printf.printf "sampled noises: %s\n"
+    (String.concat " " (Array.to_list (Array.map string_of_int run.Reveal.Device.noises)));
+  (match csv with
+  | Some path ->
+      Power.Ptrace.save_csv path run.Reveal.Device.trace;
+      Printf.printf "trace written to %s (%d samples)\n" path (Power.Ptrace.length run.Reveal.Device.trace)
+  | None -> print_string (Power.Ptrace.ascii_plot ~width:110 ~height:16 run.Reveal.Device.trace.Power.Ptrace.samples));
+  let bursts = Sca.Segment.burst_regions Sca.Segment.default run.Reveal.Device.trace.Power.Ptrace.samples in
+  Printf.printf "%d distribution-call peaks detected\n" (Array.length bursts)
+
+let trace_cmd =
+  let doc = "Capture one power trace of the sampler and plot or dump it." in
+  let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write the trace as CSV.") in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const trace $ seed_arg $ variant_arg $ n_arg 4 $ csv)
+
+(* --- profile ----------------------------------------------------------------- *)
+
+let profile_cmd_impl seed n per_value out =
+  let rng = rng_of_seed seed in
+  let device = Reveal.Device.create ~n () in
+  Printf.printf "profiling (%d windows per candidate value, n = %d)...\n%!" per_value n;
+  let prof = Reveal.Campaign.profile ~per_value device rng in
+  Reveal.Campaign.save_profile out prof;
+  Printf.printf "profile saved to %s (window length %d)\n" out prof.Reveal.Campaign.window_length
+
+let profile_cmd =
+  let doc = "Build attack templates on a clone device and cache them to disk." in
+  let out = Arg.(value & opt string "reveal_profile.bin" & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Cache file.") in
+  let per_value = Arg.(value & opt int 400 & info [ "per-value" ] ~docv:"K" ~doc:"Profiling windows per value.") in
+  Cmd.v (Cmd.info "profile" ~doc) Term.(const profile_cmd_impl $ seed_arg $ n_arg 128 $ per_value $ out)
+
+(* --- attack --------------------------------------------------------------- *)
+
+let attack seed n per_value cached verbose =
+  let rng = rng_of_seed seed in
+  let device = Reveal.Device.create ~n () in
+  let prof =
+    match cached with
+    | Some path ->
+        Printf.printf "loading cached profile from %s\n%!" path;
+        Reveal.Campaign.load_profile path
+    | None ->
+        Printf.printf "profiling (%d windows per candidate value)...\n%!" per_value;
+        Reveal.Campaign.profile ~per_value device rng
+  in
+  let scope_rng = Mathkit.Prng.split rng and sampler_rng = Mathkit.Prng.split rng in
+  let run = Reveal.Device.run_gaussian device ~scope_rng ~sampler_rng in
+  let results = Reveal.Campaign.attack_trace prof run in
+  let sign_ok = ref 0 and value_ok = ref 0 in
+  Array.iteri
+    (fun i r ->
+      let v = r.Reveal.Campaign.verdict in
+      if compare r.Reveal.Campaign.actual 0 = v.Sca.Attack.sign then incr sign_ok;
+      if r.Reveal.Campaign.actual = v.Sca.Attack.value then incr value_ok;
+      if verbose then
+        Printf.printf "coeff %4d: actual %3d -> recovered %3d %s\n" i r.Reveal.Campaign.actual v.Sca.Attack.value
+          (if r.Reveal.Campaign.actual = v.Sca.Attack.value then "" else "x"))
+    results;
+  Printf.printf "single-trace attack over %d coefficients: signs %d/%d, values %d/%d\n" n !sign_ok n !value_ok n
+
+let attack_cmd =
+  let doc = "Run the single-trace attack on one honest sampling." in
+  let per_value = Arg.(value & opt int 300 & info [ "per-value" ] ~docv:"K" ~doc:"Profiling windows per value.") in
+  let cached = Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc:"Use a cached profile (see the profile command).") in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every coefficient.") in
+  Cmd.v (Cmd.info "attack" ~doc) Term.(const attack $ seed_arg $ n_arg 128 $ per_value $ cached $ verbose)
+
+(* --- estimate --------------------------------------------------------------- *)
+
+let estimate perfect sign_only =
+  let lwe = Hints.Lwe.seal_128_1024 in
+  let d = Hints.Dbdd.create lwe in
+  Printf.printf "SEAL-128 (q=%d, n=%d): %.2f bikz (~2^%.1f) without hints\n" lwe.Hints.Lwe.q lwe.Hints.Lwe.n
+    (Hints.Dbdd.estimate_bikz d)
+    (Hints.Bkz_model.security_bits (Hints.Dbdd.estimate_bikz d));
+  if sign_only then begin
+    let sigma = lwe.Hints.Lwe.sigma_error in
+    let p0 = Mathkit.Gaussian.discrete_probability ~sigma 0 in
+    let zeros = int_of_float (Float.round (p0 *. float_of_int lwe.Hints.Lwe.m)) in
+    let hv = sigma *. sigma *. (1.0 -. (2.0 /. Float.pi)) in
+    for i = 0 to lwe.Hints.Lwe.m - 1 do
+      if i < zeros then Hints.Dbdd.perfect_hint d i else Hints.Dbdd.posterior_hint d i ~posterior_variance:hv
+    done;
+    Printf.printf "with sign/zero hints on all %d error coordinates: %.2f bikz (~2^%.1f)\n" lwe.Hints.Lwe.m
+      (Hints.Dbdd.estimate_bikz d)
+      (Hints.Bkz_model.security_bits (Hints.Dbdd.estimate_bikz d))
+  end
+  else begin
+    let k = min perfect lwe.Hints.Lwe.m in
+    for i = 0 to k - 1 do
+      Hints.Dbdd.perfect_hint d i
+    done;
+    Printf.printf "with %d perfect error hints: %.2f bikz (~2^%.1f)\n" k (Hints.Dbdd.estimate_bikz d)
+      (Hints.Bkz_model.security_bits (Hints.Dbdd.estimate_bikz d))
+  end;
+  print_endline "cost-model conversions of the final block size:";
+  List.iter
+    (fun (label, bits) -> Printf.printf "  %-30s %7.1f bits\n" label bits)
+    (Hints.Bkz_model.cost_summary (Hints.Dbdd.estimate_bikz d))
+
+let estimate_cmd =
+  let doc = "DBDD security estimate for SEAL-128 under side-channel hints." in
+  let perfect = Arg.(value & opt int 1024 & info [ "perfect" ] ~docv:"K" ~doc:"Number of perfect error hints.") in
+  let sign_only = Arg.(value & flag & info [ "sign-only" ] ~doc:"Use branch-vulnerability hints only (Table IV).") in
+  Cmd.v (Cmd.info "estimate" ~doc) Term.(const estimate $ perfect $ sign_only)
+
+let () =
+  let doc = "RevEAL: single-trace side-channel attack on the SEAL BFV encryptor (reproduction)" in
+  let info = Cmd.info "reveal" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ disasm_cmd; trace_cmd; profile_cmd; attack_cmd; estimate_cmd ]))

@@ -1,0 +1,1 @@
+examples/countermeasures.ml: Array Hints Mathkit Printf Reveal Riscv Sca

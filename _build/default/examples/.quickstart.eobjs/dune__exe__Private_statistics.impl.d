@@ -1,0 +1,1 @@
+examples/private_statistics.ml: Array Bfv Hints Mathkit Printf

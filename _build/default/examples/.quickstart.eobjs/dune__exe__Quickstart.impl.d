@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bfv Format Mathkit Printf

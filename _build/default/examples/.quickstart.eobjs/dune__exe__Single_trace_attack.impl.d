@@ -1,0 +1,1 @@
+examples/single_trace_attack.ml: Array Bfv Char Hints Mathkit Power Printf Reveal Sca String

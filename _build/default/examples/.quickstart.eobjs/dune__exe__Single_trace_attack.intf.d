@@ -1,0 +1,1 @@
+examples/single_trace_attack.mli:

@@ -1,0 +1,1 @@
+lib/bfv/decryptor.ml: Array Float Keys Mathkit Params Rq

@@ -1,0 +1,1 @@
+lib/bfv/decryptor.mli: Keys Rq

@@ -1,0 +1,1 @@
+lib/bfv/encoder.ml: Array Keys Mathkit Params Rq

@@ -1,0 +1,1 @@
+lib/bfv/encoder.mli: Keys Params Rq

@@ -1,0 +1,1 @@
+lib/bfv/encryptor.ml: Array Keys Params Rq Sampler

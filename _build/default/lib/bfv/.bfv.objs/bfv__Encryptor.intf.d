@@ -1,0 +1,1 @@
+lib/bfv/encryptor.mli: Keys Mathkit Rq Sampler

@@ -1,0 +1,1 @@
+lib/bfv/evaluator.ml: Array Keys Keyswitch Mathkit Params Rq

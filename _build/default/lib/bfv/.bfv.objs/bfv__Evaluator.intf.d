@@ -1,0 +1,1 @@
+lib/bfv/evaluator.mli: Keys Keyswitch Rq

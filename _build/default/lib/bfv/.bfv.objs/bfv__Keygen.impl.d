@@ -1,0 +1,1 @@
+lib/bfv/keygen.ml: Keys Keyswitch Rq Sampler

@@ -1,0 +1,1 @@
+lib/bfv/keygen.mli: Keys Keyswitch Mathkit Rq

@@ -1,0 +1,1 @@
+lib/bfv/keys.ml: Array Format Params Rq

@@ -1,0 +1,1 @@
+lib/bfv/keys.mli: Format Params Rq

@@ -1,0 +1,1 @@
+lib/bfv/keyswitch.ml: Array Keys Mathkit Params Rq Sampler

@@ -1,0 +1,1 @@
+lib/bfv/keyswitch.mli: Keys Mathkit Rq

@@ -1,0 +1,1 @@
+lib/bfv/params.ml: Array Format List Mathkit Printf

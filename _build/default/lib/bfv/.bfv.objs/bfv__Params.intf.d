@@ -1,0 +1,1 @@
+lib/bfv/params.mli: Format Mathkit

@@ -1,0 +1,1 @@
+lib/bfv/recover.ml: Array Keys Mathkit Params Rq Sampler

@@ -1,0 +1,1 @@
+lib/bfv/recover.mli: Keys Rq

@@ -1,0 +1,1 @@
+lib/bfv/rq.ml: Array Format Mathkit Params

@@ -1,0 +1,1 @@
+lib/bfv/rq.mli: Format Mathkit Params

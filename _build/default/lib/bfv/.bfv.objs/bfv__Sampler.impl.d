@@ -1,0 +1,1 @@
+lib/bfv/sampler.ml: Array Float Mathkit Params Rq

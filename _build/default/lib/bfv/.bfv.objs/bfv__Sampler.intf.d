@@ -1,0 +1,1 @@
+lib/bfv/sampler.mli: Mathkit Rq

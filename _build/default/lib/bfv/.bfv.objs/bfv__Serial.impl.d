@@ -1,0 +1,1 @@
+lib/bfv/serial.ml: Array Buffer Bytes Char Keys Keyswitch List Params Printf Rq

@@ -1,0 +1,1 @@
+lib/bfv/serial.mli: Keys Keyswitch Params Rq

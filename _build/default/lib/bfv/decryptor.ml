@@ -1,0 +1,43 @@
+let eval_at_secret ctx sk c =
+  let parts = c.Keys.parts in
+  if Array.length parts = 0 then invalid_arg "Decryptor: empty ciphertext";
+  (* Horner over the secret: acc = c_{k-1}; acc = acc*s + c_i *)
+  let acc = ref (Rq.copy parts.(Array.length parts - 1)) in
+  for i = Array.length parts - 2 downto 0 do
+    acc := Rq.add ctx (Rq.mul ctx !acc sk.Keys.s) parts.(i)
+  done;
+  !acc
+
+let decrypt ctx sk c =
+  let params = Rq.params ctx in
+  let t = Mathkit.Bignum.of_int params.Params.plain_modulus in
+  let q = Params.total_modulus params in
+  let phase = eval_at_secret ctx sk c in
+  let coeffs =
+    Array.map
+      (fun (mag, negative) ->
+        (* round(t * x / q) mod t, on the centered representative *)
+        let scaled = Mathkit.Bignum.round_div (Mathkit.Bignum.mul t mag) q in
+        let v = Mathkit.Bignum.mod_int scaled params.Params.plain_modulus in
+        if negative && v <> 0 then params.Params.plain_modulus - v else v)
+      (Rq.to_centered_bignum ctx phase)
+  in
+  Keys.plaintext_of_coeffs params coeffs
+
+let noise_budget_bits ctx sk c =
+  let params = Rq.params ctx in
+  let q = Params.total_modulus params in
+  let m = decrypt ctx sk c in
+  let phase = eval_at_secret ctx sk c in
+  let delta_m = Rq.mul_scalar_planes ctx (Params.delta_mod params) (Rq.of_centered ctx m.Keys.coeffs) in
+  let residual = Rq.sub ctx phase delta_m in
+  let worst =
+    Array.fold_left
+      (fun acc (mag, _) -> if Mathkit.Bignum.compare mag acc > 0 then mag else acc)
+      Mathkit.Bignum.zero
+      (Rq.to_centered_bignum ctx residual)
+  in
+  let log2_q = Mathkit.Bignum.log2 q in
+  let log2_t = Float.log2 (float_of_int params.Params.plain_modulus) in
+  if Mathkit.Bignum.is_zero worst then log2_q -. 1.0 -. log2_t
+  else log2_q -. 1.0 -. log2_t -. Mathkit.Bignum.log2 worst

@@ -1,0 +1,13 @@
+(** BFV decryption: m = [ round( t/q * [c(s)]_q ) ]_t.
+
+    Evaluates the ciphertext polynomial at the secret key
+    (c0 + c1 s + c2 s^2 + ... for unrelinearised products), CRT-lifts
+    every coefficient to the big integer range and performs the
+    rounded division exactly with {!Mathkit.Bignum}. *)
+
+val decrypt : Rq.context -> Keys.secret_key -> Keys.ciphertext -> Keys.plaintext
+
+val noise_budget_bits : Rq.context -> Keys.secret_key -> Keys.ciphertext -> float
+(** log2( q / (2 t |v|_inf) ) where v is the noise polynomial of the
+    ciphertext — SEAL's invariant noise budget.  Negative means
+    decryption is no longer guaranteed. *)

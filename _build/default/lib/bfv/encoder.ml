@@ -1,0 +1,78 @@
+let encode_int params v =
+  let t = params.Params.plain_modulus in
+  let coeffs = Array.make params.Params.n 0 in
+  let negative = v < 0 in
+  let v = abs v in
+  if params.Params.n < 62 && v >= 1 lsl params.Params.n then
+    invalid_arg "Encoder.encode_int: value too large for the ring degree";
+  let rec go i v =
+    if v > 0 then begin
+      if i >= params.Params.n then invalid_arg "Encoder.encode_int: value too large for the ring degree";
+      (* digit b, negated digits encode negative numbers: t - 1 = -1 *)
+      if v land 1 = 1 then coeffs.(i) <- (if negative then t - 1 else 1);
+      go (i + 1) (v lsr 1)
+    end
+  in
+  go 0 v;
+  Keys.plaintext_of_coeffs params coeffs
+
+let decode_int params m =
+  let t = params.Params.plain_modulus in
+  let acc = ref 0 and base = ref 1 in
+  Array.iter
+    (fun c ->
+      let centered = if c > t / 2 then c - t else c in
+      acc := !acc + (centered * !base);
+      base := !base * 2)
+    m.Keys.coeffs;
+  !acc
+
+type batch = {
+  params : Params.t;
+  plan : Mathkit.Ntt.plan;
+}
+
+let batch ctx =
+  let params = Rq.params ctx in
+  let t = params.Params.plain_modulus in
+  if Mathkit.Ntt.is_friendly ~q:t ~n:params.Params.n then
+    Some { params; plan = Mathkit.Ntt.plan (Mathkit.Modular.modulus t) params.Params.n }
+  else None
+
+let batch_slots b = b.params.Params.n
+
+let batch_encode b values =
+  if Array.length values <> b.params.Params.n then invalid_arg "Encoder.batch_encode: need one value per slot";
+  let md = Mathkit.Ntt.modulus b.plan in
+  let slots = Array.map (Mathkit.Modular.reduce md) values in
+  (* slots live in the NTT domain; the plaintext is its preimage *)
+  Mathkit.Ntt.inverse b.plan slots;
+  Keys.plaintext_of_coeffs b.params slots
+
+let batch_decode b m =
+  let slots = Array.copy m.Keys.coeffs in
+  Mathkit.Ntt.forward b.plan slots;
+  slots
+
+let slot_permutation b ~element =
+  let n = b.params.Params.n in
+  let t = b.params.Params.plain_modulus in
+  (* batching requires a prime t = 1 mod 2n, so t > n and the markers
+     1..n are all distinct: encode them, apply the plaintext
+     automorphism, and read off where each marker surfaced *)
+  let markers = Array.init n (fun i -> i + 1) in
+  let m = batch_encode b markers in
+  let out = Array.make n 0 in
+  Array.iteri
+    (fun i c ->
+      let e = i * element mod (2 * n) in
+      if e < n then out.(e) <- (out.(e) + c) mod t
+      else out.(e - n) <- (((out.(e - n) - c) mod t) + t) mod t)
+    m.Keys.coeffs;
+  let rotated = batch_decode b { Keys.coeffs = out } in
+  let perm = Array.make n (-1) in
+  Array.iteri
+    (fun dst v -> if v >= 1 && v <= n then perm.(v - 1) <- dst)
+    rotated;
+  if Array.exists (fun x -> x < 0) perm then failwith "Encoder.slot_permutation: tracing failed";
+  perm

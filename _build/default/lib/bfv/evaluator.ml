@@ -1,0 +1,148 @@
+let map_parts2 f a b =
+  let la = Array.length a.Keys.parts and lb = Array.length b.Keys.parts in
+  let n = max la lb in
+  { Keys.parts = Array.init n (fun i -> f (if i < la then Some a.Keys.parts.(i) else None) (if i < lb then Some b.Keys.parts.(i) else None)) }
+
+let add ctx a b =
+  map_parts2
+    (fun x y ->
+      match (x, y) with
+      | Some x, Some y -> Rq.add ctx x y
+      | Some x, None | None, Some x -> Rq.copy x
+      | None, None -> assert false)
+    a b
+
+let negate ctx a = { Keys.parts = Array.map (Rq.neg ctx) a.Keys.parts }
+let sub ctx a b = add ctx a (negate ctx b)
+
+let add_plain ctx c m =
+  let scaled = Rq.mul_scalar_planes ctx (Params.delta_mod (Rq.params ctx)) (Rq.of_centered ctx m.Keys.coeffs) in
+  let parts = Array.map Rq.copy c.Keys.parts in
+  parts.(0) <- Rq.add ctx parts.(0) scaled;
+  { Keys.parts = parts }
+
+let mul_plain ctx c m =
+  if Array.for_all (fun x -> x = 0) m.Keys.coeffs then
+    invalid_arg "Evaluator.mul_plain: transparent result (zero plaintext)";
+  let pt = Rq.of_centered ctx m.Keys.coeffs in
+  { Keys.parts = Array.map (fun part -> Rq.mul ctx part pt) c.Keys.parts }
+
+(* --- exact tensor multiply -------------------------------------------- *)
+
+(* Signed bignum helpers: (negative, magnitude). *)
+type sbig = bool * Mathkit.Bignum.t
+
+let szero : sbig = (false, Mathkit.Bignum.zero)
+
+let sadd ((na, ma) : sbig) ((nb, mb) : sbig) : sbig =
+  if na = nb then (na, Mathkit.Bignum.add ma mb)
+  else if Mathkit.Bignum.compare ma mb >= 0 then (na, Mathkit.Bignum.sub ma mb)
+  else (nb, Mathkit.Bignum.sub mb ma)
+
+let smul ((na, ma) : sbig) ((nb, mb) : sbig) : sbig = (na <> nb, Mathkit.Bignum.mul ma mb)
+
+let sneg ((n, m) : sbig) : sbig = (not n, m)
+
+let sbig_of_centered (mag, negative) : sbig = (negative, mag)
+
+(* Negacyclic product of two centered big-integer polynomials. *)
+let znegacyclic_mul a b =
+  let n = Array.length a in
+  let c = Array.make n szero in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let p = smul a.(i) b.(j) in
+      let k = i + j in
+      if k < n then c.(k) <- sadd c.(k) p else c.(k - n) <- sadd c.(k - n) (sneg p)
+    done
+  done;
+  c
+
+(* round(t * x / q) for signed x, rounding to nearest (ties away from
+   zero on the negative side is fine: the final reduction mod q makes
+   at most a 1-ulp noise difference, absorbed by BFV's noise margin). *)
+let scale_coeff ~t ~q ((neg, mag) : sbig) : sbig = (neg, Mathkit.Bignum.round_div (Mathkit.Bignum.mul t mag) q)
+
+let rq_of_sbig ctx coeffs =
+  let moduli = Rq.moduli ctx in
+  let planes =
+    Array.map
+      (fun md ->
+        Array.map
+          (fun (neg, mag) ->
+            let r = Mathkit.Bignum.mod_int mag md.Mathkit.Modular.value in
+            if neg then Mathkit.Modular.neg md r else r)
+          coeffs)
+      moduli
+  in
+  Rq.of_planes ctx planes
+
+let multiply ctx a b =
+  let params = Rq.params ctx in
+  let t = Mathkit.Bignum.of_int params.Params.plain_modulus in
+  let q = Params.total_modulus params in
+  let lift part = Array.map sbig_of_centered (Rq.to_centered_bignum ctx part) in
+  let pa = Array.map lift a.Keys.parts and pb = Array.map lift b.Keys.parts in
+  let la = Array.length pa and lb = Array.length pb in
+  let out = Array.make (la + lb - 1) None in
+  for i = 0 to la - 1 do
+    for j = 0 to lb - 1 do
+      let prod = znegacyclic_mul pa.(i) pb.(j) in
+      out.(i + j) <-
+        (match out.(i + j) with
+        | None -> Some prod
+        | Some acc -> Some (Array.mapi (fun k c -> sadd c prod.(k)) acc))
+    done
+  done;
+  let parts =
+    Array.map
+      (function
+        | None -> assert false
+        | Some coeffs -> rq_of_sbig ctx (Array.map (scale_coeff ~t ~q) coeffs))
+      out
+  in
+  { Keys.parts }
+
+let relinearize ctx key c =
+  if Array.length c.Keys.parts <> 3 then invalid_arg "Evaluator.relinearize: expected a 3-part ciphertext";
+  let delta0, delta1 = Keyswitch.switch ctx key c.Keys.parts.(2) in
+  { Keys.parts = [| Rq.add ctx c.Keys.parts.(0) delta0; Rq.add ctx c.Keys.parts.(1) delta1 |] }
+
+let apply_galois ctx key ~element c =
+  if Array.length c.Keys.parts <> 2 then invalid_arg "Evaluator.apply_galois: expected a 2-part ciphertext";
+  (* c(X^g) encrypts m(X^g) under s(X^g); key-switch the second
+     component back to s *)
+  let c0g = Rq.automorphism ctx element c.Keys.parts.(0) in
+  let c1g = Rq.automorphism ctx element c.Keys.parts.(1) in
+  let delta0, delta1 = Keyswitch.switch ctx key c1g in
+  { Keys.parts = [| Rq.add ctx c0g delta0; delta1 |] }
+
+let mod_switch ~from_ctx ~to_ctx c =
+  let from_primes = (Rq.params from_ctx).Params.coeff_modulus in
+  let to_primes = (Rq.params to_ctx).Params.coeff_modulus in
+  let k = Array.length from_primes in
+  if Array.length to_primes <> k - 1 || k < 2 then
+    invalid_arg "Evaluator.mod_switch: target must drop exactly the last prime";
+  Array.iteri
+    (fun j q -> if q <> from_primes.(j) then invalid_arg "Evaluator.mod_switch: prime chains do not match")
+    to_primes;
+  if (Rq.params from_ctx).Params.plain_modulus <> (Rq.params to_ctx).Params.plain_modulus then
+    invalid_arg "Evaluator.mod_switch: plain modulus must match";
+  let q_last = from_primes.(k - 1) in
+  let md_last = Mathkit.Modular.modulus q_last in
+  let to_moduli = Rq.moduli to_ctx in
+  let switch_part part =
+    (* c' = (c - [c]_{q_last}) / q_last per remaining plane, with the
+       centered representative so the rounding error stays small *)
+    let planes =
+      Array.init (k - 1) (fun j ->
+          let md = to_moduli.(j) in
+          let inv_q_last = Mathkit.Modular.inv md (Mathkit.Modular.reduce md q_last) in
+          Array.init (Rq.params to_ctx).Params.n (fun i ->
+              let r = Mathkit.Modular.to_centered md_last part.Rq.planes.(k - 1).(i) in
+              let shifted = Mathkit.Modular.sub md part.Rq.planes.(j).(i) (Mathkit.Modular.reduce md r) in
+              Mathkit.Modular.mul md shifted inv_q_last))
+    in
+    Rq.of_planes to_ctx planes
+  in
+  { Keys.parts = Array.map switch_part c.Keys.parts }

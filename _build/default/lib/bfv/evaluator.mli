@@ -1,0 +1,38 @@
+(** Homomorphic evaluation (the cloud's side of Fig. 1).
+
+    Additions and plaintext operations are plane-local; ciphertext
+    multiplication follows the BFV definition exactly — tensor the
+    ciphertext polynomials over the integers, scale by t/q with exact
+    rounding, reduce back mod q — so products decrypt correctly
+    without relying on double-precision shortcuts.  Products are left
+    unrelinearised (three parts); {!Decryptor.decrypt} handles any
+    size. *)
+
+val add : Rq.context -> Keys.ciphertext -> Keys.ciphertext -> Keys.ciphertext
+val sub : Rq.context -> Keys.ciphertext -> Keys.ciphertext -> Keys.ciphertext
+val negate : Rq.context -> Keys.ciphertext -> Keys.ciphertext
+val add_plain : Rq.context -> Keys.ciphertext -> Keys.plaintext -> Keys.ciphertext
+val mul_plain : Rq.context -> Keys.ciphertext -> Keys.plaintext -> Keys.ciphertext
+(** @raise Invalid_argument on an all-zero plaintext (SEAL does too:
+    the result would be a transparent ciphertext). *)
+
+val multiply : Rq.context -> Keys.ciphertext -> Keys.ciphertext -> Keys.ciphertext
+(** Tensor product with exact t/q scaling; result has
+    size1 + size2 - 1 parts. *)
+
+val relinearize : Rq.context -> Keyswitch.key -> Keys.ciphertext -> Keys.ciphertext
+(** Switch a 3-part product back to 2 parts using the evaluation key.
+    Adds key-switching noise proportional to the key's digit size, so
+    (like multiplication itself) it wants a multi-prime modulus.
+    @raise Invalid_argument on ciphertexts that are not 3-part. *)
+
+val apply_galois : Rq.context -> Keyswitch.key -> element:int -> Keys.ciphertext -> Keys.ciphertext
+(** Apply the automorphism X -> X^element to the encrypted plaintext:
+    Dec(apply_galois gk g c) = (Dec c)(X^g).  The key must have been
+    generated for the same element.  Fresh 2-part ciphertexts only. *)
+
+val mod_switch : from_ctx:Rq.context -> to_ctx:Rq.context -> Keys.ciphertext -> Keys.ciphertext
+(** Rescale a ciphertext from modulus q = q_1...q_k to q' = q_1...q_{k-1}
+    (drop the last prime), dividing the noise along with the modulus.
+    [to_ctx] must use exactly the first k-1 primes of [from_ctx].
+    @raise Invalid_argument otherwise. *)

@@ -1,0 +1,55 @@
+type key = {
+  k0 : Rq.t array;
+  k1 : Rq.t array;
+  digit_bits : int;
+}
+
+let digit_count ctx ~digit_bits =
+  if digit_bits <= 0 || digit_bits > 30 then invalid_arg "Keyswitch: digit_bits must be in 1..30";
+  let qbits = Mathkit.Bignum.bits (Params.total_modulus (Rq.params ctx)) in
+  (qbits + digit_bits - 1) / digit_bits
+
+let decompose ctx x ~digit_bits =
+  let params = Rq.params ctx in
+  let n = params.Params.n in
+  let basis = Rq.rns ctx in
+  let moduli = Rq.moduli ctx in
+  let count = digit_count ctx ~digit_bits in
+  let mask = (1 lsl digit_bits) - 1 in
+  let digits = Array.init count (fun _ -> Array.map (fun _ -> Array.make n 0) moduli) in
+  for i = 0 to n - 1 do
+    let residues = Array.map (fun p -> p.(i)) x.Rq.planes in
+    let v = ref (Mathkit.Rns.compose basis residues) in
+    for d = 0 to count - 1 do
+      let digit = Mathkit.Bignum.mod_int !v (mask + 1) in
+      Array.iteri (fun j _ -> digits.(d).(j).(i) <- digit) moduli;
+      v := Mathkit.Bignum.shift_right !v digit_bits
+    done
+  done;
+  Array.map (fun planes -> Rq.of_planes ctx planes) digits
+
+let generate ?(digit_bits = 16) rng ctx sk ~target =
+  let moduli = Rq.moduli ctx in
+  let count = digit_count ctx ~digit_bits in
+  let k0 = Array.make count (Rq.zero ctx) and k1 = Array.make count (Rq.zero ctx) in
+  for i = 0 to count - 1 do
+    let a = Rq.uniform rng ctx in
+    let e, _ = Sampler.set_poly_coeffs_normal_v32 rng ctx in
+    (* T^i mod q_j, per plane *)
+    let t_pow = Array.map (fun md -> Mathkit.Modular.pow md (Mathkit.Modular.reduce md (1 lsl digit_bits)) i) moduli in
+    let scaled_target = Rq.mul_scalar_planes ctx t_pow target in
+    k0.(i) <- Rq.add ctx (Rq.neg ctx (Rq.add ctx (Rq.mul ctx a sk.Keys.s) e)) scaled_target;
+    k1.(i) <- a
+  done;
+  { k0; k1; digit_bits }
+
+let switch ctx key c =
+  let digits = decompose ctx c ~digit_bits:key.digit_bits in
+  if Array.length digits <> Array.length key.k0 then invalid_arg "Keyswitch.switch: key/context mismatch";
+  let delta0 = ref (Rq.zero ctx) and delta1 = ref (Rq.zero ctx) in
+  Array.iteri
+    (fun i d ->
+      delta0 := Rq.add ctx !delta0 (Rq.mul ctx key.k0.(i) d);
+      delta1 := Rq.add ctx !delta1 (Rq.mul ctx key.k1.(i) d))
+    digits;
+  (!delta0, !delta1)

@@ -1,0 +1,40 @@
+(** Key switching: the machinery behind relinearisation and Galois
+    rotations.
+
+    The paper's Fig. 1 preliminaries include the evaluation key [evk];
+    SEAL implements it as a key-switching key: to re-express a
+    ciphertext component that currently multiplies a foreign secret
+    [s'] (e.g. s^2 after a multiplication, or s(x^g) after an
+    automorphism) in terms of [s], publish
+
+      evk_i = ( -(a_i s + e_i) + T^i s' , a_i )        for T^i < q
+
+    and fold a component c with digits c = sum_i T^i d_i as
+
+      c0 += sum_i evk_i[0] * d_i ,  c1 += sum_i evk_i[1] * d_i.
+
+    The digit decomposition (base T = 2^w) keeps the noise added by
+    the switch proportional to T rather than q — the classic BFV
+    "version 1" relinearisation SEAL v3.2 ships. *)
+
+type key = {
+  k0 : Rq.t array;  (** evk_i[0] *)
+  k1 : Rq.t array;  (** evk_i[1] *)
+  digit_bits : int;  (** w: digits are w-bit *)
+}
+
+val digit_count : Rq.context -> digit_bits:int -> int
+(** Number of base-2^w digits needed to cover q. *)
+
+val generate :
+  ?digit_bits:int -> Mathkit.Prng.t -> Rq.context -> Keys.secret_key -> target:Rq.t -> key
+(** Key-switching key from [target] (the foreign secret, e.g. s^2) to
+    the secret key.  Default digit size: 16 bits. *)
+
+val decompose : Rq.context -> Rq.t -> digit_bits:int -> Rq.t array
+(** Base-2^w digit polynomials of an element (each digit's
+    coefficients are < 2^w, lifted into every plane). *)
+
+val switch : Rq.context -> key -> Rq.t -> Rq.t * Rq.t
+(** [(delta0, delta1)] to add to the ciphertext's first two parts in
+    exchange for dropping the switched component. *)

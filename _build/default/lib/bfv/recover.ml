@@ -1,0 +1,32 @@
+let recover_u ctx pk c ~e2 =
+  if Array.length c.Keys.parts <> 2 then invalid_arg "Recover: expected a fresh 2-part ciphertext";
+  match Rq.invert ctx pk.Keys.p1 with
+  | None -> None
+  | Some p1_inv -> Some (Rq.mul ctx (Rq.sub ctx c.Keys.parts.(1) e2) p1_inv)
+
+let recover_message ctx pk c ~e1 ~e2 =
+  match recover_u ctx pk c ~e2 with
+  | None -> None
+  | Some u ->
+      let params = Rq.params ctx in
+      let delta = Params.delta params in
+      (* Delta*m = c0 - p0 u - e1, exactly (no residual noise) *)
+      let dm = Rq.sub ctx (Rq.sub ctx c.Keys.parts.(0) (Rq.mul ctx pk.Keys.p0 u)) e1 in
+      let basis = Rq.rns ctx in
+      let ok = ref true in
+      let coeffs =
+        Array.init params.Params.n (fun i ->
+            let residues = Array.map (fun p -> p.(i)) dm.Rq.planes in
+            let v = Mathkit.Rns.compose basis residues in
+            let q, r = Mathkit.Bignum.divmod v delta in
+            if not (Mathkit.Bignum.is_zero r) then ok := false;
+            match Mathkit.Bignum.to_int_opt q with
+            | Some m when m >= 0 && m < params.Params.plain_modulus -> m
+            | _ ->
+                ok := false;
+                0)
+      in
+      if !ok then Some (Keys.plaintext_of_coeffs params coeffs) else None
+
+let recover_with_noises ctx pk c ~e1_noises ~e2_noises =
+  recover_message ctx pk c ~e1:(Sampler.of_noises ctx e1_noises) ~e2:(Sampler.of_noises ctx e2_noises)

@@ -1,0 +1,25 @@
+(** The attack algebra of Section III-A (equations 2 and 3).
+
+    Public knowledge: the ciphertext (c0, c1), the public key
+    (p0, p1) and the parameters.  Once the side channel reveals the
+    error polynomials e1 and e2:
+
+      u = (c1 - e2) / p1                (eq. 2)
+      Delta m = c0 - p0 u - e1          (eq. 3)
+      m = round-free division by Delta (exact: the residual is 0).
+
+    This module also quantifies partial recovery: with only some
+    error coefficients known, how many message coefficients come out
+    right. *)
+
+val recover_u : Rq.context -> Keys.public_key -> Keys.ciphertext -> e2:Rq.t -> Rq.t option
+(** [None] when p1 is not invertible (never for honestly uniform
+    keys, barring negligible bad luck). *)
+
+val recover_message :
+  Rq.context -> Keys.public_key -> Keys.ciphertext -> e1:Rq.t -> e2:Rq.t -> Keys.plaintext option
+(** Full message recovery from exact error polynomials. *)
+
+val recover_with_noises :
+  Rq.context -> Keys.public_key -> Keys.ciphertext -> e1_noises:int array -> e2_noises:int array -> Keys.plaintext option
+(** Same, from the signed noise values the trace attack outputs. *)

@@ -1,0 +1,263 @@
+(* Wire format: every object starts with a 4-byte magic, a 1-byte
+   object tag and a 1-byte version, then object-specific payload.
+   Integers are little-endian. *)
+
+let magic = 0x5EA1 (* "SEAL"-ish *)
+let version = 1
+
+let tag_params = 1
+let tag_rq = 2
+let tag_plaintext = 3
+let tag_ciphertext = 4
+let tag_secret_key = 5
+let tag_public_key = 6
+let tag_keyswitch = 7
+
+(* --- writer --------------------------------------------------------- *)
+
+let w16 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+
+let w32 buf v =
+  w16 buf (v land 0xFFFF);
+  w16 buf ((v lsr 16) land 0xFFFF)
+
+let w64 buf v =
+  w32 buf (v land 0xFFFFFFFF);
+  w32 buf ((v lsr 32) land 0x7FFFFFFF)
+
+let header buf tag =
+  w16 buf magic;
+  Buffer.add_char buf (Char.chr tag);
+  Buffer.add_char buf (Char.chr version)
+
+(* --- reader ---------------------------------------------------------- *)
+
+type reader = { data : bytes; mutable pos : int }
+
+let fail msg = invalid_arg ("Serial: " ^ msg)
+
+let r8 r =
+  if r.pos >= Bytes.length r.data then fail "truncated input";
+  let v = Char.code (Bytes.get r.data r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let r16 r =
+  let lo = r8 r in
+  lo lor (r8 r lsl 8)
+
+let r32 r =
+  let lo = r16 r in
+  lo lor (r16 r lsl 16)
+
+let r64 r =
+  let lo = r32 r in
+  lo lor (r32 r lsl 32)
+
+let expect_header r tag =
+  if r16 r <> magic then fail "bad magic";
+  let t = r8 r in
+  if t <> tag then fail (Printf.sprintf "wrong object tag %d (expected %d)" t tag);
+  let v = r8 r in
+  if v <> version then fail (Printf.sprintf "unsupported version %d" v)
+
+let expect_eof r = if r.pos <> Bytes.length r.data then fail "trailing bytes"
+
+(* --- params ------------------------------------------------------------ *)
+
+let params_to_bytes p =
+  let buf = Buffer.create 64 in
+  header buf tag_params;
+  w32 buf p.Params.n;
+  w16 buf (Array.length p.Params.coeff_modulus);
+  Array.iter (w64 buf) p.Params.coeff_modulus;
+  w64 buf p.Params.plain_modulus;
+  Buffer.to_bytes buf
+
+let params_of_bytes data =
+  let r = { data; pos = 0 } in
+  expect_header r tag_params;
+  let n = r32 r in
+  let k = r16 r in
+  let primes = List.init k (fun _ -> r64 r) in
+  let t = r64 r in
+  expect_eof r;
+  Params.create ~n ~coeff_modulus:primes ~plain_modulus:t
+
+(* --- packed coefficient planes ------------------------------------------- *)
+
+let bytes_per_coeff q =
+  let rec go bits = if 1 lsl (8 * bits) > q then bits else go (bits + 1) in
+  go 1
+
+let write_plane buf q coeffs =
+  let width = bytes_per_coeff q in
+  Array.iter
+    (fun c ->
+      for b = 0 to width - 1 do
+        Buffer.add_char buf (Char.chr ((c lsr (8 * b)) land 0xFF))
+      done)
+    coeffs
+
+let read_plane r q n =
+  let width = bytes_per_coeff q in
+  Array.init n (fun _ ->
+      let v = ref 0 in
+      for b = 0 to width - 1 do
+        v := !v lor (r8 r lsl (8 * b))
+      done;
+      if !v >= q then fail "coefficient out of range";
+      !v)
+
+let write_rq_body buf ctx x =
+  let params = Rq.params ctx in
+  Array.iteri (fun j plane -> write_plane buf params.Params.coeff_modulus.(j) plane) x.Rq.planes
+
+let read_rq_body r ctx =
+  let params = Rq.params ctx in
+  let planes =
+    Array.map (fun q -> read_plane r q params.Params.n) params.Params.coeff_modulus
+  in
+  Rq.of_planes ctx planes
+
+(* A short parameter fingerprint so objects cannot silently cross
+   contexts. *)
+let fingerprint params =
+  let h = ref 0x1505 in
+  let mix v = h := ((!h lsl 5) + !h + v) land 0xFFFFFFFF in
+  mix params.Params.n;
+  Array.iter mix params.Params.coeff_modulus;
+  mix params.Params.plain_modulus;
+  !h
+
+let write_fingerprint buf params = w32 buf (fingerprint params)
+
+let check_fingerprint r params =
+  if r32 r <> fingerprint params then fail "object was saved under different parameters"
+
+(* --- rq -------------------------------------------------------------------- *)
+
+let rq_to_bytes ctx x =
+  let buf = Buffer.create 4096 in
+  header buf tag_rq;
+  write_fingerprint buf (Rq.params ctx);
+  write_rq_body buf ctx x;
+  Buffer.to_bytes buf
+
+let rq_of_bytes ctx data =
+  let r = { data; pos = 0 } in
+  expect_header r tag_rq;
+  check_fingerprint r (Rq.params ctx);
+  let x = read_rq_body r ctx in
+  expect_eof r;
+  x
+
+(* --- plaintext ---------------------------------------------------------------- *)
+
+let plaintext_to_bytes params m =
+  let buf = Buffer.create 256 in
+  header buf tag_plaintext;
+  write_fingerprint buf params;
+  write_plane buf params.Params.plain_modulus m.Keys.coeffs;
+  Buffer.to_bytes buf
+
+let plaintext_of_bytes params data =
+  let r = { data; pos = 0 } in
+  expect_header r tag_plaintext;
+  check_fingerprint r params;
+  let coeffs = read_plane r params.Params.plain_modulus params.Params.n in
+  expect_eof r;
+  Keys.plaintext_of_coeffs params coeffs
+
+(* --- ciphertext ------------------------------------------------------------------ *)
+
+let ciphertext_to_bytes ctx c =
+  let buf = Buffer.create 8192 in
+  header buf tag_ciphertext;
+  write_fingerprint buf (Rq.params ctx);
+  w16 buf (Array.length c.Keys.parts);
+  Array.iter (write_rq_body buf ctx) c.Keys.parts;
+  Buffer.to_bytes buf
+
+let ciphertext_of_bytes ctx data =
+  let r = { data; pos = 0 } in
+  expect_header r tag_ciphertext;
+  check_fingerprint r (Rq.params ctx);
+  let size = r16 r in
+  if size < 2 || size > 64 then fail "implausible ciphertext size";
+  let parts = Array.init size (fun _ -> read_rq_body r ctx) in
+  expect_eof r;
+  { Keys.parts }
+
+(* --- keys --------------------------------------------------------------------------- *)
+
+let secret_key_to_bytes ctx sk =
+  let buf = Buffer.create 4096 in
+  header buf tag_secret_key;
+  write_fingerprint buf (Rq.params ctx);
+  write_rq_body buf ctx sk.Keys.s;
+  Buffer.to_bytes buf
+
+let secret_key_of_bytes ctx data =
+  let r = { data; pos = 0 } in
+  expect_header r tag_secret_key;
+  check_fingerprint r (Rq.params ctx);
+  let s = read_rq_body r ctx in
+  expect_eof r;
+  { Keys.s }
+
+let public_key_to_bytes ctx pk =
+  let buf = Buffer.create 8192 in
+  header buf tag_public_key;
+  write_fingerprint buf (Rq.params ctx);
+  write_rq_body buf ctx pk.Keys.p0;
+  write_rq_body buf ctx pk.Keys.p1;
+  Buffer.to_bytes buf
+
+let public_key_of_bytes ctx data =
+  let r = { data; pos = 0 } in
+  expect_header r tag_public_key;
+  check_fingerprint r (Rq.params ctx);
+  let p0 = read_rq_body r ctx in
+  let p1 = read_rq_body r ctx in
+  expect_eof r;
+  { Keys.p0; p1 }
+
+let keyswitch_to_bytes ctx (key : Keyswitch.key) =
+  let buf = Buffer.create 16384 in
+  header buf tag_keyswitch;
+  write_fingerprint buf (Rq.params ctx);
+  w16 buf key.Keyswitch.digit_bits;
+  w16 buf (Array.length key.Keyswitch.k0);
+  Array.iter (write_rq_body buf ctx) key.Keyswitch.k0;
+  Array.iter (write_rq_body buf ctx) key.Keyswitch.k1;
+  Buffer.to_bytes buf
+
+let keyswitch_of_bytes ctx data =
+  let r = { data; pos = 0 } in
+  expect_header r tag_keyswitch;
+  check_fingerprint r (Rq.params ctx);
+  let digit_bits = r16 r in
+  let count = r16 r in
+  if count = 0 || count > 256 then fail "implausible key-switching key size";
+  let k0 = Array.init count (fun _ -> read_rq_body r ctx) in
+  let k1 = Array.init count (fun _ -> read_rq_body r ctx) in
+  expect_eof r;
+  { Keyswitch.k0; k1; digit_bits }
+
+(* --- files ---------------------------------------------------------------------------- *)
+
+let save path data =
+  let oc = open_out_bin path in
+  output_bytes oc data;
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = Bytes.create len in
+  really_input ic data 0 len;
+  close_in ic;
+  data

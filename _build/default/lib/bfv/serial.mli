@@ -1,0 +1,35 @@
+(** Binary serialisation of keys, plaintexts and ciphertexts.
+
+    A compact little-endian format with a magic tag and version byte
+    per object, mirroring what SEAL's save/load API provides.  The
+    deserialisers validate against an expected context: an object
+    saved under different parameters is rejected rather than
+    misinterpreted.  Within a plane, coefficients are packed into the
+    minimal whole number of bytes for that prime. *)
+
+val params_to_bytes : Params.t -> bytes
+val params_of_bytes : bytes -> Params.t
+(** @raise Invalid_argument on malformed input. *)
+
+val rq_to_bytes : Rq.context -> Rq.t -> bytes
+val rq_of_bytes : Rq.context -> bytes -> Rq.t
+
+val plaintext_to_bytes : Params.t -> Keys.plaintext -> bytes
+val plaintext_of_bytes : Params.t -> bytes -> Keys.plaintext
+
+val ciphertext_to_bytes : Rq.context -> Keys.ciphertext -> bytes
+val ciphertext_of_bytes : Rq.context -> bytes -> Keys.ciphertext
+
+val secret_key_to_bytes : Rq.context -> Keys.secret_key -> bytes
+val secret_key_of_bytes : Rq.context -> bytes -> Keys.secret_key
+
+val public_key_to_bytes : Rq.context -> Keys.public_key -> bytes
+val public_key_of_bytes : Rq.context -> bytes -> Keys.public_key
+
+val keyswitch_to_bytes : Rq.context -> Keyswitch.key -> bytes
+(** Relinearisation and Galois keys share this representation. *)
+
+val keyswitch_of_bytes : Rq.context -> bytes -> Keyswitch.key
+
+val save : string -> bytes -> unit
+val load : string -> bytes

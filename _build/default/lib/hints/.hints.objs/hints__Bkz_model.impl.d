@@ -1,0 +1,1 @@
+lib/hints/bkz_model.ml: Array Float

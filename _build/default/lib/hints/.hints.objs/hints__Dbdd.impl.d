@@ -1,0 +1,1 @@
+lib/hints/dbdd.ml: Array Bkz_model Format Lwe

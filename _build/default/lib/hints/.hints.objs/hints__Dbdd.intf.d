@@ -1,0 +1,1 @@
+lib/hints/dbdd.mli: Format Lwe

@@ -1,0 +1,1 @@
+lib/hints/dbdd_full.ml: Array Bkz_model Lwe Mathkit

@@ -1,0 +1,1 @@
+lib/hints/dbdd_full.mli: Lwe Mathkit

@@ -1,0 +1,1 @@
+lib/hints/hint.ml: Array Dbdd Float List

@@ -1,0 +1,1 @@
+lib/hints/hint.mli: Dbdd

@@ -1,0 +1,1 @@
+lib/hints/lwe.ml: Array Bkz_model

@@ -1,0 +1,1 @@
+lib/hints/lwe.mli:

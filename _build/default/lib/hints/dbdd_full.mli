@@ -1,0 +1,29 @@
+(** Full-matrix DBDD: arbitrary hint vectors.
+
+    Tracks the complete ellipsoid (mean vector, covariance matrix) so
+    hints on any linear form <s, v> can be integrated — perfect,
+    approximate and modular, exactly as in Dachman-Soled et al.
+    Updates are O(d^2) per hint; use {!Dbdd} when every hint is a
+    coordinate hint (as in the RevEAL attack) and dimensions are
+    large.  The mean is maintained so toy instances can be handed to
+    the lattice-reduction backend and actually solved. *)
+
+type t
+
+val create : Lwe.t -> t
+val of_parts : logvol_lattice:float -> mean:float array -> cov:Mathkit.Matrix.t -> t
+
+val dim : t -> int
+val mean : t -> float array
+val covariance : t -> Mathkit.Matrix.t
+
+val perfect_hint : t -> v:float array -> value:float -> unit
+(** Integrate <s, v> = value.
+    @raise Invalid_argument when v has no component inside the
+    ellipsoid's support (the hint is redundant or inconsistent). *)
+
+val approximate_hint : t -> v:float array -> value:float -> measurement_variance:float -> unit
+val modular_hint : t -> modulus:int -> unit
+val logvol : t -> float
+val estimate_bikz : t -> float
+val estimate_bits : t -> float

@@ -1,0 +1,30 @@
+type t = {
+  n : int;
+  m : int;
+  q : int;
+  sigma_error : float;
+  sigma_secret : float;
+}
+
+let ternary_sigma = sqrt (2.0 /. 3.0)
+
+let seal_128_1024 = { n = 1024; m = 1024; q = 132120577; sigma_error = 3.2; sigma_secret = ternary_sigma }
+
+let seal_toy ~n =
+  if n <= 0 then invalid_arg "Lwe.seal_toy";
+  { n; m = n; q = 132120577; sigma_error = 3.2; sigma_secret = ternary_sigma }
+
+let logvol_lattice t = float_of_int t.m *. log (float_of_int t.q)
+let embedding_dim t = t.m + t.n + 1
+
+let variances t =
+  Array.init (t.m + t.n) (fun i ->
+      if i < t.m then t.sigma_error *. t.sigma_error else t.sigma_secret *. t.sigma_secret)
+
+let no_hint_bikz t =
+  let logvol =
+    logvol_lattice t
+    -. (float_of_int t.m *. log t.sigma_error)
+    -. (float_of_int t.n *. log t.sigma_secret)
+  in
+  Bkz_model.beta_for ~d:(embedding_dim t) ~logvol

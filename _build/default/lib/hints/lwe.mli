@@ -1,0 +1,34 @@
+(** LWE instance descriptions.
+
+    The attack's algebra (Section III-A) reduces message recovery to
+    the LWE instance hidden in [c1 = p1 u + e2 mod q]: secret [u]
+    (ternary, dimension n), error [e2] (discrete Gaussian, one sample
+    per ring coefficient, m = n).  Hints recovered from the trace
+    apply to the error coordinates. *)
+
+type t = {
+  n : int;  (** secret dimension *)
+  m : int;  (** number of samples (error coordinates) *)
+  q : int;
+  sigma_error : float;
+  sigma_secret : float;  (** stddev of the secret distribution *)
+}
+
+val seal_128_1024 : t
+(** The paper's target: q = 132120577, n = m = 1024, sigma = 3.2,
+    ternary secret (variance 2/3). *)
+
+val seal_toy : n:int -> t
+(** Same shape at reduced ring degree, for lattice-solvable tests. *)
+
+val logvol_lattice : t -> float
+(** ln of the primal embedding lattice volume: m ln q. *)
+
+val embedding_dim : t -> int
+(** m + n + 1 (Kannan coordinate included). *)
+
+val variances : t -> float array
+(** Per-coordinate prior variances, error block first. *)
+
+val no_hint_bikz : t -> float
+(** GSA-intersect block size for the hint-free instance. *)

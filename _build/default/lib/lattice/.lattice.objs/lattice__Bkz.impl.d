@@ -1,0 +1,1 @@
+lib/lattice/bkz.ml: Array Enum List Lll Zmat

@@ -1,0 +1,1 @@
+lib/lattice/bkz.mli: Zmat

@@ -1,0 +1,1 @@
+lib/lattice/embed.ml: Array Bkz Float List Lll Mathkit

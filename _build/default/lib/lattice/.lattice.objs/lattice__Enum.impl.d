@@ -1,0 +1,1 @@
+lib/lattice/enum.ml: Array Float Lll Zmat

@@ -1,0 +1,1 @@
+lib/lattice/enum.mli: Lll Zmat

@@ -1,0 +1,1 @@
+lib/lattice/lll.ml: Array Float Zmat

@@ -1,0 +1,1 @@
+lib/lattice/zmat.ml: Array Format

@@ -1,0 +1,68 @@
+(* Schnorr–Euchner enumeration on the Gram–Schmidt shadow.
+
+   State per level j (relative to the block): x.(j) current integer
+   coefficient, searched outward from the real center c_j in the
+   zig-zag order center, center+1, center-1, ...  Partial squared
+   norms accumulate from the last level downward. *)
+
+let block_shortest (g : Lll.gso) ~k ~l =
+  let m = l - k in
+  if m <= 0 then invalid_arg "Enum.block_shortest: empty block";
+  let radius = ref (g.Lll.b_star_sq.(k) *. (1.0 -. 1e-9)) in
+  let best = ref None in
+  let x = Array.make m 0 in
+  (* rho.(j) = squared norm contribution of levels j..m-1 *)
+  let rec search j rho_above =
+    if rho_above >= !radius then ()
+    else if j < 0 then begin
+      if Array.exists (fun v -> v <> 0) x then begin
+        best := Some (Array.copy x, rho_above);
+        radius := rho_above
+      end
+    end
+    else begin
+      (* center of level j given choices above *)
+      let c = ref 0.0 in
+      for i = j + 1 to m - 1 do
+        c := !c -. (float_of_int x.(i) *. g.Lll.mu.(k + i).(k + j))
+      done;
+      let center = !c in
+      let x0 = int_of_float (Float.round center) in
+      (* zig-zag outward until the level contribution exceeds budget *)
+      let try_candidate xc =
+        let dist = float_of_int xc -. center in
+        let contribution = dist *. dist *. g.Lll.b_star_sq.(k + j) in
+        if rho_above +. contribution < !radius then begin
+          x.(j) <- xc;
+          search (j - 1) (rho_above +. contribution);
+          true
+        end
+        else false
+      in
+      let continue_pos = ref true and continue_neg = ref true in
+      ignore (try_candidate x0);
+      let step = ref 1 in
+      while !continue_pos || !continue_neg do
+        if !continue_pos then continue_pos := try_candidate (x0 + !step);
+        if !continue_neg then continue_neg := try_candidate (x0 - !step);
+        incr step;
+        (* hard stop guard: zig-zag always terminates because the
+           quadratic contribution grows, but cap for safety *)
+        if !step > 1_000_000 then failwith "Enum: runaway zig-zag (degenerate GSO?)"
+      done
+    end
+  in
+  search (m - 1) 0.0;
+  !best
+
+let shortest_vector basis =
+  if Array.length basis = 0 then invalid_arg "Enum.shortest_vector: empty basis";
+  let b = Zmat.copy basis in
+  Lll.reduce b;
+  let g = Lll.gso b in
+  match block_shortest g ~k:0 ~l:(Array.length b) with
+  | None -> Array.copy b.(0)
+  | Some (x, _) ->
+      let v = Array.make (Zmat.cols b) 0 in
+      Array.iteri (fun i xi -> if xi <> 0 then Zmat.axpy xi b.(i) v) x;
+      v

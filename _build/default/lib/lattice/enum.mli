@@ -1,0 +1,17 @@
+(** Exact SVP by Schnorr–Euchner enumeration.
+
+    Depth-first search over integer combinations of a (projected)
+    basis block, pruning on partial norms.  Exponential in the block
+    size — intended for the toy dimensions of the validation
+    experiments (<= ~24), where it is exact. *)
+
+val block_shortest : Lll.gso -> k:int -> l:int -> (int array * float) option
+(** [block_shortest g ~k ~l] searches the lattice spanned by the
+    projections (orthogonally to the first k rows) of rows k..l-1.
+    Returns the nonzero coefficient vector (length l-k) of a vector
+    strictly shorter than the current k-th Gram–Schmidt norm, with its
+    squared projected norm, or [None] when b*_k is already shortest. *)
+
+val shortest_vector : Zmat.t -> Zmat.vec
+(** Exact shortest nonzero vector of a full (LLL-reduced first)
+    basis.  @raise Invalid_argument on an empty basis. *)

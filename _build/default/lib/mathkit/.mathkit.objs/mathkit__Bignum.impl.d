@@ -1,0 +1,1 @@
+lib/mathkit/bignum.ml: Array Buffer Char Float Format List Stdlib String

@@ -1,0 +1,1 @@
+lib/mathkit/gaussian.ml: Array Float Prng

@@ -1,0 +1,1 @@
+lib/mathkit/linalg.ml: Array Float Matrix

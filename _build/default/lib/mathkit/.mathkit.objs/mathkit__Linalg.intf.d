@@ -1,0 +1,1 @@
+lib/mathkit/linalg.mli: Matrix

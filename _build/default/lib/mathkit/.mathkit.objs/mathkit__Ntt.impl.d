@@ -1,0 +1,1 @@
+lib/mathkit/ntt.ml: Array Modular

@@ -1,0 +1,1 @@
+lib/mathkit/parallel.ml: Array Atomic Domain Option

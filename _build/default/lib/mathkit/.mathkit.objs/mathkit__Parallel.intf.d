@@ -1,0 +1,1 @@
+lib/mathkit/parallel.mli:

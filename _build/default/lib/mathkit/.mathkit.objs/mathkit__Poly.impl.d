@@ -1,0 +1,1 @@
+lib/mathkit/poly.ml: Array Format Modular Ntt Prng

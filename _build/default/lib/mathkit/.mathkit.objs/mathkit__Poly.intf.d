@@ -1,0 +1,1 @@
+lib/mathkit/poly.mli: Format Modular Ntt Prng

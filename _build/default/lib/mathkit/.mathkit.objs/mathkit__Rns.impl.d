@@ -1,0 +1,1 @@
+lib/mathkit/rns.ml: Array Bignum Modular

@@ -1,0 +1,1 @@
+lib/mathkit/rns.mli: Bignum Modular

@@ -1,0 +1,172 @@
+type modulus = { value : int; bits : int }
+
+let bit_length n =
+  let rec go acc n = if n = 0 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+(* max_int is 2^62 - 1 on 64-bit OCaml; that is exactly the "below 2^62"
+   bound the interface documents. *)
+let max_modulus = max_int
+
+let modulus q =
+  if q <= 1 || q >= max_modulus then invalid_arg "Modular.modulus: need 1 < q < 2^62";
+  { value = q; bits = bit_length q }
+
+let reduce m x =
+  let r = x mod m.value in
+  if r < 0 then r + m.value else r
+
+let add m a b =
+  let s = a + b in
+  if s >= m.value then s - m.value else s
+
+let sub m a b =
+  let d = a - b in
+  if d < 0 then d + m.value else d
+
+let neg m a = if a = 0 then 0 else m.value - a
+
+let mask31 = (1 lsl 31) - 1
+let mask62 = max_int (* 2^62 - 1 *)
+
+(* Full 124-bit product of two values below 2^62, accumulated in 31-bit
+   limbs so no intermediate exceeds the 63-bit native int range. *)
+let mul128 a b =
+  if a < 0 || b < 0 || a > mask62 || b > mask62 then invalid_arg "Modular.mul128: operand range";
+  let a0 = a land mask31 and a1 = a lsr 31 in
+  let b0 = b land mask31 and b1 = b lsr 31 in
+  let p00 = a0 * b0 and p01 = a0 * b1 and p10 = a1 * b0 and p11 = a1 * b1 in
+  (* limb accumulation, base 2^31: l0 + l1*2^31 + l2*2^62 + l3*2^93 *)
+  let l0 = p00 land mask31 in
+  let c = p00 lsr 31 in
+  let t1 = c + (p01 land mask31) + (p10 land mask31) in
+  let l1 = t1 land mask31 in
+  let c = t1 lsr 31 in
+  let t2 = c + (p01 lsr 31) + (p10 lsr 31) + (p11 land mask31) in
+  let l2 = t2 land mask31 in
+  let c = t2 lsr 31 in
+  let l3 = c + (p11 lsr 31) in
+  let lo = l0 lor (l1 lsl 31) in
+  let hi = l2 lor (l3 lsl 31) in
+  (hi, lo)
+
+(* (x * 2^62) mod q by repeated modular doubling; only used on the slow
+   path for moduli above 2^31. *)
+let shift62_mod m x =
+  let r = ref x in
+  for _ = 1 to 62 do
+    r := add m !r !r
+  done;
+  !r
+
+let mul m a b =
+  let a = reduce m a and b = reduce m b in
+  if m.bits <= 31 then a * b mod m.value
+  else begin
+    let hi, lo = mul128 a b in
+    add m (shift62_mod m (hi mod m.value)) (lo mod m.value)
+  end
+
+let pow m b e =
+  if e < 0 then invalid_arg "Modular.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul m acc b else acc in
+      go acc (mul m b b) (e lsr 1)
+  in
+  go 1 (reduce m b) e
+
+let inv m a =
+  let a = reduce m a in
+  if a = 0 then invalid_arg "Modular.inv: zero";
+  (* extended Euclid on (a, q) *)
+  let rec go old_r r old_s s = if r = 0 then (old_r, old_s) else go r (old_r mod r) s (old_s - (old_r / r * s)) in
+  let g, x = go a m.value 1 0 in
+  if g <> 1 then invalid_arg "Modular.inv: not invertible";
+  reduce m x
+
+let to_centered m x =
+  let x = reduce m x in
+  if x > m.value / 2 then x - m.value else x
+
+let of_centered m x = reduce m x
+
+(* --- primality ------------------------------------------------------- *)
+
+let is_prime n =
+  if n < 2 then false
+  else if n < 4 then true
+  else if n land 1 = 0 then false
+  else begin
+    let m = modulus n in
+    let d = ref (n - 1) and s = ref 0 in
+    while !d land 1 = 0 do
+      d := !d lsr 1;
+      incr s
+    done;
+    (* These witnesses are deterministic for all n < 3.3 * 10^24. *)
+    let witnesses = [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 ] in
+    let composite a =
+      let a = a mod n in
+      if a = 0 then false
+      else begin
+        let x = ref (pow m a !d) in
+        if !x = 1 || !x = n - 1 then false
+        else begin
+          let found = ref false in
+          (try
+             for _ = 1 to !s - 1 do
+               x := mul m !x !x;
+               if !x = n - 1 then begin
+                 found := true;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          not !found
+        end
+      end
+    in
+    not (List.exists composite witnesses)
+  end
+
+let first_prime_congruent ~start ~modulo ~residue =
+  if modulo <= 0 then invalid_arg "first_prime_congruent: modulo <= 0";
+  let r0 = ((residue mod modulo) + modulo) mod modulo in
+  let first =
+    let delta = (r0 - (start mod modulo) + modulo) mod modulo in
+    start + delta
+  in
+  let rec go p = if p >= max_modulus then raise Not_found else if is_prime p then p else go (p + modulo) in
+  go (max first 2)
+
+(* --- roots of unity --------------------------------------------------- *)
+
+let factorize n =
+  let rec pull n p acc = if n mod p = 0 then pull (n / p) p acc else (n, acc) in
+  let rec go n p acc =
+    if p * p > n then if n > 1 then n :: acc else acc
+    else if n mod p = 0 then
+      let n', acc' = pull n p (p :: acc) in
+      go n' (p + 1) acc'
+    else go n (p + 1) acc
+  in
+  go n 2 []
+
+let primitive_root m =
+  let q = m.value in
+  if not (is_prime q) then invalid_arg "Modular.primitive_root: modulus not prime";
+  let phi = q - 1 in
+  let prime_factors = List.sort_uniq compare (factorize phi) in
+  let is_generator g = List.for_all (fun p -> pow m g (phi / p) <> 1) prime_factors in
+  let rec search g = if g >= q then invalid_arg "Modular.primitive_root: none found" else if is_generator g then g else search (g + 1) in
+  search 2
+
+let nth_root_of_unity m n =
+  let q = m.value in
+  if n <= 0 || (q - 1) mod n <> 0 then invalid_arg "Modular.nth_root_of_unity: n must divide q-1";
+  let g = primitive_root m in
+  let w = pow m g ((q - 1) / n) in
+  assert (pow m w n = 1);
+  w

@@ -1,0 +1,61 @@
+(** Modular arithmetic on word-sized moduli.
+
+    All values are canonical representatives in [\[0, q)] stored in
+    native [int]s.  Moduli up to 62 bits are supported: products are
+    computed with a 128-bit virtual multiply implemented by limb
+    splitting, so no big-number library is needed.  This covers every
+    SEAL coefficient modulus used in this repository (the SEAL-128
+    smallest set uses q = 132120577 < 2^27). *)
+
+type modulus = private {
+  value : int;  (** the modulus q itself *)
+  bits : int;  (** bit length of q *)
+}
+
+val modulus : int -> modulus
+(** [modulus q] checks [1 < q < 2^62] and precomputes metadata.
+    @raise Invalid_argument on out-of-range input. *)
+
+val reduce : modulus -> int -> int
+(** Canonical representative of any (possibly negative) int. *)
+
+val add : modulus -> int -> int -> int
+val sub : modulus -> int -> int -> int
+val neg : modulus -> int -> int
+
+val mul : modulus -> int -> int -> int
+(** Product mod q, exact for any q < 2^62 via 128-bit splitting. *)
+
+val pow : modulus -> int -> int -> int
+(** [pow m b e] is [b^e mod q] by square-and-multiply; [e >= 0]. *)
+
+val inv : modulus -> int -> int
+(** Modular inverse via extended Euclid.
+    @raise Invalid_argument if the argument is not invertible. *)
+
+val to_centered : modulus -> int -> int
+(** Map [\[0,q)] to the centered representative in [(-q/2, q/2\]]. *)
+
+val of_centered : modulus -> int -> int
+(** Inverse of {!to_centered}. *)
+
+val mul128 : int -> int -> int * int
+(** [mul128 a b] is the full 124-bit product of two non-negative ints
+    below 2^62, as [(hi, lo)] with [lo] holding the low 62 bits. *)
+
+val is_prime : int -> bool
+(** Deterministic Miller–Rabin, exact for all 62-bit inputs. *)
+
+val first_prime_congruent : start:int -> modulo:int -> residue:int -> int
+(** Smallest prime [p >= start] with [p mod modulo = residue]; used to
+    pick NTT-friendly primes (p = 1 mod 2n).
+    @raise Not_found if none below 2^62. *)
+
+val primitive_root : modulus -> int
+(** A generator of the multiplicative group of the prime field.
+    @raise Invalid_argument if the modulus is not prime. *)
+
+val nth_root_of_unity : modulus -> int -> int
+(** [nth_root_of_unity m n] is a primitive n-th root of unity mod a
+    prime q with n | q-1.
+    @raise Invalid_argument otherwise. *)

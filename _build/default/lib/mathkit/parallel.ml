@@ -1,0 +1,31 @@
+let recommended_domains () = min 8 (max 1 (Domain.recommended_domain_count () - 1))
+
+let map_array ?domains f xs =
+  let n = Array.length xs in
+  let workers = max 1 (min (Option.value domains ~default:(recommended_domains ())) n) in
+  if n = 0 then [||]
+  else if workers = 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failure <> None then continue := false
+        else begin
+          match f xs.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> Atomic.set failure (Some e)
+        end
+      done
+    in
+    let handles = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join handles;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let init ?domains n f = map_array ?domains f (Array.init n (fun i -> i))

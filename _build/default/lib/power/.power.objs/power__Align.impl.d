@@ -1,0 +1,1 @@
+lib/power/align.ml: Array Mathkit

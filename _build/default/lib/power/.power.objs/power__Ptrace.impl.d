@@ -1,0 +1,1 @@
+lib/power/ptrace.ml: Array Buffer Float Format Mathkit Printf String

@@ -1,0 +1,1 @@
+lib/power/ptrace.mli: Format

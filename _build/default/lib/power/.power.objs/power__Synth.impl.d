@@ -1,0 +1,1 @@
+lib/power/synth.ml: Array Leakage Mathkit Ptrace Riscv

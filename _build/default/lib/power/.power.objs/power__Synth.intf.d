@@ -1,0 +1,1 @@
+lib/power/synth.mli: Leakage Mathkit Ptrace Riscv

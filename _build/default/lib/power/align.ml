@@ -1,0 +1,39 @@
+let overlap_views ~reference trace lag =
+  (* portion of [trace] shifted by lag that overlaps the reference *)
+  let n = min (Array.length reference) (Array.length trace) in
+  if lag >= 0 then begin
+    let len = n - lag in
+    if len <= 1 then None else Some (Array.sub reference 0 len, Array.sub trace lag len)
+  end
+  else begin
+    let lag = -lag in
+    let len = n - lag in
+    if len <= 1 then None else Some (Array.sub reference lag len, Array.sub trace 0 len)
+  end
+
+let cross_correlation ~reference trace ~lag =
+  match overlap_views ~reference trace lag with
+  | None -> 0.0
+  | Some (a, b) -> Mathkit.Stats.correlation a b
+
+let best_shift ?(max_shift = 64) ~reference trace =
+  let best_lag = ref 0 and best = ref neg_infinity in
+  for lag = -max_shift to max_shift do
+    let c = cross_correlation ~reference trace ~lag in
+    if c > !best then begin
+      best := c;
+      best_lag := lag
+    end
+  done;
+  (* report the trace's displacement relative to the reference:
+     apply_shift trace (-displacement) realigns it *)
+  - !best_lag
+
+let apply_shift trace lag =
+  let n = Array.length trace in
+  Array.init n (fun i ->
+      let src = i + lag in
+      if src >= 0 && src < n then trace.(src) else 0.0)
+
+let align_all ?max_shift ~reference traces =
+  Array.map (fun t -> apply_shift t (- best_shift ?max_shift ~reference t)) traces

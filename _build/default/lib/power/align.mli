@@ -1,0 +1,25 @@
+(** Static trace alignment.
+
+    Real captures do not start at a known clock edge: the scope
+    triggers with jitter, so traces must be re-aligned to a reference
+    before averaging or template matching.  This module implements the
+    standard normalised-cross-correlation alignment.  (The simulator's
+    traces start at cycle 0, so the attack pipeline itself does not
+    need it; it exists for trace sets imported or artificially
+    jittered, and the tests exercise it that way.) *)
+
+val cross_correlation : reference:float array -> float array -> lag:int -> float
+(** Normalised correlation of the trace against [reference] when the
+    trace is shifted left by [lag] samples (negative lag = right). *)
+
+val best_shift : ?max_shift:int -> reference:float array -> float array -> int
+(** The trace's displacement relative to the reference, searched over
+    [-max_shift, max_shift] (default 64): a trace produced by
+    [apply_shift reference s] reports [s], and
+    [apply_shift trace (-s)] realigns it. *)
+
+val apply_shift : float array -> int -> float array
+(** Shift a trace by the given lag, zero-padding the exposed end. *)
+
+val align_all : ?max_shift:int -> reference:float array -> float array array -> float array array
+(** Align every trace to the reference. *)

@@ -1,0 +1,31 @@
+(** Power traces: sample containers plus text/CSV rendering.
+
+    A trace is one oscilloscope capture: samples at a fixed rate,
+    arbitrary power units.  Also carries the sample index at which
+    each retired instruction started, which profiling uses as ground
+    truth (the attacker's analysis never reads it). *)
+
+type t = {
+  samples : float array;
+  samples_per_cycle : int;
+  event_start : int array;  (** event index -> first sample index *)
+  event_pc : int array;  (** event index -> pc, for ground-truth region labelling *)
+}
+
+val length : t -> int
+val sub : t -> int -> int -> float array
+(** [sub t pos len] copies a window.
+    @raise Invalid_argument when out of bounds. *)
+
+val mean : t -> float
+val stddev : t -> float
+
+val to_csv : t -> string
+(** "index,power" lines. *)
+
+val save_csv : string -> t -> unit
+
+val ascii_plot : ?width:int -> ?height:int -> float array -> string
+(** Down-sampled ASCII rendering used by the figure benches. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/reveal/campaign.ml: Array Device Hashtbl List Marshal Mathkit Power Printf Riscv Sca String

@@ -1,0 +1,1 @@
+lib/reveal/campaign.mli: Device Mathkit Sca

@@ -1,0 +1,1 @@
+lib/reveal/device.ml: Array Mathkit Power Riscv

@@ -1,0 +1,1 @@
+lib/reveal/device.mli: Mathkit Power Riscv

@@ -1,0 +1,1 @@
+lib/reveal/experiment.ml: Array Bfv Buffer Campaign Device Float Hashtbl Hints Int64 Lattice List Mathkit Option Power Printf Riscv Sca String

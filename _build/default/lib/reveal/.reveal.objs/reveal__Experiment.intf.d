@@ -1,0 +1,1 @@
+lib/reveal/experiment.mli: Campaign Hints

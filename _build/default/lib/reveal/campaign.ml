@@ -1,0 +1,183 @@
+type profile = {
+  attack : Sca.Attack.t;
+  window_length : int;
+  segment : Sca.Segment.config;
+  values : int array;
+  sigma : float;
+}
+
+let default_values = Array.init 29 (fun i -> i - 14)
+
+(* Segment one device run into per-coefficient windows.  The firmware
+   samples a trailing dummy coefficient, so a run over n coefficients
+   produces n+1 bursts and we keep the first n windows. *)
+let raw_windows segment (run : Device.run) =
+  let samples = run.Device.trace.Power.Ptrace.samples in
+  let wins = Sca.Segment.windows segment samples in
+  let expected = Array.length run.Device.noises in
+  if Array.length wins <> expected + 1 then
+    failwith
+      (Printf.sprintf "Campaign: segmentation found %d windows for %d coefficients" (Array.length wins) expected);
+  (samples, Array.sub wins 0 expected)
+
+let profiling_windows ?(values = default_values) ?(per_value = 400) ?domains device rng =
+  if per_value < 2 then invalid_arg "Campaign.profile: need at least 2 traces per value";
+  let n = Device.n device in
+  let value_count = Array.length values in
+  if n < 2 * value_count then invalid_arg "Campaign.profile: device too small to profile every value per run";
+  (* Calibrate an absolute burst threshold once so that profiling and
+     attack traces segment identically. *)
+  let threshold =
+    let run = Device.run_gaussian device ~scope_rng:rng ~sampler_rng:rng in
+    Sca.Segment.auto_threshold Sca.Segment.default run.Device.trace.Power.Ptrace.samples
+  in
+  let segment = { Sca.Segment.default with Sca.Segment.threshold = Sca.Segment.Absolute threshold } in
+  (* Each profiling run forces every candidate value into several
+     shuffled positions of one honest-length sampling, so templates see
+     the value at arbitrary indices with arbitrary neighbours — exactly
+     the conditions of the attacked trace.  Runs carry their own seeds,
+     so the domain count cannot change the results. *)
+  let copies = n / value_count in
+  let runs = (per_value + copies - 1) / copies in
+  let seeds = Array.init runs (fun _ -> Mathkit.Prng.bits64 rng) in
+  let one_run seed =
+    let rng = Mathkit.Prng.create ~seed () in
+    let forced = Array.concat (List.init copies (fun _ -> Array.copy values)) in
+    let honest, _ =
+      Riscv.Sampler_prog.draws_of_gaussian rng Mathkit.Gaussian.seal_default ~count:(n - Array.length forced)
+    in
+    let draws = Array.append (Array.map (fun v -> Device.profiling_draw device rng ~value:v) forced) honest in
+    Mathkit.Prng.shuffle rng draws;
+    let run = Device.run device ~scope_rng:rng ~draws in
+    let samples, wins = raw_windows segment run in
+    Array.mapi
+      (fun i w ->
+        (run.Device.noises.(i), Array.sub samples w.Sca.Segment.start (w.Sca.Segment.stop - w.Sca.Segment.start)))
+      wins
+  in
+  let per_run = Mathkit.Parallel.map_array ?domains one_run seeds in
+  let bags = Hashtbl.create value_count in
+  Array.iter (fun v -> Hashtbl.replace bags v []) values;
+  Array.iter
+    (fun labelled ->
+      Array.iter
+        (fun (v, w) ->
+          match Hashtbl.find_opt bags v with
+          | Some lst -> Hashtbl.replace bags v (w :: lst)
+          | None -> ())
+        labelled)
+    per_run;
+  (* Common window length: the shortest observed window. *)
+  let window_length =
+    Hashtbl.fold (fun _ ws acc -> List.fold_left (fun acc w -> min acc (Array.length w)) acc ws) bags max_int
+  in
+  if window_length < 16 then failwith "Campaign.profile: windows too short — segmentation is misconfigured";
+  let classes =
+    Array.to_list values
+    |> List.map (fun v ->
+           let ws = Hashtbl.find bags v in
+           (v, Array.of_list (List.map (fun w -> Array.sub w 0 window_length) ws)))
+  in
+  (segment, window_length, classes)
+
+let profile ?values ?per_value ?domains ?(poi_count = 16) ?(sign_poi_count = 6) device rng =
+  let segment, window_length, classes = profiling_windows ?values ?per_value ?domains device rng in
+  let values = Array.of_list (List.map fst classes) in
+  let sigma = Mathkit.Gaussian.seal_default.Mathkit.Gaussian.sigma in
+  let attack = Sca.Attack.build ~poi_count ~sign_poi_count ~sigma classes in
+  { attack; window_length; segment; values; sigma }
+
+let profile_magic = "REVEAL-PROFILE-v1\n"
+
+let save_profile path prof =
+  let oc = open_out_bin path in
+  output_string oc profile_magic;
+  Marshal.to_channel oc prof [];
+  close_out oc
+
+let load_profile path =
+  let ic = open_in_bin path in
+  let header = really_input_string ic (String.length profile_magic) in
+  if header <> profile_magic then begin
+    close_in ic;
+    invalid_arg "Campaign.load_profile: not a profile cache (bad magic)"
+  end;
+  let prof : profile =
+    try Marshal.from_channel ic
+    with _ ->
+      close_in ic;
+      invalid_arg "Campaign.load_profile: corrupt profile cache"
+  in
+  close_in ic;
+  prof
+
+type coefficient_result = {
+  actual : int;
+  verdict : Sca.Attack.verdict;
+  posterior_all : (int * float) array;
+}
+
+let windows_of_run prof run =
+  let samples, wins = raw_windows prof.segment run in
+  Sca.Segment.vectorize samples wins ~length:prof.window_length
+
+let attack_trace prof run =
+  let vectors = windows_of_run prof run in
+  Array.mapi
+    (fun i window ->
+      let verdict = Sca.Attack.classify prof.attack window in
+      { actual = run.Device.noises.(i); verdict; posterior_all = Sca.Attack.posterior_all prof.attack window })
+    vectors
+
+let attack_signs_only prof run =
+  let vectors = windows_of_run prof run in
+  Array.mapi (fun i window -> (compare run.Device.noises.(i) 0, Sca.Attack.classify_sign_only prof.attack window)) vectors
+
+type stats = {
+  confusion : Sca.Confusion.t;
+  sign_correct : int;
+  sign_total : int;
+  value_correct : int;
+  value_total : int;
+  skipped_out_of_range : int;
+}
+
+let run_attacks ?domains prof device ~traces ~scope_rng ~sampler_rng =
+  let confusion = Sca.Confusion.create ~labels:prof.values in
+  let in_range = Hashtbl.create 64 in
+  Array.iter (fun v -> Hashtbl.replace in_range v ()) prof.values;
+  let sign_correct = ref 0 and sign_total = ref 0 in
+  let value_correct = ref 0 and value_total = ref 0 and skipped = ref 0 in
+  let all = ref [] in
+  let seeds = Array.init traces (fun _ -> (Mathkit.Prng.bits64 scope_rng, Mathkit.Prng.bits64 sampler_rng)) in
+  let one_trace (scope_seed, sampler_seed) =
+    let scope_rng = Mathkit.Prng.create ~seed:scope_seed () in
+    let sampler_rng = Mathkit.Prng.create ~seed:sampler_seed () in
+    let run = Device.run_gaussian device ~scope_rng ~sampler_rng in
+    attack_trace prof run
+  in
+  let per_trace = Mathkit.Parallel.map_array ?domains one_trace seeds in
+  Array.iter
+    (fun results ->
+    Array.iter
+      (fun r ->
+        all := r :: !all;
+        incr sign_total;
+        if compare r.actual 0 = r.verdict.Sca.Attack.sign then incr sign_correct;
+        if Hashtbl.mem in_range r.actual then begin
+          incr value_total;
+          Sca.Confusion.add confusion ~actual:r.actual ~predicted:r.verdict.Sca.Attack.value;
+          if r.actual = r.verdict.Sca.Attack.value then incr value_correct
+        end
+        else incr skipped)
+      results)
+    per_trace;
+  ( {
+      confusion;
+      sign_correct = !sign_correct;
+      sign_total = !sign_total;
+      value_correct = !value_correct;
+      value_total = !value_total;
+      skipped_out_of_range = !skipped;
+    },
+    Array.of_list (List.rev !all) )

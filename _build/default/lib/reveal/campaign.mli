@@ -1,0 +1,100 @@
+(** Profiling and attack campaigns (Section IV-B).
+
+    Profiling re-creates the paper's template-building phase: the
+    adversary owns an identical device, forces every candidate
+    coefficient value through the sampler many times, segments each
+    trace, and learns (a) an absolute segmentation threshold, (b) a
+    common window length, (c) SOSD POIs and Gaussian templates.
+
+    The attack phase then takes honest single traces of a full
+    polynomial sampling and classifies every coefficient window.  The
+    paper's sizes are 220 000 profiling runs and 25 000 attacked
+    coefficients; the default here is scaled down (the shapes are
+    stable); pass larger counts to match the paper exactly. *)
+
+type profile = {
+  attack : Sca.Attack.t;
+  window_length : int;
+  segment : Sca.Segment.config;  (** with the calibrated absolute threshold *)
+  values : int array;  (** candidate labels, e.g. -14..14 *)
+  sigma : float;
+}
+
+val default_values : int array
+(** -14 .. 14, the range the paper observed over 220 000 draws. *)
+
+val profile :
+  ?values:int array ->
+  ?per_value:int ->
+  ?domains:int ->
+  ?poi_count:int ->
+  ?sign_poi_count:int ->
+  Device.t ->
+  Mathkit.Prng.t ->
+  profile
+(** Build templates on the attack device itself: each profiling run
+    forces every candidate value into several uniformly shuffled
+    positions of an honest-length sampling, so the templates see each
+    value at arbitrary coefficient indices with arbitrary neighbours —
+    removing the index- and context-dependent leakage components from
+    the class means (SOST then ranks those positions low).
+    [per_value] defaults to 400 windows per candidate value; runs are
+    distributed over [domains] worker domains (results are independent
+    of the domain count — every run carries its own seed).
+    @raise Invalid_argument when the device is too small to host every
+    candidate value twice per run. *)
+
+val save_profile : string -> profile -> unit
+(** Persist a built profile (templates, POIs, segmentation calibration)
+    so the expensive profiling phase runs once per device.  The format
+    is an internal cache (OCaml marshalling behind a magic/version
+    header), not an interchange format. *)
+
+val load_profile : string -> profile
+(** @raise Invalid_argument on wrong magic/version or a corrupt file. *)
+
+val profiling_windows :
+  ?values:int array ->
+  ?per_value:int ->
+  ?domains:int ->
+  Device.t ->
+  Mathkit.Prng.t ->
+  Sca.Segment.config * int * (int * float array array) list
+(** The raw material {!profile} is built from: the calibrated
+    segmentation config, the common window length, and the labelled
+    window vectors per candidate value.  Exposed for the
+    feature-selection ablation and for custom classifiers. *)
+
+type coefficient_result = {
+  actual : int;
+  verdict : Sca.Attack.verdict;
+  posterior_all : (int * float) array;  (** unrestricted posterior, Table II *)
+}
+
+val attack_trace : profile -> Device.run -> coefficient_result array
+(** Segment one honest trace and classify every coefficient.
+    @raise Failure when segmentation finds a window count different
+    from the device's coefficient count. *)
+
+val attack_signs_only : profile -> Device.run -> (int * int) array
+(** (actual sign, recovered sign) per coefficient — Table IV input. *)
+
+type stats = {
+  confusion : Sca.Confusion.t;
+  sign_correct : int;
+  sign_total : int;
+  value_correct : int;
+  value_total : int;
+  skipped_out_of_range : int;  (** |actual| beyond the template labels *)
+}
+
+val run_attacks :
+  ?domains:int ->
+  profile ->
+  Device.t ->
+  traces:int ->
+  scope_rng:Mathkit.Prng.t ->
+  sampler_rng:Mathkit.Prng.t ->
+  stats * coefficient_result array
+(** Repeated single-trace attacks; returns aggregate statistics and
+    the flattened per-coefficient results (for hint building). *)

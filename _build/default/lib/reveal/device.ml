@@ -1,0 +1,115 @@
+type t = {
+  variant : Riscv.Sampler_prog.variant;
+  synth : Power.Synth.config;
+  moduli : int array;
+  cycle_model : (Riscv.Inst.klass -> int) option;
+  n : int;
+  program : Riscv.Asm.program;
+  layout : Riscv.Sampler_prog.layout;
+}
+
+let seal_moduli = [| 132120577 |]
+
+let create ?(variant = Riscv.Sampler_prog.Vulnerable) ?(synth = Power.Synth.default) ?(moduli = seal_moduli)
+    ?cycle_model ~n () =
+  if n <= 0 then invalid_arg "Device.create: n must be positive";
+  {
+    variant;
+    synth;
+    moduli;
+    cycle_model;
+    n;
+    (* one trailing dummy coefficient: every real coefficient's window
+       is then delimited by a following distribution-call burst, so the
+       last real window segments like all the others *)
+    program = Riscv.Sampler_prog.build ~variant ~n:(n + 1) ~k:(Array.length moduli) ();
+    layout = Riscv.Sampler_prog.default_layout;
+  }
+
+let n t = t.n
+let variant t = t.variant
+let moduli t = Array.copy t.moduli
+let synth_config t = t.synth
+
+let with_synth t synth =
+  (* the firmware is unchanged; only the scope differs *)
+  { t with synth }
+
+type run = {
+  trace : Power.Ptrace.t;
+  noises : int array;
+  poly : int array array;
+}
+
+let execute t ~scope_rng ~draws ~perm =
+  if Array.length draws <> t.n then invalid_arg "Device: draw queue length must equal n";
+  let draws = Array.append draws [| (0, 0) |] in
+  let mem = Riscv.Memory.create t.layout.Riscv.Sampler_prog.ram_size in
+  Riscv.Memory.load_program mem 0 t.program.Riscv.Asm.words;
+  Riscv.Sampler_prog.stage_moduli mem t.layout t.moduli;
+  (match perm with
+  | Some p ->
+      if t.variant <> Riscv.Sampler_prog.Shuffled then invalid_arg "Device: permutation needs the Shuffled variant";
+      if Array.length p <> t.n then invalid_arg "Device: permutation length must equal n";
+      Riscv.Sampler_prog.stage_permutation mem t.layout (Array.append p [| t.n |])
+  | None ->
+      (* Profiling runs on the adversary's clone use the identity
+         order (they control the device); honest victim runs must go
+         through run_shuffled with a secret permutation. *)
+      if t.variant = Riscv.Sampler_prog.Shuffled then
+        Riscv.Sampler_prog.stage_permutation mem t.layout (Array.init (t.n + 1) (fun i -> i)));
+  (match t.variant with
+  | Riscv.Sampler_prog.Cdt_table ->
+      (* a CDT device consumes (uniform, sign) entropy; the draw queue
+         still carries the intended values, which profiling forces into
+         the matching CDF band *)
+      let sigma = Mathkit.Gaussian.seal_default.Mathkit.Gaussian.sigma in
+      Riscv.Sampler_prog.stage_cdt_table mem t.layout (Riscv.Sampler_prog.cdt_thresholds ~sigma);
+      let force_rng = Mathkit.Prng.split scope_rng in
+      let entropy =
+        Array.map (fun (v, _) -> Riscv.Sampler_prog.cdt_force_draw force_rng ~sigma ~value:v) draws
+      in
+      Riscv.Sampler_prog.install_cdt_port mem ~draws:entropy
+  | _ -> Riscv.Sampler_prog.install_noise_port mem ~draws);
+  let recorder = Riscv.Trace.recorder () in
+  let cpu =
+    match t.cycle_model with
+    | Some cm -> Riscv.Cpu.create ~tracer:(Riscv.Trace.record recorder) ~cycle_model:cm mem
+    | None -> Riscv.Cpu.create ~tracer:(Riscv.Trace.record recorder) mem
+  in
+  ignore (Riscv.Cpu.run ~max_steps:(200 * t.n * 64) cpu);
+  let events = Riscv.Trace.events recorder in
+  let trace = Power.Synth.synthesize ~rng:scope_rng t.synth events in
+  {
+    trace;
+    noises = Array.map fst (Array.sub draws 0 t.n);
+    poly =
+      Array.map
+        (fun plane -> Array.sub plane 0 t.n)
+        (Riscv.Sampler_prog.read_poly mem t.layout ~n:(t.n + 1) ~k:(Array.length t.moduli));
+  }
+
+let run t ~scope_rng ~draws = execute t ~scope_rng ~draws ~perm:None
+
+let run_gaussian t ~scope_rng ~sampler_rng =
+  let draws =
+    match t.variant with
+    | Riscv.Sampler_prog.Cdt_table ->
+        (* honest CDT draws: values follow the table's distribution *)
+        let sigma = Mathkit.Gaussian.seal_default.Mathkit.Gaussian.sigma in
+        let _, noises = Riscv.Sampler_prog.cdt_draws_of_gaussian sampler_rng ~sigma ~count:t.n in
+        Array.map (fun v -> (v, 0)) noises
+    | _ -> fst (Riscv.Sampler_prog.draws_of_gaussian sampler_rng Mathkit.Gaussian.seal_default ~count:t.n)
+  in
+  execute t ~scope_rng ~draws ~perm:None
+
+let run_shuffled t ~scope_rng ~sampler_rng ~perm =
+  let draws, _ = Riscv.Sampler_prog.draws_of_gaussian sampler_rng Mathkit.Gaussian.seal_default ~count:t.n in
+  execute t ~scope_rng ~draws ~perm:(Some perm)
+
+let profiling_draw t rng ~value =
+  ignore t;
+  (* honest timing: take the rejection count of a real clipped draw *)
+  let draws, _ = Riscv.Sampler_prog.draws_of_gaussian rng Mathkit.Gaussian.seal_default ~count:1 in
+  let _, rejections = draws.(0) in
+  (value, rejections)

@@ -1,0 +1,51 @@
+(** The device under attack: RISC-V core + sampler firmware + scope.
+
+    Bundles the pieces of the measurement setup the paper describes
+    (PicoRV32 soft core running SEAL's sampler, shunt + oscilloscope)
+    into one object: load the firmware once, then run sampling
+    campaigns and get power traces back.  All randomness — the
+    sampler's draws and the scope's measurement noise — comes from
+    explicit generators. *)
+
+type t
+
+val create :
+  ?variant:Riscv.Sampler_prog.variant ->
+  ?synth:Power.Synth.config ->
+  ?moduli:int array ->
+  ?cycle_model:(Riscv.Inst.klass -> int) ->
+  n:int ->
+  unit ->
+  t
+(** A device whose firmware samples [n] coefficients per run over the
+    given modulus chain (default: the paper's q = 132120577, k = 1). *)
+
+val n : t -> int
+val variant : t -> Riscv.Sampler_prog.variant
+val moduli : t -> int array
+val synth_config : t -> Power.Synth.config
+val with_synth : t -> Power.Synth.config -> t
+(** Same firmware, different scope settings (noise sweeps). *)
+
+type run = {
+  trace : Power.Ptrace.t;
+  noises : int array;  (** ground truth: the signed coefficients sampled *)
+  poly : int array array;  (** what the firmware wrote: planes x coefficients *)
+}
+
+val run : t -> scope_rng:Mathkit.Prng.t -> draws:(int * int) array -> run
+(** Execute one sampling of [n t] coefficients from an explicit draw
+    queue [(noise, rejections)]. *)
+
+val run_gaussian : t -> scope_rng:Mathkit.Prng.t -> sampler_rng:Mathkit.Prng.t -> run
+(** Honest run: the device draws its own clipped-normal noise. *)
+
+val run_shuffled :
+  t -> scope_rng:Mathkit.Prng.t -> sampler_rng:Mathkit.Prng.t -> perm:int array -> run
+(** Shuffled-variant run with the given sampling order. *)
+
+val profiling_draw : t -> Mathkit.Prng.t -> value:int -> int * int
+(** A draw queue entry with the chosen [value] but a realistic,
+    honestly sampled rejection count — how profiling "configures the
+    device with all possible secrets" without distorting its timing
+    distribution. *)

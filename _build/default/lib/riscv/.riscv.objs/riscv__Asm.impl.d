@@ -1,0 +1,1 @@
+lib/riscv/asm.ml: Array Codec Hashtbl Inst List Printf

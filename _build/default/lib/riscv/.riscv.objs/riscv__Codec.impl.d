@@ -1,0 +1,1 @@
+lib/riscv/codec.ml: Inst Int32 Printf Sys

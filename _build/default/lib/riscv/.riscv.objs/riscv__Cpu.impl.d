@@ -1,0 +1,1 @@
+lib/riscv/cpu.ml: Array Codec Hashtbl Inst Int32 Int64 Mathkit Memory Trace

@@ -1,0 +1,1 @@
+lib/riscv/inst.ml: Array Format

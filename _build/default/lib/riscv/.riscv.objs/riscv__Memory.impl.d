@@ -1,0 +1,1 @@
+lib/riscv/memory.ml: Array Bytes Char Int32 Printf

@@ -1,0 +1,1 @@
+lib/riscv/sampler_prog.ml: Array Asm Float Inst Int32 Int64 Mathkit Memory Printf

@@ -1,0 +1,1 @@
+lib/riscv/sampler_prog.mli: Asm Mathkit Memory

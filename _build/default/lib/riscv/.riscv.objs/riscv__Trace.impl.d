@@ -1,0 +1,1 @@
+lib/riscv/trace.ml: Array Format Inst List

@@ -1,0 +1,1 @@
+lib/riscv/trace.mli: Format Inst

@@ -1,0 +1,14 @@
+(** Binary encoding and decoding of RV32IM instructions.
+
+    The encoder/decoder pair round-trips every constructor of
+    {!Inst.t}; the CPU stores programs in memory as real 32-bit words
+    and decodes them at fetch time, like the PicoRV32 it models. *)
+
+exception Illegal of int32
+(** Raised by {!decode} on an unimplemented or malformed word. *)
+
+val encode : Inst.t -> int32
+(** @raise Invalid_argument when an immediate does not fit its field. *)
+
+val decode : int32 -> Inst.t
+(** @raise Illegal on words outside the supported RV32IM subset. *)

@@ -1,0 +1,30 @@
+type event = {
+  index : int;
+  cycle : int;
+  cycles : int;
+  pc : int;
+  inst : Inst.t;
+  klass : Inst.klass;
+  rs1_value : int;
+  rs2_value : int;
+  rd_old : int;
+  rd_new : int;
+  mem_addr : int option;
+  mem_value : int option;
+}
+
+let writes_register e = e.rd_old <> e.rd_new
+
+let pp fmt e =
+  Format.fprintf fmt "@[#%d cyc=%d pc=%08x %a (rs1=%08x rs2=%08x rd:%08x->%08x)@]" e.index e.cycle e.pc
+    Inst.pp e.inst e.rs1_value e.rs2_value e.rd_old e.rd_new
+
+type recorder = { mutable events : event list; mutable count : int }
+
+let recorder () = { events = []; count = 0 }
+
+let record r e =
+  r.events <- e :: r.events;
+  r.count <- r.count + 1
+
+let events r = Array.of_list (List.rev r.events)

@@ -1,0 +1,1 @@
+lib/sca/attack.ml: Array List Mathkit Sosd Template

@@ -1,0 +1,1 @@
+lib/sca/attack.mli: Template

@@ -1,0 +1,1 @@
+lib/sca/confusion.ml: Array Buffer Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/sca/cpa.ml: Array Float List Mathkit Power Sosd

@@ -1,0 +1,1 @@
+lib/sca/pca.ml: Array Float List Mathkit

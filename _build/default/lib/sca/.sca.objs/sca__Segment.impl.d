@@ -1,0 +1,1 @@
+lib/sca/segment.ml: Array Float List Mathkit

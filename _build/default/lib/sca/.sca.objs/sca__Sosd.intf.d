@@ -1,0 +1,1 @@
+lib/sca/sosd.mli:

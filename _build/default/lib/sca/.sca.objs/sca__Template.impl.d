@@ -1,0 +1,1 @@
+lib/sca/template.ml: Array Float List Mathkit Printf

@@ -1,0 +1,1 @@
+lib/sca/tvla.ml: Array Float List Mathkit

@@ -1,0 +1,116 @@
+type t = {
+  sign_template : Template.t;
+  neg_template : Template.t;
+  pos_template : Template.t;
+  neg_priors : float array;
+  pos_priors : float array;
+  prior_of_sign : float array;
+  pois_sign : int array;
+  pois_neg : int array;
+  pois_pos : int array;
+}
+
+type verdict = {
+  sign : int;
+  value : int;
+  posterior : (int * float) array;
+}
+
+let sign_of_label v = compare v 0
+
+let group_template ~poi_count ~sigma classes =
+  (match classes with
+  | [] | [ _ ] -> invalid_arg "Attack.build: a sign group needs at least two candidate values"
+  | _ -> ());
+  let scores = Sosd.scores_t (Array.of_list (List.map snd classes)) in
+  let pois = Sosd.select ~count:poi_count scores in
+  let project rows = Array.map (fun w -> Sosd.pick w pois) rows in
+  let template = Template.build ~pois (List.map (fun (label, rows) -> (label, project rows)) classes) in
+  let priors =
+    Array.map (fun label -> Mathkit.Gaussian.discrete_probability ~sigma label) template.Template.labels
+    |> Mathkit.Stats.normalize_probs
+  in
+  (template, priors, pois)
+
+let build ?(poi_count = 24) ?(sign_poi_count = 10) ~sigma classes =
+  (match classes with [] -> invalid_arg "Attack.build: no profiling classes" | _ -> ());
+  let group s = List.filter (fun (label, _) -> sign_of_label label = s) classes in
+  let neg_template, neg_priors, pois_neg = group_template ~poi_count ~sigma (group (-1)) in
+  let pos_template, pos_priors, pois_pos = group_template ~poi_count ~sigma (group 1) in
+  (* Sign template: SOSD between the three pooled sign groups. *)
+  let pooled s = group s |> List.map snd |> Array.concat in
+  let sign_groups = [| pooled (-1); pooled 0; pooled 1 |] in
+  let sign_scores = Sosd.scores_t sign_groups in
+  let pois_sign = Sosd.select ~count:sign_poi_count sign_scores in
+  let project rows = Array.map (fun w -> Sosd.pick w pois_sign) rows in
+  let sign_template =
+    Template.build ~pois:pois_sign
+      (List.filter_map
+         (fun s ->
+           let rows = sign_groups.(s + 1) in
+           if Array.length rows < 2 then None else Some (s, project rows))
+         [ -1; 0; 1 ])
+  in
+  let prior_of_sign =
+    let mass s =
+      List.fold_left
+        (fun acc (label, _) -> if sign_of_label label = s then acc +. Mathkit.Gaussian.discrete_probability ~sigma label else acc)
+        0.0 classes
+    in
+    Mathkit.Stats.normalize_probs [| mass (-1); mass 0; mass 1 |]
+  in
+  { sign_template; neg_template; pos_template; neg_priors; pos_priors; prior_of_sign; pois_sign; pois_neg; pois_pos }
+
+let classify_sign_only t window = Template.classify t.sign_template (Sosd.pick window t.pois_sign)
+
+(* Pure maximum likelihood, as in classical template attacks (and as
+   the paper's Table I/II scores behave): the class prior is NOT mixed
+   in — with single-trace likelihood margins of a few nats, a Gaussian
+   prior would drag every rare value onto its frequent neighbours. *)
+let group_posterior t sign window =
+  match sign with
+  | -1 -> (t.neg_template, Template.posterior t.neg_template (Sosd.pick window t.pois_neg))
+  | 1 -> (t.pos_template, Template.posterior t.pos_template (Sosd.pick window t.pois_pos))
+  | _ -> invalid_arg "Attack.group_posterior: sign must be -1 or 1"
+
+let classify t window =
+  let sign = classify_sign_only t window in
+  if sign = 0 then { sign; value = 0; posterior = [| (0, 1.0) |] }
+  else begin
+    let template, post = group_posterior t sign window in
+    let labels = template.Template.labels in
+    let best = Mathkit.Stats.argmax post in
+    { sign; value = labels.(best); posterior = Array.mapi (fun i l -> (l, post.(i))) labels }
+  end
+
+(* The joint posterior is Bayesian: the adversary knows the sampler's
+   distribution, so P(v | trace) uses the Gaussian prior both across
+   sign groups and within them.  (Classification above deliberately
+   does not — see the comment there.) *)
+let posterior_all t window =
+  let sign_post =
+    Template.posterior ~priors:t.prior_of_sign t.sign_template (Sosd.pick window t.pois_sign)
+  in
+  let sign_labels = t.sign_template.Template.labels in
+  let p_of_sign s =
+    let acc = ref 0.0 in
+    Array.iteri (fun i l -> if l = s then acc := sign_post.(i)) sign_labels;
+    !acc
+  in
+  let entries = ref [] in
+  (* zero *)
+  entries := (0, p_of_sign 0) :: !entries;
+  List.iter
+    (fun s ->
+      let template, priors =
+        match s with
+        | -1 -> (t.neg_template, t.neg_priors)
+        | _ -> (t.pos_template, t.pos_priors)
+      in
+      let post = Template.posterior ~priors template (Sosd.pick window (if s = -1 then t.pois_neg else t.pois_pos)) in
+      let ps = p_of_sign s in
+      Array.iteri (fun i l -> entries := (l, ps *. post.(i)) :: !entries) template.Template.labels)
+    [ -1; 1 ];
+  let arr = Array.of_list !entries in
+  Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+  arr

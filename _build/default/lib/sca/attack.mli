@@ -1,0 +1,63 @@
+(** The combined single-trace attack of Section III-D.
+
+    Three templates cooperate, mirroring the paper's use of the three
+    vulnerabilities:
+
+    - a 3-class {e sign} template over the branch region
+      (vulnerability 1) — the paper reports 100 % success for it;
+    - a value template over the {e negative} candidates: its POIs land
+      on the negation sequence and the [modulus - noise] stores, i.e.
+      vulnerabilities 3 + 2, which is why negative coefficients come
+      out far better (Table I);
+    - a value template over the {e positive} candidates: only the
+      assignment leakage (vulnerability 2) is available, so values of
+      equal Hamming weight collide — the 1/2/4/8 confusions visible in
+      Table I.
+
+    Matching classifies the sign first and then dispatches to that
+    group's template; zero needs no second stage.  [classify] returns
+    the hard decision plus the posterior over all candidate values —
+    Table I consumes the former, the LWE-hint integration (Tables
+    II-III) the latter. *)
+
+type t = {
+  sign_template : Template.t;
+  neg_template : Template.t;
+  pos_template : Template.t;
+  neg_priors : float array;  (** Gaussian prior restricted to the group *)
+  pos_priors : float array;
+  prior_of_sign : float array;  (** P(sign = -1, 0, +1) under the sampler *)
+  pois_sign : int array;
+  pois_neg : int array;
+  pois_pos : int array;
+}
+
+type verdict = {
+  sign : int;  (** -1, 0 or 1 *)
+  value : int;  (** recovered coefficient *)
+  posterior : (int * float) array;  (** value -> probability over every candidate *)
+}
+
+val sign_of_label : int -> int
+
+val build :
+  ?poi_count:int ->
+  ?sign_poi_count:int ->
+  sigma:float ->
+  (int * float array array) list ->
+  t
+(** [build ~sigma classes] profiles from labelled windows
+    ([label, window_vectors]).  POIs are selected by SOSD —
+    independently for the sign grouping and within each sign group.
+    [sigma] shapes the value priors.  Defaults: 16 POIs per value
+    group, 6 sign POIs. *)
+
+val classify : t -> float array -> verdict
+(** Attack one window (combined attack). *)
+
+val classify_sign_only : t -> float array -> int
+(** Branch-vulnerability-only attack (Table IV). *)
+
+val posterior_all : t -> float array -> (int * float) array
+(** Joint posterior over all candidates:
+    P(v) = P(sign of v) * P(v | its group) — the raw Table II rows. *)

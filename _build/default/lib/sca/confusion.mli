@@ -1,0 +1,27 @@
+(** Confusion-matrix accumulation and Table-I-style rendering. *)
+
+type t
+
+val create : labels:int array -> t
+(** Square matrix over the given label set. *)
+
+val labels : t -> int array
+val add : t -> actual:int -> predicted:int -> unit
+(** Labels outside the declared set raise [Invalid_argument]. *)
+
+val count : t -> actual:int -> predicted:int -> int
+val total : t -> int
+
+val column_percent : t -> actual:int -> predicted:int -> float
+(** Percentage of [actual]'s occurrences predicted as [predicted] —
+    the paper's Table I normalisation (columns sum to 100). *)
+
+val accuracy : t -> float
+(** Overall fraction on the diagonal. *)
+
+val per_class_accuracy : t -> (int * float) array
+(** (label, diagonal percentage) for classes that occurred. *)
+
+val render : ?lo:int -> ?hi:int -> t -> string
+(** Table I: rows = predicted, columns = actual, column percentages,
+    clipped to labels in [lo..hi] (defaults: full label range). *)

@@ -1,0 +1,136 @@
+type threshold = Auto | Percentile of float | Absolute of float
+
+type config = {
+  threshold : threshold;
+  smooth_radius : int;
+  merge_gap : int;
+  min_burst : int;
+}
+
+let default = { threshold = Auto; smooth_radius = 2; merge_gap = 55; min_burst = 4 }
+
+type window = { start : int; stop : int }
+
+let smooth radius samples =
+  if radius <= 0 then Array.copy samples
+  else begin
+    let n = Array.length samples in
+    Array.init n (fun i ->
+        let lo = max 0 (i - radius) and hi = min (n - 1) (i + radius) in
+        let acc = ref 0.0 in
+        for j = lo to hi do
+          acc := !acc +. samples.(j)
+        done;
+        !acc /. float_of_int (hi - lo + 1))
+  end
+
+(* Otsu's method: pick the level that best separates the bimodal
+   power histogram (busy divider vs ordinary code).  Unlike a
+   percentile midpoint, it does not care what fraction of the trace is
+   spent in each mode, so it survives very slow or very fast dividers. *)
+let otsu samples =
+  let lo = Array.fold_left Float.min samples.(0) samples in
+  let hi = Array.fold_left Float.max samples.(0) samples in
+  if hi -. lo <= 0.0 then lo
+  else begin
+    let bins = 256 in
+    let hist = Mathkit.Stats.histogram ~bins ~lo ~hi:(hi +. 1e-9) samples in
+    let total = float_of_int (Array.length samples) in
+    let sum_all = ref 0.0 in
+    Array.iteri (fun b c -> sum_all := !sum_all +. (float_of_int b *. float_of_int c)) hist;
+    let best_t = ref 0 and best_var = ref neg_infinity in
+    let best_mu0 = ref 0.0 and best_mu1 = ref 0.0 in
+    let w0 = ref 0.0 and sum0 = ref 0.0 in
+    for t = 0 to bins - 1 do
+      w0 := !w0 +. float_of_int hist.(t);
+      sum0 := !sum0 +. (float_of_int t *. float_of_int hist.(t));
+      let w1 = total -. !w0 in
+      if !w0 > 0.0 && w1 > 0.0 then begin
+        let mu0 = !sum0 /. !w0 and mu1 = (!sum_all -. !sum0) /. w1 in
+        let between = !w0 *. w1 *. (mu0 -. mu1) *. (mu0 -. mu1) in
+        if between > !best_var then begin
+          best_var := between;
+          best_t := t;
+          best_mu0 := mu0;
+          best_mu1 := mu1
+        end
+      end
+    done;
+    let of_bin b = lo +. ((hi -. lo) *. (b +. 0.5) /. float_of_int bins) in
+    (* Bias the cut towards the high mode: only the divider plateau
+       should clear it, not the tallest loads/stores of ordinary code
+       (whose height is data-dependent and would wiggle the window
+       boundaries with the secret). *)
+    of_bin (!best_mu0 +. (0.75 *. (!best_mu1 -. !best_mu0)))
+  end
+
+let auto_threshold cfg samples =
+  let s = smooth cfg.smooth_radius samples in
+  otsu s
+
+let burst_regions cfg samples =
+  let n = Array.length samples in
+  if n = 0 then [||]
+  else begin
+    let s = smooth cfg.smooth_radius samples in
+    let threshold =
+      match cfg.threshold with
+      | Absolute t -> t
+      | Percentile p -> Mathkit.Stats.percentile s p
+      | Auto -> otsu s
+    in
+    (* Raw above-threshold runs. *)
+    let runs = ref [] in
+    let run_start = ref (-1) in
+    for i = 0 to n - 1 do
+      if s.(i) > threshold then begin
+        if !run_start < 0 then run_start := i
+      end
+      else if !run_start >= 0 then begin
+        runs := { start = !run_start; stop = i } :: !runs;
+        run_start := -1
+      end
+    done;
+    if !run_start >= 0 then runs := { start = !run_start; stop = n } :: !runs;
+    let runs = List.rev !runs in
+    (* Group runs separated by less than merge_gap into one burst. *)
+    let groups =
+      List.fold_left
+        (fun acc r ->
+          match acc with
+          | (last :: _ as grp) :: rest when r.start - last.stop < cfg.merge_gap -> (r :: grp) :: rest
+          | _ -> [ r ] :: acc)
+        [] runs
+      |> List.rev_map List.rev
+    in
+    (* Anchor each burst on its long runs only: short slivers at the
+       edges (a single data-dependent load or store crossing the
+       threshold) must not move the boundary, or windows would shift
+       with the secret data they start with. *)
+    let anchor grp =
+      match List.filter (fun r -> r.stop - r.start >= cfg.min_burst) grp with
+      | [] -> None
+      | long ->
+          let first = List.hd long and last = List.nth long (List.length long - 1) in
+          Some { start = first.start; stop = last.stop }
+    in
+    List.filter_map anchor groups |> Array.of_list
+  end
+
+let windows cfg samples =
+  let bursts = burst_regions cfg samples in
+  let n = Array.length samples in
+  Array.mapi
+    (fun i b ->
+      let stop = if i + 1 < Array.length bursts then bursts.(i + 1).start else n in
+      { start = b.stop; stop })
+    bursts
+
+let vectorize samples wins ~length =
+  if length <= 0 then invalid_arg "Segment.vectorize: length must be positive";
+  Array.map
+    (fun w ->
+      Array.init length (fun i ->
+          let idx = w.start + i in
+          if idx < w.stop && idx < Array.length samples then samples.(idx) else 0.0))
+    wins

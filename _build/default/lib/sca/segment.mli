@@ -1,0 +1,57 @@
+(** Trace segmentation by peak detection.
+
+    The sampler's execution time varies per coefficient (rejection
+    sampling), so the attacker cannot slice the trace at a fixed
+    stride.  Section III-C of the paper locates each distribution call
+    through its "distinguishable and visible peaks" — on this device,
+    the div-heavy burn of the polar loop — and uses them as start/end
+    markers.  This module implements exactly that:
+
+    + smooth the trace with a short moving average (removes sub-cycle
+      pulse shape and most measurement noise),
+    + threshold into high-power bursts — by default with Otsu's
+      bimodal split, which lands between the divider-unit plateau and
+      ordinary code regardless of how much of the trace each occupies,
+    + merge bursts closer than a gap (the polar loop's iterations)
+      into one distribution call,
+    + report the quiet region after each call — the sign/assignment
+      code of one coefficient — as that coefficient's window. *)
+
+type threshold =
+  | Auto  (** Otsu's bimodal split of the smoothed power histogram *)
+  | Percentile of float
+  | Absolute of float
+      (** profiling calibrates once with {!auto_threshold} and pins the
+          level so that all traces segment identically *)
+
+type config = {
+  threshold : threshold;
+  smooth_radius : int;  (** moving-average half width, in samples *)
+  merge_gap : int;  (** bursts closer than this many samples are one call *)
+  min_burst : int;  (** ignore bursts shorter than this *)
+}
+
+val default : config
+(** Auto threshold, radius 2, gap 55, min burst 4. *)
+
+type window = { start : int; stop : int }
+(** Half-open sample range [start, stop). *)
+
+val smooth : int -> float array -> float array
+(** Centred moving average. *)
+
+val auto_threshold : config -> float array -> float
+(** The level the Auto rule would pick for this trace. *)
+
+val burst_regions : config -> float array -> window array
+(** Merged high-power regions, one per distribution call. *)
+
+val windows : config -> float array -> window array
+(** Quiet regions between consecutive bursts: window [i] covers
+    coefficient [i]'s sign/assignment code.  The final window runs to
+    the end of the trace. *)
+
+val vectorize : float array -> window array -> length:int -> float array array
+(** Clip every window to its first [length] samples (windows shorter
+    than [length] are zero-padded) — the fixed-dimension vectors the
+    templates consume. *)

@@ -1,0 +1,51 @@
+type t = {
+  labels : int array;
+  means : float array array;
+  inv_cov : Mathkit.Matrix.t;
+  log_det : float;
+  pois : int array;
+}
+
+let build ?(regularization = 1e-6) ~pois classes =
+  (match classes with [] -> invalid_arg "Template.build: no classes" | _ -> ());
+  List.iter
+    (fun (label, rows) ->
+      if Array.length rows < 2 then
+        invalid_arg (Printf.sprintf "Template.build: class %d needs >= 2 profiling vectors" label))
+    classes;
+  let labels = Array.of_list (List.map fst classes) in
+  let means = Array.of_list (List.map (fun (_, rows) -> Mathkit.Stats.mean_vector rows) classes) in
+  let pooled = Mathkit.Stats.pooled_covariance (Array.of_list (List.map snd classes)) in
+  let d = Mathkit.Matrix.rows pooled in
+  let mean_diag = Mathkit.Matrix.trace pooled /. float_of_int d in
+  let eps = regularization *. Float.max mean_diag 1e-12 in
+  let cov = Mathkit.Linalg.regularize pooled eps in
+  let inv_cov = Mathkit.Linalg.inverse cov in
+  let log_det = Mathkit.Linalg.logdet cov in
+  { labels; means; inv_cov; log_det; pois }
+
+let log_likelihoods t x =
+  let d = float_of_int (Array.length x) in
+  let const = -0.5 *. ((d *. log (2.0 *. Float.pi)) +. t.log_det) in
+  Array.map (fun mu -> const -. (0.5 *. Mathkit.Linalg.mahalanobis_sq ~inv_cov:t.inv_cov x mu)) t.means
+
+let posterior ?priors t x =
+  let ll = log_likelihoods t x in
+  (match priors with
+  | Some p ->
+      if Array.length p <> Array.length ll then invalid_arg "Template.posterior: prior length mismatch";
+      Array.iteri (fun i pi -> ll.(i) <- ll.(i) +. log (Float.max pi 1e-300)) p
+  | None -> ());
+  let z = Mathkit.Stats.log_sum_exp ll in
+  Array.map (fun l -> exp (l -. z)) ll
+
+let classify ?priors t x =
+  let p = posterior ?priors t x in
+  t.labels.(Mathkit.Stats.argmax p)
+
+let restrict t keep =
+  let idx = ref [] in
+  Array.iteri (fun i label -> if keep label then idx := i :: !idx) t.labels;
+  let idx = Array.of_list (List.rev !idx) in
+  if Array.length idx = 0 then invalid_arg "Template.restrict: no classes left";
+  { t with labels = Array.map (fun i -> t.labels.(i)) idx; means = Array.map (fun i -> t.means.(i)) idx }

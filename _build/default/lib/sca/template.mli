@@ -1,0 +1,39 @@
+(** Multivariate Gaussian template attack (Chari et al., CHES 2002).
+
+    Profiling: for every candidate secret (here, every sampled
+    coefficient value) record many POI vectors, store the class mean,
+    and pool the covariance across classes (the noise is
+    class-independent, and pooling is what makes 29-class templates
+    feasible from modest trace counts).  Matching: score a measured
+    vector by Gaussian log-likelihood under each template, optionally
+    weighted by the class prior, and either pick the argmax or return
+    the whole posterior — the posterior feeds the LWE-hint machinery
+    of Section IV-C. *)
+
+type t = {
+  labels : int array;  (** class labels, e.g. coefficient values *)
+  means : float array array;
+  inv_cov : Mathkit.Matrix.t;  (** inverse pooled covariance *)
+  log_det : float;
+  pois : int array;  (** POI indices into the window, kept for bookkeeping *)
+}
+
+val build : ?regularization:float -> pois:int array -> (int * float array array) list -> t
+(** [build ~pois classes] with [classes = (label, poi_vectors) list].
+    The covariance is pooled over classes and regularised by
+    [regularization] (default 1e-6) times the mean diagonal.
+    @raise Invalid_argument when any class has < 2 rows. *)
+
+val log_likelihoods : t -> float array -> float array
+(** Per-class Gaussian log density of one POI vector (same order as
+    [labels]). *)
+
+val posterior : ?priors:float array -> t -> float array -> float array
+(** Normalised class probabilities; [priors] defaults to uniform. *)
+
+val classify : ?priors:float array -> t -> float array -> int
+(** Maximum-likelihood (or MAP, with priors) label. *)
+
+val restrict : t -> (int -> bool) -> t
+(** Keep only classes whose label satisfies the predicate — used to
+    condition the value template on the recovered sign. *)

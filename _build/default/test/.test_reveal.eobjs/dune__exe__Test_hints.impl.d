@@ -1,0 +1,1 @@
+test/test_hints.ml: Alcotest Array Float Hints List Mathkit Printf

@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest Array Float Lattice List Mathkit

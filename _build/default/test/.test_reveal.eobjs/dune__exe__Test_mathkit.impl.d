@@ -1,0 +1,1 @@
+test/test_mathkit.ml: Alcotest Array Bignum Float Gaussian Int64 Linalg List Mathkit Matrix Modular Ntt Poly Prng QCheck QCheck_alcotest Rns Stats Test

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Filename Float Lazy List Mathkit Power Printf Reveal Riscv Sca Sys

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array Float List Mathkit Power Printf Riscv String

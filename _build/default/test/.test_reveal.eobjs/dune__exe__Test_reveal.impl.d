@@ -1,0 +1,1 @@
+test/test_reveal.ml: Alcotest Test_bfv Test_hints Test_lattice Test_mathkit Test_pipeline Test_power Test_riscv Test_sca

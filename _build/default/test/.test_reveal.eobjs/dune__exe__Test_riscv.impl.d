@@ -1,0 +1,1 @@
+test/test_riscv.ml: Alcotest Array Asm Codec Cpu Float Inst Int32 Int64 List Mathkit Memory Printf QCheck QCheck_alcotest Riscv Sampler_prog Test Trace

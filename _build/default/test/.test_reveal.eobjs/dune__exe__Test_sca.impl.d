@@ -1,0 +1,1 @@
+test/test_sca.ml: Alcotest Array Float Int64 List Mathkit Power Printf QCheck QCheck_alcotest Sca String Test

@@ -1,0 +1,863 @@
+(* BFV scheme correctness and the attack algebra. *)
+
+open Bfv
+
+let rng () = Mathkit.Prng.create ~seed:2024L ()
+
+let toy_ctx () = Rq.context (Params.toy ())
+
+let fresh_keys g ctx =
+  let sk = Keygen.secret_key g ctx in
+  let pk = Keygen.public_key g ctx sk in
+  (sk, pk)
+
+let random_plaintext g params =
+  Keys.plaintext_of_coeffs params
+    (Array.init params.Params.n (fun _ -> Mathkit.Prng.int g params.Params.plain_modulus))
+
+(* --- Params ------------------------------------------------------------ *)
+
+let test_params_seal () =
+  let p = Params.seal_128_1024 in
+  Alcotest.(check int) "n" 1024 p.Params.n;
+  Alcotest.(check int) "q" 132120577 p.Params.coeff_modulus.(0);
+  Alcotest.(check string) "total modulus" "132120577" (Mathkit.Bignum.to_string (Params.total_modulus p));
+  (* sigma = 8/sqrt(2 pi) =~ 3.19 *)
+  Alcotest.(check bool) "sigma" true (Float.abs (p.Params.noise.Mathkit.Gaussian.sigma -. 3.19) < 0.01)
+
+let test_params_delta () =
+  let p = Params.toy () in
+  let delta = Params.delta p in
+  let q = Params.total_modulus p in
+  let t = Mathkit.Bignum.of_int p.Params.plain_modulus in
+  (* Delta = floor(q/t): q - Delta*t < t *)
+  let diff = Mathkit.Bignum.sub q (Mathkit.Bignum.mul delta t) in
+  Alcotest.(check bool) "floor division" true (Mathkit.Bignum.compare diff t < 0)
+
+let test_params_rejects_bad () =
+  Alcotest.(check bool) "non-pow2 n" true
+    (try
+       ignore (Params.create ~n:100 ~coeff_modulus:[ 132120577 ] ~plain_modulus:256);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "non-friendly prime" true
+    (try
+       ignore (Params.create ~n:1024 ~coeff_modulus:[ 97 ] ~plain_modulus:17);
+       false
+     with Invalid_argument _ -> true)
+
+let test_params_multi_prime () =
+  let p = Params.seal_128_2048 in
+  Alcotest.(check int) "two primes" 2 (Array.length p.Params.coeff_modulus);
+  Array.iter
+    (fun q -> Alcotest.(check bool) "friendly" true (Mathkit.Ntt.is_friendly ~q ~n:2048))
+    p.Params.coeff_modulus
+
+(* --- Rq ------------------------------------------------------------------ *)
+
+let test_rq_centered_roundtrip () =
+  let ctx = toy_ctx () in
+  let g = rng () in
+  for _ = 1 to 50 do
+    let coeffs = Array.init 16 (fun _ -> Mathkit.Prng.int_in g (-41) 41) in
+    let x = Rq.of_centered ctx coeffs in
+    Alcotest.(check (array int)) "roundtrip" coeffs (Rq.to_centered_small ctx x)
+  done
+
+let test_rq_add_neg () =
+  let ctx = toy_ctx () in
+  let g = rng () in
+  let x = Rq.uniform g ctx in
+  Alcotest.(check bool) "x + (-x) = 0" true (Rq.equal (Rq.zero ctx) (Rq.add ctx x (Rq.neg ctx x)))
+
+let test_rq_mul_matches_schoolbook () =
+  let ctx = toy_ctx () in
+  let g = rng () in
+  let md = (Rq.moduli ctx).(0) in
+  for _ = 1 to 10 do
+    let a = Rq.uniform g ctx and b = Rq.uniform g ctx in
+    let c = Rq.mul ctx a b in
+    let expected = Mathkit.Poly.mul_schoolbook md a.Rq.planes.(0) b.Rq.planes.(0) in
+    Alcotest.(check bool) "plane product" true (c.Rq.planes.(0) = expected)
+  done
+
+let test_rq_invert () =
+  let ctx = toy_ctx () in
+  let g = rng () in
+  let rec find_invertible () =
+    let a = Rq.uniform g ctx in
+    match Rq.invert ctx a with Some ai -> (a, ai) | None -> find_invertible ()
+  in
+  let a, ai = find_invertible () in
+  let one = Rq.of_centered ctx (Array.init 16 (fun i -> if i = 0 then 1 else 0)) in
+  Alcotest.(check bool) "a * a^-1 = 1" true (Rq.equal one (Rq.mul ctx a ai))
+
+let test_rq_multi_plane_consistency () =
+  (* multi-prime context: centered lift must agree across planes *)
+  let params = Params.create ~n:32 ~coeff_modulus:[ 12289; 786433 ] ~plain_modulus:64 in
+  let ctx = Rq.context params in
+  let coeffs = Array.init 32 (fun i -> (i mod 7) - 3) in
+  let x = Rq.of_centered ctx coeffs in
+  Alcotest.(check (array int)) "centered across CRT" coeffs (Rq.to_centered_small ctx x)
+
+(* --- Sampler --------------------------------------------------------------- *)
+
+let test_sampler_v32_assignment () =
+  let ctx = toy_ctx () in
+  let q = (Rq.moduli ctx).(0).Mathkit.Modular.value in
+  let noises = [| 3; -5; 0; 41; -41; 1; -1; 0; 2; -2; 7; -9; 0; 11; -3; 4 |] in
+  let poly = Sampler.of_noises ctx noises in
+  Array.iteri
+    (fun i z ->
+      let expected = if z > 0 then z else if z < 0 then q + z else 0 in
+      Alcotest.(check int) (Printf.sprintf "coeff %d" i) expected poly.Rq.planes.(0).(i))
+    noises
+
+let test_sampler_v32_v36_agree () =
+  let ctx = toy_ctx () in
+  let g1 = rng () and g2 = rng () in
+  let p32, log32 = Sampler.set_poly_coeffs_normal_v32 g1 ctx in
+  let p36, log36 = Sampler.set_poly_coeffs_normal_v36 g2 ctx in
+  Alcotest.(check (array int)) "same noises" log32.Sampler.noises log36.Sampler.noises;
+  Alcotest.(check bool) "same polynomial" true (Rq.equal p32 p36)
+
+let test_sampler_log_matches_poly () =
+  let ctx = toy_ctx () in
+  let g = rng () in
+  let poly, log = Sampler.set_poly_coeffs_normal_v32 g ctx in
+  Alcotest.(check bool) "of_noises reproduces" true (Rq.equal poly (Sampler.of_noises ctx log.Sampler.noises));
+  Alcotest.(check (array int)) "centered = noises" log.Sampler.noises (Rq.to_centered_small ctx poly)
+
+let test_sampler_cdt_bounds () =
+  let ctx = toy_ctx () in
+  let g = rng () in
+  for _ = 1 to 20 do
+    let _, log = Sampler.set_poly_coeffs_cdt g ctx in
+    Array.iter (fun z -> Alcotest.(check bool) "bounded" true (abs z <= 20)) log.Sampler.noises
+  done
+
+(* --- Encrypt / decrypt -------------------------------------------------------- *)
+
+let test_encrypt_decrypt_roundtrip () =
+  let ctx = toy_ctx () in
+  let g = rng () in
+  let sk, pk = fresh_keys g ctx in
+  for _ = 1 to 20 do
+    let m = random_plaintext g (Rq.params ctx) in
+    let c, _ = Encryptor.encrypt g ctx pk m in
+    Alcotest.(check bool) "decrypt(encrypt(m)) = m" true (Keys.plaintext_equal m (Decryptor.decrypt ctx sk c))
+  done
+
+let test_encrypt_decrypt_seal_1024 () =
+  let ctx = Rq.context Params.seal_128_1024 in
+  let g = rng () in
+  let sk, pk = fresh_keys g ctx in
+  let m = random_plaintext g (Rq.params ctx) in
+  let c, _ = Encryptor.encrypt g ctx pk m in
+  Alcotest.(check bool) "roundtrip at n=1024" true (Keys.plaintext_equal m (Decryptor.decrypt ctx sk c))
+
+let test_encrypt_decrypt_multi_prime () =
+  let params = Params.create ~n:32 ~coeff_modulus:[ 12289; 786433 ] ~plain_modulus:64 in
+  let ctx = Rq.context params in
+  let g = rng () in
+  let sk, pk = fresh_keys g ctx in
+  for _ = 1 to 10 do
+    let m = random_plaintext g params in
+    let c, _ = Encryptor.encrypt g ctx pk m in
+    Alcotest.(check bool) "multi-prime roundtrip" true (Keys.plaintext_equal m (Decryptor.decrypt ctx sk c))
+  done
+
+let test_encrypt_variants_decrypt () =
+  let ctx = toy_ctx () in
+  let g = rng () in
+  let sk, pk = fresh_keys g ctx in
+  List.iter
+    (fun variant ->
+      let m = random_plaintext g (Rq.params ctx) in
+      let c, _ = Encryptor.encrypt ~variant g ctx pk m in
+      Alcotest.(check bool) "variant roundtrip" true (Keys.plaintext_equal m (Decryptor.decrypt ctx sk c)))
+    [ Encryptor.V32; Encryptor.V36; Encryptor.Cdt ]
+
+let test_symmetric_encrypt () =
+  let ctx = toy_ctx () in
+  let g = rng () in
+  let sk = Keygen.secret_key g ctx in
+  let m = random_plaintext g (Rq.params ctx) in
+  let c = Encryptor.symmetric_encrypt g ctx sk m in
+  Alcotest.(check bool) "symmetric roundtrip" true (Keys.plaintext_equal m (Decryptor.decrypt ctx sk c))
+
+let test_noise_budget_positive_fresh () =
+  let ctx = Rq.context Params.seal_128_1024 in
+  let g = rng () in
+  let sk, pk = fresh_keys g ctx in
+  let m = random_plaintext g (Rq.params ctx) in
+  let c, _ = Encryptor.encrypt g ctx pk m in
+  let budget = Decryptor.noise_budget_bits ctx sk c in
+  Alcotest.(check bool) "fresh budget > 0" true (budget > 0.0)
+
+let test_deterministic_encrypt_with () =
+  let ctx = toy_ctx () in
+  let g = rng () in
+  let _, pk = fresh_keys g ctx in
+  let m = random_plaintext g (Rq.params ctx) in
+  let c1, r = Encryptor.encrypt g ctx pk m in
+  let c2 = Encryptor.encrypt_with ctx pk m r in
+  Alcotest.(check bool) "same randomness, same ciphertext" true
+    (Array.for_all2 Rq.equal c1.Keys.parts c2.Keys.parts)
+
+(* --- Evaluator ------------------------------------------------------------------ *)
+
+let test_homomorphic_add () =
+  let ctx = toy_ctx () in
+  let params = Rq.params ctx in
+  let g = rng () in
+  let sk, pk = fresh_keys g ctx in
+  for _ = 1 to 10 do
+    let ma = random_plaintext g params and mb = random_plaintext g params in
+    let ca, _ = Encryptor.encrypt g ctx pk ma and cb, _ = Encryptor.encrypt g ctx pk mb in
+    let sum = Decryptor.decrypt ctx sk (Evaluator.add ctx ca cb) in
+    let expected =
+      Keys.plaintext_of_coeffs params
+        (Array.init params.Params.n (fun i -> (ma.Keys.coeffs.(i) + mb.Keys.coeffs.(i)) mod params.Params.plain_modulus))
+    in
+    Alcotest.(check bool) "enc(a)+enc(b) = a+b" true (Keys.plaintext_equal expected sum)
+  done
+
+let test_homomorphic_sub_negate () =
+  let ctx = toy_ctx () in
+  let params = Rq.params ctx in
+  let g = rng () in
+  let sk, pk = fresh_keys g ctx in
+  let ma = random_plaintext g params and mb = random_plaintext g params in
+  let ca, _ = Encryptor.encrypt g ctx pk ma and cb, _ = Encryptor.encrypt g ctx pk mb in
+  let t = params.Params.plain_modulus in
+  let diff = Decryptor.decrypt ctx sk (Evaluator.sub ctx ca cb) in
+  let expected =
+    Keys.plaintext_of_coeffs params
+      (Array.init params.Params.n (fun i -> ((ma.Keys.coeffs.(i) - mb.Keys.coeffs.(i)) mod t + t) mod t))
+  in
+  Alcotest.(check bool) "sub" true (Keys.plaintext_equal expected diff);
+  let negated = Decryptor.decrypt ctx sk (Evaluator.negate ctx ca) in
+  let expected_neg =
+    Keys.plaintext_of_coeffs params (Array.map (fun c -> (t - c) mod t) ma.Keys.coeffs)
+  in
+  Alcotest.(check bool) "negate" true (Keys.plaintext_equal expected_neg negated)
+
+let test_homomorphic_add_plain () =
+  let ctx = toy_ctx () in
+  let params = Rq.params ctx in
+  let g = rng () in
+  let sk, pk = fresh_keys g ctx in
+  let ma = random_plaintext g params and mb = random_plaintext g params in
+  let ca, _ = Encryptor.encrypt g ctx pk ma in
+  let sum = Decryptor.decrypt ctx sk (Evaluator.add_plain ctx ca mb) in
+  let expected =
+    Keys.plaintext_of_coeffs params
+      (Array.init params.Params.n (fun i -> (ma.Keys.coeffs.(i) + mb.Keys.coeffs.(i)) mod params.Params.plain_modulus))
+  in
+  Alcotest.(check bool) "add_plain" true (Keys.plaintext_equal expected sum)
+
+(* parameters with enough noise budget for one multiplication *)
+let mul_ctx () =
+  let q1 = Mathkit.Ntt.find_prime ~n:16 ~bits:26 in
+  let q2 = Mathkit.Ntt.find_prime ~n:16 ~bits:27 in
+  Rq.context (Params.create ~n:16 ~coeff_modulus:[ q1; q2 ] ~plain_modulus:64)
+
+let poly_mul_mod_t params a b =
+  let t = params.Params.plain_modulus in
+  let md = Mathkit.Modular.modulus t in
+  Mathkit.Poly.mul_schoolbook md (Array.map (Mathkit.Modular.reduce md) a) (Array.map (Mathkit.Modular.reduce md) b)
+
+let test_homomorphic_mul_plain () =
+  let ctx = toy_ctx () in
+  let params = Rq.params ctx in
+  let g = rng () in
+  let sk, pk = fresh_keys g ctx in
+  let ma = random_plaintext g params in
+  let mb = random_plaintext g params in
+  let ca, _ = Encryptor.encrypt g ctx pk ma in
+  let prod = Decryptor.decrypt ctx sk (Evaluator.mul_plain ctx ca mb) in
+  let expected = Keys.plaintext_of_coeffs params (poly_mul_mod_t params ma.Keys.coeffs mb.Keys.coeffs) in
+  Alcotest.(check bool) "mul_plain" true (Keys.plaintext_equal expected prod)
+
+let test_homomorphic_multiply () =
+  let ctx = mul_ctx () in
+  let params = Rq.params ctx in
+  let g = rng () in
+  let sk, pk = fresh_keys g ctx in
+  for _ = 1 to 5 do
+    let ma = random_plaintext g params and mb = random_plaintext g params in
+    let ca, _ = Encryptor.encrypt g ctx pk ma and cb, _ = Encryptor.encrypt g ctx pk mb in
+    let c = Evaluator.multiply ctx ca cb in
+    Alcotest.(check int) "3 parts" 3 (Keys.ciphertext_size c);
+    let prod = Decryptor.decrypt ctx sk c in
+    let expected = Keys.plaintext_of_coeffs params (poly_mul_mod_t params ma.Keys.coeffs mb.Keys.coeffs) in
+    Alcotest.(check bool) "enc(a)*enc(b) = a*b" true (Keys.plaintext_equal expected prod)
+  done
+
+let test_multiply_then_add () =
+  let ctx = mul_ctx () in
+  let params = Rq.params ctx in
+  let g = rng () in
+  let sk, pk = fresh_keys g ctx in
+  let ma = random_plaintext g params and mb = random_plaintext g params and mc = random_plaintext g params in
+  let ca, _ = Encryptor.encrypt g ctx pk ma
+  and cb, _ = Encryptor.encrypt g ctx pk mb
+  and cc, _ = Encryptor.encrypt g ctx pk mc in
+  let result = Decryptor.decrypt ctx sk (Evaluator.add ctx (Evaluator.multiply ctx ca cb) cc) in
+  let t = params.Params.plain_modulus in
+  let ab = poly_mul_mod_t params ma.Keys.coeffs mb.Keys.coeffs in
+  let expected =
+    Keys.plaintext_of_coeffs params (Array.init params.Params.n (fun i -> (ab.(i) + mc.Keys.coeffs.(i)) mod t))
+  in
+  Alcotest.(check bool) "a*b + c" true (Keys.plaintext_equal expected result)
+
+(* --- Encoder -------------------------------------------------------------------- *)
+
+let test_integer_encoder_roundtrip () =
+  let params = Params.toy () in
+  List.iter
+    (fun v -> Alcotest.(check int) (string_of_int v) v (Encoder.decode_int params (Encoder.encode_int params v)))
+    [ 0; 1; 2; 7; 100; 255; -1; -100; 1000; -1000 ]
+
+let test_integer_encoder_homomorphic_add () =
+  let ctx = toy_ctx () in
+  let params = Rq.params ctx in
+  let g = rng () in
+  let sk, pk = fresh_keys g ctx in
+  let ca, _ = Encryptor.encrypt g ctx pk (Encoder.encode_int params 37) in
+  let cb, _ = Encryptor.encrypt g ctx pk (Encoder.encode_int params 19) in
+  let sum = Encoder.decode_int params (Decryptor.decrypt ctx sk (Evaluator.add ctx ca cb)) in
+  Alcotest.(check int) "37 + 19" 56 sum
+
+let test_batch_encoder () =
+  (* t = 786433 = 1 mod 2*32: batching available *)
+  let params = Params.create ~n:32 ~coeff_modulus:[ 70254593 ] ~plain_modulus:786433 in
+  let ctx = Rq.context params in
+  match Encoder.batch ctx with
+  | None -> Alcotest.fail "batching should be available"
+  | Some b ->
+      Alcotest.(check int) "slots" 32 (Encoder.batch_slots b);
+      let g = rng () in
+      let values = Array.init 32 (fun _ -> Mathkit.Prng.int g 786433) in
+      let decoded = Encoder.batch_decode b (Encoder.batch_encode b values) in
+      Alcotest.(check (array int)) "roundtrip" values decoded
+
+let test_batch_encoder_slotwise_add () =
+  (* t ~ 2^19.6 needs a much larger q for a usable Delta *)
+  let q1 = Mathkit.Ntt.find_prime ~n:32 ~bits:26 in
+  let q2 = Mathkit.Ntt.find_prime ~n:32 ~bits:27 in
+  let params = Params.create ~n:32 ~coeff_modulus:[ q1; q2 ] ~plain_modulus:786433 in
+  let ctx = Rq.context params in
+  match Encoder.batch ctx with
+  | None -> Alcotest.fail "batching should be available"
+  | Some b ->
+      let g = rng () in
+      let sk, pk = fresh_keys g ctx in
+      let va = Array.init 32 (fun _ -> Mathkit.Prng.int g 1000) in
+      let vb = Array.init 32 (fun _ -> Mathkit.Prng.int g 1000) in
+      let ca, _ = Encryptor.encrypt g ctx pk (Encoder.batch_encode b va) in
+      let cb, _ = Encryptor.encrypt g ctx pk (Encoder.batch_encode b vb) in
+      let sum = Encoder.batch_decode b (Decryptor.decrypt ctx sk (Evaluator.add ctx ca cb)) in
+      Array.iteri (fun i s -> Alcotest.(check int) "slot" (va.(i) + vb.(i)) s) sum
+
+let test_batch_unavailable () =
+  let ctx = toy_ctx () in
+  (* t = 64 is not prime, no batching *)
+  Alcotest.(check bool) "no batching" true (Encoder.batch ctx = None)
+
+(* --- Recover (the attack algebra) --------------------------------------------------- *)
+
+let test_recover_u () =
+  let ctx = toy_ctx () in
+  let g = rng () in
+  let _, pk = fresh_keys g ctx in
+  let m = random_plaintext g (Rq.params ctx) in
+  let c, r = Encryptor.encrypt g ctx pk m in
+  match Recover.recover_u ctx pk c ~e2:r.Encryptor.e2 with
+  | None -> Alcotest.fail "p1 not invertible"
+  | Some u -> Alcotest.(check bool) "u recovered" true (Rq.equal u r.Encryptor.u)
+
+let test_recover_message_eq3 () =
+  let ctx = toy_ctx () in
+  let g = rng () in
+  let _, pk = fresh_keys g ctx in
+  for _ = 1 to 10 do
+    let m = random_plaintext g (Rq.params ctx) in
+    let c, r = Encryptor.encrypt g ctx pk m in
+    match Recover.recover_message ctx pk c ~e1:r.Encryptor.e1 ~e2:r.Encryptor.e2 with
+    | None -> Alcotest.fail "recovery failed"
+    | Some m' -> Alcotest.(check bool) "m recovered without sk" true (Keys.plaintext_equal m m')
+  done
+
+let test_recover_message_seal_1024 () =
+  let ctx = Rq.context Params.seal_128_1024 in
+  let g = rng () in
+  let _, pk = fresh_keys g ctx in
+  let m = random_plaintext g (Rq.params ctx) in
+  let c, r = Encryptor.encrypt g ctx pk m in
+  match
+    Recover.recover_with_noises ctx pk c ~e1_noises:r.Encryptor.e1_log.Sampler.noises
+      ~e2_noises:r.Encryptor.e2_log.Sampler.noises
+  with
+  | None -> Alcotest.fail "recovery failed"
+  | Some m' -> Alcotest.(check bool) "full-size recovery from noises" true (Keys.plaintext_equal m m')
+
+let test_recover_fails_with_wrong_noise () =
+  let ctx = toy_ctx () in
+  let g = rng () in
+  let _, pk = fresh_keys g ctx in
+  let m = random_plaintext g (Rq.params ctx) in
+  let c, r = Encryptor.encrypt g ctx pk m in
+  let wrong = Array.copy r.Encryptor.e2_log.Sampler.noises in
+  wrong.(0) <- wrong.(0) + 1;
+  (match Recover.recover_with_noises ctx pk c ~e1_noises:r.Encryptor.e1_log.Sampler.noises ~e2_noises:wrong with
+  | None -> ()
+  | Some m' ->
+      (* a wrong e2 cannot reproduce m: the division residual check
+         almost always rejects; if it slips through, the message must
+         differ *)
+      Alcotest.(check bool) "wrong noise, wrong message" false (Keys.plaintext_equal m m'))
+
+let suite =
+  List.map
+    (fun (name, f) -> Alcotest.test_case name `Quick f)
+    [
+      ("params seal-128", test_params_seal);
+      ("params delta", test_params_delta);
+      ("params validation", test_params_rejects_bad);
+      ("params multi-prime", test_params_multi_prime);
+      ("rq centered roundtrip", test_rq_centered_roundtrip);
+      ("rq add/neg", test_rq_add_neg);
+      ("rq mul vs schoolbook", test_rq_mul_matches_schoolbook);
+      ("rq invert", test_rq_invert);
+      ("rq multi-plane CRT", test_rq_multi_plane_consistency);
+      ("sampler v3.2 assignment ladder", test_sampler_v32_assignment);
+      ("sampler v3.2 = v3.6 output", test_sampler_v32_v36_agree);
+      ("sampler log matches poly", test_sampler_log_matches_poly);
+      ("sampler cdt bounds", test_sampler_cdt_bounds);
+      ("encrypt/decrypt roundtrip", test_encrypt_decrypt_roundtrip);
+      ("encrypt/decrypt n=1024 (paper params)", test_encrypt_decrypt_seal_1024);
+      ("encrypt/decrypt multi-prime", test_encrypt_decrypt_multi_prime);
+      ("encrypt variants", test_encrypt_variants_decrypt);
+      ("symmetric encrypt", test_symmetric_encrypt);
+      ("noise budget positive", test_noise_budget_positive_fresh);
+      ("deterministic encrypt_with", test_deterministic_encrypt_with);
+      ("homomorphic add", test_homomorphic_add);
+      ("homomorphic sub/negate", test_homomorphic_sub_negate);
+      ("homomorphic add_plain", test_homomorphic_add_plain);
+      ("homomorphic mul_plain", test_homomorphic_mul_plain);
+      ("homomorphic multiply", test_homomorphic_multiply);
+      ("multiply then add", test_multiply_then_add);
+      ("integer encoder roundtrip", test_integer_encoder_roundtrip);
+      ("integer encoder homomorphic", test_integer_encoder_homomorphic_add);
+      ("batch encoder roundtrip", test_batch_encoder);
+      ("batch encoder slotwise add", test_batch_encoder_slotwise_add);
+      ("batch unavailable for composite t", test_batch_unavailable);
+      ("recover u (eq. 2)", test_recover_u);
+      ("recover message (eq. 3)", test_recover_message_eq3);
+      ("recover message n=1024", test_recover_message_seal_1024);
+      ("recover fails with wrong noise", test_recover_fails_with_wrong_noise);
+    ]
+
+(* --- Keyswitch / relinearisation / Galois / modulus switching ------------- *)
+
+let test_keyswitch_decompose_roundtrip () =
+  let ctx = mul_ctx () in
+  let g = rng () in
+  let x = Rq.uniform g ctx in
+  let digit_bits = 7 in
+  let digits = Keyswitch.decompose ctx x ~digit_bits in
+  (* recompose: sum_i T^i d_i must equal x in every plane *)
+  let moduli = Rq.moduli ctx in
+  let acc = ref (Rq.zero ctx) in
+  Array.iteri
+    (fun i d ->
+      let t_pow = Array.map (fun md -> Mathkit.Modular.pow md (Mathkit.Modular.reduce md (1 lsl digit_bits)) i) moduli in
+      acc := Rq.add ctx !acc (Rq.mul_scalar_planes ctx t_pow d))
+    digits;
+  Alcotest.(check bool) "recomposes" true (Rq.equal x !acc)
+
+let test_relinearize_preserves_plaintext () =
+  let ctx = mul_ctx () in
+  let params = Rq.params ctx in
+  let g = rng () in
+  let sk, pk = fresh_keys g ctx in
+  let rk = Keygen.relin_key ~digit_bits:8 g ctx sk in
+  for _ = 1 to 3 do
+    let ma = random_plaintext g params and mb = random_plaintext g params in
+    let ca, _ = Encryptor.encrypt g ctx pk ma and cb, _ = Encryptor.encrypt g ctx pk mb in
+    let prod = Evaluator.multiply ctx ca cb in
+    let relin = Evaluator.relinearize ctx rk prod in
+    Alcotest.(check int) "back to 2 parts" 2 (Keys.ciphertext_size relin);
+    let expected = Keys.plaintext_of_coeffs params (poly_mul_mod_t params ma.Keys.coeffs mb.Keys.coeffs) in
+    Alcotest.(check bool) "decrypts to the product" true
+      (Keys.plaintext_equal expected (Decryptor.decrypt ctx sk relin))
+  done
+
+let test_relinearized_ciphertext_composable () =
+  (* after relinearisation the ciphertext is a normal 2-part one:
+     adding another ciphertext must keep decrypting correctly *)
+  let ctx = mul_ctx () in
+  let params = Rq.params ctx in
+  let g = rng () in
+  let sk, pk = fresh_keys g ctx in
+  let rk = Keygen.relin_key ~digit_bits:8 g ctx sk in
+  let ma = random_plaintext g params and mb = random_plaintext g params and mc = random_plaintext g params in
+  let ca, _ = Encryptor.encrypt g ctx pk ma
+  and cb, _ = Encryptor.encrypt g ctx pk mb
+  and cc, _ = Encryptor.encrypt g ctx pk mc in
+  let result = Evaluator.add ctx (Evaluator.relinearize ctx rk (Evaluator.multiply ctx ca cb)) cc in
+  let t = params.Params.plain_modulus in
+  let ab = poly_mul_mod_t params ma.Keys.coeffs mb.Keys.coeffs in
+  let expected =
+    Keys.plaintext_of_coeffs params (Array.init params.Params.n (fun i -> (ab.(i) + mc.Keys.coeffs.(i)) mod t))
+  in
+  Alcotest.(check bool) "a*b + c after relin" true (Keys.plaintext_equal expected (Decryptor.decrypt ctx sk result))
+
+let plaintext_automorphism params element m =
+  let n = params.Params.n in
+  let t = params.Params.plain_modulus in
+  let out = Array.make n 0 in
+  Array.iteri
+    (fun i c ->
+      let e = i * element mod (2 * n) in
+      if e < n then out.(e) <- (out.(e) + c) mod t else out.(e - n) <- ((out.(e - n) - c) mod t + t) mod t)
+    m.Keys.coeffs;
+  Keys.plaintext_of_coeffs params out
+
+let test_apply_galois () =
+  let ctx = mul_ctx () in
+  let params = Rq.params ctx in
+  let g = rng () in
+  let sk, pk = fresh_keys g ctx in
+  List.iter
+    (fun element ->
+      let gk = Keygen.galois_key ~digit_bits:8 g ctx sk ~element in
+      let m = random_plaintext g params in
+      let c, _ = Encryptor.encrypt g ctx pk m in
+      let rotated = Evaluator.apply_galois ctx gk ~element c in
+      let expected = plaintext_automorphism params element m in
+      Alcotest.(check bool)
+        (Printf.sprintf "Dec(galois_%d(c)) = m(X^%d)" element element)
+        true
+        (Keys.plaintext_equal expected (Decryptor.decrypt ctx sk rotated)))
+    [ 3; 5; 31 ]
+
+let test_rq_automorphism_composes () =
+  let ctx = toy_ctx () in
+  let g = rng () in
+  let x = Rq.uniform g ctx in
+  (* g = 3 then g = 11 equals g = 33 mod 2n (n = 16, 2n = 32 -> 33 mod 32 = 1: identity) *)
+  let once = Rq.automorphism ctx 3 x in
+  let twice = Rq.automorphism ctx 11 once in
+  Alcotest.(check bool) "sigma_11 . sigma_3 = sigma_1 = id" true (Rq.equal x twice)
+
+let test_rq_automorphism_rejects_even () =
+  let ctx = toy_ctx () in
+  let g = rng () in
+  let x = Rq.uniform g ctx in
+  Alcotest.check_raises "even" (Invalid_argument "Rq.automorphism: need odd g in (0, 2n)") (fun () ->
+      ignore (Rq.automorphism ctx 2 x))
+
+let test_mod_switch_preserves_plaintext () =
+  let q1 = Mathkit.Ntt.find_prime ~n:16 ~bits:26 in
+  let q2 = Mathkit.Ntt.find_prime ~n:16 ~bits:27 in
+  let params2 = Params.create ~n:16 ~coeff_modulus:[ q1; q2 ] ~plain_modulus:64 in
+  let params1 = Params.create ~n:16 ~coeff_modulus:[ q1 ] ~plain_modulus:64 in
+  let from_ctx = Rq.context params2 and to_ctx = Rq.context params1 in
+  let g = rng () in
+  let sk = Keygen.secret_key g from_ctx in
+  let pk = Keygen.public_key g from_ctx sk in
+  (* the secret key lives in both rings: drop its last plane *)
+  let sk1 = { Keys.s = Rq.of_planes to_ctx [| sk.Keys.s.Rq.planes.(0) |] } in
+  for _ = 1 to 5 do
+    let m = random_plaintext g params2 in
+    let c, _ = Encryptor.encrypt g from_ctx pk m in
+    let c' = Evaluator.mod_switch ~from_ctx ~to_ctx c in
+    Alcotest.(check bool) "plaintext preserved across the switch" true
+      (Keys.plaintext_equal m (Decryptor.decrypt to_ctx sk1 c'))
+  done
+
+let test_mod_switch_rejects_mismatch () =
+  let q1 = Mathkit.Ntt.find_prime ~n:16 ~bits:26 in
+  let q2 = Mathkit.Ntt.find_prime ~n:16 ~bits:27 in
+  let q3 = Mathkit.Ntt.find_prime ~n:16 ~bits:28 in
+  let from_ctx = Rq.context (Params.create ~n:16 ~coeff_modulus:[ q1; q2 ] ~plain_modulus:64) in
+  let wrong = Rq.context (Params.create ~n:16 ~coeff_modulus:[ q3 ] ~plain_modulus:64) in
+  let g = rng () in
+  let sk = Keygen.secret_key g from_ctx in
+  let pk = Keygen.public_key g from_ctx sk in
+  let c, _ = Encryptor.encrypt g from_ctx pk (random_plaintext g (Rq.params from_ctx)) in
+  Alcotest.check_raises "wrong chain" (Invalid_argument "Evaluator.mod_switch: prime chains do not match")
+    (fun () -> ignore (Evaluator.mod_switch ~from_ctx ~to_ctx:wrong c))
+
+let extension_cases =
+  [
+    ("keyswitch decompose roundtrip", test_keyswitch_decompose_roundtrip);
+    ("relinearize preserves plaintext", test_relinearize_preserves_plaintext);
+    ("relinearized ciphertext composable", test_relinearized_ciphertext_composable);
+    ("apply_galois rotates plaintext", test_apply_galois);
+    ("rq automorphism composes", test_rq_automorphism_composes);
+    ("rq automorphism rejects even", test_rq_automorphism_rejects_even);
+    ("mod switch preserves plaintext", test_mod_switch_preserves_plaintext);
+    ("mod switch rejects mismatch", test_mod_switch_rejects_mismatch);
+  ]
+
+let suite = suite @ List.map (fun (name, f) -> Alcotest.test_case name `Quick f) extension_cases
+
+(* --- Serialisation ----------------------------------------------------------- *)
+
+let test_serial_params_roundtrip () =
+  List.iter
+    (fun p ->
+      let p' = Serial.params_of_bytes (Serial.params_to_bytes p) in
+      Alcotest.(check int) "n" p.Params.n p'.Params.n;
+      Alcotest.(check bool) "primes" true (p.Params.coeff_modulus = p'.Params.coeff_modulus);
+      Alcotest.(check int) "t" p.Params.plain_modulus p'.Params.plain_modulus)
+    [ Params.toy (); Params.seal_128_1024; Params.seal_128_2048 ]
+
+let test_serial_rq_roundtrip () =
+  let ctx = mul_ctx () in
+  let g = rng () in
+  for _ = 1 to 10 do
+    let x = Rq.uniform g ctx in
+    Alcotest.(check bool) "roundtrip" true (Rq.equal x (Serial.rq_of_bytes ctx (Serial.rq_to_bytes ctx x)))
+  done
+
+let test_serial_plaintext_roundtrip () =
+  let params = Params.toy () in
+  let g = rng () in
+  let m = random_plaintext g params in
+  Alcotest.(check bool) "roundtrip" true
+    (Keys.plaintext_equal m (Serial.plaintext_of_bytes params (Serial.plaintext_to_bytes params m)))
+
+let test_serial_ciphertext_roundtrip_and_decrypt () =
+  let ctx = toy_ctx () in
+  let g = rng () in
+  let sk, pk = fresh_keys g ctx in
+  let m = random_plaintext g (Rq.params ctx) in
+  let c, _ = Encryptor.encrypt g ctx pk m in
+  let c' = Serial.ciphertext_of_bytes ctx (Serial.ciphertext_to_bytes ctx c) in
+  Alcotest.(check int) "size" (Keys.ciphertext_size c) (Keys.ciphertext_size c');
+  Alcotest.(check bool) "decrypts after the roundtrip" true (Keys.plaintext_equal m (Decryptor.decrypt ctx sk c'))
+
+let test_serial_keys_roundtrip () =
+  let ctx = toy_ctx () in
+  let g = rng () in
+  let sk, pk = fresh_keys g ctx in
+  let sk' = Serial.secret_key_of_bytes ctx (Serial.secret_key_to_bytes ctx sk) in
+  let pk' = Serial.public_key_of_bytes ctx (Serial.public_key_to_bytes ctx pk) in
+  Alcotest.(check bool) "sk" true (Rq.equal sk.Keys.s sk'.Keys.s);
+  Alcotest.(check bool) "pk" true (Rq.equal pk.Keys.p0 pk'.Keys.p0 && Rq.equal pk.Keys.p1 pk'.Keys.p1);
+  (* the roundtripped keys still work together *)
+  let m = random_plaintext g (Rq.params ctx) in
+  let c, _ = Encryptor.encrypt g ctx pk' m in
+  Alcotest.(check bool) "functional" true (Keys.plaintext_equal m (Decryptor.decrypt ctx sk' c))
+
+let test_serial_rejects_cross_context () =
+  let ctx = toy_ctx () in
+  let other = Rq.context (Params.create ~n:16 ~coeff_modulus:[ Mathkit.Ntt.find_prime ~n:16 ~bits:21 ] ~plain_modulus:64) in
+  let g = rng () in
+  let x = Rq.uniform g ctx in
+  Alcotest.check_raises "fingerprint mismatch"
+    (Invalid_argument "Serial: object was saved under different parameters") (fun () ->
+      ignore (Serial.rq_of_bytes other (Serial.rq_to_bytes ctx x)))
+
+let test_serial_rejects_garbage () =
+  let ctx = toy_ctx () in
+  Alcotest.check_raises "bad magic" (Invalid_argument "Serial: bad magic") (fun () ->
+      ignore (Serial.rq_of_bytes ctx (Bytes.of_string "not a reveal object")));
+  (* truncation *)
+  let g = rng () in
+  let good = Serial.rq_to_bytes ctx (Rq.uniform g ctx) in
+  Alcotest.check_raises "truncated" (Invalid_argument "Serial: truncated input") (fun () ->
+      ignore (Serial.rq_of_bytes ctx (Bytes.sub good 0 (Bytes.length good - 3))))
+
+let test_serial_rejects_wrong_tag () =
+  let ctx = toy_ctx () in
+  let g = rng () in
+  let rq_bytes = Serial.rq_to_bytes ctx (Rq.uniform g ctx) in
+  (try
+     ignore (Serial.ciphertext_of_bytes ctx rq_bytes);
+     Alcotest.fail "expected rejection"
+   with Invalid_argument msg ->
+     Alcotest.(check bool) "mentions tag" true
+       (String.length msg > 0 && String.sub msg 0 17 = "Serial: wrong obj"))
+
+let test_serial_file_roundtrip () =
+  let ctx = toy_ctx () in
+  let g = rng () in
+  let x = Rq.uniform g ctx in
+  let path = Filename.temp_file "reveal" ".bin" in
+  Serial.save path (Serial.rq_to_bytes ctx x);
+  let x' = Serial.rq_of_bytes ctx (Serial.load path) in
+  Sys.remove path;
+  Alcotest.(check bool) "file roundtrip" true (Rq.equal x x')
+
+let serial_cases =
+  [
+    ("serial params roundtrip", test_serial_params_roundtrip);
+    ("serial rq roundtrip", test_serial_rq_roundtrip);
+    ("serial plaintext roundtrip", test_serial_plaintext_roundtrip);
+    ("serial ciphertext roundtrip + decrypt", test_serial_ciphertext_roundtrip_and_decrypt);
+    ("serial keys roundtrip", test_serial_keys_roundtrip);
+    ("serial rejects cross-context", test_serial_rejects_cross_context);
+    ("serial rejects garbage", test_serial_rejects_garbage);
+    ("serial rejects wrong tag", test_serial_rejects_wrong_tag);
+    ("serial file roundtrip", test_serial_file_roundtrip);
+  ]
+
+let suite = suite @ List.map (fun (name, f) -> Alcotest.test_case name `Quick f) serial_cases
+
+(* --- batched rotation via Galois keys ---------------------------------------- *)
+
+let batch_ctx () =
+  let q1 = Mathkit.Ntt.find_prime ~n:32 ~bits:26 in
+  let q2 = Mathkit.Ntt.find_prime ~n:32 ~bits:27 in
+  let params = Params.create ~n:32 ~coeff_modulus:[ q1; q2 ] ~plain_modulus:786433 in
+  let ctx = Rq.context params in
+  match Encoder.batch ctx with Some b -> (ctx, b) | None -> Alcotest.fail "batching unavailable"
+
+let test_slot_permutation_is_permutation () =
+  let _, b = batch_ctx () in
+  List.iter
+    (fun element ->
+      let perm = Encoder.slot_permutation b ~element in
+      let sorted = Array.copy perm in
+      Array.sort compare sorted;
+      Alcotest.(check (array int)) (Printf.sprintf "element %d" element) (Array.init 32 (fun i -> i)) sorted)
+    [ 3; 5; 9; 63 ]
+
+let test_encrypted_rotation_matches_permutation () =
+  let ctx, b = batch_ctx () in
+  let g = rng () in
+  let sk = Keygen.secret_key g ctx in
+  let pk = Keygen.public_key g ctx sk in
+  let element = 3 in
+  let gk = Keygen.galois_key ~digit_bits:8 g ctx sk ~element in
+  let perm = Encoder.slot_permutation b ~element in
+  let values = Array.init 32 (fun _ -> Mathkit.Prng.int g 1000) in
+  let c, _ = Encryptor.encrypt g ctx pk (Encoder.batch_encode b values) in
+  let rotated = Evaluator.apply_galois ctx gk ~element c in
+  let decoded = Encoder.batch_decode b (Decryptor.decrypt ctx sk rotated) in
+  Array.iteri
+    (fun src v -> Alcotest.(check int) (Printf.sprintf "slot %d -> %d" src perm.(src)) v decoded.(perm.(src)))
+    values
+
+let test_rotation_composition () =
+  (* applying element g twice equals applying g^2 mod 2n *)
+  let _, b = batch_ctx () in
+  let p3 = Encoder.slot_permutation b ~element:3 in
+  let p9 = Encoder.slot_permutation b ~element:9 in
+  let composed = Array.init 32 (fun i -> p3.(p3.(i))) in
+  Alcotest.(check (array int)) "p3 . p3 = p9" p9 composed
+
+let rotation_cases =
+  [
+    ("slot permutation is a permutation", test_slot_permutation_is_permutation);
+    ("encrypted rotation matches permutation", test_encrypted_rotation_matches_permutation);
+    ("rotation composition", test_rotation_composition);
+  ]
+
+let suite = suite @ List.map (fun (name, f) -> Alcotest.test_case name `Quick f) rotation_cases
+
+(* --- noise budget through operation chains ------------------------------------ *)
+
+let test_noise_budget_decreases_along_chain () =
+  let ctx = mul_ctx () in
+  let params = Rq.params ctx in
+  let g = rng () in
+  let sk, pk = fresh_keys g ctx in
+  let rk = Keygen.relin_key ~digit_bits:8 g ctx sk in
+  let m = random_plaintext g params in
+  let c, _ = Encryptor.encrypt g ctx pk m in
+  let fresh = Decryptor.noise_budget_bits ctx sk c in
+  let after_add = Decryptor.noise_budget_bits ctx sk (Evaluator.add ctx c c) in
+  let product = Evaluator.relinearize ctx rk (Evaluator.multiply ctx c c) in
+  let after_mul = Decryptor.noise_budget_bits ctx sk product in
+  Alcotest.(check bool) "fresh positive" true (fresh > 0.0);
+  Alcotest.(check bool) "add costs little" true (after_add <= fresh && after_add > fresh -. 3.0);
+  Alcotest.(check bool) "multiply costs a lot" true (after_mul < after_add -. 3.0);
+  Alcotest.(check bool) "still decryptable" true (after_mul > 0.0)
+
+(* --- property tests ---------------------------------------------------------------- *)
+
+let bfv_qcheck =
+  let open QCheck in
+  let toy = Params.toy () in
+  [
+    Test.make ~name:"bfv: decrypt . encrypt = id" ~count:25 (int_bound 100000) (fun seed ->
+        let g = Mathkit.Prng.create ~seed:(Int64.of_int seed) () in
+        let ctx = Rq.context toy in
+        let sk = Keygen.secret_key g ctx in
+        let pk = Keygen.public_key g ctx sk in
+        let m = random_plaintext g toy in
+        let c, _ = Encryptor.encrypt g ctx pk m in
+        Keys.plaintext_equal m (Decryptor.decrypt ctx sk c));
+    Test.make ~name:"bfv: addition is homomorphic" ~count:20 (int_bound 100000) (fun seed ->
+        let g = Mathkit.Prng.create ~seed:(Int64.of_int seed) () in
+        let ctx = Rq.context toy in
+        let sk = Keygen.secret_key g ctx in
+        let pk = Keygen.public_key g ctx sk in
+        let ma = random_plaintext g toy and mb = random_plaintext g toy in
+        let ca, _ = Encryptor.encrypt g ctx pk ma and cb, _ = Encryptor.encrypt g ctx pk mb in
+        let sum = Decryptor.decrypt ctx sk (Evaluator.add ctx ca cb) in
+        let t = toy.Params.plain_modulus in
+        Array.for_all2 (fun s (x, y) -> s = (x + y) mod t) sum.Keys.coeffs
+          (Array.map2 (fun x y -> (x, y)) ma.Keys.coeffs mb.Keys.coeffs));
+    Test.make ~name:"bfv: eq.(3) recovery for random messages" ~count:20 (int_bound 100000) (fun seed ->
+        let g = Mathkit.Prng.create ~seed:(Int64.of_int seed) () in
+        let ctx = Rq.context toy in
+        let sk = Keygen.secret_key g ctx in
+        ignore sk;
+        let pk = Keygen.public_key g ctx (Keygen.secret_key g ctx) in
+        let m = random_plaintext g toy in
+        let c, r = Encryptor.encrypt g ctx pk m in
+        match Recover.recover_message ctx pk c ~e1:r.Encryptor.e1 ~e2:r.Encryptor.e2 with
+        | Some m' -> Keys.plaintext_equal m m'
+        | None -> false);
+    Test.make ~name:"serial: random corruption never roundtrips silently" ~count:50
+      (pair (int_bound 100000) (int_bound 255))
+      (fun (seed, corrupt_byte) ->
+        let g = Mathkit.Prng.create ~seed:(Int64.of_int seed) () in
+        let ctx = Rq.context toy in
+        let x = Rq.uniform g ctx in
+        let data = Serial.rq_to_bytes ctx x in
+        let pos = Mathkit.Prng.int g (Bytes.length data) in
+        let original = Char.code (Bytes.get data pos) in
+        if original = corrupt_byte then true (* not a corruption *)
+        else begin
+          Bytes.set data pos (Char.chr corrupt_byte);
+          match Serial.rq_of_bytes ctx data with
+          | exception Invalid_argument _ -> true (* rejected: good *)
+          | y -> not (Rq.equal x y) (* or decoded to something else; never silently equal *)
+        end);
+  ]
+
+let suite = suite
+  @ [ Alcotest.test_case "noise budget along chains" `Quick test_noise_budget_decreases_along_chain ]
+  @ List.map QCheck_alcotest.to_alcotest bfv_qcheck
+
+let test_serial_keyswitch_roundtrip () =
+  let ctx = mul_ctx () in
+  let g = rng () in
+  let sk, _ = fresh_keys g ctx in
+  let rk = Keygen.relin_key ~digit_bits:8 g ctx sk in
+  let rk' = Serial.keyswitch_of_bytes ctx (Serial.keyswitch_to_bytes ctx rk) in
+  Alcotest.(check int) "digit bits" rk.Keyswitch.digit_bits rk'.Keyswitch.digit_bits;
+  Alcotest.(check int) "component count" (Array.length rk.Keyswitch.k0) (Array.length rk'.Keyswitch.k0);
+  Alcotest.(check bool) "identical keys" true
+    (Array.for_all2 Rq.equal rk.Keyswitch.k0 rk'.Keyswitch.k0
+    && Array.for_all2 Rq.equal rk.Keyswitch.k1 rk'.Keyswitch.k1);
+  (* the reloaded key still relinearises correctly *)
+  let pk = Keygen.public_key g ctx sk in
+  let params = Rq.params ctx in
+  let ma = random_plaintext g params and mb = random_plaintext g params in
+  let ca, _ = Encryptor.encrypt g ctx pk ma and cb, _ = Encryptor.encrypt g ctx pk mb in
+  let prod = Evaluator.relinearize ctx rk' (Evaluator.multiply ctx ca cb) in
+  let expected = Keys.plaintext_of_coeffs params (poly_mul_mod_t params ma.Keys.coeffs mb.Keys.coeffs) in
+  Alcotest.(check bool) "functional after reload" true
+    (Keys.plaintext_equal expected (Decryptor.decrypt ctx sk prod))
+
+let suite = suite @ [ Alcotest.test_case "serial keyswitch roundtrip" `Quick test_serial_keyswitch_roundtrip ]

@@ -1,0 +1,199 @@
+(* Leakage model and trace synthesis. *)
+
+let rng () = Mathkit.Prng.create ~seed:7777L ()
+
+let test_hamming_weight () =
+  Alcotest.(check int) "0" 0 (Power.Leakage.hamming_weight 0);
+  Alcotest.(check int) "1" 1 (Power.Leakage.hamming_weight 1);
+  Alcotest.(check int) "0xFF" 8 (Power.Leakage.hamming_weight 0xFF);
+  Alcotest.(check int) "all 32" 32 (Power.Leakage.hamming_weight 0xFFFFFFFF);
+  Alcotest.(check int) "truncated to 32 bits" 32 (Power.Leakage.hamming_weight (-1))
+
+let test_hamming_distance () =
+  Alcotest.(check int) "same" 0 (Power.Leakage.hamming_distance 0xAB 0xAB);
+  Alcotest.(check int) "one flip" 1 (Power.Leakage.hamming_distance 0 1);
+  Alcotest.(check int) "complement" 32 (Power.Leakage.hamming_distance 0 0xFFFFFFFF)
+
+let make_event ?(klass = Riscv.Inst.K_arith) ?(rs1 = 0) ?(rs2 = 0) ?(rd_old = 0) ?(rd_new = 0) ?mem () =
+  {
+    Riscv.Trace.index = 0;
+    cycle = 0;
+    cycles = 3;
+    pc = 0;
+    inst = Riscv.Inst.Add (1, 2, 3);
+    klass;
+    rs1_value = rs1;
+    rs2_value = rs2;
+    rd_old;
+    rd_new;
+    mem_addr = None;
+    mem_value = mem;
+  }
+
+let test_leakage_monotone_in_hw () =
+  let m = Power.Leakage.default in
+  let p0 = Power.Leakage.of_event m (make_event ~rs1:0 ()) in
+  let p1 = Power.Leakage.of_event m (make_event ~rs1:0xFF ()) in
+  Alcotest.(check bool) "more bits, more power" true (p1 > p0)
+
+let test_leakage_hd_term () =
+  let m = Power.Leakage.default in
+  let quiet_write = Power.Leakage.of_event m (make_event ~rd_old:0xFF ~rd_new:0xFF ()) in
+  let toggling_write = Power.Leakage.of_event m (make_event ~rd_old:0xFF ~rd_new:0xFF00 ()) in
+  Alcotest.(check bool) "toggles cost" true (toggling_write > quiet_write)
+
+let test_leakage_class_ordering () =
+  let m = Power.Leakage.default in
+  let p k = Power.Leakage.of_event m (make_event ~klass:k ()) in
+  Alcotest.(check bool) "div > mul" true (p Riscv.Inst.K_div > p Riscv.Inst.K_mul);
+  Alcotest.(check bool) "mul > arith" true (p Riscv.Inst.K_mul > p Riscv.Inst.K_arith);
+  Alcotest.(check bool) "taken > not taken" true (p Riscv.Inst.K_branch_taken > p Riscv.Inst.K_branch_not_taken)
+
+let test_leakage_ablations () =
+  let e = make_event ~rd_old:0 ~rd_new:0xFFFF ~rs1:0xF () in
+  let hw = Power.Leakage.of_event Power.Leakage.hw_only e in
+  let hd = Power.Leakage.of_event Power.Leakage.hd_only e in
+  let full = Power.Leakage.of_event Power.Leakage.default e in
+  Alcotest.(check bool) "full >= hw variant" true (full >= hw);
+  Alcotest.(check bool) "full >= hd variant" true (full >= hd)
+
+let events_of_program items =
+  let prog = Riscv.Asm.assemble items in
+  let mem = Riscv.Memory.create 4096 in
+  Riscv.Memory.load_program mem 0 prog.Riscv.Asm.words;
+  let r = Riscv.Trace.recorder () in
+  let cpu = Riscv.Cpu.create ~tracer:(Riscv.Trace.record r) mem in
+  ignore (Riscv.Cpu.run cpu);
+  Riscv.Trace.events r
+
+let test_synth_sample_count () =
+  let events = events_of_program [ Riscv.Asm.nop; Riscv.Asm.nop; Riscv.Asm.halt ] in
+  let total_cycles = Array.fold_left (fun acc e -> acc + e.Riscv.Trace.cycles) 0 events in
+  let t = Power.Synth.synthesize Power.Synth.quiet events in
+  Alcotest.(check int) "samples = cycles * spc" (total_cycles * 2) (Power.Ptrace.length t);
+  Alcotest.(check int) "event starts recorded" (Array.length events) (Array.length t.Power.Ptrace.event_start)
+
+let test_synth_deterministic () =
+  let events = events_of_program [ Riscv.Asm.li (Riscv.Inst.a 0) 42; Riscv.Asm.halt ] in
+  let t1 = Power.Synth.synthesize Power.Synth.quiet events in
+  let t2 = Power.Synth.synthesize Power.Synth.quiet events in
+  Alcotest.(check bool) "identical noise-free traces" true (t1.Power.Ptrace.samples = t2.Power.Ptrace.samples)
+
+let test_synth_noise_needs_rng () =
+  let events = events_of_program [ Riscv.Asm.halt ] in
+  Alcotest.check_raises "no rng" (Invalid_argument "Synth.synthesize: noisy synthesis needs an explicit rng") (fun () ->
+      ignore (Power.Synth.synthesize Power.Synth.default events))
+
+let test_synth_noise_statistics () =
+  let events = events_of_program (List.init 300 (fun _ -> Riscv.Asm.nop) @ [ Riscv.Asm.halt ]) in
+  let g = rng () in
+  let quiet = Power.Synth.synthesize Power.Synth.quiet events in
+  let noisy = Power.Synth.synthesize ~rng:g Power.Synth.default events in
+  let diffs = Array.mapi (fun i s -> s -. quiet.Power.Ptrace.samples.(i)) noisy.Power.Ptrace.samples in
+  let sd = Mathkit.Stats.stddev_a diffs in
+  Alcotest.(check bool) "noise sigma honoured" true (Float.abs (sd -. Power.Synth.default.Power.Synth.noise_sigma) < 0.03);
+  Alcotest.(check bool) "noise mean ~ 0" true (Float.abs (Mathkit.Stats.mean_a diffs) < 0.03)
+
+let test_synth_value_dependence () =
+  (* Same instruction sequence with a different immediate leaks a
+     different trace: that is the whole point. *)
+  let trace v = Power.Synth.synthesize Power.Synth.quiet (events_of_program [ Riscv.Asm.li (Riscv.Inst.a 0) v; Riscv.Asm.halt ]) in
+  let t0 = trace 0 and t1 = trace 0xFF in
+  Alcotest.(check bool) "value visible in power" true (t0.Power.Ptrace.samples <> t1.Power.Ptrace.samples)
+
+let test_ptrace_csv () =
+  let events = events_of_program [ Riscv.Asm.halt ] in
+  let t = Power.Synth.synthesize Power.Synth.quiet events in
+  let csv = Power.Ptrace.to_csv t in
+  Alcotest.(check bool) "header" true (String.length csv > 12 && String.sub csv 0 11 = "index,power");
+  let lines = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "one line per sample + header" (Power.Ptrace.length t + 1) (List.length lines)
+
+let test_ptrace_sub_bounds () =
+  let events = events_of_program [ Riscv.Asm.halt ] in
+  let t = Power.Synth.synthesize Power.Synth.quiet events in
+  Alcotest.check_raises "oob" (Invalid_argument "Ptrace.sub: window out of bounds") (fun () ->
+      ignore (Power.Ptrace.sub t 0 (Power.Ptrace.length t + 1)))
+
+let test_ascii_plot_shape () =
+  let samples = Array.init 500 (fun i -> sin (float_of_int i /. 20.0)) in
+  let plot = Power.Ptrace.ascii_plot ~width:60 ~height:10 samples in
+  let lines = String.split_on_char '\n' plot |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "height + axis + caption" 12 (List.length lines);
+  Alcotest.(check bool) "has marks" true (String.contains plot '*')
+
+let suite =
+  List.map
+    (fun (name, f) -> Alcotest.test_case name `Quick f)
+    [
+      ("hamming weight", test_hamming_weight);
+      ("hamming distance", test_hamming_distance);
+      ("leakage monotone in HW", test_leakage_monotone_in_hw);
+      ("leakage HD term", test_leakage_hd_term);
+      ("leakage class ordering", test_leakage_class_ordering);
+      ("leakage ablation variants", test_leakage_ablations);
+      ("synth sample count", test_synth_sample_count);
+      ("synth deterministic", test_synth_deterministic);
+      ("synth noise needs rng", test_synth_noise_needs_rng);
+      ("synth noise statistics", test_synth_noise_statistics);
+      ("synth value dependence", test_synth_value_dependence);
+      ("ptrace csv", test_ptrace_csv);
+      ("ptrace sub bounds", test_ptrace_sub_bounds);
+      ("ascii plot shape", test_ascii_plot_shape);
+    ]
+
+(* --- Align ------------------------------------------------------------- *)
+
+let sampler_trace () =
+  let g = rng () in
+  let device_like =
+    (* a structured synthetic waveform with unique features *)
+    Array.init 600 (fun i ->
+        (10.0 +. (8.0 *. sin (float_of_int i /. 7.0)) +. if i mod 97 < 4 then 12.0 else 0.0)
+        +. Mathkit.Prng.float g)
+  in
+  device_like
+
+let test_align_recovers_known_shift () =
+  let reference = sampler_trace () in
+  List.iter
+    (fun shift ->
+      let moved = Power.Align.apply_shift reference shift in
+      Alcotest.(check int) (Printf.sprintf "shift %d" shift) shift
+        (Power.Align.best_shift ~max_shift:40 ~reference moved))
+    [ 0; 5; -9; 23; -31 ]
+
+let test_align_apply_shift_zero_pads () =
+  let t = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (array (float 0.0))) "left shift" [| 3.0; 4.0; 0.0; 0.0 |] (Power.Align.apply_shift t 2);
+  Alcotest.(check (array (float 0.0))) "right shift" [| 0.0; 1.0; 2.0; 3.0 |] (Power.Align.apply_shift t (-1))
+
+let test_align_all_restores_correlation () =
+  let g = rng () in
+  let reference = sampler_trace () in
+  let jittered =
+    Array.init 10 (fun _ -> Power.Align.apply_shift reference (Mathkit.Prng.int_in g (-20) 20))
+  in
+  let aligned = Power.Align.align_all ~max_shift:32 ~reference jittered in
+  (* compare on the interior: realignment zero-pads the exposed edges *)
+  let interior t = Array.sub t 40 520 in
+  let ref_core = interior reference in
+  Array.iter
+    (fun t ->
+      let c = Mathkit.Stats.correlation ref_core (interior t) in
+      Alcotest.(check bool) "aligned to reference" true (c > 0.95))
+    aligned
+
+let test_align_identity_on_aligned () =
+  let reference = sampler_trace () in
+  Alcotest.(check int) "no spurious shift" 0 (Power.Align.best_shift ~reference reference)
+
+let align_cases =
+  [
+    ("align recovers known shifts", test_align_recovers_known_shift);
+    ("align shift zero pads", test_align_apply_shift_zero_pads);
+    ("align_all restores correlation", test_align_all_restores_correlation);
+    ("align identity", test_align_identity_on_aligned);
+  ]
+
+let suite = suite @ List.map (fun (name, f) -> Alcotest.test_case name `Quick f) align_cases

@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "reveal"
+    [
+      ("mathkit", Test_mathkit.suite);
+      ("riscv", Test_riscv.suite);
+      ("bfv", Test_bfv.suite);
+      ("power", Test_power.suite);
+      ("sca", Test_sca.suite);
+      ("hints", Test_hints.suite);
+      ("lattice", Test_lattice.suite);
+      ("pipeline", Test_pipeline.suite);
+    ]

@@ -1,0 +1,455 @@
+(* Segmentation, POI selection, templates, confusion bookkeeping. *)
+
+let rng () = Mathkit.Prng.create ~seed:31337L ()
+
+(* --- Segment -------------------------------------------------------------- *)
+
+(* Synthetic trace: quiet level 10, bursts at 25. *)
+let synthetic_trace ~bursts ~quiet_len ~burst_len =
+  let parts =
+    List.concat_map
+      (fun _ -> [ Array.make quiet_len 10.0; Array.make burst_len 25.0 ])
+      (List.init bursts (fun i -> i))
+  in
+  Array.concat (parts @ [ Array.make quiet_len 10.0 ])
+
+let test_segment_finds_bursts () =
+  let t = synthetic_trace ~bursts:3 ~quiet_len:200 ~burst_len:30 in
+  let bursts = Sca.Segment.burst_regions Sca.Segment.default t in
+  Alcotest.(check int) "three bursts" 3 (Array.length bursts)
+
+let test_segment_windows_between_bursts () =
+  let t = synthetic_trace ~bursts:3 ~quiet_len:200 ~burst_len:30 in
+  let wins = Sca.Segment.windows Sca.Segment.default t in
+  Alcotest.(check int) "three windows" 3 (Array.length wins);
+  Array.iteri
+    (fun i w ->
+      Alcotest.(check bool) (Printf.sprintf "window %d ordered" i) true (w.Sca.Segment.start < w.Sca.Segment.stop))
+    wins;
+  (* middle windows span the quiet region *)
+  let w = wins.(0) in
+  Alcotest.(check bool) "covers quiet gap" true (w.Sca.Segment.stop - w.Sca.Segment.start > 150)
+
+let test_segment_merges_close_runs () =
+  (* two high runs separated by a gap smaller than merge_gap: one burst *)
+  let t =
+    Array.concat
+      [ Array.make 200 10.0; Array.make 20 25.0; Array.make 30 10.0; Array.make 20 25.0; Array.make 200 10.0 ]
+  in
+  let bursts = Sca.Segment.burst_regions Sca.Segment.default t in
+  Alcotest.(check int) "merged" 1 (Array.length bursts)
+
+let test_segment_ignores_slivers () =
+  (* a 1-sample spike in the quiet zone must not create a burst or
+     shift a boundary *)
+  let t = synthetic_trace ~bursts:2 ~quiet_len:300 ~burst_len:30 in
+  t.(400) <- 30.0;
+  (* sliver in the first window, away from boundaries *)
+  let bursts = Sca.Segment.burst_regions { Sca.Segment.default with Sca.Segment.smooth_radius = 0 } t in
+  Alcotest.(check int) "still two bursts" 2 (Array.length bursts)
+
+let test_segment_boundary_sliver_does_not_shift () =
+  let t = synthetic_trace ~bursts:2 ~quiet_len:300 ~burst_len:30 in
+  let cfg = { Sca.Segment.default with Sca.Segment.smooth_radius = 0 } in
+  let before = Sca.Segment.burst_regions cfg t in
+  (* data-dependent spike right after the first burst *)
+  let spike_pos = before.(0).Sca.Segment.stop + 1 in
+  t.(spike_pos) <- 30.0;
+  let after = Sca.Segment.burst_regions cfg t in
+  Alcotest.(check int) "burst end unchanged" before.(0).Sca.Segment.stop after.(0).Sca.Segment.stop
+
+let test_segment_absolute_threshold () =
+  let t = synthetic_trace ~bursts:2 ~quiet_len:200 ~burst_len:30 in
+  let cfg = { Sca.Segment.default with Sca.Segment.threshold = Sca.Segment.Absolute 18.0 } in
+  Alcotest.(check int) "two bursts" 2 (Array.length (Sca.Segment.burst_regions cfg t))
+
+let test_segment_smooth () =
+  let s = Sca.Segment.smooth 1 [| 0.0; 3.0; 0.0 |] in
+  Alcotest.(check (float 1e-9)) "center" 1.0 s.(1);
+  Alcotest.(check (float 1e-9)) "edge" 1.5 s.(0)
+
+let test_segment_empty () =
+  Alcotest.(check int) "empty trace" 0 (Array.length (Sca.Segment.burst_regions Sca.Segment.default [||]))
+
+let test_vectorize_pads () =
+  let samples = Array.init 100 float_of_int in
+  let wins = [| { Sca.Segment.start = 90; stop = 95 } |] in
+  let v = (Sca.Segment.vectorize samples wins ~length:10).(0) in
+  Alcotest.(check (float 0.0)) "real sample" 90.0 v.(0);
+  Alcotest.(check (float 0.0)) "padded" 0.0 v.(7)
+
+(* --- Sosd ------------------------------------------------------------------- *)
+
+let test_sosd_scores_peak_at_difference () =
+  let class_a = Array.init 20 (fun _ -> [| 1.0; 5.0; 1.0 |]) in
+  let class_b = Array.init 20 (fun _ -> [| 1.0; 9.0; 1.0 |]) in
+  let scores = Sca.Sosd.scores [| class_a; class_b |] in
+  Alcotest.(check int) "peak at index 1" 1 (Mathkit.Stats.argmax scores);
+  Alcotest.(check (float 1e-9)) "score = diff^2" 16.0 scores.(1)
+
+let test_sost_suppresses_noisy_positions () =
+  let g = rng () in
+  (* position 0: mean difference 2 but huge within-class variance;
+     position 1: mean difference 0.5, zero variance.  SOST must prefer
+     position 1, SOSD position 0. *)
+  let mk offset =
+    Array.init 200 (fun _ -> [| offset +. (10.0 *. (Mathkit.Prng.float g -. 0.5)); offset /. 4.0 |])
+  in
+  let classes = [| mk 0.0; mk 2.0 |] in
+  let sosd = Sca.Sosd.scores classes in
+  let sost = Sca.Sosd.scores_t classes in
+  Alcotest.(check int) "sosd picks raw diff" 0 (Mathkit.Stats.argmax sosd);
+  Alcotest.(check int) "sost picks stable diff" 1 (Mathkit.Stats.argmax sost)
+
+let test_sosd_select_spacing () =
+  let scores = [| 10.0; 9.0; 8.0; 7.0; 1.0; 0.5; 6.0 |] in
+  let pois = Sca.Sosd.select ~min_spacing:3 ~count:2 scores in
+  Alcotest.(check (array int)) "spaced" [| 0; 3 |] pois
+
+let test_sosd_select_sorted () =
+  let scores = [| 1.0; 9.0; 2.0; 8.0; 3.0 |] in
+  let pois = Sca.Sosd.select ~min_spacing:1 ~count:3 scores in
+  let sorted = Array.copy pois in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "ascending" sorted pois
+
+let test_sosd_pick () =
+  Alcotest.(check (array (float 0.0))) "projection" [| 5.0; 7.0 |] (Sca.Sosd.pick [| 4.0; 5.0; 6.0; 7.0 |] [| 1; 3 |])
+
+(* --- Template ---------------------------------------------------------------- *)
+
+let gaussian_class g ~mu ~sigma ~count ~dim =
+  let p = Mathkit.Gaussian.polar () in
+  Array.init count (fun _ -> Array.init dim (fun j -> Mathkit.Gaussian.normal p g ~mu:mu.(j) ~sigma))
+
+let test_template_classifies_separated_classes () =
+  let g = rng () in
+  let c0 = gaussian_class g ~mu:[| 0.0; 0.0 |] ~sigma:0.5 ~count:200 ~dim:2 in
+  let c1 = gaussian_class g ~mu:[| 3.0; 3.0 |] ~sigma:0.5 ~count:200 ~dim:2 in
+  let t = Sca.Template.build ~pois:[| 0; 1 |] [ (0, c0); (1, c1) ] in
+  let correct = ref 0 in
+  for _ = 1 to 200 do
+    let x = (gaussian_class g ~mu:[| 0.0; 0.0 |] ~sigma:0.5 ~count:1 ~dim:2).(0) in
+    if Sca.Template.classify t x = 0 then incr correct;
+    let y = (gaussian_class g ~mu:[| 3.0; 3.0 |] ~sigma:0.5 ~count:1 ~dim:2).(0) in
+    if Sca.Template.classify t y = 1 then incr correct
+  done;
+  Alcotest.(check bool) "nearly all correct" true (!correct > 390)
+
+let test_template_posterior_sums_to_one () =
+  let g = rng () in
+  let c0 = gaussian_class g ~mu:[| 0.0 |] ~sigma:1.0 ~count:100 ~dim:1 in
+  let c1 = gaussian_class g ~mu:[| 2.0 |] ~sigma:1.0 ~count:100 ~dim:1 in
+  let t = Sca.Template.build ~pois:[| 0 |] [ (0, c0); (1, c1) ] in
+  let p = Sca.Template.posterior t [| 1.0 |] in
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 p)
+
+let test_template_posterior_with_priors () =
+  let g = rng () in
+  let c0 = gaussian_class g ~mu:[| 0.0 |] ~sigma:1.0 ~count:100 ~dim:1 in
+  let c1 = gaussian_class g ~mu:[| 0.0 |] ~sigma:1.0 ~count:100 ~dim:1 in
+  (* identical classes: posterior = prior *)
+  let t = Sca.Template.build ~pois:[| 0 |] [ (0, c0); (1, c1) ] in
+  let p = Sca.Template.posterior ~priors:[| 0.9; 0.1 |] t [| 0.0 |] in
+  Alcotest.(check bool) "prior dominates" true (p.(0) > 0.8)
+
+let test_template_restrict () =
+  let g = rng () in
+  let mk mu = gaussian_class g ~mu:[| mu |] ~sigma:0.3 ~count:50 ~dim:1 in
+  let t = Sca.Template.build ~pois:[| 0 |] [ (-1, mk (-2.0)); (1, mk 2.0); (2, mk 4.0) ] in
+  let r = Sca.Template.restrict t (fun l -> l > 0) in
+  Alcotest.(check (array int)) "labels" [| 1; 2 |] r.Sca.Template.labels;
+  Alcotest.(check int) "classify within restriction" 1 (Sca.Template.classify r [| 2.0 |])
+
+let test_template_needs_two_rows () =
+  Alcotest.check_raises "one row" (Invalid_argument "Template.build: class 0 needs >= 2 profiling vectors")
+    (fun () -> ignore (Sca.Template.build ~pois:[| 0 |] [ (0, [| [| 1.0 |] |]) ]))
+
+(* --- Confusion ------------------------------------------------------------------ *)
+
+let test_confusion_counts () =
+  let c = Sca.Confusion.create ~labels:[| -1; 0; 1 |] in
+  Sca.Confusion.add c ~actual:1 ~predicted:1;
+  Sca.Confusion.add c ~actual:1 ~predicted:0;
+  Sca.Confusion.add c ~actual:0 ~predicted:0;
+  Alcotest.(check int) "count" 1 (Sca.Confusion.count c ~actual:1 ~predicted:0);
+  Alcotest.(check int) "total" 3 (Sca.Confusion.total c);
+  Alcotest.(check (float 1e-9)) "column percent" 50.0 (Sca.Confusion.column_percent c ~actual:1 ~predicted:1);
+  Alcotest.(check (float 1e-9)) "accuracy" (2.0 /. 3.0) (Sca.Confusion.accuracy c)
+
+let test_confusion_unknown_label () =
+  let c = Sca.Confusion.create ~labels:[| 0; 1 |] in
+  Alcotest.check_raises "unknown" (Invalid_argument "Confusion: unknown label 5") (fun () ->
+      Sca.Confusion.add c ~actual:5 ~predicted:0)
+
+let test_confusion_render () =
+  let c = Sca.Confusion.create ~labels:[| -1; 0; 1 |] in
+  Sca.Confusion.add c ~actual:(-1) ~predicted:(-1);
+  Sca.Confusion.add c ~actual:1 ~predicted:(-1);
+  let s = Sca.Confusion.render c in
+  Alcotest.(check bool) "mentions actual" true (String.length s > 0 && String.contains s '<')
+
+let test_confusion_per_class () =
+  let c = Sca.Confusion.create ~labels:[| 0; 1 |] in
+  Sca.Confusion.add c ~actual:0 ~predicted:0;
+  Sca.Confusion.add c ~actual:0 ~predicted:1;
+  let acc = Sca.Confusion.per_class_accuracy c in
+  Alcotest.(check int) "only classes that occurred" 1 (Array.length acc);
+  Alcotest.(check (float 1e-9)) "50%" 50.0 (snd acc.(0))
+
+let suite =
+  List.map
+    (fun (name, f) -> Alcotest.test_case name `Quick f)
+    [
+      ("segment finds bursts", test_segment_finds_bursts);
+      ("segment windows between bursts", test_segment_windows_between_bursts);
+      ("segment merges close runs", test_segment_merges_close_runs);
+      ("segment ignores slivers", test_segment_ignores_slivers);
+      ("segment boundary sliver stable", test_segment_boundary_sliver_does_not_shift);
+      ("segment absolute threshold", test_segment_absolute_threshold);
+      ("segment smoothing", test_segment_smooth);
+      ("segment empty trace", test_segment_empty);
+      ("vectorize pads", test_vectorize_pads);
+      ("sosd peak at difference", test_sosd_scores_peak_at_difference);
+      ("sost suppresses noisy positions", test_sost_suppresses_noisy_positions);
+      ("sosd select spacing", test_sosd_select_spacing);
+      ("sosd select sorted", test_sosd_select_sorted);
+      ("sosd pick", test_sosd_pick);
+      ("template separated classes", test_template_classifies_separated_classes);
+      ("template posterior sums to 1", test_template_posterior_sums_to_one);
+      ("template priors", test_template_posterior_with_priors);
+      ("template restrict", test_template_restrict);
+      ("template needs two rows", test_template_needs_two_rows);
+      ("confusion counts", test_confusion_counts);
+      ("confusion unknown label", test_confusion_unknown_label);
+      ("confusion render", test_confusion_render);
+      ("confusion per-class", test_confusion_per_class);
+    ]
+
+(* --- Tvla --------------------------------------------------------------------- *)
+
+let gaussian_rows g ~mu ~sigma ~count ~dim =
+  let p = Mathkit.Gaussian.polar () in
+  Array.init count (fun _ -> Array.init dim (fun j -> Mathkit.Gaussian.normal p g ~mu:mu.(j) ~sigma))
+
+let test_tvla_detects_mean_shift () =
+  let g = rng () in
+  let fixed = gaussian_rows g ~mu:[| 0.0; 5.0; 0.0 |] ~sigma:1.0 ~count:500 ~dim:3 in
+  let random = gaussian_rows g ~mu:[| 0.0; 0.0; 0.0 |] ~sigma:1.0 ~count:500 ~dim:3 in
+  let ts = Sca.Tvla.t_statistics fixed random in
+  Alcotest.(check bool) "leak flagged" true (Float.abs ts.(1) > Sca.Tvla.threshold);
+  Alcotest.(check bool) "quiet samples pass" true (Float.abs ts.(0) < Sca.Tvla.threshold);
+  Alcotest.(check (array int)) "leaky point list" [| 1 |] (Sca.Tvla.leaky_points ts);
+  Alcotest.(check bool) "max |t|" true (Sca.Tvla.max_abs_t ts = Float.abs ts.(1))
+
+let test_tvla_no_false_positive () =
+  let g = rng () in
+  let a = gaussian_rows g ~mu:[| 1.0; 1.0 |] ~sigma:1.0 ~count:400 ~dim:2 in
+  let b = gaussian_rows g ~mu:[| 1.0; 1.0 |] ~sigma:1.0 ~count:400 ~dim:2 in
+  Alcotest.(check int) "no leaks on identical distributions" 0
+    (Array.length (Sca.Tvla.leaky_points (Sca.Tvla.t_statistics a b)))
+
+let test_tvla_second_order () =
+  let g = rng () in
+  (* same means, different variances: invisible to first order,
+     visible to second order *)
+  let fixed = gaussian_rows g ~mu:[| 0.0 |] ~sigma:3.0 ~count:800 ~dim:1 in
+  let random = gaussian_rows g ~mu:[| 0.0 |] ~sigma:1.0 ~count:800 ~dim:1 in
+  let t1 = Sca.Tvla.max_abs_t (Sca.Tvla.t_statistics fixed random) in
+  let t2 = Sca.Tvla.max_abs_t (Sca.Tvla.second_order fixed random) in
+  Alcotest.(check bool) "second order sees it" true (t2 > Sca.Tvla.threshold);
+  Alcotest.(check bool) "second order stronger than first" true (t2 > t1)
+
+let test_tvla_needs_two_traces () =
+  Alcotest.check_raises "tiny set" (Invalid_argument "Tvla: need at least 2 traces per set") (fun () ->
+      ignore (Sca.Tvla.t_statistics [| [| 1.0 |] |] [| [| 1.0 |]; [| 2.0 |] |]))
+
+(* --- Cpa ----------------------------------------------------------------------- *)
+
+let test_cpa_finds_correlated_sample () =
+  let g = rng () in
+  let n = 400 in
+  let secrets = Array.init n (fun _ -> Mathkit.Prng.int g 256) in
+  let p = Mathkit.Gaussian.polar () in
+  (* sample 1 leaks HW(secret), others are noise *)
+  let traces =
+    Array.init n (fun i ->
+        [|
+          Mathkit.Gaussian.normal p g ~mu:0.0 ~sigma:1.0;
+          float_of_int (Power.Leakage.hamming_weight secrets.(i)) +. Mathkit.Gaussian.normal p g ~mu:0.0 ~sigma:0.5;
+          Mathkit.Gaussian.normal p g ~mu:0.0 ~sigma:1.0;
+        |])
+  in
+  let rho = Sca.Cpa.correlation_trace traces (Sca.Cpa.hw_hypothesis secrets) in
+  Alcotest.(check bool) "peak at the leaking sample" true (Float.abs rho.(1) > 0.8);
+  Alcotest.(check bool) "noise uncorrelated" true (Float.abs rho.(0) < 0.2)
+
+let test_cpa_best_candidate () =
+  let g = rng () in
+  let n = 500 in
+  let inputs = Array.init n (fun _ -> Mathkit.Prng.int g 256) in
+  let key = 0xA7 in
+  let p = Mathkit.Gaussian.polar () in
+  let traces =
+    Array.init n (fun i ->
+        [| float_of_int (Power.Leakage.hamming_weight (inputs.(i) lxor key)) +. Mathkit.Gaussian.normal p g ~mu:0.0 ~sigma:0.8 |])
+  in
+  let candidates =
+    List.init 256 (fun k -> (k, Sca.Cpa.hw_hypothesis (Array.map (fun x -> x lxor k) inputs)))
+  in
+  let found, rho = Sca.Cpa.best_candidate traces candidates in
+  Alcotest.(check int) "key recovered" key found;
+  Alcotest.(check bool) "strong correlation" true (rho > 0.7)
+
+let test_cpa_fails_on_fresh_noise () =
+  (* the paper's point: with a fresh secret per trace there is nothing
+     to accumulate — a wrong constant hypothesis correlates as well as
+     any other *)
+  let g = rng () in
+  let n = 300 in
+  let p = Mathkit.Gaussian.polar () in
+  let fresh = Array.init n (fun _ -> Mathkit.Prng.int g 256) in
+  let traces =
+    Array.init n (fun i ->
+        [| float_of_int (Power.Leakage.hamming_weight fresh.(i)) +. Mathkit.Gaussian.normal p g ~mu:0.0 ~sigma:0.5 |])
+  in
+  (* hypotheses built from an unrelated, constant guess of the secret *)
+  let unrelated k = Sca.Cpa.hw_hypothesis (Array.init n (fun i -> (i * 31) lxor k)) in
+  let candidates = List.init 16 (fun k -> (k, unrelated k)) in
+  let _, rho = Sca.Cpa.best_candidate traces candidates in
+  Alcotest.(check bool) "no candidate correlates" true (rho < 0.3)
+
+let test_cpa_poi_selection () =
+  let g = rng () in
+  let n = 400 in
+  let labels = Array.init n (fun _ -> Mathkit.Prng.int_in g (-14) 14) in
+  let p = Mathkit.Gaussian.polar () in
+  let traces =
+    Array.init n (fun i ->
+        Array.init 10 (fun t ->
+            let signal = if t = 4 then float_of_int (Power.Leakage.hamming_weight labels.(i)) else 0.0 in
+            signal +. Mathkit.Gaussian.normal p g ~mu:0.0 ~sigma:0.5))
+  in
+  let pois = Sca.Cpa.correlation_poi ~count:1 traces labels in
+  Alcotest.(check (array int)) "picks the leaking sample" [| 4 |] pois
+
+let extension_cases =
+  [
+    ("tvla detects mean shift", test_tvla_detects_mean_shift);
+    ("tvla no false positive", test_tvla_no_false_positive);
+    ("tvla second order", test_tvla_second_order);
+    ("tvla needs two traces", test_tvla_needs_two_traces);
+    ("cpa finds correlated sample", test_cpa_finds_correlated_sample);
+    ("cpa recovers xor key", test_cpa_best_candidate);
+    ("cpa fails on fresh noise", test_cpa_fails_on_fresh_noise);
+    ("cpa poi selection", test_cpa_poi_selection);
+  ]
+
+let suite = suite @ List.map (fun (name, f) -> Alcotest.test_case name `Quick f) extension_cases
+
+(* --- Pca ------------------------------------------------------------------- *)
+
+let test_pca_separates_class_means () =
+  let g = rng () in
+  (* two classes separated along a diagonal direction in 4-d *)
+  let mk offset =
+    gaussian_rows g ~mu:[| offset; -.offset; 0.0; 0.0 |] ~sigma:0.3 ~count:100 ~dim:4
+  in
+  let classes = [ (0, mk 0.0); (1, mk 3.0) ] in
+  let p = Sca.Pca.fit ~k:1 classes in
+  Alcotest.(check int) "one component" 1 (Sca.Pca.components p);
+  (* projected class means must be well separated *)
+  let proj c = Mathkit.Stats.mean_a (Array.map (fun v -> v.(0)) (Sca.Pca.transform_all p c)) in
+  let d = Float.abs (proj (mk 0.0) -. proj (mk 3.0)) in
+  Alcotest.(check bool) "separated in subspace" true (d > 3.0)
+
+let test_pca_template_classifies () =
+  let g = rng () in
+  let mk offset = gaussian_rows g ~mu:[| offset; 0.0; offset /. 2.0 |] ~sigma:0.4 ~count:150 ~dim:3 in
+  let classes = [ (0, mk 0.0); (1, mk 2.0); (2, mk 4.0) ] in
+  let p = Sca.Pca.fit ~k:2 classes in
+  let template =
+    Sca.Template.build ~pois:[||]
+      (List.map (fun (l, rows) -> (l, Sca.Pca.transform_all p rows)) classes)
+  in
+  let correct = ref 0 in
+  for _ = 1 to 100 do
+    List.iter
+      (fun (label, offset) ->
+        let x = (mk offset).(0) in
+        if Sca.Template.classify template (Sca.Pca.transform p x) = label then incr correct)
+      [ (0, 0.0); (1, 2.0); (2, 4.0) ]
+  done;
+  Alcotest.(check bool) "PCA-space templates work" true (!correct > 280)
+
+let test_pca_explained_fraction () =
+  let g = rng () in
+  let mk offset = gaussian_rows g ~mu:[| offset; 0.0 |] ~sigma:0.1 ~count:50 ~dim:2 in
+  let classes = [ (0, mk 0.0); (1, mk 5.0) ] in
+  (* all between-class variance lies along one direction *)
+  Alcotest.(check bool) "one component explains it" true (Sca.Pca.explained classes ~k:1 > 0.99)
+
+let test_pca_needs_two_classes () =
+  Alcotest.check_raises "one class" (Invalid_argument "Pca.fit: need at least two classes") (fun () ->
+      ignore (Sca.Pca.fit [ (0, [| [| 1.0 |] |]) ]))
+
+let pca_cases =
+  [
+    ("pca separates class means", test_pca_separates_class_means);
+    ("pca-space templates classify", test_pca_template_classifies);
+    ("pca explained fraction", test_pca_explained_fraction);
+    ("pca needs two classes", test_pca_needs_two_classes);
+  ]
+
+let suite = suite @ List.map (fun (name, f) -> Alcotest.test_case name `Quick f) pca_cases
+
+(* --- segmentation properties -------------------------------------------------- *)
+
+let segment_qcheck =
+  let open QCheck in
+  [
+    Test.make ~name:"segment: windows are disjoint, ordered, in range" ~count:50 (int_bound 100000)
+      (fun seed ->
+        let g = Mathkit.Prng.create ~seed:(Int64.of_int seed) () in
+        (* random bimodal trace: quiet level with random bursts *)
+        let n = 1500 + Mathkit.Prng.int g 1000 in
+        let t = Array.init n (fun _ -> 10.0 +. Mathkit.Prng.float g) in
+        let bursts = 2 + Mathkit.Prng.int g 5 in
+        let pos = ref 50 in
+        for _ = 1 to bursts do
+          let len = 20 + Mathkit.Prng.int g 30 in
+          for i = !pos to min (n - 1) (!pos + len) do
+            t.(i) <- 25.0 +. Mathkit.Prng.float g
+          done;
+          pos := !pos + len + 150 + Mathkit.Prng.int g 100
+        done;
+        let wins = Sca.Segment.windows Sca.Segment.default t in
+        let ok = ref true in
+        Array.iteri
+          (fun i w ->
+            if w.Sca.Segment.start > w.Sca.Segment.stop then ok := false;
+            if w.Sca.Segment.start < 0 || w.Sca.Segment.stop > n then ok := false;
+            if i > 0 && wins.(i - 1).Sca.Segment.stop > w.Sca.Segment.start then ok := false)
+          wins;
+        !ok);
+    Test.make ~name:"segment: bursts and windows interleave" ~count:50 (int_bound 100000)
+      (fun seed ->
+        let g = Mathkit.Prng.create ~seed:(Int64.of_int seed) () in
+        let quiet = 150 + Mathkit.Prng.int g 200 in
+        let t =
+          Array.concat
+            [
+              Array.make quiet 10.0;
+              Array.make 40 25.0;
+              Array.make quiet 10.0;
+              Array.make 40 25.0;
+              Array.make quiet 10.0;
+            ]
+        in
+        let bursts = Sca.Segment.burst_regions Sca.Segment.default t in
+        let wins = Sca.Segment.windows Sca.Segment.default t in
+        Array.length bursts = Array.length wins
+        && Array.for_all2 (fun b w -> b.Sca.Segment.stop = w.Sca.Segment.start) bursts wins);
+  ]
+
+let suite = suite @ List.map QCheck_alcotest.to_alcotest segment_qcheck
