@@ -105,6 +105,34 @@ let run_ablate_poi cfg =
   section "Ablation: POI count";
   print_string (Reveal.Experiment.render_ablation ~title:"POI count" (Reveal.Experiment.ablate_poi cfg))
 
+let run_traceio _cfg =
+  section "traceio: archive write/read throughput";
+  ensure_out_dir ();
+  let path = Filename.concat out_dir "bench_campaign.rvt" in
+  let traces = 8 and n = 64 in
+  let device = Reveal.Device.create ~n () in
+  let g = Mathkit.Prng.create ~seed:5L () in
+  let t0 = Unix.gettimeofday () in
+  Reveal.Device.record device ~path ~seed:5L ~traces ~scope_rng:g ~sampler_rng:g;
+  let t_write = Unix.gettimeofday () -. t0 in
+  let size = Traceio.Archive.file_size path in
+  let t0 = Unix.gettimeofday () in
+  let samples, raw =
+    Traceio.Archive.fold path
+      (fun (s, r) record ->
+        let len = Power.Ptrace.length record.Traceio.Archive.trace in
+        let events = Array.length record.Traceio.Archive.trace.Power.Ptrace.event_start in
+        (s + len, r + (8 * (len + (2 * events) + Array.length record.Traceio.Archive.noises))))
+      (0, 0)
+  in
+  let t_read = Unix.gettimeofday () -. t0 in
+  let mb x = float_of_int x /. 1048576.0 in
+  Printf.printf "recorded %d traces (n = %d): %d samples, %.2f MiB on disk (%.2fx vs raw 64-bit dump)\n" traces n
+    samples (mb size)
+    (float_of_int raw /. float_of_int size);
+  Printf.printf "  capture+encode  %.3f s (%.1f MiB/s)\n" t_write (mb size /. t_write);
+  Printf.printf "  read+verify     %.3f s (%.1f MiB/s, every checksum checked)\n" t_read (mb size /. t_read)
+
 (* --- Bechamel micro-benchmarks: one per table/figure kernel ------------- *)
 
 let perf_tests () =
@@ -230,6 +258,7 @@ let usage () =
     \  ablate-noise    measurement-noise sweep\n\
     \  ablate-poi      POI-count sweep\n\
     \  ablate-features feature-extraction comparison (SOST/SOSD/PCA/correlation)\n\
+    \  traceio         trace-archive write/read throughput\n\
     \  perf            Bechamel micro-benchmarks"
 
 let () =
@@ -270,5 +299,6 @@ let () =
   | [ "ablate-poi" ] -> run_ablate_poi cfg
   | [ "ablate-features" ] -> run_ablate_features cfg
   | [ "ablate-timing" ] -> run_ablate_timing cfg
+  | [ "traceio" ] -> run_traceio cfg
   | [ "perf" ] -> run_perf ()
   | _ -> usage ()

@@ -1,10 +1,13 @@
 (* reveal — command-line front end.
 
    Subcommands:
-     disasm    print the RV32IM listing of a sampler firmware variant
-     trace     capture one sampler power trace (ASCII plot / CSV)
-     attack    run the single-trace attack once and print per-coefficient results
-     estimate  DBDD security estimates for SEAL parameter sets with hint counts *)
+     disasm        print the RV32IM listing of a sampler firmware variant
+     trace         capture one sampler power trace (ASCII plot / CSV)
+     attack        run the single-trace attack once and print per-coefficient results
+     record        capture a campaign of honest traces into a binary archive
+     replay-attack re-run the single-trace attack offline, from an archive
+     inspect       validate an archive and print its header / record summary
+     estimate      DBDD security estimates for SEAL parameter sets with hint counts *)
 
 open Cmdliner
 
@@ -83,7 +86,19 @@ let profile_cmd =
 
 (* --- attack --------------------------------------------------------------- *)
 
+(* Archive and profile-cache failures (corrupt bytes, I/O errors, stale
+   caches) carry user-actionable messages; print them without a backtrace. *)
+let traceio_guard f =
+  try f () with
+  | Traceio.Error.Corrupt _ | Traceio.Error.Io _ as e ->
+      prerr_endline ("reveal: " ^ Traceio.Error.to_string e);
+      exit 1
+  | Invalid_argument msg ->
+      prerr_endline ("reveal: " ^ msg);
+      exit 1
+
 let attack seed n per_value cached verbose =
+  traceio_guard @@ fun () ->
   let rng = rng_of_seed seed in
   let device = Reveal.Device.create ~n () in
   let prof =
@@ -116,6 +131,114 @@ let attack_cmd =
   let cached = Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc:"Use a cached profile (see the profile command).") in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every coefficient.") in
   Cmd.v (Cmd.info "attack" ~doc) Term.(const attack $ seed_arg $ n_arg 128 $ per_value $ cached $ verbose)
+
+(* --- record ------------------------------------------------------------- *)
+
+(* The rng derivation (create, split scope, split sampler) matches the
+   attack command exactly, so `record --seed S --traces 1` captures the
+   very trace `attack --seed S --profile …` attacks live. *)
+let record seed variant n traces out =
+  traceio_guard (fun () ->
+      let rng = rng_of_seed seed in
+      let device = Reveal.Device.create ~variant ~n () in
+      let scope_rng = Mathkit.Prng.split rng and sampler_rng = Mathkit.Prng.split rng in
+      Reveal.Device.record device ~path:out ~seed:(Int64.of_int seed) ~traces ~scope_rng ~sampler_rng;
+      Printf.printf "recorded %d traces (n = %d, %s) to %s (%d bytes)\n" traces n
+        (Traceio.Archive.variant_name variant) out (Traceio.Archive.file_size out))
+
+let record_cmd =
+  let doc = "Capture a campaign of honest sampler traces into a binary archive." in
+  let traces = Arg.(value & opt int 16 & info [ "traces" ] ~docv:"T" ~doc:"Number of traces to record.") in
+  let out = Arg.(value & opt string "campaign.rvt" & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Archive file.") in
+  Cmd.v (Cmd.info "record" ~doc) Term.(const record $ seed_arg $ variant_arg $ n_arg 128 $ traces $ out)
+
+(* --- replay-attack ------------------------------------------------------- *)
+
+let replay_attack archive cached per_value profile_seed verbose =
+  traceio_guard (fun () ->
+      let header = Traceio.Archive.with_reader archive Traceio.Archive.header in
+      Printf.printf "archive %s: %d traces, n = %d, %s, seed %Ld\n" archive header.Traceio.Archive.trace_count
+        header.Traceio.Archive.n
+        (Traceio.Archive.variant_name header.Traceio.Archive.variant)
+        header.Traceio.Archive.seed;
+      let prof =
+        match cached with
+        | Some path ->
+            Printf.printf "loading cached profile from %s\n%!" path;
+            Reveal.Campaign.load_profile path
+        | None ->
+            (* profile on a clone device matching the archive's header *)
+            let device = Reveal.Device.of_header header in
+            Printf.printf "profiling clone device (%d windows per candidate value)...\n%!" per_value;
+            Reveal.Campaign.profile ~per_value device (rng_of_seed profile_seed)
+      in
+      let stats, results = Reveal.Campaign.attack_archive prof archive in
+      if verbose then
+        Array.iteri
+          (fun i r ->
+            let v = r.Reveal.Campaign.verdict in
+            Printf.printf "coeff %4d: actual %3d -> recovered %3d %s\n" i r.Reveal.Campaign.actual
+              v.Sca.Attack.value
+              (if r.Reveal.Campaign.actual = v.Sca.Attack.value then "" else "x"))
+          results;
+      Printf.printf
+        "replayed attack over %d traces x %d coefficients: signs %d/%d, values %d/%d (%d out of template range)\n"
+        header.Traceio.Archive.trace_count header.Traceio.Archive.n stats.Reveal.Campaign.sign_correct
+        stats.Reveal.Campaign.sign_total stats.Reveal.Campaign.value_correct stats.Reveal.Campaign.value_total
+        stats.Reveal.Campaign.skipped_out_of_range)
+
+let replay_attack_cmd =
+  let doc = "Re-run the single-trace attack offline from a recorded archive." in
+  let archive = Arg.(required & pos 0 (some string) None & info [] ~docv:"ARCHIVE" ~doc:"Trace archive (see record).") in
+  let cached = Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc:"Use a cached profile.") in
+  let per_value = Arg.(value & opt int 300 & info [ "per-value" ] ~docv:"K" ~doc:"Profiling windows per value.") in
+  let profile_seed = Arg.(value & opt int 42 & info [ "profile-seed" ] ~docv:"SEED" ~doc:"Seed for on-the-fly profiling.") in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every coefficient.") in
+  Cmd.v (Cmd.info "replay-attack" ~doc) Term.(const replay_attack $ archive $ cached $ per_value $ profile_seed $ verbose)
+
+(* --- inspect -------------------------------------------------------------- *)
+
+let inspect path show_records =
+  traceio_guard (fun () ->
+      let size = Traceio.Archive.file_size path in
+      Traceio.Archive.with_reader path (fun reader ->
+          let h = Traceio.Archive.header reader in
+          Printf.printf "%s: reveal trace archive (format v1), %d bytes\n" path size;
+          Printf.printf "  variant            %s\n" (Traceio.Archive.variant_name h.Traceio.Archive.variant);
+          Printf.printf "  coefficients/run   %d\n" h.Traceio.Archive.n;
+          Printf.printf "  campaign seed      %Ld\n" h.Traceio.Archive.seed;
+          Printf.printf "  samples/cycle      %d\n" h.Traceio.Archive.samples_per_cycle;
+          Printf.printf "  scope noise sigma  %.4f\n" h.Traceio.Archive.noise_sigma;
+          Printf.printf "  traces             %d\n" h.Traceio.Archive.trace_count;
+          List.iter (fun (k, v) -> Printf.printf "  meta %-18s %s\n" k v) h.Traceio.Archive.meta;
+          let total_samples = ref 0 and raw = ref 0 in
+          let rec loop () =
+            match Traceio.Archive.next reader with
+            | None -> ()
+            | Some r ->
+                let len = Power.Ptrace.length r.Traceio.Archive.trace in
+                let events = Array.length r.Traceio.Archive.trace.Power.Ptrace.event_start in
+                total_samples := !total_samples + len;
+                (* what a naive 64-bit dump of the same record costs *)
+                raw := !raw + (8 * (len + (2 * events) + Array.length r.Traceio.Archive.noises));
+                if show_records then
+                  Printf.printf "  record %4d: %6d samples, %5d events, mean power %8.2f\n" r.Traceio.Archive.index
+                    len events
+                    (Power.Ptrace.mean r.Traceio.Archive.trace);
+                loop ()
+          in
+          loop ();
+          Printf.printf "all %d record checksums verified\n" h.Traceio.Archive.trace_count;
+          if !raw > 0 then
+            Printf.printf "%d samples total; %d bytes on disk vs %d raw 64-bit dump (%.2fx compression)\n"
+              !total_samples size !raw
+              (float_of_int !raw /. float_of_int size)))
+
+let inspect_cmd =
+  let doc = "Validate every checksum of a trace archive and print its contents." in
+  let archive = Arg.(required & pos 0 (some string) None & info [] ~docv:"ARCHIVE" ~doc:"Trace archive.") in
+  let records = Arg.(value & flag & info [ "records" ] ~doc:"Print a line per record.") in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const inspect $ archive $ records)
 
 (* --- estimate --------------------------------------------------------------- *)
 
@@ -159,4 +282,7 @@ let estimate_cmd =
 let () =
   let doc = "RevEAL: single-trace side-channel attack on the SEAL BFV encryptor (reproduction)" in
   let info = Cmd.info "reveal" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ disasm_cmd; trace_cmd; profile_cmd; attack_cmd; estimate_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ disasm_cmd; trace_cmd; profile_cmd; attack_cmd; record_cmd; replay_attack_cmd; inspect_cmd; estimate_cmd ]))

@@ -21,9 +21,15 @@ let to_csv t =
   Buffer.contents buf
 
 let save_csv path t =
-  let oc = open_out path in
-  output_string oc (to_csv t);
-  close_out oc
+  try
+    let oc = open_out path in
+    (try
+       output_string oc (to_csv t);
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       raise e)
+  with Sys_error msg -> failwith (Printf.sprintf "Ptrace.save_csv: cannot write %s: %s" path msg)
 
 let ascii_plot ?(width = 100) ?(height = 16) samples =
   let n = Array.length samples in

@@ -24,6 +24,8 @@ val to_csv : t -> string
 (** "index,power" lines. *)
 
 val save_csv : string -> t -> unit
+(** @raise Failure when the file cannot be written; the message names
+    the target path (never a bare [Sys_error]). *)
 
 val ascii_plot : ?width:int -> ?height:int -> float array -> string
 (** Down-sampled ASCII rendering used by the figure benches. *)

@@ -8,65 +8,77 @@ type profile = {
 
 let default_values = Array.init 29 (fun i -> i - 14)
 
-(* Segment one device run into per-coefficient windows.  The firmware
+(* Segment one trace into per-coefficient windows.  The firmware
    samples a trailing dummy coefficient, so a run over n coefficients
    produces n+1 bursts and we keep the first n windows. *)
-let raw_windows segment (run : Device.run) =
-  let samples = run.Device.trace.Power.Ptrace.samples in
+let raw_windows_of_samples segment ~samples ~count =
   let wins = Sca.Segment.windows segment samples in
-  let expected = Array.length run.Device.noises in
-  if Array.length wins <> expected + 1 then
+  if Array.length wins <> count + 1 then
     failwith
-      (Printf.sprintf "Campaign: segmentation found %d windows for %d coefficients" (Array.length wins) expected);
-  (samples, Array.sub wins 0 expected)
+      (Printf.sprintf "Campaign: segmentation found %d windows for %d coefficients" (Array.length wins) count);
+  Array.sub wins 0 count
 
-let profiling_windows ?(values = default_values) ?(per_value = 400) ?domains device rng =
+(* (label, full window) pairs of one run — the per-chunk unit both the
+   in-memory and the archive-streamed profiling paths produce. *)
+let labelled_windows segment ~samples ~noises =
+  let wins = raw_windows_of_samples segment ~samples ~count:(Array.length noises) in
+  Array.mapi
+    (fun i w -> (noises.(i), Array.sub samples w.Sca.Segment.start (w.Sca.Segment.stop - w.Sca.Segment.start)))
+    wins
+
+(* Calibrate an absolute burst threshold once so that profiling and
+   attack traces segment identically. *)
+let calibrate_threshold device rng =
+  let run = Device.run_gaussian device ~scope_rng:rng ~sampler_rng:rng in
+  Sca.Segment.auto_threshold Sca.Segment.default run.Device.trace.Power.Ptrace.samples
+
+let segment_of_threshold threshold =
+  { Sca.Segment.default with Sca.Segment.threshold = Sca.Segment.Absolute threshold }
+
+let profiling_shape ~values ~per_value device =
   if per_value < 2 then invalid_arg "Campaign.profile: need at least 2 traces per value";
   let n = Device.n device in
   let value_count = Array.length values in
   if n < 2 * value_count then invalid_arg "Campaign.profile: device too small to profile every value per run";
-  (* Calibrate an absolute burst threshold once so that profiling and
-     attack traces segment identically. *)
-  let threshold =
-    let run = Device.run_gaussian device ~scope_rng:rng ~sampler_rng:rng in
-    Sca.Segment.auto_threshold Sca.Segment.default run.Device.trace.Power.Ptrace.samples
-  in
-  let segment = { Sca.Segment.default with Sca.Segment.threshold = Sca.Segment.Absolute threshold } in
-  (* Each profiling run forces every candidate value into several
-     shuffled positions of one honest-length sampling, so templates see
-     the value at arbitrary indices with arbitrary neighbours — exactly
-     the conditions of the attacked trace.  Runs carry their own seeds,
-     so the domain count cannot change the results. *)
   let copies = n / value_count in
   let runs = (per_value + copies - 1) / copies in
-  let seeds = Array.init runs (fun _ -> Mathkit.Prng.bits64 rng) in
-  let one_run seed =
-    let rng = Mathkit.Prng.create ~seed () in
-    let forced = Array.concat (List.init copies (fun _ -> Array.copy values)) in
-    let honest, _ =
-      Riscv.Sampler_prog.draws_of_gaussian rng Mathkit.Gaussian.seal_default ~count:(n - Array.length forced)
-    in
-    let draws = Array.append (Array.map (fun v -> Device.profiling_draw device rng ~value:v) forced) honest in
-    Mathkit.Prng.shuffle rng draws;
-    let run = Device.run device ~scope_rng:rng ~draws in
-    let samples, wins = raw_windows segment run in
-    Array.mapi
-      (fun i w ->
-        (run.Device.noises.(i), Array.sub samples w.Sca.Segment.start (w.Sca.Segment.stop - w.Sca.Segment.start)))
-      wins
+  (copies, runs)
+
+(* One profiling run forces every candidate value into several
+   shuffled positions of one honest-length sampling, so templates see
+   the value at arbitrary indices with arbitrary neighbours — exactly
+   the conditions of the attacked trace.  Runs carry their own seeds,
+   so neither the domain count nor record/replay can change the
+   results. *)
+let profiling_run device ~values ~copies seed =
+  let rng = Mathkit.Prng.create ~seed () in
+  let n = Device.n device in
+  let forced = Array.concat (List.init copies (fun _ -> Array.copy values)) in
+  let honest, _ =
+    Riscv.Sampler_prog.draws_of_gaussian rng Mathkit.Gaussian.seal_default ~count:(n - Array.length forced)
   in
-  let per_run = Mathkit.Parallel.map_array ?domains one_run seeds in
-  let bags = Hashtbl.create value_count in
+  let draws = Array.append (Array.map (fun v -> Device.profiling_draw device rng ~value:v) forced) honest in
+  Mathkit.Prng.shuffle rng draws;
+  Device.run device ~scope_rng:rng ~draws
+
+(* Per-value window bags, filled incrementally so the archive path can
+   stream chunk by chunk. *)
+let make_bags values =
+  let bags = Hashtbl.create (Array.length values) in
   Array.iter (fun v -> Hashtbl.replace bags v []) values;
+  bags
+
+let add_labelled bags labelled =
   Array.iter
-    (fun labelled ->
-      Array.iter
-        (fun (v, w) ->
-          match Hashtbl.find_opt bags v with
-          | Some lst -> Hashtbl.replace bags v (w :: lst)
-          | None -> ())
-        labelled)
-    per_run;
+    (fun (v, w) ->
+      match Hashtbl.find_opt bags v with
+      | Some lst -> Hashtbl.replace bags v (w :: lst)
+      | None -> ())
+    labelled
+
+let finalize_bags values bags =
+  let total = Hashtbl.fold (fun _ ws acc -> acc + List.length ws) bags 0 in
+  if total = 0 then failwith "Campaign.profile: no profiling windows collected";
   (* Common window length: the shortest observed window. *)
   let window_length =
     Hashtbl.fold (fun _ ws acc -> List.fold_left (fun acc w -> min acc (Array.length w)) acc ws) bags max_int
@@ -78,38 +90,259 @@ let profiling_windows ?(values = default_values) ?(per_value = 400) ?domains dev
            let ws = Hashtbl.find bags v in
            (v, Array.of_list (List.map (fun w -> Array.sub w 0 window_length) ws)))
   in
+  (window_length, classes)
+
+let profiling_windows ?(values = default_values) ?(per_value = 400) ?domains device rng =
+  let copies, runs = profiling_shape ~values ~per_value device in
+  let threshold = calibrate_threshold device rng in
+  let segment = segment_of_threshold threshold in
+  let seeds = Array.init runs (fun _ -> Mathkit.Prng.bits64 rng) in
+  let one_run seed =
+    let run = profiling_run device ~values ~copies seed in
+    labelled_windows segment ~samples:run.Device.trace.Power.Ptrace.samples ~noises:run.Device.noises
+  in
+  let per_run = Mathkit.Parallel.map_array ?domains one_run seeds in
+  let bags = make_bags values in
+  Array.iter (add_labelled bags) per_run;
+  let window_length, classes = finalize_bags values bags in
   (segment, window_length, classes)
 
-let profile ?values ?per_value ?domains ?(poi_count = 16) ?(sign_poi_count = 6) device rng =
-  let segment, window_length, classes = profiling_windows ?values ?per_value ?domains device rng in
+let profile_of_windows ~poi_count ~sign_poi_count (segment, window_length, classes) =
   let values = Array.of_list (List.map fst classes) in
   let sigma = Mathkit.Gaussian.seal_default.Mathkit.Gaussian.sigma in
   let attack = Sca.Attack.build ~poi_count ~sign_poi_count ~sigma classes in
   { attack; window_length; segment; values; sigma }
 
-let profile_magic = "REVEAL-PROFILE-v1\n"
+let profile ?values ?per_value ?domains ?(poi_count = 16) ?(sign_poi_count = 6) device rng =
+  profile_of_windows ~poi_count ~sign_poi_count (profiling_windows ?values ?per_value ?domains device rng)
+
+(* --- profiling campaigns on disk ----------------------------------------- *)
+
+let meta_kind_key = "campaign:kind"
+let meta_threshold_key = "profiling:threshold-bits"
+let meta_values_key = "profiling:values"
+let meta_per_value_key = "profiling:per-value"
+
+let record_profiling ?(values = default_values) ?(per_value = 400) ?(seed = 0L) device rng ~path =
+  let copies, runs = profiling_shape ~values ~per_value device in
+  let threshold = calibrate_threshold device rng in
+  let seeds = Array.init runs (fun _ -> Mathkit.Prng.bits64 rng) in
+  let meta =
+    [
+      (meta_kind_key, "profiling");
+      (meta_threshold_key, Printf.sprintf "%Lx" (Int64.bits_of_float threshold));
+      (meta_values_key, String.concat "," (List.map string_of_int (Array.to_list values)));
+      (meta_per_value_key, string_of_int per_value);
+    ]
+  in
+  let writer = Device.open_recorder ~meta device ~path ~seed in
+  Fun.protect
+    ~finally:(fun () -> Traceio.Archive.close_writer writer)
+    (fun () -> Array.iter (fun seed -> Device.record_run writer (profiling_run device ~values ~copies seed)) seeds)
+
+let profiling_meta_of_header ~path (h : Traceio.Archive.header) =
+  let require key =
+    match Traceio.Archive.meta_find h key with
+    | Some v -> v
+    | None ->
+        Traceio.Error.corruptf "%s: not a profiling archive (missing %S metadata) — record it with record_profiling"
+          path key
+  in
+  let threshold =
+    let s = require meta_threshold_key in
+    match Int64.of_string_opt ("0x" ^ s) with
+    | Some bits -> Int64.float_of_bits bits
+    | None -> Traceio.Error.corruptf "%s: unreadable calibration threshold %S" path s
+  in
+  let values =
+    let s = require meta_values_key in
+    let parts = String.split_on_char ',' s in
+    match List.map int_of_string_opt parts |> List.fold_left (fun acc v -> match acc, v with Some l, Some x -> Some (x :: l) | _ -> None) (Some []) with
+    | Some l -> Array.of_list (List.rev l)
+    | None -> Traceio.Error.corruptf "%s: unreadable candidate-value list %S" path s
+  in
+  if Array.length values = 0 then Traceio.Error.corruptf "%s: empty candidate-value list" path;
+  (threshold, values)
+
+(* Stream the labelled profiling windows out of an archive: one batch
+   of records resident at a time, segmentation parallelised over the
+   batch.  Memory is bounded by [batch] traces plus the (much smaller)
+   accumulated windows, never the whole trace set. *)
+let profiling_windows_of_archive ?domains ?(batch = 16) path =
+  if batch <= 0 then invalid_arg "Campaign.profiling_windows_of_archive: batch must be positive";
+  Traceio.Archive.with_reader path (fun reader ->
+      let h = Traceio.Archive.header reader in
+      let threshold, values = profiling_meta_of_header ~path h in
+      let segment = segment_of_threshold threshold in
+      let bags = make_bags values in
+      let rec loop () =
+        let records = Traceio.Archive.next_batch reader ~max:batch in
+        if Array.length records > 0 then begin
+          let labelled =
+            Mathkit.Parallel.map_array ?domains
+              (fun (r : Traceio.Archive.record) ->
+                labelled_windows segment ~samples:r.Traceio.Archive.trace.Power.Ptrace.samples
+                  ~noises:r.Traceio.Archive.noises)
+              records
+          in
+          Array.iter (add_labelled bags) labelled;
+          loop ()
+        end
+      in
+      loop ();
+      let window_length, classes = finalize_bags values bags in
+      (segment, window_length, classes))
+
+let profile_of_archive ?domains ?batch ?(poi_count = 16) ?(sign_poi_count = 6) path =
+  profile_of_windows ~poi_count ~sign_poi_count (profiling_windows_of_archive ?domains ?batch path)
+
+(* --- profile cache -------------------------------------------------------- *)
+
+(* Versioned binary codec in the traceio format family: magic + u16
+   version + one CRC-framed payload.  Version 1 was the Marshal-based
+   cache; version 2 is this explicit encoding, so stale caches are
+   detected by their magic/version instead of crashing Marshal. *)
+let profile_magic = "REVEALPF"
+let profile_version = 2
+let legacy_profile_magic_prefix = "REVEAL-P" (* "REVEAL-PROFILE-v1\n" of the Marshal era *)
+
+let put_template b (t : Sca.Template.t) =
+  Traceio.Codec.put_ints b t.Sca.Template.labels;
+  Traceio.Binio.put_varint b (Int64.of_int (Array.length t.Sca.Template.means));
+  Array.iter (Traceio.Codec.put_floats b) t.Sca.Template.means;
+  let cov = Mathkit.Matrix.to_arrays t.Sca.Template.inv_cov in
+  Traceio.Binio.put_varint b (Int64.of_int (Array.length cov));
+  Array.iter (Traceio.Codec.put_floats b) cov;
+  Traceio.Binio.put_f64 b t.Sca.Template.log_det;
+  Traceio.Codec.put_ints b t.Sca.Template.pois
+
+let get_template ~path c =
+  let labels = Traceio.Codec.get_ints c in
+  let rows = Traceio.Binio.get_varint_int c in
+  if rows <> Array.length labels then
+    Traceio.Error.corruptf "%s: template has %d mean vectors for %d labels" path rows (Array.length labels);
+  let means = Array.init rows (fun _ -> Traceio.Codec.get_floats c) in
+  let d = Traceio.Binio.get_varint_int c in
+  let cov = Array.init d (fun _ -> Traceio.Codec.get_floats c) in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> d then
+        Traceio.Error.corruptf "%s: covariance row %d has %d columns in a %dx%d matrix" path i (Array.length row) d d)
+    cov;
+  let log_det = Traceio.Binio.get_f64 c in
+  let pois = Traceio.Codec.get_ints c in
+  { Sca.Template.labels; means; inv_cov = Mathkit.Matrix.of_arrays cov; log_det; pois }
+
+let put_threshold b = function
+  | Sca.Segment.Auto -> Traceio.Binio.put_u8 b 0
+  | Sca.Segment.Percentile p ->
+      Traceio.Binio.put_u8 b 1;
+      Traceio.Binio.put_f64 b p
+  | Sca.Segment.Absolute a ->
+      Traceio.Binio.put_u8 b 2;
+      Traceio.Binio.put_f64 b a
+
+let get_threshold ~path c =
+  match Traceio.Binio.get_u8 c with
+  | 0 -> Sca.Segment.Auto
+  | 1 -> Sca.Segment.Percentile (Traceio.Binio.get_f64 c)
+  | 2 -> Sca.Segment.Absolute (Traceio.Binio.get_f64 c)
+  | t -> Traceio.Error.corruptf "%s: unknown segmentation-threshold tag %d" path t
+
+let profile_payload prof =
+  let b = Buffer.create 65536 in
+  put_threshold b prof.segment.Sca.Segment.threshold;
+  Traceio.Binio.put_varint b (Int64.of_int prof.segment.Sca.Segment.smooth_radius);
+  Traceio.Binio.put_varint b (Int64.of_int prof.segment.Sca.Segment.merge_gap);
+  Traceio.Binio.put_varint b (Int64.of_int prof.segment.Sca.Segment.min_burst);
+  Traceio.Binio.put_varint b (Int64.of_int prof.window_length);
+  Traceio.Codec.put_ints b prof.values;
+  Traceio.Binio.put_f64 b prof.sigma;
+  let a = prof.attack in
+  put_template b a.Sca.Attack.sign_template;
+  put_template b a.Sca.Attack.neg_template;
+  put_template b a.Sca.Attack.pos_template;
+  Traceio.Codec.put_floats b a.Sca.Attack.neg_priors;
+  Traceio.Codec.put_floats b a.Sca.Attack.pos_priors;
+  Traceio.Codec.put_floats b a.Sca.Attack.prior_of_sign;
+  Traceio.Codec.put_ints b a.Sca.Attack.pois_sign;
+  Traceio.Codec.put_ints b a.Sca.Attack.pois_neg;
+  Traceio.Codec.put_ints b a.Sca.Attack.pois_pos;
+  Buffer.contents b
+
+let profile_of_payload ~path payload =
+  let c = Traceio.Binio.cursor ~name:path payload in
+  let threshold = get_threshold ~path c in
+  let smooth_radius = Traceio.Binio.get_varint_int c in
+  let merge_gap = Traceio.Binio.get_varint_int c in
+  let min_burst = Traceio.Binio.get_varint_int c in
+  let segment = { Sca.Segment.threshold; smooth_radius; merge_gap; min_burst } in
+  let window_length = Traceio.Binio.get_varint_int c in
+  let values = Traceio.Codec.get_ints c in
+  let sigma = Traceio.Binio.get_f64 c in
+  let sign_template = get_template ~path c in
+  let neg_template = get_template ~path c in
+  let pos_template = get_template ~path c in
+  let neg_priors = Traceio.Codec.get_floats c in
+  let pos_priors = Traceio.Codec.get_floats c in
+  let prior_of_sign = Traceio.Codec.get_floats c in
+  let pois_sign = Traceio.Codec.get_ints c in
+  let pois_neg = Traceio.Codec.get_ints c in
+  let pois_pos = Traceio.Codec.get_ints c in
+  Traceio.Binio.expect_end c;
+  let attack =
+    {
+      Sca.Attack.sign_template;
+      neg_template;
+      pos_template;
+      neg_priors;
+      pos_priors;
+      prior_of_sign;
+      pois_sign;
+      pois_neg;
+      pois_pos;
+    }
+  in
+  { attack; window_length; segment; values; sigma }
 
 let save_profile path prof =
-  let oc = open_out_bin path in
-  output_string oc profile_magic;
-  Marshal.to_channel oc prof [];
-  close_out oc
+  let oc = Traceio.Error.open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+    (fun () ->
+      Traceio.Error.wrap_io path (fun () ->
+          output_string oc profile_magic;
+          output_string oc (String.init 2 (fun i -> Char.chr ((profile_version lsr (8 * i)) land 0xFF))));
+      Traceio.Frame.write ~path oc (profile_payload prof))
 
 let load_profile path =
-  let ic = open_in_bin path in
-  let header = really_input_string ic (String.length profile_magic) in
-  if header <> profile_magic then begin
-    close_in ic;
-    invalid_arg "Campaign.load_profile: not a profile cache (bad magic)"
-  end;
-  let prof : profile =
-    try Marshal.from_channel ic
-    with _ ->
-      close_in ic;
-      invalid_arg "Campaign.load_profile: corrupt profile cache"
-  in
-  close_in ic;
-  prof
+  let ic = Traceio.Error.open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> try close_in ic with Sys_error _ -> ())
+    (fun () ->
+      try
+        let m = Traceio.Error.wrap_io path (fun () -> really_input_string ic (String.length profile_magic)) in
+        if m = legacy_profile_magic_prefix then
+          invalid_arg
+            (Printf.sprintf
+               "Campaign.load_profile: %s is a stale v1 (Marshal) profile cache — delete it and re-run profiling"
+               path);
+        if m <> profile_magic then
+          invalid_arg (Printf.sprintf "Campaign.load_profile: %s is not a profile cache (bad magic)" path);
+        let v = Traceio.Error.wrap_io path (fun () -> really_input_string ic 2) in
+        let v = Char.code v.[0] lor (Char.code v.[1] lsl 8) in
+        if v <> profile_version then
+          invalid_arg
+            (Printf.sprintf
+               "Campaign.load_profile: %s has profile-cache version %d, this build reads version %d — re-run \
+                profiling"
+               path v profile_version);
+        match Traceio.Frame.read ~path ic with
+        | None -> invalid_arg (Printf.sprintf "Campaign.load_profile: %s: truncated profile cache" path)
+        | Some payload -> profile_of_payload ~path payload
+      with Traceio.Error.Corrupt msg -> invalid_arg (Printf.sprintf "Campaign.load_profile: corrupt cache: %s" msg))
+
+(* --- attack --------------------------------------------------------------- *)
 
 type coefficient_result = {
   actual : int;
@@ -117,17 +350,23 @@ type coefficient_result = {
   posterior_all : (int * float) array;
 }
 
-let windows_of_run prof run =
-  let samples, wins = raw_windows prof.segment run in
+let windows_of_samples prof samples ~count =
+  let wins = raw_windows_of_samples prof.segment ~samples ~count in
   Sca.Segment.vectorize samples wins ~length:prof.window_length
 
-let attack_trace prof run =
-  let vectors = windows_of_run prof run in
+let attack_samples prof ~samples ~noises =
+  let vectors = windows_of_samples prof samples ~count:(Array.length noises) in
   Array.mapi
     (fun i window ->
       let verdict = Sca.Attack.classify prof.attack window in
-      { actual = run.Device.noises.(i); verdict; posterior_all = Sca.Attack.posterior_all prof.attack window })
+      { actual = noises.(i); verdict; posterior_all = Sca.Attack.posterior_all prof.attack window })
     vectors
+
+let windows_of_run prof (run : Device.run) =
+  windows_of_samples prof run.Device.trace.Power.Ptrace.samples ~count:(Array.length run.Device.noises)
+
+let attack_trace prof (run : Device.run) =
+  attack_samples prof ~samples:run.Device.trace.Power.Ptrace.samples ~noises:run.Device.noises
 
 let attack_signs_only prof run =
   let vectors = windows_of_run prof run in
@@ -142,13 +381,59 @@ type stats = {
   skipped_out_of_range : int;
 }
 
-let run_attacks ?domains prof device ~traces ~scope_rng ~sampler_rng =
-  let confusion = Sca.Confusion.create ~labels:prof.values in
+(* Shared aggregate accumulator for the live and archive-replay attack
+   campaigns. *)
+type tally = {
+  t_confusion : Sca.Confusion.t;
+  t_in_range : (int, unit) Hashtbl.t;
+  mutable t_sign_correct : int;
+  mutable t_sign_total : int;
+  mutable t_value_correct : int;
+  mutable t_value_total : int;
+  mutable t_skipped : int;
+  mutable t_all : coefficient_result list;  (* reversed *)
+}
+
+let tally_create prof =
   let in_range = Hashtbl.create 64 in
   Array.iter (fun v -> Hashtbl.replace in_range v ()) prof.values;
-  let sign_correct = ref 0 and sign_total = ref 0 in
-  let value_correct = ref 0 and value_total = ref 0 and skipped = ref 0 in
-  let all = ref [] in
+  {
+    t_confusion = Sca.Confusion.create ~labels:prof.values;
+    t_in_range = in_range;
+    t_sign_correct = 0;
+    t_sign_total = 0;
+    t_value_correct = 0;
+    t_value_total = 0;
+    t_skipped = 0;
+    t_all = [];
+  }
+
+let tally_add t results =
+  Array.iter
+    (fun r ->
+      t.t_all <- r :: t.t_all;
+      t.t_sign_total <- t.t_sign_total + 1;
+      if compare r.actual 0 = r.verdict.Sca.Attack.sign then t.t_sign_correct <- t.t_sign_correct + 1;
+      if Hashtbl.mem t.t_in_range r.actual then begin
+        t.t_value_total <- t.t_value_total + 1;
+        Sca.Confusion.add t.t_confusion ~actual:r.actual ~predicted:r.verdict.Sca.Attack.value;
+        if r.actual = r.verdict.Sca.Attack.value then t.t_value_correct <- t.t_value_correct + 1
+      end
+      else t.t_skipped <- t.t_skipped + 1)
+    results
+
+let tally_finish t =
+  ( {
+      confusion = t.t_confusion;
+      sign_correct = t.t_sign_correct;
+      sign_total = t.t_sign_total;
+      value_correct = t.t_value_correct;
+      value_total = t.t_value_total;
+      skipped_out_of_range = t.t_skipped;
+    },
+    Array.of_list (List.rev t.t_all) )
+
+let run_attacks ?domains prof device ~traces ~scope_rng ~sampler_rng =
   let seeds = Array.init traces (fun _ -> (Mathkit.Prng.bits64 scope_rng, Mathkit.Prng.bits64 sampler_rng)) in
   let one_trace (scope_seed, sampler_seed) =
     let scope_rng = Mathkit.Prng.create ~seed:scope_seed () in
@@ -157,27 +442,30 @@ let run_attacks ?domains prof device ~traces ~scope_rng ~sampler_rng =
     attack_trace prof run
   in
   let per_trace = Mathkit.Parallel.map_array ?domains one_trace seeds in
-  Array.iter
-    (fun results ->
-    Array.iter
-      (fun r ->
-        all := r :: !all;
-        incr sign_total;
-        if compare r.actual 0 = r.verdict.Sca.Attack.sign then incr sign_correct;
-        if Hashtbl.mem in_range r.actual then begin
-          incr value_total;
-          Sca.Confusion.add confusion ~actual:r.actual ~predicted:r.verdict.Sca.Attack.value;
-          if r.actual = r.verdict.Sca.Attack.value then incr value_correct
+  let tally = tally_create prof in
+  Array.iter (tally_add tally) per_trace;
+  tally_finish tally
+
+(* Re-attack a recorded campaign: records stream through in batches
+   ([batch] traces resident at a time), classification parallelised
+   over each batch with Mathkit.Parallel. *)
+let attack_archive ?domains ?(batch = 16) prof path =
+  if batch <= 0 then invalid_arg "Campaign.attack_archive: batch must be positive";
+  Traceio.Archive.with_reader path (fun reader ->
+      let tally = tally_create prof in
+      let rec loop () =
+        let records = Traceio.Archive.next_batch reader ~max:batch in
+        if Array.length records > 0 then begin
+          let per_trace =
+            Mathkit.Parallel.map_array ?domains
+              (fun (r : Traceio.Archive.record) ->
+                attack_samples prof ~samples:r.Traceio.Archive.trace.Power.Ptrace.samples
+                  ~noises:r.Traceio.Archive.noises)
+              records
+          in
+          Array.iter (tally_add tally) per_trace;
+          loop ()
         end
-        else incr skipped)
-      results)
-    per_trace;
-  ( {
-      confusion;
-      sign_correct = !sign_correct;
-      sign_total = !sign_total;
-      value_correct = !value_correct;
-      value_total = !value_total;
-      skipped_out_of_range = !skipped;
-    },
-    Array.of_list (List.rev !all) )
+      in
+      loop ();
+      tally_finish tally)

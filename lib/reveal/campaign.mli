@@ -47,11 +47,46 @@ val profile :
 val save_profile : string -> profile -> unit
 (** Persist a built profile (templates, POIs, segmentation calibration)
     so the expensive profiling phase runs once per device.  The format
-    is an internal cache (OCaml marshalling behind a magic/version
-    header), not an interchange format. *)
+    is a versioned binary codec in the {!Traceio} format family (magic
+    + version + one CRC-framed payload) — stale or damaged caches are
+    rejected on load instead of being misinterpreted.
+    @raise Traceio.Error.Io when the path cannot be written (message
+    carries the path). *)
 
 val load_profile : string -> profile
-(** @raise Invalid_argument on wrong magic/version or a corrupt file. *)
+(** @raise Invalid_argument with a clear message on a stale (v1 /
+    Marshal-era), version-mismatched, truncated or corrupt cache.
+    @raise Traceio.Error.Io when the file cannot be read. *)
+
+(** {1 Profiling campaigns on disk}
+
+    The acquire-once / analyze-many split: {!record_profiling} runs
+    the profiling campaign and streams every labelled run into a
+    {!Traceio.Archive} (the segmentation calibration travels in the
+    archive metadata); {!profile_of_archive} rebuilds templates from
+    such an archive without touching a device.  Both paths consume
+    their generator identically, so for equal seeds the offline
+    profile is bit-identical to the live one. *)
+
+val record_profiling :
+  ?values:int array -> ?per_value:int -> ?seed:int64 -> Device.t -> Mathkit.Prng.t -> path:string -> unit
+(** Capture the profiling campaign of {!profile} into an archive, one
+    run resident at a time.  [seed] is stamped into the header for
+    provenance.
+    @raise Invalid_argument under the same conditions as {!profile}. *)
+
+val profiling_windows_of_archive :
+  ?domains:int -> ?batch:int -> string -> Sca.Segment.config * int * (int * float array array) list
+(** Stream the labelled windows back out of a profiling archive:
+    records are ingested in batches of [batch] (default 16) traces —
+    the peak resident set — and segmented in parallel over [domains]
+    worker domains.
+    @raise Traceio.Error.Corrupt when the archive is damaged or is not
+    a profiling archive. *)
+
+val profile_of_archive :
+  ?domains:int -> ?batch:int -> ?poi_count:int -> ?sign_poi_count:int -> string -> profile
+(** {!profile}, but from a recorded profiling archive. *)
 
 val profiling_windows :
   ?values:int array ->
@@ -98,3 +133,11 @@ val run_attacks :
   stats * coefficient_result array
 (** Repeated single-trace attacks; returns aggregate statistics and
     the flattened per-coefficient results (for hint building). *)
+
+val attack_archive : ?domains:int -> ?batch:int -> profile -> string -> stats * coefficient_result array
+(** Re-attack a recorded campaign (see {!Device.record}) offline:
+    records stream through in batches of [batch] (default 16) traces,
+    classified in parallel — the same aggregates as {!run_attacks},
+    and bit-identical results for the runs the archive holds, with
+    memory bounded by one batch instead of the whole trace set.
+    @raise Traceio.Error.Corrupt when the archive is damaged. *)

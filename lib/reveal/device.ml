@@ -113,3 +113,88 @@ let profiling_draw t rng ~value =
   let draws, _ = Riscv.Sampler_prog.draws_of_gaussian rng Mathkit.Gaussian.seal_default ~count:1 in
   let _, rejections = draws.(0) in
   (value, rejections)
+
+(* --- record / replay ----------------------------------------------------- *)
+
+let open_recorder ?meta t ~path ~seed =
+  Traceio.Archive.open_writer ?meta ~variant:t.variant ~n:t.n ~seed
+    ~samples_per_cycle:t.synth.Power.Synth.samples_per_cycle ~noise_sigma:t.synth.Power.Synth.noise_sigma path
+
+let record_run writer run = Traceio.Archive.append writer ~noises:run.noises run.trace
+
+let record t ~path ~seed ~traces ~scope_rng ~sampler_rng =
+  if traces < 0 then invalid_arg "Device.record: traces must be non-negative";
+  let writer = open_recorder t ~path ~seed in
+  Fun.protect
+    ~finally:(fun () -> Traceio.Archive.close_writer writer)
+    (fun () ->
+      for _ = 1 to traces do
+        let run =
+          match t.variant with
+          | Riscv.Sampler_prog.Shuffled ->
+              let perm = Array.init t.n (fun i -> i) in
+              Mathkit.Prng.shuffle sampler_rng perm;
+              run_shuffled t ~scope_rng ~sampler_rng ~perm
+          | _ -> run_gaussian t ~scope_rng ~sampler_rng
+        in
+        record_run writer run
+      done)
+
+let check_compatible t (h : Traceio.Archive.header) ~path =
+  let mismatch what a b =
+    invalid_arg (Printf.sprintf "Device.replay: %s: archive has %s %s, device expects %s" path what a b)
+  in
+  if h.Traceio.Archive.variant <> t.variant then
+    mismatch "sampler variant"
+      (Traceio.Archive.variant_name h.Traceio.Archive.variant)
+      (Traceio.Archive.variant_name t.variant);
+  if h.Traceio.Archive.n <> t.n then
+    mismatch "coefficient count" (string_of_int h.Traceio.Archive.n) (string_of_int t.n);
+  if h.Traceio.Archive.samples_per_cycle <> t.synth.Power.Synth.samples_per_cycle then
+    mismatch "samples per cycle"
+      (string_of_int h.Traceio.Archive.samples_per_cycle)
+      (string_of_int t.synth.Power.Synth.samples_per_cycle)
+
+type replay = Traceio.Archive.reader
+
+let open_replay ?expect path =
+  let reader = Traceio.Archive.open_reader path in
+  (match expect with
+  | Some t -> (
+      try check_compatible t (Traceio.Archive.header reader) ~path
+      with exn ->
+        Traceio.Archive.close_reader reader;
+        raise exn)
+  | None -> ());
+  reader
+
+let replay_header = Traceio.Archive.header
+
+(* A replayed run carries everything the attack consumes (trace +
+   ground-truth labels); the firmware's memory image is not archived,
+   so [poly] is empty. *)
+let run_of_record (r : Traceio.Archive.record) = { trace = r.Traceio.Archive.trace; noises = r.Traceio.Archive.noises; poly = [||] }
+
+let replay_next reader = Option.map run_of_record (Traceio.Archive.next reader)
+let close_replay = Traceio.Archive.close_reader
+
+let replay_iter ?expect path ~f =
+  let reader = open_replay ?expect path in
+  Fun.protect
+    ~finally:(fun () -> close_replay reader)
+    (fun () ->
+      let rec loop () = match replay_next reader with None -> () | Some run -> f run; loop () in
+      loop ())
+
+let of_header ?synth ?cycle_model (h : Traceio.Archive.header) =
+  let synth =
+    match synth with
+    | Some s -> s
+    | None ->
+        {
+          Power.Synth.default with
+          Power.Synth.samples_per_cycle = h.Traceio.Archive.samples_per_cycle;
+          noise_sigma = h.Traceio.Archive.noise_sigma;
+        }
+  in
+  create ~variant:h.Traceio.Archive.variant ~synth ?cycle_model ~n:h.Traceio.Archive.n ()

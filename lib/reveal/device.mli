@@ -49,3 +49,50 @@ val profiling_draw : t -> Mathkit.Prng.t -> value:int -> int * int
     honestly sampled rejection count — how profiling "configures the
     device with all possible secrets" without distorting its timing
     distribution. *)
+
+(** {1 Record / replay}
+
+    Capture a campaign into a {!Traceio.Archive} once, re-attack it
+    offline any number of times.  Recording streams run by run —
+    memory stays bounded by one trace — and replay is lossless: a
+    replayed run is bit-identical to the live one (samples, events,
+    ground-truth labels), so offline analyses reproduce online results
+    exactly. *)
+
+val open_recorder : ?meta:(string * string) list -> t -> path:string -> seed:int64 -> Traceio.Archive.writer
+(** An archive writer stamped with this device's parameters (variant,
+    n, samples per cycle, scope noise) and the campaign [seed]. *)
+
+val record_run : Traceio.Archive.writer -> run -> unit
+(** Append one run (its trace and ground-truth noises). *)
+
+val record :
+  t -> path:string -> seed:int64 -> traces:int -> scope_rng:Mathkit.Prng.t -> sampler_rng:Mathkit.Prng.t -> unit
+(** Capture [traces] honest runs ([run_gaussian]; the Shuffled variant
+    draws a fresh secret permutation per run) into an archive.  [seed]
+    is provenance metadata only — the randomness comes from the two
+    generators, exactly as in the live campaign entry points. *)
+
+type replay
+(** A streaming cursor over an archived campaign. *)
+
+val open_replay : ?expect:t -> string -> replay
+(** Open an archive for replay.  With [expect], the archive header
+    must match the device's variant, coefficient count and sampling
+    rate.
+    @raise Invalid_argument on a parameter mismatch.
+    @raise Traceio.Error.Corrupt on a damaged archive. *)
+
+val replay_header : replay -> Traceio.Archive.header
+val replay_next : replay -> run option
+(** Next archived run.  [poly] is empty: the archive stores what the
+    scope saw and the ground truth, not the firmware's memory image. *)
+
+val close_replay : replay -> unit
+val replay_iter : ?expect:t -> string -> f:(run -> unit) -> unit
+
+val of_header : ?synth:Power.Synth.config -> ?cycle_model:(Riscv.Inst.klass -> int) -> Traceio.Archive.header -> t
+(** A clone device matching an archive's parameters — what offline
+    profiling builds its templates on.  [synth] defaults to
+    {!Power.Synth.default} with the header's sampling rate and noise
+    sigma. *)

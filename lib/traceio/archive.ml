@@ -1,0 +1,241 @@
+(* The trace-set archive: magic + versioned header frame + one frame
+   per trace record.  See DESIGN.md ("traceio archive format") for the
+   byte-level layout. *)
+
+let magic = "REVEALTR"
+let version = 1
+
+(* trace_count placeholder while the writer is still streaming; a
+   reader that sees it knows the writer never finalised the file *)
+let count_unknown = 0xFFFFFFFF
+
+type header = {
+  variant : Riscv.Sampler_prog.variant;
+  n : int;
+  seed : int64;
+  samples_per_cycle : int;
+  noise_sigma : float;
+  trace_count : int;
+  meta : (string * string) list;
+}
+
+type record = {
+  index : int;
+  noises : int array;
+  trace : Power.Ptrace.t;
+}
+
+let variant_code = function
+  | Riscv.Sampler_prog.Vulnerable -> 0
+  | Riscv.Sampler_prog.Branchless -> 1
+  | Riscv.Sampler_prog.Shuffled -> 2
+  | Riscv.Sampler_prog.Cdt_table -> 3
+
+let variant_of_code ~path = function
+  | 0 -> Riscv.Sampler_prog.Vulnerable
+  | 1 -> Riscv.Sampler_prog.Branchless
+  | 2 -> Riscv.Sampler_prog.Shuffled
+  | 3 -> Riscv.Sampler_prog.Cdt_table
+  | c -> Error.corruptf "%s: unknown sampler-variant code %d" path c
+
+let variant_name = function
+  | Riscv.Sampler_prog.Vulnerable -> "vulnerable (SEAL v3.2)"
+  | Riscv.Sampler_prog.Branchless -> "branchless (SEAL v3.6)"
+  | Riscv.Sampler_prog.Shuffled -> "shuffled"
+  | Riscv.Sampler_prog.Cdt_table -> "cdt-table"
+
+let meta_find h key = List.assoc_opt key h.meta
+
+let header_payload h ~count =
+  let b = Buffer.create 128 in
+  Binio.put_u8 b (variant_code h.variant);
+  Binio.put_u32 b h.n;
+  Binio.put_u64 b h.seed;
+  Binio.put_u16 b h.samples_per_cycle;
+  Binio.put_f64 b h.noise_sigma;
+  Binio.put_u32 b count;
+  Binio.put_varint b (Int64.of_int (List.length h.meta));
+  List.iter
+    (fun (k, v) ->
+      Binio.put_string b k;
+      Binio.put_string b v)
+    h.meta;
+  Buffer.contents b
+
+let header_of_payload ~path payload =
+  let c = Binio.cursor ~name:path payload in
+  let variant = variant_of_code ~path (Binio.get_u8 c) in
+  let n = Binio.get_u32 c in
+  let seed = Binio.get_u64 c in
+  let samples_per_cycle = Binio.get_u16 c in
+  let noise_sigma = Binio.get_f64 c in
+  let trace_count = Binio.get_u32 c in
+  let pairs = Binio.get_varint_int c in
+  let meta =
+    List.init pairs (fun _ ->
+        let k = Binio.get_string c in
+        let v = Binio.get_string c in
+        (k, v))
+  in
+  Binio.expect_end c;
+  if n <= 0 then Error.corruptf "%s: header declares a non-positive coefficient count %d" path n;
+  if samples_per_cycle <= 0 then
+    Error.corruptf "%s: header declares a non-positive samples_per_cycle %d" path samples_per_cycle;
+  { variant; n; seed; samples_per_cycle; noise_sigma; trace_count; meta }
+
+(* --- writing ------------------------------------------------------------ *)
+
+type writer = {
+  w_path : string;
+  oc : out_channel;
+  w_header : header;  (* trace_count field unused while open *)
+  mutable count : int;
+  mutable w_closed : bool;
+}
+
+let open_writer ?(meta = []) ~variant ~n ~seed ~samples_per_cycle ~noise_sigma path =
+  if n <= 0 then invalid_arg "Archive.open_writer: n must be positive";
+  if samples_per_cycle <= 0 then invalid_arg "Archive.open_writer: samples_per_cycle must be positive";
+  let h = { variant; n; seed; samples_per_cycle; noise_sigma; trace_count = 0; meta } in
+  let oc = Error.open_out_bin path in
+  Error.wrap_io path (fun () ->
+      output_string oc magic;
+      output_string oc (String.init 2 (fun i -> Char.chr ((version lsr (8 * i)) land 0xFF))));
+  Frame.write ~path oc (header_payload h ~count:count_unknown);
+  { w_path = path; oc; w_header = h; count = 0; w_closed = false }
+
+let writer_count w = w.count
+let writer_path w = w.w_path
+
+let record_payload ~index ~noises trace =
+  let b = Buffer.create (4 * Array.length trace.Power.Ptrace.samples) in
+  Binio.put_varint b (Int64.of_int index);
+  Codec.put_ints b noises;
+  Codec.put_floats b trace.Power.Ptrace.samples;
+  Codec.put_ints_delta b trace.Power.Ptrace.event_start;
+  Codec.put_ints_delta b trace.Power.Ptrace.event_pc;
+  Buffer.contents b
+
+let append w ~noises trace =
+  if w.w_closed then invalid_arg "Archive.append: writer already closed";
+  if Array.length noises <> w.w_header.n then
+    invalid_arg
+      (Printf.sprintf "Archive.append: %d noise labels for an n=%d archive" (Array.length noises) w.w_header.n);
+  if trace.Power.Ptrace.samples_per_cycle <> w.w_header.samples_per_cycle then
+    invalid_arg
+      (Printf.sprintf "Archive.append: trace sampled at %d/cycle, archive at %d/cycle"
+         trace.Power.Ptrace.samples_per_cycle w.w_header.samples_per_cycle);
+  Frame.write ~path:w.w_path w.oc (record_payload ~index:w.count ~noises trace);
+  w.count <- w.count + 1
+
+let close_writer w =
+  if not w.w_closed then begin
+    w.w_closed <- true;
+    Error.wrap_io w.w_path (fun () ->
+        (* patch the finalised trace count into the header frame; only a
+           fixed-width field changes, so the frame keeps its size *)
+        seek_out w.oc (String.length magic + 2);
+        Frame.write ~path:w.w_path w.oc (header_payload w.w_header ~count:w.count);
+        close_out w.oc)
+  end
+
+(* --- reading ------------------------------------------------------------ *)
+
+type reader = {
+  r_path : string;
+  ic : in_channel;
+  header : header;
+  mutable next_index : int;
+  mutable r_closed : bool;
+}
+
+let open_reader path =
+  let ic = Error.open_in_bin path in
+  let fail_with exn = (try close_in ic with Sys_error _ -> ()); raise exn in
+  try
+    let m = Error.wrap_io path (fun () -> really_input_string ic (String.length magic)) in
+    if m <> magic then
+      Error.corruptf "%s: not a reveal trace archive (magic %S, expected %S)" path m magic;
+    let v = Error.wrap_io path (fun () -> really_input_string ic 2) in
+    let v = Char.code v.[0] lor (Char.code v.[1] lsl 8) in
+    if v <> version then
+      Error.corruptf "%s: unsupported archive version %d (this build reads version %d)" path v version;
+    let header =
+      match Frame.read ~path ic with
+      | None -> Error.corruptf "%s: missing header frame" path
+      | Some payload -> header_of_payload ~path payload
+    in
+    if header.trace_count = count_unknown then
+      Error.corruptf "%s: archive was never finalised (writer not closed) — record count unknown" path;
+    { r_path = path; ic; header; next_index = 0; r_closed = false }
+  with exn -> fail_with exn
+
+let header r = r.header
+let reader_path r = r.r_path
+
+let close_reader r =
+  if not r.r_closed then begin
+    r.r_closed <- true;
+    try close_in r.ic with Sys_error _ -> ()
+  end
+
+let record_of_payload ~path ~header ~expect_index payload =
+  let c = Binio.cursor ~name:path payload in
+  let index = Binio.get_varint_int c in
+  if index <> expect_index then
+    Error.corruptf "%s: record %d found where record %d was expected — records reordered or lost" path index
+      expect_index;
+  let noises = Codec.get_ints c in
+  if Array.length noises <> header.n then
+    Error.corruptf "%s: record %d carries %d noise labels for an n=%d archive" path index (Array.length noises)
+      header.n;
+  let samples = Codec.get_floats c in
+  let event_start = Codec.get_ints_delta c in
+  let event_pc = Codec.get_ints_delta c in
+  if Array.length event_start <> Array.length event_pc then
+    Error.corruptf "%s: record %d has %d event starts but %d event pcs" path index (Array.length event_start)
+      (Array.length event_pc);
+  Binio.expect_end c;
+  {
+    index;
+    noises;
+    trace = { Power.Ptrace.samples; samples_per_cycle = header.samples_per_cycle; event_start; event_pc };
+  }
+
+let next r =
+  if r.r_closed then invalid_arg "Archive.next: reader already closed";
+  match Frame.read ~path:r.r_path r.ic with
+  | None ->
+      if r.next_index < r.header.trace_count then
+        Error.corruptf "%s: archive truncated — header declares %d records but only %d are present" r.r_path
+          r.header.trace_count r.next_index;
+      None
+  | Some payload ->
+      if r.next_index >= r.header.trace_count then
+        Error.corruptf "%s: trailing data after the %d records the header declares" r.r_path r.header.trace_count;
+      let rec_ = record_of_payload ~path:r.r_path ~header:r.header ~expect_index:r.next_index payload in
+      r.next_index <- r.next_index + 1;
+      Some rec_
+
+let next_batch r ~max =
+  if max <= 0 then invalid_arg "Archive.next_batch: max must be positive";
+  let rec take acc k = if k = 0 then acc else match next r with None -> acc | Some x -> take (x :: acc) (k - 1) in
+  Array.of_list (List.rev (take [] max))
+
+let with_reader path f =
+  let r = open_reader path in
+  Fun.protect ~finally:(fun () -> close_reader r) (fun () -> f r)
+
+let iter path f =
+  with_reader path (fun r ->
+      let rec loop () = match next r with None -> () | Some x -> f x; loop () in
+      loop ())
+
+let fold path f init =
+  with_reader path (fun r ->
+      let rec loop acc = match next r with None -> acc | Some x -> loop (f acc x) in
+      loop init)
+
+let file_size path =
+  let ic = Error.open_in_bin path in
+  Fun.protect ~finally:(fun () -> try close_in ic with Sys_error _ -> ()) (fun () -> in_channel_length ic)

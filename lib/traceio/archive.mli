@@ -1,0 +1,112 @@
+(** Versioned binary archives of power-trace sets.
+
+    The paper's attack flow is acquire-once / analyze-many: one
+    captured trace of the sampler is segmented, templated and fed to
+    the lattice estimator over and over.  This module is the storage
+    layer that separates the two phases — a campaign is captured once
+    into an on-disk archive and replayed through any number of offline
+    analyses with bounded memory.
+
+    On-disk layout (all little-endian):
+
+    {v
+    "REVEALTR"  8-byte magic
+    u16         format version (currently 1)
+    FRAME       header: variant u8, n u32, seed u64,
+                samples_per_cycle u16, noise_sigma f64,
+                trace_count u32 (0xFFFFFFFF until finalised),
+                meta count + (key, value) string pairs
+    FRAME*      one per trace record: index varint,
+                noise labels (zigzag varints),
+                samples (IEEE-bit delta varints),
+                event starts (delta varints),
+                event pcs (delta varints)
+    v}
+
+    where FRAME is [u32 length | payload | u32 crc32] (see {!Frame}).
+    Readers verify every checksum and every declared count before
+    interpreting bytes; any mismatch raises {!Error.Corrupt} rather
+    than misreading data. *)
+
+type header = {
+  variant : Riscv.Sampler_prog.variant;  (** firmware the traces came from *)
+  n : int;  (** coefficients per run *)
+  seed : int64;  (** campaign seed, for provenance *)
+  samples_per_cycle : int;
+  noise_sigma : float;  (** scope noise the synthesiser added *)
+  trace_count : int;
+  meta : (string * string) list;  (** free-form extensions (e.g. profiling calibration) *)
+}
+
+type record = {
+  index : int;  (** position in the campaign, 0-based and sequential *)
+  noises : int array;  (** ground-truth labels: the coefficients sampled *)
+  trace : Power.Ptrace.t;
+}
+
+val variant_name : Riscv.Sampler_prog.variant -> string
+val meta_find : header -> string -> string option
+
+(** {1 Writing}
+
+    The writer streams: each appended record is framed and flushed
+    forward, nothing is buffered across records, so a paper-scale
+    campaign never holds more than one trace in memory. *)
+
+type writer
+
+val open_writer :
+  ?meta:(string * string) list ->
+  variant:Riscv.Sampler_prog.variant ->
+  n:int ->
+  seed:int64 ->
+  samples_per_cycle:int ->
+  noise_sigma:float ->
+  string ->
+  writer
+(** @raise Error.Io when the path cannot be created. *)
+
+val append : writer -> noises:int array -> Power.Ptrace.t -> unit
+(** @raise Invalid_argument when the record does not match the header
+    (label count, samples per cycle).
+    @raise Error.Io on a write failure (message carries the path). *)
+
+val writer_count : writer -> int
+val writer_path : writer -> string
+
+val close_writer : writer -> unit
+(** Patches the finalised record count into the header and closes the
+    file.  Idempotent.  An archive whose writer never closed is
+    rejected by {!open_reader}. *)
+
+(** {1 Reading}
+
+    Strictly streaming: {!next} holds exactly one record in memory. *)
+
+type reader
+
+val open_reader : string -> reader
+(** Validates magic, version and the header checksum.
+    @raise Error.Corrupt on any mismatch, including an unfinalised
+    archive. *)
+
+val header : reader -> header
+val reader_path : reader -> string
+
+val next : reader -> record option
+(** Next verified record; [None] at the declared end.
+    @raise Error.Corrupt on checksum mismatch, truncation (fewer
+    records than the header declares), trailing data, or a record
+    inconsistent with the header. *)
+
+val next_batch : reader -> max:int -> record array
+(** Up to [max] records — the unit parallel ingestion works on. *)
+
+val close_reader : reader -> unit
+
+val with_reader : string -> (reader -> 'a) -> 'a
+val iter : string -> (record -> unit) -> unit
+val fold : string -> ('a -> record -> 'a) -> 'a -> 'a
+
+val file_size : string -> int
+(** On-disk byte size (for compression-ratio reporting). *)

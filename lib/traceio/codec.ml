@@ -1,0 +1,62 @@
+(* Array codecs for the sample/event/label streams.
+
+   Floats are serialised losslessly as deltas of consecutive IEEE-754
+   bit patterns: neighbouring oscilloscope samples share sign,
+   exponent and high mantissa bits, so the bit-pattern difference is a
+   small signed integer that zigzag+LEB128 stores in a few bytes —
+   while decode reproduces the exact bits, NaN payloads included. *)
+
+let put_floats b xs =
+  Binio.put_varint b (Int64.of_int (Array.length xs));
+  let prev = ref 0L in
+  Array.iter
+    (fun x ->
+      let bits = Int64.bits_of_float x in
+      Binio.put_svarint b (Int64.sub bits !prev);
+      prev := bits)
+    xs
+
+let get_floats c =
+  let n = Binio.get_varint_int c in
+  if n > Binio.remaining c then Error.corruptf "float array claims %d elements but only %d bytes remain" n (Binio.remaining c);
+  let prev = ref 0L in
+  Array.init n (fun _ ->
+      let bits = Int64.add !prev (Binio.get_svarint c) in
+      prev := bits;
+      Int64.float_of_bits bits)
+
+(* Monotone-ish integer streams (event start indices): delta + zigzag. *)
+let put_ints_delta b xs =
+  Binio.put_varint b (Int64.of_int (Array.length xs));
+  let prev = ref 0L in
+  Array.iter
+    (fun x ->
+      let v = Int64.of_int x in
+      Binio.put_svarint b (Int64.sub v !prev);
+      prev := v)
+    xs
+
+let get_ints_delta c =
+  let n = Binio.get_varint_int c in
+  if n > Binio.remaining c then Error.corruptf "int array claims %d elements but only %d bytes remain" n (Binio.remaining c);
+  let prev = ref 0L in
+  Array.init n (fun _ ->
+      let v = Int64.add !prev (Binio.get_svarint c) in
+      prev := v;
+      if Int64.compare v (Int64.of_int max_int) > 0 || Int64.compare v (Int64.of_int min_int) < 0 then
+        Error.corruptf "int array element %Ld does not fit an OCaml int" v;
+      Int64.to_int v)
+
+(* Small signed values around zero (noise labels, pcs): plain zigzag. *)
+let put_ints b xs =
+  Binio.put_varint b (Int64.of_int (Array.length xs));
+  Array.iter (fun x -> Binio.put_svarint b (Int64.of_int x)) xs
+
+let get_ints c =
+  let n = Binio.get_varint_int c in
+  if n > Binio.remaining c then Error.corruptf "int array claims %d elements but only %d bytes remain" n (Binio.remaining c);
+  Array.init n (fun _ ->
+      let v = Binio.get_svarint c in
+      if Int64.compare v (Int64.of_int max_int) > 0 || Int64.compare v (Int64.of_int min_int) < 0 then
+        Error.corruptf "int array element %Ld does not fit an OCaml int" v;
+      Int64.to_int v)

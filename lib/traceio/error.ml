@@ -1,0 +1,23 @@
+exception Corrupt of string
+exception Io of string
+
+let corruptf fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+let iof fmt = Printf.ksprintf (fun s -> raise (Io s)) fmt
+
+let wrap_io path f =
+  try f () with
+  | Sys_error msg ->
+      (* Sys_error messages from open/read already start with the file name;
+         avoid printing the path twice. *)
+      let plen = String.length path in
+      if String.length msg >= plen && String.sub msg 0 plen = path then raise (Io msg)
+      else iof "%s: %s" path msg
+  | End_of_file -> corruptf "%s: unexpected end of file" path
+
+let open_in_bin path = wrap_io path (fun () -> Stdlib.open_in_bin path)
+let open_out_bin path = wrap_io path (fun () -> Stdlib.open_out_bin path)
+
+let to_string = function
+  | Corrupt msg -> Printf.sprintf "corrupt archive: %s" msg
+  | Io msg -> Printf.sprintf "i/o error: %s" msg
+  | exn -> Printexc.to_string exn

@@ -1,0 +1,33 @@
+(** Error discipline of the [traceio] format family.
+
+    Two failure classes, kept distinct on purpose:
+
+    - {!Corrupt}: the bytes were read fine but do not form a valid
+      archive — bad magic, unsupported version, checksum mismatch,
+      truncation, out-of-range field.  The file is not trustworthy and
+      no read path may fall back to "interpret it anyway".
+    - {!Io}: the operating system refused — missing file, permissions,
+      disk full.  The message always carries the offending path, so
+      callers never see a bare [Sys_error "…"] with no context. *)
+
+exception Corrupt of string
+exception Io of string
+
+val corruptf : ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Corrupt} with a formatted message. *)
+
+val iof : ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Io} with a formatted message. *)
+
+val wrap_io : string -> (unit -> 'a) -> 'a
+(** [wrap_io path f] runs [f], rewriting [Sys_error] into {!Io}
+    (prefixed with [path]) and [End_of_file] into {!Corrupt}. *)
+
+val open_in_bin : string -> in_channel
+(** [Stdlib.open_in_bin] with {!Io} errors carrying the path. *)
+
+val open_out_bin : string -> out_channel
+(** [Stdlib.open_out_bin] with {!Io} errors carrying the path. *)
+
+val to_string : exn -> string
+(** Human-readable rendering (CLI error reporting). *)

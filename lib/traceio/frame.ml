@@ -1,0 +1,62 @@
+(* Chunk framing: every header and record in an archive is one frame,
+     u32 payload length | payload bytes | u32 crc32(payload)
+   so a reader can stream chunk by chunk, verify each independently,
+   and detect truncation at any byte. *)
+
+(* A corrupted length field must not trigger a gigabyte allocation
+   before the CRC check gets a chance to reject the frame. *)
+let max_payload = 1 lsl 30
+
+let output_u32 oc v =
+  let b = Bytes.create 4 in
+  for i = 0 to 3 do
+    Bytes.set b i (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done;
+  output_bytes oc b
+
+let input_u32 ~path ic =
+  let b = really_input_string ic 4 in
+  let v = ref 0 in
+  for i = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code b.[i]
+  done;
+  ignore path;
+  !v
+
+let write ~path oc payload =
+  let len = String.length payload in
+  if len > max_payload then invalid_arg "Frame.write: payload too large";
+  Error.wrap_io path (fun () ->
+      output_u32 oc len;
+      output_string oc payload;
+      output_u32 oc (Crc32.digest payload))
+
+let size payload = 8 + String.length payload
+
+(* [read ~path ic] returns the next verified payload, or [None] on a
+   clean end of file (EOF exactly at a frame boundary). *)
+let read ~path ic =
+  let first =
+    try Some (input_char ic)
+    with End_of_file -> None
+  in
+  match first with
+  | None -> None
+  | Some c0 ->
+      Error.wrap_io path (fun () ->
+          let rest = really_input_string ic 3 in
+          let len = ref 0 in
+          let byte i = if i = 0 then Char.code c0 else Char.code rest.[i - 1] in
+          for i = 3 downto 0 do
+            len := (!len lsl 8) lor byte i
+          done;
+          if !len > max_payload then
+            Error.corruptf "%s: frame length %d exceeds the format maximum (%d) — damaged length field" path !len
+              max_payload;
+          let payload = really_input_string ic !len in
+          let stored = input_u32 ~path ic in
+          let actual = Crc32.digest payload in
+          if stored <> actual then
+            Error.corruptf "%s: checksum mismatch (stored %08x, computed %08x) — the archive is damaged" path stored
+              actual;
+          Some payload)

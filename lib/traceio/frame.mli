@@ -1,0 +1,22 @@
+(** CRC-checksummed chunk framing.
+
+    A frame is [u32 length | payload | u32 crc32(payload)], all
+    little-endian.  Frames are the archive's unit of verification and
+    of memory residency: readers hold exactly one frame's payload at a
+    time. *)
+
+val max_payload : int
+(** Hard ceiling on a frame payload (1 GiB) — a damaged length field
+    is rejected before any oversized allocation. *)
+
+val write : path:string -> out_channel -> string -> unit
+(** Append one frame.  [path] contextualises {!Error.Io} failures. *)
+
+val size : string -> int
+(** On-disk size of the frame [write] would emit for this payload. *)
+
+val read : path:string -> in_channel -> string option
+(** Next verified payload; [None] on a clean end of file.
+    @raise Error.Corrupt on truncation mid-frame, an oversized length
+    field, or a checksum mismatch.
+    @raise Error.Io when the OS fails the read. *)

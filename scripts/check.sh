@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# CI check: full build + test suite, then a record/replay smoke test
+# of the traceio storage layer through the real CLI.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== smoke: record a tiny archive and replay it through reveal_cli =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+dune exec bin/reveal_cli.exe -- record --seed 7 -n 64 --traces 2 -o "$tmp/smoke.rvt"
+dune exec bin/reveal_cli.exe -- inspect "$tmp/smoke.rvt" --records
+dune exec bin/reveal_cli.exe -- replay-attack "$tmp/smoke.rvt" --per-value 40 | tee "$tmp/replay.out"
+grep -q "replayed attack over 2 traces" "$tmp/replay.out"
+
+echo "== all checks passed =="

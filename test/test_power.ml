@@ -115,6 +115,20 @@ let test_ptrace_sub_bounds () =
   Alcotest.check_raises "oob" (Invalid_argument "Ptrace.sub: window out of bounds") (fun () ->
       ignore (Power.Ptrace.sub t 0 (Power.Ptrace.length t + 1)))
 
+let test_ptrace_save_csv_reports_path () =
+  let events = events_of_program [ Riscv.Asm.halt ] in
+  let t = Power.Synth.synthesize Power.Synth.quiet events in
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "no-such-dir-reveal/trace.csv" in
+  match Power.Ptrace.save_csv path t with
+  | exception Failure msg ->
+      let contains affix =
+        let n = String.length affix and m = String.length msg in
+        let rec go i = i + n <= m && (String.sub msg i n = affix || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "error names the target path" true (contains path)
+  | () -> Alcotest.fail "save_csv into a missing directory succeeded"
+
 let test_ascii_plot_shape () =
   let samples = Array.init 500 (fun i -> sin (float_of_int i /. 20.0)) in
   let plot = Power.Ptrace.ascii_plot ~width:60 ~height:10 samples in
@@ -138,6 +152,7 @@ let suite =
       ("synth noise statistics", test_synth_noise_statistics);
       ("synth value dependence", test_synth_value_dependence);
       ("ptrace csv", test_ptrace_csv);
+      ("ptrace save_csv reports path", test_ptrace_save_csv_reports_path);
       ("ptrace sub bounds", test_ptrace_sub_bounds);
       ("ascii plot shape", test_ascii_plot_shape);
     ]

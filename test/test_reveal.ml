@@ -8,5 +8,6 @@ let () =
       ("sca", Test_sca.suite);
       ("hints", Test_hints.suite);
       ("lattice", Test_lattice.suite);
+      ("traceio", Test_traceio.suite);
       ("pipeline", Test_pipeline.suite);
     ]

@@ -1,0 +1,372 @@
+(* traceio: binary archive round trips, corruption detection, and the
+   record/replay pipeline.  The hard claims: reads reproduce exactly
+   the bits written (samples, events, labels), any damaged byte is
+   rejected by a checksum instead of misread, and a replayed campaign
+   recovers exactly the coefficients the live attack recovers. *)
+
+let rng () = Mathkit.Prng.create ~seed:77L ()
+
+let with_tmp name f =
+  let path = Filename.temp_file "reveal_traceio" name in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let float_bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)) a b
+
+(* --- primitives ---------------------------------------------------------- *)
+
+let test_crc32_vectors () =
+  Alcotest.(check int) "check vector" 0xCBF43926 (Traceio.Crc32.digest "123456789");
+  Alcotest.(check int) "empty" 0 (Traceio.Crc32.digest "");
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let piecewise = Traceio.Crc32.update (Traceio.Crc32.digest_sub s ~pos:0 ~len:20) s 20 (String.length s - 20) in
+  Alcotest.(check int) "incremental = one-shot" (Traceio.Crc32.digest s) piecewise
+
+let test_varint_roundtrip () =
+  let cases =
+    [ 0L; 1L; 127L; 128L; 300L; 0xFFFFL; 0x7FFFFFFFL; Int64.max_int; -1L; Int64.min_int; -300L ]
+  in
+  let b = Buffer.create 64 in
+  List.iter (fun v -> Traceio.Binio.put_varint b v) cases;
+  List.iter (fun v -> Traceio.Binio.put_svarint b v) cases;
+  let c = Traceio.Binio.cursor (Buffer.contents b) in
+  List.iter (fun v -> Alcotest.(check int64) "varint" v (Traceio.Binio.get_varint c)) cases;
+  List.iter (fun v -> Alcotest.(check int64) "svarint" v (Traceio.Binio.get_svarint c)) cases;
+  Alcotest.(check bool) "consumed all" true (Traceio.Binio.at_end c)
+
+let test_binio_truncation_detected () =
+  let b = Buffer.create 16 in
+  Traceio.Binio.put_u64 b 0x1122334455667788L;
+  let full = Buffer.contents b in
+  let c = Traceio.Binio.cursor (String.sub full 0 5) in
+  Alcotest.check_raises "truncated u64"
+    (Traceio.Error.Corrupt "buffer: truncated record (need 8 more bytes at offset 0 of 5)") (fun () ->
+      ignore (Traceio.Binio.get_u64 c))
+
+let prop_floats_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"codec floats roundtrip bit-identically"
+    QCheck.(array float)
+    (fun xs ->
+      let b = Buffer.create 256 in
+      Traceio.Codec.put_floats b xs;
+      let c = Traceio.Binio.cursor (Buffer.contents b) in
+      let ys = Traceio.Codec.get_floats c in
+      Traceio.Binio.at_end c && float_bits_equal xs ys)
+
+let prop_ints_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"codec int streams roundtrip"
+    QCheck.(array int)
+    (fun xs ->
+      let b = Buffer.create 256 in
+      Traceio.Codec.put_ints b xs;
+      Traceio.Codec.put_ints_delta b xs;
+      let c = Traceio.Binio.cursor (Buffer.contents b) in
+      let plain = Traceio.Codec.get_ints c in
+      let delta = Traceio.Codec.get_ints_delta c in
+      Traceio.Binio.at_end c && plain = xs && delta = xs)
+
+(* --- archives ------------------------------------------------------------ *)
+
+let sample_runs device count =
+  let g = rng () in
+  Array.init count (fun _ -> Reveal.Device.run_gaussian device ~scope_rng:g ~sampler_rng:g)
+
+let write_archive path device runs =
+  let w = Reveal.Device.open_recorder device ~path ~seed:123L in
+  Array.iter (fun run -> Reveal.Device.record_run w run) runs;
+  Traceio.Archive.close_writer w
+
+let test_archive_roundtrip () =
+  let device = Reveal.Device.create ~n:8 () in
+  let runs = sample_runs device 3 in
+  with_tmp "roundtrip.rvt" (fun path ->
+      write_archive path device runs;
+      let h = Traceio.Archive.with_reader path Traceio.Archive.header in
+      Alcotest.(check int) "trace count" 3 h.Traceio.Archive.trace_count;
+      Alcotest.(check int) "n" 8 h.Traceio.Archive.n;
+      Alcotest.(check int64) "seed" 123L h.Traceio.Archive.seed;
+      let records = List.rev (Traceio.Archive.fold path (fun acc r -> r :: acc) []) in
+      Alcotest.(check int) "records read" 3 (List.length records);
+      List.iteri
+        (fun i (r : Traceio.Archive.record) ->
+          let live = runs.(i) in
+          Alcotest.(check int) "index" i r.Traceio.Archive.index;
+          Alcotest.(check bool) "noises" true (live.Reveal.Device.noises = r.Traceio.Archive.noises);
+          Alcotest.(check bool) "samples bit-identical" true
+            (float_bits_equal live.Reveal.Device.trace.Power.Ptrace.samples
+               r.Traceio.Archive.trace.Power.Ptrace.samples);
+          Alcotest.(check bool) "event starts" true
+            (live.Reveal.Device.trace.Power.Ptrace.event_start = r.Traceio.Archive.trace.Power.Ptrace.event_start);
+          Alcotest.(check bool) "event pcs" true
+            (live.Reveal.Device.trace.Power.Ptrace.event_pc = r.Traceio.Archive.trace.Power.Ptrace.event_pc))
+        records)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let expect_corrupt name f =
+  match f () with
+  | exception Traceio.Error.Corrupt _ -> ()
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: damaged archive was accepted" name
+
+let drain path = Traceio.Archive.iter path (fun _ -> ())
+
+let test_archive_flipped_byte_rejected () =
+  let device = Reveal.Device.create ~n:4 () in
+  let runs = sample_runs device 2 in
+  with_tmp "corrupt.rvt" (fun path ->
+      write_archive path device runs;
+      let original = read_file path in
+      let len = String.length original in
+      (* a flip anywhere — header, length field, payload or checksum —
+         must surface as Corrupt, never as silently different data *)
+      List.iter
+        (fun off ->
+          let b = Bytes.of_string original in
+          Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x40));
+          write_file path (Bytes.to_string b);
+          expect_corrupt (Printf.sprintf "flip at %d/%d" off len) (fun () -> drain path))
+        [ 0; 9; 20; len / 3; len / 2; len - 2 ])
+
+let test_archive_truncation_rejected () =
+  let device = Reveal.Device.create ~n:4 () in
+  let runs = sample_runs device 2 in
+  with_tmp "trunc.rvt" (fun path ->
+      write_archive path device runs;
+      let original = read_file path in
+      List.iter
+        (fun keep ->
+          write_file path (String.sub original 0 keep);
+          expect_corrupt (Printf.sprintf "truncated to %d bytes" keep) (fun () -> drain path))
+        [ 4; 40; String.length original / 2; String.length original - 3 ])
+
+let test_archive_version_and_magic_rejected () =
+  let device = Reveal.Device.create ~n:4 () in
+  let runs = sample_runs device 1 in
+  with_tmp "version.rvt" (fun path ->
+      write_archive path device runs;
+      let original = read_file path in
+      let b = Bytes.of_string original in
+      Bytes.set b 8 '\xFF' (* version field: now 0xFF01 *);
+      write_file path (Bytes.to_string b);
+      expect_corrupt "future version" (fun () -> drain path);
+      write_file path ("NOTATALL" ^ String.sub original 8 (String.length original - 8));
+      expect_corrupt "bad magic" (fun () -> drain path))
+
+let test_replay_parameter_mismatch_rejected () =
+  let device = Reveal.Device.create ~n:4 () in
+  let runs = sample_runs device 1 in
+  with_tmp "mismatch.rvt" (fun path ->
+      write_archive path device runs;
+      let other = Reveal.Device.create ~n:8 () in
+      (match Reveal.Device.open_replay ~expect:other path with
+      | exception Invalid_argument msg ->
+          Alcotest.(check bool) "message names the mismatch" true (contains ~affix:"coefficient count" msg)
+      | _ -> Alcotest.fail "n mismatch accepted");
+      let branchless = Reveal.Device.create ~variant:Riscv.Sampler_prog.Branchless ~n:4 () in
+      match Reveal.Device.open_replay ~expect:branchless path with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "variant mismatch accepted")
+
+(* --- profile cache -------------------------------------------------------- *)
+
+(* A tiny but real profile: restricted candidate values keep the
+   device small enough for unit-test time. *)
+let tiny_values = [| -2; -1; 0; 1; 2 |]
+
+let tiny_profile =
+  lazy
+    (let device = Reveal.Device.create ~n:16 () in
+     Reveal.Campaign.profile ~values:tiny_values ~per_value:16 device (rng ()))
+
+let profile_equal (a : Reveal.Campaign.profile) (b : Reveal.Campaign.profile) =
+  let template_equal (x : Sca.Template.t) (y : Sca.Template.t) =
+    x.Sca.Template.labels = y.Sca.Template.labels
+    && Array.for_all2 float_bits_equal x.Sca.Template.means y.Sca.Template.means
+    && Array.for_all2 float_bits_equal
+         (Mathkit.Matrix.to_arrays x.Sca.Template.inv_cov)
+         (Mathkit.Matrix.to_arrays y.Sca.Template.inv_cov)
+    && Int64.equal (Int64.bits_of_float x.Sca.Template.log_det) (Int64.bits_of_float y.Sca.Template.log_det)
+    && x.Sca.Template.pois = y.Sca.Template.pois
+  in
+  a.Reveal.Campaign.window_length = b.Reveal.Campaign.window_length
+  && a.Reveal.Campaign.values = b.Reveal.Campaign.values
+  && a.Reveal.Campaign.segment = b.Reveal.Campaign.segment
+  && Int64.equal (Int64.bits_of_float a.Reveal.Campaign.sigma) (Int64.bits_of_float b.Reveal.Campaign.sigma)
+  && template_equal a.Reveal.Campaign.attack.Sca.Attack.sign_template b.Reveal.Campaign.attack.Sca.Attack.sign_template
+  && template_equal a.Reveal.Campaign.attack.Sca.Attack.neg_template b.Reveal.Campaign.attack.Sca.Attack.neg_template
+  && template_equal a.Reveal.Campaign.attack.Sca.Attack.pos_template b.Reveal.Campaign.attack.Sca.Attack.pos_template
+  && float_bits_equal a.Reveal.Campaign.attack.Sca.Attack.neg_priors b.Reveal.Campaign.attack.Sca.Attack.neg_priors
+  && float_bits_equal a.Reveal.Campaign.attack.Sca.Attack.pos_priors b.Reveal.Campaign.attack.Sca.Attack.pos_priors
+  && float_bits_equal a.Reveal.Campaign.attack.Sca.Attack.prior_of_sign
+       b.Reveal.Campaign.attack.Sca.Attack.prior_of_sign
+  && a.Reveal.Campaign.attack.Sca.Attack.pois_sign = b.Reveal.Campaign.attack.Sca.Attack.pois_sign
+  && a.Reveal.Campaign.attack.Sca.Attack.pois_neg = b.Reveal.Campaign.attack.Sca.Attack.pois_neg
+  && a.Reveal.Campaign.attack.Sca.Attack.pois_pos = b.Reveal.Campaign.attack.Sca.Attack.pois_pos
+
+let test_profile_cache_roundtrip () =
+  let prof = Lazy.force tiny_profile in
+  with_tmp "profile.bin" (fun path ->
+      Reveal.Campaign.save_profile path prof;
+      let loaded = Reveal.Campaign.load_profile path in
+      Alcotest.(check bool) "profile loads bit-identically" true (profile_equal prof loaded))
+
+let expect_invalid_arg name ~mentions f =
+  match f () with
+  | exception Invalid_argument msg ->
+      List.iter
+        (fun affix ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: error mentions %S (got %S)" name affix msg)
+            true (contains ~affix msg))
+        mentions
+  | _ -> Alcotest.failf "%s: bad cache was accepted" name
+
+let test_profile_cache_stale_rejected () =
+  with_tmp "stale.bin" (fun path ->
+      (* what PR-era v1 wrote: text magic + Marshal blob *)
+      let oc = open_out_bin path in
+      output_string oc "REVEAL-PROFILE-v1\n";
+      Marshal.to_channel oc (1, 2, 3) [];
+      close_out oc;
+      expect_invalid_arg "stale v1 cache" ~mentions:[ "stale"; "re-run profiling" ] (fun () ->
+          Reveal.Campaign.load_profile path))
+
+let test_profile_cache_truncated_rejected () =
+  let prof = Lazy.force tiny_profile in
+  with_tmp "truncated.bin" (fun path ->
+      Reveal.Campaign.save_profile path prof;
+      let full = read_file path in
+      List.iter
+        (fun keep ->
+          write_file path (String.sub full 0 keep);
+          expect_invalid_arg (Printf.sprintf "truncated to %d" keep) ~mentions:[] (fun () ->
+              Reveal.Campaign.load_profile path))
+        [ 3; 9; String.length full / 2; String.length full - 1 ])
+
+let test_profile_cache_corrupt_rejected () =
+  let prof = Lazy.force tiny_profile in
+  with_tmp "flipped.bin" (fun path ->
+      Reveal.Campaign.save_profile path prof;
+      let full = read_file path in
+      let b = Bytes.of_string full in
+      let off = String.length full / 2 in
+      Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x01));
+      write_file path (Bytes.to_string b);
+      expect_invalid_arg "flipped byte" ~mentions:[ "corrupt" ] (fun () -> Reveal.Campaign.load_profile path))
+
+(* --- record / replay pipeline -------------------------------------------- *)
+
+let test_replay_attack_bit_identical () =
+  let device = Reveal.Device.create ~n:16 () in
+  let prof = Lazy.force tiny_profile in
+  (* identical generator derivations for the live and recorded campaigns *)
+  let live_scope = Mathkit.Prng.create ~seed:9L () and live_sampler = Mathkit.Prng.create ~seed:10L () in
+  let rec_scope = Mathkit.Prng.create ~seed:9L () and rec_sampler = Mathkit.Prng.create ~seed:10L () in
+  let live_runs = Array.init 3 (fun _ -> Reveal.Device.run_gaussian device ~scope_rng:live_scope ~sampler_rng:live_sampler) in
+  with_tmp "replay.rvt" (fun path ->
+      Reveal.Device.record device ~path ~seed:9L ~traces:3 ~scope_rng:rec_scope ~sampler_rng:rec_sampler;
+      let replayed = ref [] in
+      Reveal.Device.replay_iter ~expect:device path ~f:(fun run -> replayed := run :: !replayed);
+      let replayed = Array.of_list (List.rev !replayed) in
+      Alcotest.(check int) "replayed all traces" 3 (Array.length replayed);
+      Array.iteri
+        (fun i live ->
+          let offline = replayed.(i) in
+          let live_r = Reveal.Campaign.attack_trace prof live in
+          let offline_r = Reveal.Campaign.attack_trace prof offline in
+          Alcotest.(check int) "same coefficient count" (Array.length live_r) (Array.length offline_r);
+          Array.iteri
+            (fun j lr ->
+              let orr = offline_r.(j) in
+              Alcotest.(check int) "same actual" lr.Reveal.Campaign.actual orr.Reveal.Campaign.actual;
+              Alcotest.(check int) "same recovered value" lr.Reveal.Campaign.verdict.Sca.Attack.value
+                orr.Reveal.Campaign.verdict.Sca.Attack.value;
+              Alcotest.(check int) "same recovered sign" lr.Reveal.Campaign.verdict.Sca.Attack.sign
+                orr.Reveal.Campaign.verdict.Sca.Attack.sign;
+              Alcotest.(check bool) "same posterior bits" true
+                (Array.for_all2
+                   (fun (va, pa) (vb, pb) -> va = vb && Int64.equal (Int64.bits_of_float pa) (Int64.bits_of_float pb))
+                   lr.Reveal.Campaign.posterior_all orr.Reveal.Campaign.posterior_all))
+            live_r)
+        live_runs)
+
+let test_attack_archive_matches_per_trace_attacks () =
+  let device = Reveal.Device.create ~n:16 () in
+  let prof = Lazy.force tiny_profile in
+  with_tmp "campaign.rvt" (fun path ->
+      let g = rng () in
+      Reveal.Device.record device ~path ~seed:0L ~traces:4 ~scope_rng:g ~sampler_rng:g;
+      (* ground truth: replay each run and attack it individually *)
+      let expected = ref [] in
+      Reveal.Device.replay_iter path ~f:(fun run ->
+          Array.iter (fun r -> expected := r :: !expected) (Reveal.Campaign.attack_trace prof run));
+      let expected = Array.of_list (List.rev !expected) in
+      let stats, results = Reveal.Campaign.attack_archive ~batch:2 prof path in
+      Alcotest.(check int) "flattened results" (Array.length expected) (Array.length results);
+      Array.iteri
+        (fun i e ->
+          Alcotest.(check int) "value" e.Reveal.Campaign.verdict.Sca.Attack.value
+            results.(i).Reveal.Campaign.verdict.Sca.Attack.value;
+          Alcotest.(check int) "actual" e.Reveal.Campaign.actual results.(i).Reveal.Campaign.actual)
+        expected;
+      Alcotest.(check int) "sign totals" (Array.length expected) stats.Reveal.Campaign.sign_total)
+
+let test_profile_of_archive_matches_live_profile () =
+  let device = Reveal.Device.create ~n:16 () in
+  let live = Reveal.Campaign.profile ~values:tiny_values ~per_value:16 device (rng ()) in
+  with_tmp "profiling.rvt" (fun path ->
+      (* the same generator state drives the recorded campaign *)
+      Reveal.Campaign.record_profiling ~values:tiny_values ~per_value:16 ~seed:77L device (rng ()) ~path;
+      let offline = Reveal.Campaign.profile_of_archive ~batch:3 path in
+      Alcotest.(check bool) "offline profile is bit-identical to the live one" true (profile_equal live offline))
+
+let test_record_profiling_memory_is_streamed () =
+  (* structural guarantee: the reader hands out one record at a time
+     and batches are bounded by [max] *)
+  let device = Reveal.Device.create ~n:16 () in
+  with_tmp "stream.rvt" (fun path ->
+      Reveal.Campaign.record_profiling ~values:tiny_values ~per_value:8 ~seed:1L device (rng ()) ~path;
+      Traceio.Archive.with_reader path (fun r ->
+          let batch = Traceio.Archive.next_batch r ~max:2 in
+          Alcotest.(check int) "batch bounded" 2 (Array.length batch);
+          let h = Traceio.Archive.header r in
+          Alcotest.(check bool) "profiling metadata present" true
+            (Traceio.Archive.meta_find h "profiling:threshold-bits" <> None)))
+
+let suite =
+  [
+    Alcotest.test_case "crc32 known vectors" `Quick test_crc32_vectors;
+    Alcotest.test_case "varint/svarint roundtrip" `Quick test_varint_roundtrip;
+    Alcotest.test_case "binio truncation detected" `Quick test_binio_truncation_detected;
+    QCheck_alcotest.to_alcotest prop_floats_roundtrip;
+    QCheck_alcotest.to_alcotest prop_ints_roundtrip;
+    Alcotest.test_case "archive roundtrip is bit-identical" `Quick test_archive_roundtrip;
+    Alcotest.test_case "flipped byte => checksum error" `Quick test_archive_flipped_byte_rejected;
+    Alcotest.test_case "truncated file => clean failure" `Quick test_archive_truncation_rejected;
+    Alcotest.test_case "bad magic / future version rejected" `Quick test_archive_version_and_magic_rejected;
+    Alcotest.test_case "replay parameter mismatch rejected" `Quick test_replay_parameter_mismatch_rejected;
+    Alcotest.test_case "profile cache roundtrip" `Quick test_profile_cache_roundtrip;
+    Alcotest.test_case "profile cache: stale v1 rejected" `Quick test_profile_cache_stale_rejected;
+    Alcotest.test_case "profile cache: truncated rejected" `Quick test_profile_cache_truncated_rejected;
+    Alcotest.test_case "profile cache: flipped byte rejected" `Quick test_profile_cache_corrupt_rejected;
+    Alcotest.test_case "replayed attack = live attack (bit-identical)" `Quick test_replay_attack_bit_identical;
+    Alcotest.test_case "attack_archive = per-trace replay attacks" `Quick test_attack_archive_matches_per_trace_attacks;
+    Alcotest.test_case "profile_of_archive = live profile" `Quick test_profile_of_archive_matches_live_profile;
+    Alcotest.test_case "archive streaming is batch-bounded" `Quick test_record_profiling_memory_is_streamed;
+  ]
