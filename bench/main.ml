@@ -105,6 +105,15 @@ let run_ablate_poi cfg =
   section "Ablation: POI count";
   print_string (Reveal.Experiment.render_ablation ~title:"POI count" (Reveal.Experiment.ablate_poi cfg))
 
+let run_fault_sweep cfg =
+  section "Fault sweep: graceful degradation under measurement faults";
+  let rows = Reveal.Experiment.fault_sweep cfg in
+  print_string (Reveal.Experiment.render_fault_sweep rows);
+  (match Reveal.Experiment.fault_sweep_check rows with
+  | Ok () -> print_endline "sweep invariants hold: recovery monotone, bikz never under-reported"
+  | Error msg -> Printf.printf "WARNING: sweep invariants violated:\n%s\n" msg);
+  print_string (Reveal.Experiment.render_zero_consistency (Reveal.Experiment.fault_zero_consistency cfg))
+
 let run_traceio _cfg =
   section "traceio: archive write/read throughput";
   ensure_out_dir ();
@@ -258,6 +267,7 @@ let usage () =
     \  ablate-noise    measurement-noise sweep\n\
     \  ablate-poi      POI-count sweep\n\
     \  ablate-features feature-extraction comparison (SOST/SOSD/PCA/correlation)\n\
+    \  fault-sweep     measurement-fault intensity sweep (recovery / bikz curves)\n\
     \  traceio         trace-archive write/read throughput\n\
     \  perf            Bechamel micro-benchmarks"
 
@@ -282,6 +292,7 @@ let () =
       run_ablate_poi cfg;
       run_ablate_features cfg;
       run_ablate_timing cfg;
+      run_fault_sweep cfg;
       print_endline "\nall artefacts regenerated; see EXPERIMENTS.md for paper-vs-measured discussion"
   | [ "fig3" ] | [ "fig3a" ] | [ "fig3b" ] -> run_fig3 cfg
   | [ "table1" ] -> run_table1 cfg
@@ -299,6 +310,7 @@ let () =
   | [ "ablate-poi" ] -> run_ablate_poi cfg
   | [ "ablate-features" ] -> run_ablate_features cfg
   | [ "ablate-timing" ] -> run_ablate_timing cfg
+  | [ "fault-sweep" ] -> run_fault_sweep cfg
   | [ "traceio" ] -> run_traceio cfg
   | [ "perf" ] -> run_perf ()
   | _ -> usage ()

@@ -7,7 +7,11 @@
      record        capture a campaign of honest traces into a binary archive
      replay-attack re-run the single-trace attack offline, from an archive
      inspect       validate an archive and print its header / record summary
-     estimate      DBDD security estimates for SEAL parameter sets with hint counts *)
+     fault-sweep   sweep measurement-fault intensity, report graceful degradation
+     estimate      DBDD security estimates for SEAL parameter sets with hint counts
+
+   Exit codes: 0 success; 1 attack/check failure; 2 usage error;
+   3 I/O error or corrupt input. *)
 
 open Cmdliner
 
@@ -86,16 +90,22 @@ let profile_cmd =
 
 (* --- attack --------------------------------------------------------------- *)
 
-(* Archive and profile-cache failures (corrupt bytes, I/O errors, stale
-   caches) carry user-actionable messages; print them without a backtrace. *)
+(* Exit-code policy, kept consistent across subcommands:
+     0  success
+     1  the attack / check itself failed (recovery below threshold,
+        sweep invariant violated)
+     2  usage error (bad arguments, impossible configuration)
+     3  I/O error or corrupt input (archive, profile cache)
+   Archive and profile-cache failures carry user-actionable messages;
+   print them without a backtrace. *)
 let traceio_guard f =
   try f () with
   | Traceio.Error.Corrupt _ | Traceio.Error.Io _ as e ->
       prerr_endline ("reveal: " ^ Traceio.Error.to_string e);
-      exit 1
+      exit 3
   | Invalid_argument msg ->
       prerr_endline ("reveal: " ^ msg);
-      exit 1
+      exit 2
 
 let attack seed n per_value cached verbose =
   traceio_guard @@ fun () ->
@@ -154,7 +164,7 @@ let record_cmd =
 
 (* --- replay-attack ------------------------------------------------------- *)
 
-let replay_attack archive cached per_value profile_seed verbose =
+let replay_attack archive cached per_value profile_seed strict min_values verbose =
   traceio_guard (fun () ->
       let header = Traceio.Archive.with_reader archive Traceio.Archive.header in
       Printf.printf "archive %s: %d traces, n = %d, %s, seed %Ld\n" archive header.Traceio.Archive.trace_count
@@ -172,7 +182,7 @@ let replay_attack archive cached per_value profile_seed verbose =
             Printf.printf "profiling clone device (%d windows per candidate value)...\n%!" per_value;
             Reveal.Campaign.profile ~per_value device (rng_of_seed profile_seed)
       in
-      let stats, results = Reveal.Campaign.attack_archive prof archive in
+      let stats, results = Reveal.Campaign.attack_archive ~strict prof archive in
       if verbose then
         Array.iteri
           (fun i r ->
@@ -181,11 +191,22 @@ let replay_attack archive cached per_value profile_seed verbose =
               v.Sca.Attack.value
               (if r.Reveal.Campaign.actual = v.Sca.Attack.value then "" else "x"))
           results;
+      let replayed = header.Traceio.Archive.trace_count - stats.Reveal.Campaign.corrupt_skipped in
       Printf.printf
         "replayed attack over %d traces x %d coefficients: signs %d/%d, values %d/%d (%d out of template range)\n"
-        header.Traceio.Archive.trace_count header.Traceio.Archive.n stats.Reveal.Campaign.sign_correct
+        replayed header.Traceio.Archive.n stats.Reveal.Campaign.sign_correct
         stats.Reveal.Campaign.sign_total stats.Reveal.Campaign.value_correct stats.Reveal.Campaign.value_total
-        stats.Reveal.Campaign.skipped_out_of_range)
+        stats.Reveal.Campaign.skipped_out_of_range;
+      if stats.Reveal.Campaign.corrupt_skipped > 0 then
+        Printf.printf "%d corrupt record(s) skipped mid-stream\n" stats.Reveal.Campaign.corrupt_skipped;
+      let value_rate =
+        if stats.Reveal.Campaign.value_total = 0 then 0.0
+        else float_of_int stats.Reveal.Campaign.value_correct /. float_of_int stats.Reveal.Campaign.value_total
+      in
+      if value_rate < min_values then begin
+        Printf.eprintf "reveal: value recovery rate %.3f below required %.3f\n" value_rate min_values;
+        exit 1
+      end)
 
 let replay_attack_cmd =
   let doc = "Re-run the single-trace attack offline from a recorded archive." in
@@ -193,8 +214,19 @@ let replay_attack_cmd =
   let cached = Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc:"Use a cached profile.") in
   let per_value = Arg.(value & opt int 300 & info [ "per-value" ] ~docv:"K" ~doc:"Profiling windows per value.") in
   let profile_seed = Arg.(value & opt int 42 & info [ "profile-seed" ] ~docv:"SEED" ~doc:"Seed for on-the-fly profiling.") in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Fail fast (exit 3) on the first corrupt record instead of skipping it.")
+  in
+  let min_values =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "min-values" ] ~docv:"RATE"
+          ~doc:"Exit 1 when the value recovery rate falls below $(docv) (a fraction in [0,1]).")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every coefficient.") in
-  Cmd.v (Cmd.info "replay-attack" ~doc) Term.(const replay_attack $ archive $ cached $ per_value $ profile_seed $ verbose)
+  Cmd.v (Cmd.info "replay-attack" ~doc)
+    Term.(const replay_attack $ archive $ cached $ per_value $ profile_seed $ strict $ min_values $ verbose)
 
 (* --- inspect -------------------------------------------------------------- *)
 
@@ -240,6 +272,57 @@ let inspect_cmd =
   let records = Arg.(value & flag & info [ "records" ] ~doc:"Print a line per record.") in
   Cmd.v (Cmd.info "inspect" ~doc) Term.(const inspect $ archive $ records)
 
+(* --- fault-sweep ------------------------------------------------------------- *)
+
+let fault_sweep seed n per_value traces intensities check =
+  traceio_guard (fun () ->
+      let config =
+        { Reveal.Experiment.seed = Int64.of_int seed; device_n = n; per_value; attack_traces = traces }
+      in
+      let intensities = Option.map Array.of_list intensities in
+      let rows = Reveal.Experiment.fault_sweep ?intensities config in
+      print_string (Reveal.Experiment.render_fault_sweep rows);
+      if check then begin
+        (match Reveal.Experiment.fault_sweep_check rows with
+        | Ok () -> print_endline "sweep invariants hold: recovery monotone, bikz never under-reported"
+        | Error msg ->
+            Printf.eprintf "reveal: fault sweep violates invariants:\n%s\n" msg;
+            exit 1);
+        let zc = Reveal.Experiment.fault_zero_consistency config in
+        print_string (Reveal.Experiment.render_zero_consistency zc);
+        if
+          zc.Reveal.Experiment.verdict_mismatches > 0
+          || zc.Reveal.Experiment.grade_downgrades > 0
+          || zc.Reveal.Experiment.bikz_classic <> zc.Reveal.Experiment.bikz_graded
+        then begin
+          prerr_endline "reveal: zero-intensity pipeline diverges from the clean attack";
+          exit 1
+        end;
+        print_endline "zero-intensity attack is bit-identical to the clean pipeline"
+      end)
+
+let fault_sweep_cmd =
+  let doc = "Sweep measurement-fault intensity and report graceful degradation." in
+  let per_value = Arg.(value & opt int 300 & info [ "per-value" ] ~docv:"K" ~doc:"Profiling windows per value.") in
+  let traces = Arg.(value & opt int 8 & info [ "traces" ] ~docv:"T" ~doc:"Attack traces per intensity.") in
+  let intensities =
+    Arg.(
+      value
+      & opt (some (list float)) None
+      & info [ "intensities" ] ~docv:"I,I,..."
+          ~doc:"Comma-separated fault intensities (default 0,0.25,0.5,0.75,1).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Verify the sweep invariants (recovery monotone non-increasing, bikz never under-reported) and that zero \
+             intensity reproduces the clean pipeline exactly; exit 1 on violation.")
+  in
+  Cmd.v (Cmd.info "fault-sweep" ~doc)
+    Term.(const fault_sweep $ seed_arg $ n_arg 128 $ per_value $ traces $ intensities $ check)
+
 (* --- estimate --------------------------------------------------------------- *)
 
 let estimate perfect sign_only =
@@ -281,8 +364,26 @@ let estimate_cmd =
 
 let () =
   let doc = "RevEAL: single-trace side-channel attack on the SEAL BFV encryptor (reproduction)" in
-  let info = Cmd.info "reveal" ~version:"1.0.0" ~doc in
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"on success.";
+      Cmd.Exit.info 1 ~doc:"when the attack or a requested check fails (recovery below threshold, sweep invariant violated).";
+      Cmd.Exit.info 2 ~doc:"on usage errors and impossible configurations.";
+      Cmd.Exit.info 3 ~doc:"on I/O errors and corrupt archives or profile caches.";
+    ]
+  in
+  let info = Cmd.info "reveal" ~version:"1.0.0" ~doc ~exits in
   exit
-    (Cmd.eval
+    (Cmd.eval ~term_err:2
        (Cmd.group info
-          [ disasm_cmd; trace_cmd; profile_cmd; attack_cmd; record_cmd; replay_attack_cmd; inspect_cmd; estimate_cmd ]))
+          [
+            disasm_cmd;
+            trace_cmd;
+            profile_cmd;
+            attack_cmd;
+            record_cmd;
+            replay_attack_cmd;
+            inspect_cmd;
+            fault_sweep_cmd;
+            estimate_cmd;
+          ]))

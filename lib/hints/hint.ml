@@ -44,6 +44,15 @@ let sign_hint ~sigma ~coordinate sign =
          value, which sign alone does not give. *)
       { coordinate; kind = Approximate { mean; variance; confidence = 0.0 } }
 
+let kind_counts hints =
+  List.fold_left
+    (fun (p, a, n) h ->
+      match h.kind with
+      | Perfect _ -> (p + 1, a, n)
+      | Approximate _ -> (p, a + 1, n)
+      | None_useful -> (p, a, n + 1))
+    (0, 0, 0) hints
+
 let apply dbdd hint =
   match hint.kind with
   | Perfect _ -> Dbdd.perfect_hint dbdd hint.coordinate

@@ -31,6 +31,10 @@ val sign_hint : sigma:float -> coordinate:int -> int -> t
 val centered_mean : (int * float) array -> float
 val variance : (int * float) array -> float
 
+val kind_counts : t list -> int * int * int
+(** (perfect, approximate, none-useful) — the hint-ladder census the
+    fault-sweep reporting prints. *)
+
 val apply : Dbdd.t -> t -> unit
 (** Integrate into the lite estimator. *)
 

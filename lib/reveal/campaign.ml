@@ -4,6 +4,8 @@ type profile = {
   segment : Sca.Segment.config;
   values : int array;
   sigma : float;
+  sign_fit_floor : float;
+  value_fit_floor : float;
 }
 
 let default_values = Array.init 29 (fun i -> i - 14)
@@ -107,11 +109,35 @@ let profiling_windows ?(values = default_values) ?(per_value = 400) ?domains dev
   let window_length, classes = finalize_bags values bags in
   (segment, window_length, classes)
 
+(* Floor below the profiling population: mirror the lower half of the
+   distribution below its minimum and leave 30 nats of slack.  Honest
+   attack windows (same distribution) essentially never fall under it;
+   faulted windows overshoot it by orders of magnitude because the
+   Gaussian exponent is quadratic in the corruption. *)
+let fit_floor fits =
+  let mn = Array.fold_left Float.min infinity fits in
+  let p50 = Mathkit.Stats.percentile fits 50.0 in
+  mn -. (p50 -. mn) -. 30.0
+
 let profile_of_windows ~poi_count ~sign_poi_count (segment, window_length, classes) =
   let values = Array.of_list (List.map fst classes) in
   let sigma = Mathkit.Gaussian.seal_default.Mathkit.Gaussian.sigma in
   let attack = Sca.Attack.build ~poi_count ~sign_poi_count ~sigma classes in
-  { attack; window_length; segment; values; sigma }
+  (* Calibrate the goodness-of-fit floors on the profiling windows
+     themselves — the reference for "what an honest window looks like". *)
+  let sign_fits = ref [] and value_fits = ref [] in
+  List.iter
+    (fun (label, rows) ->
+      let sign = Sca.Attack.sign_of_label label in
+      Array.iter
+        (fun w ->
+          sign_fits := Sca.Attack.sign_fit attack w :: !sign_fits;
+          if sign <> 0 then value_fits := Sca.Attack.value_fit attack ~sign w :: !value_fits)
+        rows)
+    classes;
+  let sign_fit_floor = fit_floor (Array.of_list !sign_fits) in
+  let value_fit_floor = fit_floor (Array.of_list !value_fits) in
+  { attack; window_length; segment; values; sigma; sign_fit_floor; value_fit_floor }
 
 let profile ?values ?per_value ?domains ?(poi_count = 16) ?(sign_poi_count = 6) device rng =
   profile_of_windows ~poi_count ~sign_poi_count (profiling_windows ?values ?per_value ?domains device rng)
@@ -200,10 +226,11 @@ let profile_of_archive ?domains ?batch ?(poi_count = 16) ?(sign_poi_count = 6) p
 
 (* Versioned binary codec in the traceio format family: magic + u16
    version + one CRC-framed payload.  Version 1 was the Marshal-based
-   cache; version 2 is this explicit encoding, so stale caches are
+   cache; version 2 introduced this explicit encoding; version 3 added
+   the calibrated goodness-of-fit floors, so stale caches are
    detected by their magic/version instead of crashing Marshal. *)
 let profile_magic = "REVEALPF"
-let profile_version = 2
+let profile_version = 3
 let legacy_profile_magic_prefix = "REVEAL-P" (* "REVEAL-PROFILE-v1\n" of the Marshal era *)
 
 let put_template b (t : Sca.Template.t) =
@@ -258,6 +285,8 @@ let profile_payload prof =
   Traceio.Binio.put_varint b (Int64.of_int prof.window_length);
   Traceio.Codec.put_ints b prof.values;
   Traceio.Binio.put_f64 b prof.sigma;
+  Traceio.Binio.put_f64 b prof.sign_fit_floor;
+  Traceio.Binio.put_f64 b prof.value_fit_floor;
   let a = prof.attack in
   put_template b a.Sca.Attack.sign_template;
   put_template b a.Sca.Attack.neg_template;
@@ -280,6 +309,8 @@ let profile_of_payload ~path payload =
   let window_length = Traceio.Binio.get_varint_int c in
   let values = Traceio.Codec.get_ints c in
   let sigma = Traceio.Binio.get_f64 c in
+  let sign_fit_floor = Traceio.Binio.get_f64 c in
+  let value_fit_floor = Traceio.Binio.get_f64 c in
   let sign_template = get_template ~path c in
   let neg_template = get_template ~path c in
   let pos_template = get_template ~path c in
@@ -303,7 +334,7 @@ let profile_of_payload ~path payload =
       pois_pos;
     }
   in
-  { attack; window_length; segment; values; sigma }
+  { attack; window_length; segment; values; sigma; sign_fit_floor; value_fit_floor }
 
 let save_profile path prof =
   let oc = Traceio.Error.open_out_bin path in
@@ -344,11 +375,99 @@ let load_profile path =
 
 (* --- attack --------------------------------------------------------------- *)
 
+type grade = Confident | Tentative | SignOnly | Unknown
+type recovery = Clean | Retried of int | Unrecoverable
+
 type coefficient_result = {
   actual : int;
   verdict : Sca.Attack.verdict;
   posterior_all : (int * float) array;
+  grade : grade;
+  recovery : recovery;
 }
+
+type gate = {
+  confident_threshold : float;
+  tentative_threshold : float;
+  sign_only_threshold : float;
+  retry_budget : int;
+}
+
+let default_gate =
+  { confident_threshold = 0.85; tentative_threshold = 0.0; sign_only_threshold = 0.5; retry_budget = 2 }
+
+(* Grading is goodness-of-fit first, posterior confidence second.  A
+   posterior normalises the absolute likelihood away, so a corrupted
+   window often looks MORE confident than an honest one (one garbage
+   class is merely the least garbage).  The absolute best-class log
+   density has no such failure mode: honest attack windows land in the
+   band the profiling windows calibrated, faulted ones fall off a
+   quadratic cliff.  Only windows that fit are allowed to carry value
+   information; only then does the joint confidence (sign-match peak
+   times value-posterior peak, both flat-prior) pick the rung. *)
+let classify_graded prof gate ~quality window =
+  let sign_conf = Sca.Attack.sign_confidence prof.attack window in
+  let verdict = Sca.Attack.classify prof.attack window in
+  let posterior_all = Sca.Attack.posterior_all prof.attack window in
+  (* Peak of the joint Bayesian posterior.  Crucially, a point-mass
+     posterior (the one that would become a perfect hint) always scores
+     1.0 here, so on a clean window it always clears the Confident
+     threshold — the Tentative perfect-hint demotion provably cannot
+     change a clean-trace hint. *)
+  let conf = Array.fold_left (fun acc (_, p) -> Float.max acc p) 0.0 posterior_all in
+  let grade =
+    if Sca.Attack.sign_fit prof.attack window < prof.sign_fit_floor then
+      (* not even the branch region looks like any class: the window is
+         noise and nothing in it can be trusted *)
+      Unknown
+    else if Sca.Attack.value_fit prof.attack ~sign:verdict.Sca.Attack.sign window < prof.value_fit_floor
+    then if sign_conf >= gate.sign_only_threshold then SignOnly else Unknown
+    else if conf >= gate.confident_threshold && quality <> Sca.Segment.Resynced then
+      (* a window that segmentation had to repair can never be Confident:
+         a confidently-wrong verdict would enter the lattice as a perfect
+         hint and poison the whole estimate.  Suspect (a length outlier)
+         does not bar Confident: burst length varies legitimately with
+         the coefficient value, so rare large-magnitude values trip the
+         MAD check on perfectly clean traces — corruption is what the
+         fit floors detect. *)
+      Confident
+    else if conf >= gate.tentative_threshold then Tentative
+    else if sign_conf >= gate.sign_only_threshold then SignOnly
+    else Unknown
+  in
+  (verdict, posterior_all, grade)
+
+let grade_counts results =
+  let c = ref 0 and t = ref 0 and s = ref 0 and u = ref 0 in
+  Array.iter
+    (fun r ->
+      match r.grade with
+      | Confident -> incr c
+      | Tentative -> incr t
+      | SignOnly -> incr s
+      | Unknown -> incr u)
+    results;
+  (!c, !t, !s, !u)
+
+let hint_of_result ~sigma ~coordinate r =
+  match r.grade with
+  | Confident -> Hints.Hint.of_posterior ~coordinate r.posterior_all
+  | Tentative -> (
+      (* keep the measured posterior, but never let a Tentative verdict
+         harden into a perfect hint: a point-mass posterior on a window
+         the gate would not call Confident (repaired segmentation, soft
+         sign match) is exactly the confidently-wrong case *)
+      let h = Hints.Hint.of_posterior ~coordinate r.posterior_all in
+      match h.Hints.Hint.kind with
+      | Hints.Hint.Perfect v ->
+          {
+            h with
+            Hints.Hint.kind =
+              Hints.Hint.Approximate { mean = float_of_int v; variance = 0.25; confidence = 1.0 };
+          }
+      | _ -> h)
+  | SignOnly -> Hints.Hint.sign_hint ~sigma ~coordinate r.verdict.Sca.Attack.sign
+  | Unknown -> { Hints.Hint.coordinate; kind = Hints.Hint.None_useful }
 
 let windows_of_samples prof samples ~count =
   let wins = raw_windows_of_samples prof.segment ~samples ~count in
@@ -358,9 +477,76 @@ let attack_samples prof ~samples ~noises =
   let vectors = windows_of_samples prof samples ~count:(Array.length noises) in
   Array.mapi
     (fun i window ->
-      let verdict = Sca.Attack.classify prof.attack window in
-      { actual = noises.(i); verdict; posterior_all = Sca.Attack.posterior_all prof.attack window })
+      let verdict, posterior_all, grade = classify_graded prof default_gate ~quality:Sca.Segment.Clean window in
+      { actual = noises.(i); verdict; posterior_all; grade; recovery = Clean })
     vectors
+
+(* --- fault-tolerant attack ------------------------------------------------- *)
+
+let null_verdict = { Sca.Attack.sign = 0; value = 0; posterior = [| (0, 1.0) |] }
+
+(* Resilient segmentation of one trace: exactly count+1 windows (the
+   firmware's trailing dummy included) or a typed error, with the
+   per-window quality feeding the grade gate. *)
+let graded_windows prof gate ~count samples =
+  match Sca.Segment.segment prof.segment ~expected:(count + 1) samples with
+  | Error e -> Error e
+  | Ok seg ->
+      let wins = Array.sub seg.Sca.Segment.wins 0 count in
+      let quality = Array.sub seg.Sca.Segment.quality 0 count in
+      let vectors = Sca.Segment.vectorize samples wins ~length:prof.window_length in
+      Ok (Array.init count (fun i -> classify_graded prof gate ~quality:quality.(i) vectors.(i)))
+
+let attack_samples_resilient ?(gate = default_gate) ?retry prof ~samples ~noises =
+  let count = Array.length noises in
+  let results =
+    Array.init count (fun i ->
+        {
+          actual = noises.(i);
+          verdict = null_verdict;
+          posterior_all = [| (0, 1.0) |];
+          grade = Unknown;
+          recovery = Unrecoverable;
+        })
+  in
+  let pending = ref [] in
+  (match graded_windows prof gate ~count samples with
+  | Ok graded ->
+      Array.iteri
+        (fun i (verdict, posterior_all, grade) ->
+          results.(i) <-
+            {
+              actual = noises.(i);
+              verdict;
+              posterior_all;
+              grade;
+              recovery = (if grade = Unknown then Unrecoverable else Clean);
+            };
+          if grade = Unknown then pending := i :: !pending)
+        graded
+  | Error _ -> pending := List.init count Fun.id);
+  (match retry with
+  | Some remeasure ->
+      let attempt = ref 1 in
+      while !pending <> [] && !attempt <= gate.retry_budget do
+        (match graded_windows prof gate ~count (remeasure !attempt) with
+        | Ok graded ->
+            pending :=
+              List.filter
+                (fun i ->
+                  let verdict, posterior_all, grade = graded.(i) in
+                  if grade = Unknown then true
+                  else begin
+                    results.(i) <-
+                      { actual = noises.(i); verdict; posterior_all; grade; recovery = Retried !attempt };
+                    false
+                  end)
+                !pending
+        | Error _ -> ());
+        incr attempt
+      done
+  | None -> ());
+  results
 
 let windows_of_run prof (run : Device.run) =
   windows_of_samples prof run.Device.trace.Power.Ptrace.samples ~count:(Array.length run.Device.noises)
@@ -379,6 +565,7 @@ type stats = {
   value_correct : int;
   value_total : int;
   skipped_out_of_range : int;
+  corrupt_skipped : int;
 }
 
 (* Shared aggregate accumulator for the live and archive-replay attack
@@ -422,7 +609,7 @@ let tally_add t results =
       else t.t_skipped <- t.t_skipped + 1)
     results
 
-let tally_finish t =
+let tally_finish ?(corrupt_skipped = 0) t =
   ( {
       confusion = t.t_confusion;
       sign_correct = t.t_sign_correct;
@@ -430,6 +617,7 @@ let tally_finish t =
       value_correct = t.t_value_correct;
       value_total = t.t_value_total;
       skipped_out_of_range = t.t_skipped;
+      corrupt_skipped;
     },
     Array.of_list (List.rev t.t_all) )
 
@@ -446,26 +634,78 @@ let run_attacks ?domains prof device ~traces ~scope_rng ~sampler_rng =
   Array.iter (tally_add tally) per_trace;
   tally_finish tally
 
+(* Live campaign with the full fault-tolerance stack: resilient
+   segmentation, confidence gating, and a bounded re-measurement
+   budget.  A coefficient graded Unknown is re-acquired — the same
+   noise values forced through the sampler with honest timing and a
+   fresh scope/fault realisation, as re-triggering the capture would.
+   The retry stream is carved from a separate generator, so a campaign
+   that needs no retries consumes its randomness exactly like
+   [run_attacks] and yields bit-identical verdicts. *)
+let run_attacks_resilient ?domains ?(gate = default_gate) prof device ~traces ~scope_rng ~sampler_rng =
+  let seeds = Array.init traces (fun _ -> (Mathkit.Prng.bits64 scope_rng, Mathkit.Prng.bits64 sampler_rng)) in
+  let one_trace (scope_seed, sampler_seed) =
+    let scope_rng = Mathkit.Prng.create ~seed:scope_seed () in
+    let sampler_rng = Mathkit.Prng.create ~seed:sampler_seed () in
+    let run = Device.run_gaussian device ~scope_rng ~sampler_rng in
+    let retry_master = Mathkit.Prng.create ~seed:(Int64.logxor scope_seed 0x5DEECE66DL) () in
+    let remeasure _attempt =
+      let rng = Mathkit.Prng.split retry_master in
+      let draws = Array.map (fun v -> Device.profiling_draw device rng ~value:v) run.Device.noises in
+      (Device.run device ~scope_rng:rng ~draws).Device.trace.Power.Ptrace.samples
+    in
+    attack_samples_resilient ~gate ~retry:remeasure prof
+      ~samples:run.Device.trace.Power.Ptrace.samples ~noises:run.Device.noises
+  in
+  let per_trace = Mathkit.Parallel.map_array ?domains one_trace seeds in
+  let tally = tally_create prof in
+  Array.iter (tally_add tally) per_trace;
+  tally_finish tally
+
 (* Re-attack a recorded campaign: records stream through in batches
    ([batch] traces resident at a time), classification parallelised
-   over each batch with Mathkit.Parallel. *)
-let attack_archive ?domains ?(batch = 16) prof path =
+   over each batch with Mathkit.Parallel.  By default a record whose
+   frame fails its CRC is skipped and counted ([stats.corrupt_skipped])
+   and the replay continues at the next frame boundary; [~strict:true]
+   restores fail-fast.  Replay has no device to re-measure on, so
+   Unknown-graded coefficients come back [Unrecoverable]. *)
+let attack_archive ?domains ?(batch = 16) ?(gate = default_gate) ?(strict = false) prof path =
   if batch <= 0 then invalid_arg "Campaign.attack_archive: batch must be positive";
   Traceio.Archive.with_reader path (fun reader ->
       let tally = tally_create prof in
-      let rec loop () =
+      let corrupt = ref 0 in
+      let finished = ref false in
+      let next_tolerant_batch () =
+        let rec take acc k =
+          if k = 0 then acc
+          else
+            match Traceio.Archive.try_next reader with
+            | `End_of_archive ->
+                finished := true;
+                acc
+            | `Skipped _ ->
+                incr corrupt;
+                take acc (k - 1)
+            | `Record r -> take (r :: acc) (k - 1)
+        in
+        Array.of_list (List.rev (take [] batch))
+      in
+      let next_strict_batch () =
         let records = Traceio.Archive.next_batch reader ~max:batch in
+        if Array.length records < batch then finished := true;
+        records
+      in
+      while not !finished do
+        let records = if strict then next_strict_batch () else next_tolerant_batch () in
         if Array.length records > 0 then begin
           let per_trace =
             Mathkit.Parallel.map_array ?domains
               (fun (r : Traceio.Archive.record) ->
-                attack_samples prof ~samples:r.Traceio.Archive.trace.Power.Ptrace.samples
+                attack_samples_resilient ~gate prof ~samples:r.Traceio.Archive.trace.Power.Ptrace.samples
                   ~noises:r.Traceio.Archive.noises)
               records
           in
-          Array.iter (tally_add tally) per_trace;
-          loop ()
+          Array.iter (tally_add tally) per_trace
         end
-      in
-      loop ();
-      tally_finish tally)
+      done;
+      tally_finish ~corrupt_skipped:!corrupt tally)

@@ -18,6 +18,11 @@ type profile = {
   segment : Sca.Segment.config;  (** with the calibrated absolute threshold *)
   values : int array;  (** candidate labels, e.g. -14..14 *)
   sigma : float;
+  sign_fit_floor : float;
+      (** goodness-of-fit floor for the sign template, calibrated on
+          the profiling windows — attack windows scoring below it are
+          out-of-distribution (faulted) and grade Unknown *)
+  value_fit_floor : float;  (** same, for the value templates: below it a window is at best SignOnly *)
 }
 
 val default_values : int array
@@ -100,11 +105,62 @@ val profiling_windows :
     window vectors per candidate value.  Exposed for the
     feature-selection ablation and for custom classifiers. *)
 
+(** {1 Confidence grading}
+
+    Under measurement faults a verdict can be garbage even when the
+    classifier returns one.  Every attacked coefficient therefore
+    carries a grade — the rung of the hint-degradation ladder it is
+    still good for — and a recovery tag saying how it was obtained. *)
+
+type grade =
+  | Confident  (** clean window, unambiguous match: full-strength hint *)
+  | Tentative
+      (** usable posterior but a repaired window or a soft match: the
+          hint keeps its measured posterior variance *)
+  | SignOnly  (** only the branch-region sign is trustworthy *)
+  | Unknown  (** nothing usable — the window is noise *)
+
+type recovery =
+  | Clean  (** first measurement sufficed *)
+  | Retried of int  (** usable after this many re-measurements *)
+  | Unrecoverable
+      (** still Unknown when the retry budget ran out — or no live
+          device to re-measure on (archive replay) *)
+
+type gate = {
+  confident_threshold : float;
+      (** min peak of the joint Bayesian posterior for Confident (also
+          requires a window segmentation did not have to repair); a
+          point-mass posterior always scores 1.0 *)
+  tentative_threshold : float;  (** min joint confidence for Tentative *)
+  sign_only_threshold : float;  (** min sign confidence for SignOnly *)
+  retry_budget : int;  (** re-measurements per trace, live campaigns only *)
+}
+
+val default_gate : gate
+(** 0.85 / 0 / 0.5, retry budget 2.  With a zero tentative threshold,
+    demotion below Tentative happens only on a goodness-of-fit failure
+    (see {!profile}) — clean traces always fit, so the zero-fault
+    pipeline is bit-identical to the ungated one. *)
+
 type coefficient_result = {
   actual : int;
   verdict : Sca.Attack.verdict;
   posterior_all : (int * float) array;  (** unrestricted posterior, Table II *)
+  grade : grade;
+  recovery : recovery;
 }
+
+val grade_counts : coefficient_result array -> int * int * int * int
+(** (confident, tentative, sign-only, unknown). *)
+
+val hint_of_result : sigma:float -> coordinate:int -> coefficient_result -> Hints.Hint.t
+(** The hint-degradation ladder: [Confident] integrates the measured
+    posterior exactly as the clean pipeline does (near-point-mass
+    posteriors become perfect hints), [Tentative] keeps the measured
+    posterior but is barred from hardening into a perfect hint (a
+    point-mass is floored at variance 0.25), [SignOnly] degrades to
+    the half-Gaussian sign hint, [Unknown] contributes nothing. *)
 
 val attack_trace : profile -> Device.run -> coefficient_result array
 (** Segment one honest trace and classify every coefficient.
@@ -114,6 +170,23 @@ val attack_trace : profile -> Device.run -> coefficient_result array
 val attack_signs_only : profile -> Device.run -> (int * int) array
 (** (actual sign, recovered sign) per coefficient — Table IV input. *)
 
+val attack_samples_resilient :
+  ?gate:gate ->
+  ?retry:(int -> float array) ->
+  profile ->
+  samples:float array ->
+  noises:int array ->
+  coefficient_result array
+(** Fault-tolerant single-trace attack: resilient segmentation
+    ({!Sca.Segment.segment}), per-window confidence grading, and —
+    when [retry] is provided — a bounded re-measurement loop.
+    [retry attempt] must return a fresh capture of the same
+    coefficients; coefficients still Unknown after [gate.retry_budget]
+    attempts (or with no [retry]) are marked [Unrecoverable].  A trace
+    whose segmentation fails outright grades every coefficient Unknown
+    and is retried whole.  On a clean trace the verdicts are
+    bit-identical to {!attack_trace}. *)
+
 type stats = {
   confusion : Sca.Confusion.t;
   sign_correct : int;
@@ -121,6 +194,9 @@ type stats = {
   value_correct : int;
   value_total : int;
   skipped_out_of_range : int;  (** |actual| beyond the template labels *)
+  corrupt_skipped : int;
+      (** archive records dropped for CRC/decode failures (tolerant
+          replay only; always 0 for live campaigns) *)
 }
 
 val run_attacks :
@@ -134,10 +210,35 @@ val run_attacks :
 (** Repeated single-trace attacks; returns aggregate statistics and
     the flattened per-coefficient results (for hint building). *)
 
-val attack_archive : ?domains:int -> ?batch:int -> profile -> string -> stats * coefficient_result array
+val run_attacks_resilient :
+  ?domains:int ->
+  ?gate:gate ->
+  profile ->
+  Device.t ->
+  traces:int ->
+  scope_rng:Mathkit.Prng.t ->
+  sampler_rng:Mathkit.Prng.t ->
+  stats * coefficient_result array
+(** {!run_attacks} through the fault-tolerance stack: each trace is
+    attacked with {!attack_samples_resilient}, re-measuring
+    Unknown-graded coefficients on the live device (same noise values,
+    honest timing, fresh scope/fault realisation) within the gate's
+    retry budget.  Retries draw from a separate generator stream, so a
+    campaign that needs none consumes randomness exactly like
+    {!run_attacks} and yields bit-identical verdicts. *)
+
+val attack_archive :
+  ?domains:int -> ?batch:int -> ?gate:gate -> ?strict:bool -> profile -> string -> stats * coefficient_result array
 (** Re-attack a recorded campaign (see {!Device.record}) offline:
     records stream through in batches of [batch] (default 16) traces,
     classified in parallel — the same aggregates as {!run_attacks},
     and bit-identical results for the runs the archive holds, with
     memory bounded by one batch instead of the whole trace set.
-    @raise Traceio.Error.Corrupt when the archive is damaged. *)
+    A mid-stream record that fails its CRC (or will not decode) is
+    skipped, counted in [stats.corrupt_skipped], and replay continues
+    at the next frame boundary; pass [~strict:true] to fail fast
+    instead.  Replaying cannot re-measure, so Unknown coefficients are
+    [Unrecoverable].
+    @raise Traceio.Error.Corrupt when the archive is structurally
+    damaged (truncation, bad length field) — or, with [~strict:true],
+    on the first bad record. *)

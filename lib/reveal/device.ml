@@ -6,12 +6,13 @@ type t = {
   n : int;
   program : Riscv.Asm.program;
   layout : Riscv.Sampler_prog.layout;
+  fault : Power.Fault.config option;
 }
 
 let seal_moduli = [| 132120577 |]
 
 let create ?(variant = Riscv.Sampler_prog.Vulnerable) ?(synth = Power.Synth.default) ?(moduli = seal_moduli)
-    ?cycle_model ~n () =
+    ?cycle_model ?fault ~n () =
   if n <= 0 then invalid_arg "Device.create: n must be positive";
   {
     variant;
@@ -19,6 +20,7 @@ let create ?(variant = Riscv.Sampler_prog.Vulnerable) ?(synth = Power.Synth.defa
     moduli;
     cycle_model;
     n;
+    fault;
     (* one trailing dummy coefficient: every real coefficient's window
        is then delimited by a following distribution-call burst, so the
        last real window segments like all the others *)
@@ -34,6 +36,9 @@ let synth_config t = t.synth
 let with_synth t synth =
   (* the firmware is unchanged; only the scope differs *)
   { t with synth }
+
+let with_fault t fault = { t with fault }
+let fault_config t = t.fault
 
 type run = {
   trace : Power.Ptrace.t;
@@ -80,6 +85,13 @@ let execute t ~scope_rng ~draws ~perm =
   ignore (Riscv.Cpu.run ~max_steps:(200 * t.n * 64) cpu);
   let events = Riscv.Trace.events recorder in
   let trace = Power.Synth.synthesize ~rng:scope_rng t.synth events in
+  let trace =
+    (* a no-op fault must leave the clean path bit-identical: no RNG
+       split, no trace rebuild *)
+    match t.fault with
+    | Some f when not (Power.Fault.is_noop f) -> Power.Fault.apply ~rng:(Mathkit.Prng.split scope_rng) f trace
+    | _ -> trace
+  in
   {
     trace;
     noises = Array.map fst (Array.sub draws 0 t.n);

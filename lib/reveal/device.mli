@@ -14,11 +14,16 @@ val create :
   ?synth:Power.Synth.config ->
   ?moduli:int array ->
   ?cycle_model:(Riscv.Inst.klass -> int) ->
+  ?fault:Power.Fault.config ->
   n:int ->
   unit ->
   t
 (** A device whose firmware samples [n] coefficients per run over the
-    given modulus chain (default: the paper's q = 132120577, k = 1). *)
+    given modulus chain (default: the paper's q = 132120577, k = 1).
+    With [fault], every trace leaving the scope — live runs and
+    recordings alike — is corrupted by that measurement-fault model;
+    a no-op fault config leaves traces bit-identical to a faultless
+    device. *)
 
 val n : t -> int
 val variant : t -> Riscv.Sampler_prog.variant
@@ -26,6 +31,11 @@ val moduli : t -> int array
 val synth_config : t -> Power.Synth.config
 val with_synth : t -> Power.Synth.config -> t
 (** Same firmware, different scope settings (noise sweeps). *)
+
+val with_fault : t -> Power.Fault.config option -> t
+(** Same firmware and scope, different acquisition-fault load. *)
+
+val fault_config : t -> Power.Fault.config option
 
 type run = {
   trace : Power.Ptrace.t;

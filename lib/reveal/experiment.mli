@@ -205,3 +205,55 @@ val ablate_features : config -> feature_row list
 
 val render_features : feature_row list -> string
 val render_ablation : title:string -> ablation_row list -> string
+
+(* --- fault tolerance ---------------------------------------------------------- *)
+
+type fault_sweep_row = {
+  intensity : float;  (** 0.0 = clean, 1.0 = the full reference fault load *)
+  recovery_rate : float;  (** fraction of coefficients graded >= Tentative *)
+  sign_accuracy : float;  (** percent *)
+  value_accuracy : float;  (** percent *)
+  confident : int;
+  tentative : int;
+  sign_only : int;
+  unknown : int;
+  retried : int;  (** coefficients rescued by re-measurement *)
+  unrecoverable : int;
+  perfect_hints : int;
+  approximate_hints : int;
+  none_hints : int;
+  graded_bikz : float;  (** hardness under the degraded hint ladder *)
+}
+
+val fault_sweep : ?intensities:float array -> config -> fault_sweep_row list
+(** Sweep the measurement-fault intensity over the full pipeline:
+    profile once fault-free, then attack with the same seeds at each
+    intensity through {!Campaign.run_attacks_resilient} and integrate
+    the graded hints.  Deterministic given the config seed.  Default
+    intensities: 0, 0.25, 0.5, 0.75, 1. *)
+
+val render_fault_sweep : fault_sweep_row list -> string
+
+val fault_sweep_check :
+  ?recovery_tolerance:float -> ?bikz_tolerance:float -> fault_sweep_row list -> (unit, string) result
+(** The sweep's two invariants: recovery rate is monotone
+    non-increasing in intensity (up to [recovery_tolerance], default
+    0.02) and no row's bikz under-reports hardness versus the clean
+    first row by more than [bikz_tolerance] (default 0.5).  [Error]
+    carries a description of every violation. *)
+
+type zero_consistency = {
+  coefficients : int;
+  verdict_mismatches : int;  (** must be 0 *)
+  grade_downgrades : int;  (** resilient grades below Tentative; must be 0 *)
+  bikz_classic : float;
+  bikz_graded : float;  (** must equal [bikz_classic] *)
+}
+
+val fault_zero_consistency : config -> zero_consistency
+(** Regression gate: the resilient pipeline (with an explicit no-op
+    fault config installed) run against the classic pipeline on the
+    same seeds — verdicts must match coefficient for coefficient and
+    the graded hint ladder must reproduce the calibrated bikz. *)
+
+val render_zero_consistency : zero_consistency -> string

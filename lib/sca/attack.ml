@@ -63,6 +63,29 @@ let build ?(poi_count = 24) ?(sign_poi_count = 10) ~sigma classes =
 
 let classify_sign_only t window = Template.classify t.sign_template (Sosd.pick window t.pois_sign)
 
+let sign_confidence t window =
+  let post = Template.posterior t.sign_template (Sosd.pick window t.pois_sign) in
+  Array.fold_left Float.max 0.0 post
+
+(* Posteriors normalise away the absolute likelihood, so a corrupted
+   window still yields a (meaninglessly) sharp posterior.  The absolute
+   best-class log density is the out-of-distribution signal: honest
+   windows score within a calibrated band, faulted ones fall off a
+   cliff (the Mahalanobis term is quadratic in the deviation). *)
+let best_log_likelihood template vec =
+  Array.fold_left Float.max neg_infinity (Template.log_likelihoods template vec)
+
+let sign_fit t window = best_log_likelihood t.sign_template (Sosd.pick window t.pois_sign)
+
+let value_fit t ~sign window =
+  match sign with
+  | -1 -> best_log_likelihood t.neg_template (Sosd.pick window t.pois_neg)
+  | 1 -> best_log_likelihood t.pos_template (Sosd.pick window t.pois_pos)
+  | _ ->
+      (* zero has no second-stage template: its value information lives
+         entirely in the branch region the sign template models *)
+      sign_fit t window
+
 (* Pure maximum likelihood, as in classical template attacks (and as
    the paper's Table I/II scores behave): the class prior is NOT mixed
    in — with single-trace likelihood margins of a few nats, a Gaussian

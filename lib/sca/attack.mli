@@ -58,6 +58,24 @@ val classify : t -> float array -> verdict
 val classify_sign_only : t -> float array -> int
 (** Branch-vulnerability-only attack (Table IV). *)
 
+val sign_confidence : t -> float array -> float
+(** Peak of the (flat-prior) sign posterior for this window — how
+    unambiguous the branch-region match is.  Near 1/3 means the window
+    does not look like any sign class (e.g. after a segmentation
+    failure); confidence gating uses it to demote garbage windows. *)
+
+val sign_fit : t -> float array -> float
+(** Best-class Gaussian log density of the window under the sign
+    template — an absolute goodness-of-fit.  Posteriors normalise the
+    likelihood away, so a corrupted window can still look confident;
+    its fit, by contrast, collapses (the exponent is quadratic in the
+    deviation from the nearest class mean).  Confidence gating compares
+    this against a floor calibrated on profiling windows. *)
+
+val value_fit : t -> sign:int -> float array -> float
+(** Best-class log density under the value template of [sign]'s group
+    (for sign 0, the sign template — zero has no second stage). *)
+
 val posterior_all : t -> float array -> (int * float) array
 (** Joint posterior over all candidates:
     P(v) = P(sign of v) * P(v | its group) — the raw Table II rows. *)

@@ -29,6 +29,8 @@ let smooth radius samples =
    percentile midpoint, it does not care what fraction of the trace is
    spent in each mode, so it survives very slow or very fast dividers. *)
 let otsu samples =
+  if Array.length samples = 0 then 0.0
+  else
   let lo = Array.fold_left Float.min samples.(0) samples in
   let hi = Array.fold_left Float.max samples.(0) samples in
   if hi -. lo <= 0.0 then lo
@@ -134,3 +136,139 @@ let vectorize samples wins ~length =
           let idx = w.start + i in
           if idx < w.stop && idx < Array.length samples then samples.(idx) else 0.0))
     wins
+
+(* --- resilient segmentation ------------------------------------------------ *)
+
+type quality = Clean | Resynced | Suspect
+
+type segment_error =
+  | Empty_trace
+  | Flat_trace
+  | Count_mismatch of { expected : int; found : int }
+
+type segmented = { wins : window array; quality : quality array }
+
+let error_to_string = function
+  | Empty_trace -> "empty trace"
+  | Flat_trace -> "flat trace: no bursts above threshold"
+  | Count_mismatch { expected; found } ->
+      Printf.sprintf "found %d bursts where %d were expected" found expected
+
+let median xs = Mathkit.Stats.percentile xs 50.0
+
+let burst_lengths bursts = Array.map (fun b -> float_of_int (b.stop - b.start)) bursts
+
+(* Glitch bursts masquerade as distribution calls but are much shorter
+   than the real divider plateau: drop the shortest sub-median bursts
+   until the count fits. *)
+let drop_spurious bursts ~expected =
+  let excess = Array.length bursts - expected in
+  let med = median (burst_lengths bursts) in
+  let candidates =
+    Array.to_list bursts
+    |> List.mapi (fun i b -> (i, b))
+    |> List.filter (fun (_, b) -> float_of_int (b.stop - b.start) < 0.6 *. med)
+    |> List.sort (fun (_, a) (_, b) -> compare (a.stop - a.start) (b.stop - b.start))
+  in
+  let doomed = List.filteri (fun k _ -> k < excess) candidates |> List.map fst in
+  let keep = Array.to_list bursts |> List.mapi (fun i b -> (i, b)) |> List.filter (fun (i, _) -> not (List.mem i doomed)) in
+  let removed = List.filter (fun (i, _) -> List.mem i doomed) (Array.to_list bursts |> List.mapi (fun i b -> (i, b))) in
+  (Array.of_list (List.map snd keep), List.map snd removed)
+
+(* A missed burst (clipped away, or fused into its neighbour) leaves a
+   gap of ~k periods between consecutive bursts.  Re-synchronise by
+   planting synthetic bursts at the expected cadence; windows touching
+   one are flagged Resynced. *)
+let resync bursts ~expected ~trace_len =
+  let count = Array.length bursts in
+  if count < 2 then (bursts, [])
+  else begin
+    let periods =
+      Array.init (count - 1) (fun i -> float_of_int (bursts.(i + 1).start - bursts.(i).start))
+    in
+    let p = median periods in
+    let w = int_of_float (median (burst_lengths bursts)) in
+    if p <= 0.0 then (bursts, [])
+    else begin
+      let missing = ref (expected - count) in
+      let out = ref [] in
+      let synth = ref [] in
+      let plant start =
+        let b = { start; stop = min trace_len (start + max 1 w) } in
+        out := b :: !out;
+        synth := b :: !synth;
+        decr missing
+      in
+      for i = 0 to count - 1 do
+        out := bursts.(i) :: !out;
+        let gap_end = if i + 1 < count then bursts.(i + 1).start else trace_len in
+        let d = float_of_int (gap_end - bursts.(i).start) in
+        let k =
+          if i + 1 < count then int_of_float (Float.round (d /. p)) - 1
+          else (* tail: the final burst may itself have been missed *)
+            int_of_float (Float.round (d /. p)) - 1
+        in
+        let k = min (max 0 k) !missing in
+        for j = 1 to k do
+          plant (bursts.(i).start + int_of_float (float_of_int j *. d /. float_of_int (k + 1)))
+        done
+      done;
+      let arr = Array.of_list (List.rev !out) in
+      Array.sort (fun a b -> compare a.start b.start) arr;
+      (arr, !synth)
+    end
+  end
+
+let windows_of_bursts bursts ~trace_len =
+  Array.mapi
+    (fun i b ->
+      let stop = if i + 1 < Array.length bursts then bursts.(i + 1).start else trace_len in
+      { start = b.stop; stop })
+    bursts
+
+let segment cfg ~expected samples =
+  if expected <= 0 then invalid_arg "Segment.segment: expected must be positive";
+  let trace_len = Array.length samples in
+  if trace_len = 0 then Error Empty_trace
+  else begin
+    let bursts = burst_regions cfg samples in
+    if Array.length bursts = 0 then Error Flat_trace
+    else begin
+      let bursts, removed =
+        if Array.length bursts > expected then drop_spurious bursts ~expected else (bursts, [])
+      in
+      let bursts, synthetic =
+        if Array.length bursts < expected then resync bursts ~expected ~trace_len
+        else (bursts, [])
+      in
+      let found = Array.length bursts in
+      if found <> expected then Error (Count_mismatch { expected; found })
+      else begin
+        let wins = windows_of_bursts bursts ~trace_len in
+        let touched w bs =
+          List.exists (fun b -> b.start >= w.start - 1 && b.start <= w.stop) bs
+        in
+        let is_synth b = List.exists (fun s -> s.start = b.start && s.stop = b.stop) synthetic in
+        let quality =
+          Array.mapi
+            (fun i w ->
+              (* a window is resynchronised if either delimiting burst is
+                 synthetic, or a spurious burst was excised inside it *)
+              let lead_synth = is_synth bursts.(i) in
+              let trail_synth = i + 1 < found && is_synth bursts.(i + 1) in
+              if lead_synth || trail_synth || touched w removed then Resynced else Clean)
+            wins
+        in
+        (* Length-plausibility: a window far from the median length was
+           mis-delimited even if the burst count worked out. *)
+        let lens = Array.map (fun w -> float_of_int (w.stop - w.start)) wins in
+        let med = median lens in
+        let mad = median (Array.map (fun l -> Float.abs (l -. med)) lens) in
+        let scale = Float.max mad (0.05 *. med) in
+        Array.iteri
+          (fun i l -> if Float.abs (l -. med) > 3.5 *. scale then quality.(i) <- Suspect)
+          lens;
+        Ok { wins; quality }
+      end
+    end
+  end

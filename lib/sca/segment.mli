@@ -41,7 +41,10 @@ val smooth : int -> float array -> float array
 (** Centred moving average. *)
 
 val auto_threshold : config -> float array -> float
-(** The level the Auto rule would pick for this trace. *)
+(** The level the Auto rule would pick for this trace.  An empty trace
+    yields 0.0 and a flat trace yields its constant level — both leave
+    {!burst_regions} with zero bursts rather than crashing; use
+    {!segment} to get a typed error instead. *)
 
 val burst_regions : config -> float array -> window array
 (** Merged high-power regions, one per distribution call. *)
@@ -55,3 +58,40 @@ val vectorize : float array -> window array -> length:int -> float array array
 (** Clip every window to its first [length] samples (windows shorter
     than [length] are zero-padded) — the fixed-dimension vectors the
     templates consume. *)
+
+(** {1 Resilient segmentation}
+
+    {!windows} silently returns however many windows it finds; on a
+    faulty capture that poisons everything downstream.  {!segment}
+    instead validates the count against the expected number of
+    distribution calls, repairs what it can, and reports per-window
+    quality so the attack can gate its confidence. *)
+
+type quality =
+  | Clean  (** delimited by two real bursts, plausible length *)
+  | Resynced
+      (** a delimiting burst was synthesised at the expected cadence
+          (missed burst), or a spurious glitch burst was excised *)
+  | Suspect  (** length is a >3.5-MAD outlier: mis-delimited *)
+
+type segment_error =
+  | Empty_trace
+  | Flat_trace  (** no burst cleared the threshold — all-quiet capture *)
+  | Count_mismatch of { expected : int; found : int }
+      (** repair could not reconcile the burst count *)
+
+type segmented = { wins : window array; quality : quality array }
+
+val error_to_string : segment_error -> string
+
+val segment : config -> expected:int -> float array -> (segmented, segment_error) result
+(** [segment cfg ~expected samples] returns exactly [expected] windows
+    or a typed error — never a silent short array.  When the burst
+    count is off it first drops glitch-length spurious bursts
+    (< 0.6 x median length), then plants synthetic bursts at the median
+    cadence inside oversized gaps (including a missed final burst);
+    affected windows are flagged [Resynced].  Windows whose length is a
+    gross outlier (median absolute deviation test) are flagged
+    [Suspect].  On a clean trace with the right burst count the result
+    equals {!windows} with every flag [Clean].
+    @raise Invalid_argument when [expected <= 0]. *)

@@ -217,6 +217,36 @@ let next r =
       r.next_index <- r.next_index + 1;
       Some rec_
 
+(* Tolerant cursor: a record whose frame fails its CRC — or whose
+   verified payload will not decode — is reported as [`Skipped] and the
+   cursor moves on to the next frame boundary.  [next_index] advances
+   over the skipped slot so the following records' index checks still
+   line up.  Structural damage (truncation, bad length field) has no
+   boundary to resume from and raises as in {!next}. *)
+let try_next r =
+  if r.r_closed then invalid_arg "Archive.try_next: reader already closed";
+  match Frame.try_read ~path:r.r_path r.ic with
+  | `End ->
+      if r.next_index < r.header.trace_count then
+        Error.corruptf "%s: archive truncated — header declares %d records but only %d are present" r.r_path
+          r.header.trace_count r.next_index;
+      `End_of_archive
+  | `Bad_crc msg ->
+      if r.next_index >= r.header.trace_count then
+        Error.corruptf "%s: trailing data after the %d records the header declares" r.r_path r.header.trace_count;
+      r.next_index <- r.next_index + 1;
+      `Skipped msg
+  | `Payload payload -> (
+      if r.next_index >= r.header.trace_count then
+        Error.corruptf "%s: trailing data after the %d records the header declares" r.r_path r.header.trace_count;
+      match record_of_payload ~path:r.r_path ~header:r.header ~expect_index:r.next_index payload with
+      | rec_ ->
+          r.next_index <- r.next_index + 1;
+          `Record rec_
+      | exception Error.Corrupt msg ->
+          r.next_index <- r.next_index + 1;
+          `Skipped msg)
+
 let next_batch r ~max =
   if max <= 0 then invalid_arg "Archive.next_batch: max must be positive";
   let rec take acc k = if k = 0 then acc else match next r with None -> acc | Some x -> take (x :: acc) (k - 1) in

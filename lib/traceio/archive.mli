@@ -102,6 +102,14 @@ val next : reader -> record option
 val next_batch : reader -> max:int -> record array
 (** Up to [max] records — the unit parallel ingestion works on. *)
 
+val try_next : reader -> [ `Record of record | `Skipped of string | `End_of_archive ]
+(** Tolerant {!next}: a record whose frame fails its CRC, or whose
+    verified payload will not decode, is reported as [`Skipped] (with
+    the diagnostic) and the cursor resumes at the next frame boundary —
+    campaign replay can drop the one bad trace and keep going.
+    Structural damage that destroys the framing (truncation, damaged
+    length field, trailing data) still raises {!Error.Corrupt}. *)
+
 val close_reader : reader -> unit
 
 val with_reader : string -> (reader -> 'a) -> 'a

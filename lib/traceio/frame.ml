@@ -33,15 +33,19 @@ let write ~path oc payload =
 
 let size payload = 8 + String.length payload
 
-(* [read ~path ic] returns the next verified payload, or [None] on a
-   clean end of file (EOF exactly at a frame boundary). *)
-let read ~path ic =
+(* Shared reader core.  A checksum mismatch is only detected after the
+   whole frame (length, payload, stored CRC) has been consumed, so the
+   channel is positioned at the next frame boundary either way — which
+   is what makes skip-and-continue recovery possible.  A damaged length
+   field or truncation mid-frame leaves no boundary to resume from and
+   stays a hard {!Error.Corrupt}. *)
+let read_result ~path ic =
   let first =
     try Some (input_char ic)
     with End_of_file -> None
   in
   match first with
-  | None -> None
+  | None -> `End
   | Some c0 ->
       Error.wrap_io path (fun () ->
           let rest = really_input_string ic 3 in
@@ -57,6 +61,17 @@ let read ~path ic =
           let stored = input_u32 ~path ic in
           let actual = Crc32.digest payload in
           if stored <> actual then
-            Error.corruptf "%s: checksum mismatch (stored %08x, computed %08x) — the archive is damaged" path stored
-              actual;
-          Some payload)
+            `Bad_crc
+              (Printf.sprintf "%s: checksum mismatch (stored %08x, computed %08x) — the archive is damaged" path
+                 stored actual)
+          else `Payload payload)
+
+(* [read ~path ic] returns the next verified payload, or [None] on a
+   clean end of file (EOF exactly at a frame boundary). *)
+let read ~path ic =
+  match read_result ~path ic with
+  | `End -> None
+  | `Payload payload -> Some payload
+  | `Bad_crc msg -> raise (Error.Corrupt msg)
+
+let try_read = read_result

@@ -20,3 +20,12 @@ val read : path:string -> in_channel -> string option
     @raise Error.Corrupt on truncation mid-frame, an oversized length
     field, or a checksum mismatch.
     @raise Error.Io when the OS fails the read. *)
+
+val try_read : path:string -> in_channel -> [ `Payload of string | `Bad_crc of string | `End ]
+(** Like {!read}, but a checksum mismatch is reported as [`Bad_crc]
+    with the diagnostic message instead of raising.  The mismatch is
+    only detected after the whole frame has been consumed, so the
+    channel sits at the next frame boundary and reading can continue —
+    the basis of skip-and-continue archive recovery.  Truncation and
+    damaged length fields still raise {!Error.Corrupt}: they destroy
+    the framing itself, there is no boundary to resume from. *)

@@ -19,4 +19,10 @@ dune exec bin/reveal_cli.exe -- inspect "$tmp/smoke.rvt" --records
 dune exec bin/reveal_cli.exe -- replay-attack "$tmp/smoke.rvt" --per-value 40 | tee "$tmp/replay.out"
 grep -q "replayed attack over 2 traces" "$tmp/replay.out"
 
+echo "== smoke: fault sweep (monotone recovery, bikz never under-reported, zero = clean) =="
+dune exec bin/reveal_cli.exe -- fault-sweep --seed 7 -n 64 --per-value 100 --traces 4 \
+  --intensities 0,0.5,1 --check | tee "$tmp/sweep.out"
+grep -q "sweep invariants hold" "$tmp/sweep.out"
+grep -q "bit-identical to the clean pipeline" "$tmp/sweep.out"
+
 echo "== all checks passed =="

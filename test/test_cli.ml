@@ -1,0 +1,62 @@
+(* Satellite: reveal_cli's exit-code contract, exercised against the real
+   binary.  0 = success, 1 = attack/verification failure, 2 = usage error
+   (bad arguments, impossible configuration), 3 = I/O error or corrupt
+   input.  Scripts depend on these; see the header of bin/reveal_cli.ml. *)
+
+(* dune runs the test in its build directory, with the binary declared as a
+   dep in test/dune so it is always built first. *)
+let exe = Filename.concat (Filename.concat ".." "bin") "reveal_cli.exe"
+
+let run args =
+  Sys.command (Printf.sprintf "%s %s > /dev/null 2>&1" (Filename.quote exe) args)
+
+let with_tmp f =
+  let path = Filename.temp_file "reveal_cli_test" ".rvt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_usage_errors_exit_2 () =
+  Alcotest.(check int) "unknown subcommand" 2 (run "no-such-subcommand");
+  Alcotest.(check int) "unknown flag" 2 (run "record --no-such-flag");
+  (* impossible configuration: profiling needs every value twice per run,
+     so a 16-coefficient device cannot host the 29-value profile set *)
+  Alcotest.(check int) "device too small to profile" 2 (run "attack --seed 7 -n 16")
+
+let test_missing_archive_exits_3 () =
+  Alcotest.(check int) "inspect missing file" 3 (run "inspect /nonexistent/path.rvt");
+  Alcotest.(check int) "replay missing file" 3 (run "replay-attack /nonexistent/path.rvt")
+
+let stomp_byte path pos =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  really_input ic b 0 len;
+  close_in ic;
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let test_record_inspect_roundtrip_and_corruption () =
+  with_tmp (fun path ->
+      Alcotest.(check int) "record succeeds" 0
+        (run (Printf.sprintf "record --seed 7 -n 64 --traces 1 -o %s" (Filename.quote path)));
+      Alcotest.(check int) "inspect succeeds" 0 (run (Printf.sprintf "inspect %s" (Filename.quote path)));
+      (* flip a magic byte: the reader must refuse the file, not misparse it *)
+      stomp_byte path 0;
+      Alcotest.(check int) "corrupt archive" 3 (run (Printf.sprintf "inspect %s" (Filename.quote path))))
+
+let cases =
+  [
+    ("cli: usage errors exit 2", test_usage_errors_exit_2);
+    ("cli: missing archive exits 3", test_missing_archive_exits_3);
+    ("cli: record/inspect ok, corrupt exits 3", test_record_inspect_roundtrip_and_corruption);
+  ]
+
+let suite =
+  if Sys.file_exists exe then
+    List.map (fun (name, f) -> Alcotest.test_case name `Quick f) cases
+  else
+    (* e.g. running the test module outside the dune sandbox *)
+    [ Alcotest.test_case "cli: binary not built, skipped" `Quick (fun () -> ()) ]

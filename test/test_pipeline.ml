@@ -203,7 +203,7 @@ let test_defense_report_shape () =
 
 let test_ablation_noise_monotone () =
   let rows = Reveal.Experiment.ablate_noise small_config in
-  let accs = List.map (fun r -> r.Reveal.Experiment.value_accuracy) rows in
+  let accs = List.map (fun (r : Reveal.Experiment.ablation_row) -> r.value_accuracy) rows in
   (* first (least noise) should beat last (most noise) clearly *)
   match (accs, List.rev accs) with
   | best :: _, worst :: _ -> Alcotest.(check bool) "more noise, worse attack" true (best > worst +. 5.0)
@@ -317,3 +317,38 @@ let parallel_cases =
   ]
 
 let suite = suite @ List.map (fun (name, f) -> Alcotest.test_case name `Quick f) parallel_cases
+
+(* --- fault tolerance ----------------------------------------------------- *)
+
+(* Satellite regression: at fault intensity 0 the resilient pipeline is
+   bit-identical to the classic one — same verdicts, same bikz. *)
+let test_fault_zero_consistency () =
+  let zc = Reveal.Experiment.fault_zero_consistency small_config in
+  Alcotest.(check bool) "attacked something" true (zc.Reveal.Experiment.coefficients > 0);
+  Alcotest.(check int) "identical verdicts" 0 zc.Reveal.Experiment.verdict_mismatches;
+  Alcotest.(check int) "nothing graded below Tentative" 0 zc.Reveal.Experiment.grade_downgrades;
+  Alcotest.(check (float 1e-9)) "identical bikz" zc.Reveal.Experiment.bikz_classic zc.Reveal.Experiment.bikz_graded
+
+let test_fault_sweep_invariants () =
+  let rows = Reveal.Experiment.fault_sweep ~intensities:[| 0.0; 0.6; 1.2 |] small_config in
+  Alcotest.(check int) "one row per intensity" 3 (List.length rows);
+  (match Reveal.Experiment.fault_sweep_check rows with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "sweep invariants violated:\n%s" msg);
+  let clean = List.hd rows in
+  Alcotest.(check (float 1e-9)) "clean recovery is total" 1.0 clean.Reveal.Experiment.recovery_rate;
+  Alcotest.(check int) "clean run needs no retries" 0 clean.Reveal.Experiment.retried;
+  Alcotest.(check int) "clean run loses nothing" 0 clean.Reveal.Experiment.unrecoverable
+
+let test_fault_sweep_deterministic () =
+  let sweep () = Reveal.Experiment.fault_sweep ~intensities:[| 0.8 |] small_config in
+  Alcotest.(check bool) "same seed, same rows" true (sweep () = sweep ())
+
+let fault_cases =
+  [
+    ("fault: zero intensity = clean pipeline", test_fault_zero_consistency);
+    ("fault: sweep invariants", test_fault_sweep_invariants);
+    ("fault: sweep deterministic", test_fault_sweep_deterministic);
+  ]
+
+let suite = suite @ List.map (fun (name, f) -> Alcotest.test_case name `Quick f) fault_cases

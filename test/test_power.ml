@@ -212,3 +212,79 @@ let align_cases =
   ]
 
 let suite = suite @ List.map (fun (name, f) -> Alcotest.test_case name `Quick f) align_cases
+
+(* --- Fault ------------------------------------------------------------- *)
+
+let ptrace_of samples =
+  { Power.Ptrace.samples; samples_per_cycle = 2; event_start = [||]; event_pc = [||] }
+
+let test_fault_of_intensity_endpoints () =
+  Alcotest.(check bool) "0 is none" true (Power.Fault.of_intensity 0.0 = Power.Fault.none);
+  Alcotest.(check bool) "negative clamps to none" true (Power.Fault.of_intensity (-3.0) = Power.Fault.none);
+  Alcotest.(check bool) "1 is full" true (Power.Fault.of_intensity 1.0 = Power.Fault.full);
+  Alcotest.(check bool) "none is noop" true (Power.Fault.is_noop Power.Fault.none);
+  Alcotest.(check bool) "full is not" false (Power.Fault.is_noop Power.Fault.full);
+  let extreme = Power.Fault.of_intensity 10.0 in
+  Alcotest.(check bool) "clip fraction capped" true (extreme.Power.Fault.clip_fraction <= 0.95)
+
+let test_fault_clip_ceiling () =
+  let t = ptrace_of (Array.init 100 (fun i -> float_of_int (i mod 10))) in
+  let cfg = { Power.Fault.none with Power.Fault.clip_fraction = 0.5 } in
+  let g = rng () in
+  let out = (Power.Fault.apply ~rng:g cfg t).Power.Ptrace.samples in
+  Alcotest.(check int) "length preserved" 100 (Array.length out);
+  Alcotest.(check (float 1e-9)) "ceiling = lo + 0.5 range" 4.5 (Array.fold_left Float.max out.(0) out)
+
+let test_fault_full_corrupts () =
+  let t = ptrace_of (Array.init 2000 (fun i -> if i mod 97 < 8 then 25.0 else 10.0)) in
+  let g = rng () in
+  let out = (Power.Fault.apply ~rng:g Power.Fault.full t).Power.Ptrace.samples in
+  Alcotest.(check bool) "samples changed" true (out <> t.Power.Ptrace.samples)
+
+let test_fault_empty_trace () =
+  let t = ptrace_of [||] in
+  let g = rng () in
+  let out = (Power.Fault.apply ~rng:g Power.Fault.full t).Power.Ptrace.samples in
+  Alcotest.(check int) "empty stays empty" 0 (Array.length out)
+
+let test_fault_short_trace_survives_jitter () =
+  (* trigger_jitter (48) larger than the trace: the offset clamps *)
+  let t = ptrace_of (Array.init 5 float_of_int) in
+  let g = rng () in
+  let out = (Power.Fault.apply ~rng:g { Power.Fault.none with Power.Fault.trigger_jitter = 48 } t).Power.Ptrace.samples in
+  Alcotest.(check int) "length preserved" 5 (Array.length out)
+
+let fault_cases =
+  [
+    ("fault of_intensity endpoints", test_fault_of_intensity_endpoints);
+    ("fault clip ceiling", test_fault_clip_ceiling);
+    ("fault full corrupts", test_fault_full_corrupts);
+    ("fault empty trace", test_fault_empty_trace);
+    ("fault short trace survives jitter", test_fault_short_trace_survives_jitter);
+  ]
+
+let suite = suite @ List.map (fun (name, f) -> Alcotest.test_case name `Quick f) fault_cases
+
+let samples_gen = QCheck.(list_of_size QCheck.Gen.(int_range 16 256) (float_range (-5.0) 40.0))
+
+let fault_noop_prop =
+  QCheck.Test.make ~name:"Fault: intensity 0 applies as a bit-exact no-op" ~count:40
+    QCheck.(pair samples_gen int)
+    (fun (samples, seed) ->
+      let t = ptrace_of (Array.of_list samples) in
+      let cfg = Power.Fault.of_intensity 0.0 in
+      let g = Mathkit.Prng.create ~seed:(Int64.of_int seed) () in
+      Power.Fault.is_noop cfg && (Power.Fault.apply ~rng:g cfg t).Power.Ptrace.samples == t.Power.Ptrace.samples)
+
+let fault_reproducible_prop =
+  QCheck.Test.make ~name:"Fault: bit-reproducible under a fixed seed" ~count:40
+    QCheck.(triple samples_gen (float_range 0.05 1.5) int)
+    (fun (samples, intensity, seed) ->
+      let t = ptrace_of (Array.of_list samples) in
+      let cfg = Power.Fault.of_intensity intensity in
+      let corrupt () =
+        (Power.Fault.apply ~rng:(Mathkit.Prng.create ~seed:(Int64.of_int seed) ()) cfg t).Power.Ptrace.samples
+      in
+      corrupt () = corrupt ())
+
+let suite = suite @ List.map QCheck_alcotest.to_alcotest [ fault_noop_prop; fault_reproducible_prop ]

@@ -10,4 +10,5 @@ let () =
       ("lattice", Test_lattice.suite);
       ("traceio", Test_traceio.suite);
       ("pipeline", Test_pipeline.suite);
+      ("cli", Test_cli.suite);
     ]

@@ -453,3 +453,92 @@ let segment_qcheck =
   ]
 
 let suite = suite @ List.map QCheck_alcotest.to_alcotest segment_qcheck
+
+(* --- resilient segmentation -------------------------------------------- *)
+
+let erase_range samples lo len =
+  let t = Array.copy samples in
+  for i = lo to min (Array.length t - 1) (lo + len - 1) do
+    t.(i) <- 10.0
+  done;
+  t
+
+let inject_burst samples lo len =
+  let t = Array.copy samples in
+  for i = lo to min (Array.length t - 1) (lo + len - 1) do
+    t.(i) <- 25.0
+  done;
+  t
+
+let test_segment_resilient_empty () =
+  Alcotest.(check bool) "typed error" true (Sca.Segment.segment Sca.Segment.default ~expected:3 [||] = Error Sca.Segment.Empty_trace)
+
+let test_segment_resilient_flat () =
+  Alcotest.(check bool) "typed error" true
+    (Sca.Segment.segment Sca.Segment.default ~expected:3 (Array.make 2000 10.0) = Error Sca.Segment.Flat_trace)
+
+let test_segment_resilient_invalid_expected () =
+  Alcotest.check_raises "expected must be positive" (Invalid_argument "Segment.segment: expected must be positive")
+    (fun () -> ignore (Sca.Segment.segment Sca.Segment.default ~expected:0 [| 1.0 |]))
+
+let test_segment_resilient_clean_matches_windows () =
+  let t = synthetic_trace ~bursts:5 ~quiet_len:200 ~burst_len:30 in
+  match Sca.Segment.segment Sca.Segment.default ~expected:5 t with
+  | Error e -> Alcotest.fail (Sca.Segment.error_to_string e)
+  | Ok seg ->
+      Alcotest.(check bool) "same windows as the classic path" true (seg.Sca.Segment.wins = Sca.Segment.windows Sca.Segment.default t);
+      Alcotest.(check bool) "all Clean" true (Array.for_all (fun q -> q = Sca.Segment.Clean) seg.Sca.Segment.quality)
+
+let test_segment_resilient_count_mismatch () =
+  let t = synthetic_trace ~bursts:3 ~quiet_len:200 ~burst_len:30 in
+  match Sca.Segment.segment Sca.Segment.default ~expected:9 t with
+  | Error (Sca.Segment.Count_mismatch { expected = 9; found }) ->
+      Alcotest.(check bool) "reports what it found" true (found < 9)
+  | Ok _ | Error _ -> Alcotest.fail "hopeless count mismatch not reported"
+
+let test_segment_resilient_missed_burst () =
+  let t = synthetic_trace ~bursts:5 ~quiet_len:200 ~burst_len:30 in
+  (* erase the middle burst: starts at 3*200 + 2*30 *)
+  let t = erase_range t 660 30 in
+  Alcotest.(check int) "one burst really missing" 4 (Array.length (Sca.Segment.burst_regions Sca.Segment.default t));
+  match Sca.Segment.segment Sca.Segment.default ~expected:5 t with
+  | Error e -> Alcotest.fail (Sca.Segment.error_to_string e)
+  | Ok seg ->
+      Alcotest.(check int) "resynchronised to the expected count" 5 (Array.length seg.Sca.Segment.wins);
+      Alcotest.(check bool) "repair is flagged" true
+        (Array.exists (fun q -> q = Sca.Segment.Resynced) seg.Sca.Segment.quality);
+      Alcotest.(check bool) "but not everywhere" true
+        (Array.exists (fun q -> q = Sca.Segment.Clean) seg.Sca.Segment.quality)
+
+let test_segment_resilient_spurious_burst () =
+  let t = synthetic_trace ~bursts:4 ~quiet_len:200 ~burst_len:30 in
+  (* a glitch masquerading as a (short) distribution call inside window 1 *)
+  let t = inject_burst t 540 8 in
+  Alcotest.(check int) "glitch detected as a burst" 5 (Array.length (Sca.Segment.burst_regions Sca.Segment.default t));
+  match Sca.Segment.segment Sca.Segment.default ~expected:4 t with
+  | Error e -> Alcotest.fail (Sca.Segment.error_to_string e)
+  | Ok seg ->
+      Alcotest.(check int) "spurious burst dropped" 4 (Array.length seg.Sca.Segment.wins);
+      Alcotest.(check bool) "excision is flagged" true
+        (Array.exists (fun q -> q <> Sca.Segment.Clean) seg.Sca.Segment.quality)
+
+let test_segment_auto_threshold_flat_guard () =
+  Alcotest.(check (float 1e-9)) "flat trace: threshold at the level" 10.0
+    (Sca.Segment.auto_threshold Sca.Segment.default (Array.make 512 10.0));
+  Alcotest.(check (float 1e-9)) "empty trace: zero" 0.0 (Sca.Segment.auto_threshold Sca.Segment.default [||]);
+  Alcotest.(check int) "flat trace: no bursts" 0
+    (Array.length (Sca.Segment.burst_regions Sca.Segment.default (Array.make 512 10.0)))
+
+let resilient_cases =
+  [
+    ("segment (resilient) empty trace", test_segment_resilient_empty);
+    ("segment (resilient) flat trace", test_segment_resilient_flat);
+    ("segment (resilient) invalid expected", test_segment_resilient_invalid_expected);
+    ("segment (resilient) clean = classic windows", test_segment_resilient_clean_matches_windows);
+    ("segment (resilient) hopeless count mismatch", test_segment_resilient_count_mismatch);
+    ("segment (resilient) missed burst resync", test_segment_resilient_missed_burst);
+    ("segment (resilient) spurious burst excision", test_segment_resilient_spurious_burst);
+    ("segment auto threshold flat/empty guard", test_segment_auto_threshold_flat_guard);
+  ]
+
+let suite = suite @ List.map (fun (name, f) -> Alcotest.test_case name `Quick f) resilient_cases

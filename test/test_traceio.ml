@@ -208,6 +208,10 @@ let profile_equal (a : Reveal.Campaign.profile) (b : Reveal.Campaign.profile) =
   && a.Reveal.Campaign.values = b.Reveal.Campaign.values
   && a.Reveal.Campaign.segment = b.Reveal.Campaign.segment
   && Int64.equal (Int64.bits_of_float a.Reveal.Campaign.sigma) (Int64.bits_of_float b.Reveal.Campaign.sigma)
+  && Int64.equal (Int64.bits_of_float a.Reveal.Campaign.sign_fit_floor) (Int64.bits_of_float b.Reveal.Campaign.sign_fit_floor)
+  && Int64.equal
+       (Int64.bits_of_float a.Reveal.Campaign.value_fit_floor)
+       (Int64.bits_of_float b.Reveal.Campaign.value_fit_floor)
   && template_equal a.Reveal.Campaign.attack.Sca.Attack.sign_template b.Reveal.Campaign.attack.Sca.Attack.sign_template
   && template_equal a.Reveal.Campaign.attack.Sca.Attack.neg_template b.Reveal.Campaign.attack.Sca.Attack.neg_template
   && template_equal a.Reveal.Campaign.attack.Sca.Attack.pos_template b.Reveal.Campaign.attack.Sca.Attack.pos_template
@@ -370,3 +374,67 @@ let suite =
     Alcotest.test_case "profile_of_archive = live profile" `Quick test_profile_of_archive_matches_live_profile;
     Alcotest.test_case "archive streaming is batch-bounded" `Quick test_record_profiling_memory_is_streamed;
   ]
+
+(* --- tolerant replay (CRC skip-and-continue) ----------------------------- *)
+
+(* Byte offset of a mid-payload byte of record [k]: the file is
+   magic(8) + version(2) followed by length-prefixed frames, frame 0
+   being the header. *)
+let record_payload_offset s k =
+  let u32 off =
+    Char.code s.[off]
+    lor (Char.code s.[off + 1] lsl 8)
+    lor (Char.code s.[off + 2] lsl 16)
+    lor (Char.code s.[off + 3] lsl 24)
+  in
+  let rec skip off frames = if frames = 0 then off else skip (off + 4 + u32 off + 4) (frames - 1) in
+  let frame = skip 10 (k + 1) in
+  frame + 4 + (u32 frame / 2)
+
+let flip_payload_byte path k =
+  let original = read_file path in
+  let off = record_payload_offset original k in
+  let b = Bytes.of_string original in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x40));
+  write_file path (Bytes.to_string b)
+
+let test_archive_try_next_skips_bad_crc () =
+  let device = Reveal.Device.create ~n:8 () in
+  let runs = sample_runs device 3 in
+  with_tmp "skip.rvt" (fun path ->
+      write_archive path device runs;
+      flip_payload_byte path 1;
+      (* the strict path still fails fast *)
+      expect_corrupt "strict drain" (fun () -> drain path);
+      (* the tolerant path drops exactly the damaged record *)
+      Traceio.Archive.with_reader path (fun r ->
+          let rec go recs skipped =
+            match Traceio.Archive.try_next r with
+            | `Record rec_ -> go (rec_.Traceio.Archive.index :: recs) skipped
+            | `Skipped _ -> go recs (skipped + 1)
+            | `End_of_archive -> (List.rev recs, skipped)
+          in
+          let indices, skipped = go [] 0 in
+          Alcotest.(check (list int)) "survivors resume at the frame boundary" [ 0; 2 ] indices;
+          Alcotest.(check int) "one record skipped" 1 skipped))
+
+let test_attack_archive_skips_corrupt_record () =
+  let device = Reveal.Device.create ~n:16 () in
+  let prof = Lazy.force tiny_profile in
+  with_tmp "tolerant.rvt" (fun path ->
+      let g = rng () in
+      Reveal.Device.record device ~path ~seed:0L ~traces:4 ~scope_rng:g ~sampler_rng:g;
+      flip_payload_byte path 2;
+      let stats, results = Reveal.Campaign.attack_archive ~batch:2 prof path in
+      Alcotest.(check int) "corrupt record counted" 1 stats.Reveal.Campaign.corrupt_skipped;
+      Alcotest.(check int) "remaining traces attacked" (3 * 16) (Array.length results);
+      (* --strict semantics: fail fast instead of skipping *)
+      expect_corrupt "strict replay" (fun () ->
+          ignore (Reveal.Campaign.attack_archive ~strict:true ~batch:2 prof path)))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "try_next skips a bad-CRC record" `Quick test_archive_try_next_skips_bad_crc;
+      Alcotest.test_case "attack_archive tolerant vs strict" `Quick test_attack_archive_skips_corrupt_record;
+    ]
