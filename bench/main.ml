@@ -142,6 +142,27 @@ let run_traceio _cfg =
   Printf.printf "  capture+encode  %.3f s (%.1f MiB/s)\n" t_write (mb size /. t_write);
   Printf.printf "  read+verify     %.3f s (%.1f MiB/s, every checksum checked)\n" t_read (mb size /. t_read)
 
+let run_ctcheck _cfg =
+  section "ctcheck: constant-time lint of the four firmware variants";
+  List.iter
+    (fun (name, variant) ->
+      let t0 = Unix.gettimeofday () in
+      let r = Ctcheck.Lint.analyze_variant ~n:64 ~k:1 variant in
+      let dt = Unix.gettimeofday () -. t0 in
+      let viol = List.length (Ctcheck.Lint.violations r) in
+      let confirmed = List.length (List.filter Ctcheck.Finding.is_confirmed r.Ctcheck.Lint.findings) in
+      Printf.printf "  %-9s %d findings (%d violations, %d/%d oracle-confirmed), drift %s, %.3f s\n" name
+        (List.length r.Ctcheck.Lint.findings) viol confirmed
+        (List.length r.Ctcheck.Lint.findings)
+        (match Ctcheck.Lint.check r with [] -> "none" | l -> string_of_int (List.length l) ^ " line(s)")
+        dt)
+    [
+      ("v32", Riscv.Sampler_prog.Vulnerable);
+      ("v36", Riscv.Sampler_prog.Branchless);
+      ("shuffled", Riscv.Sampler_prog.Shuffled);
+      ("cdt", Riscv.Sampler_prog.Cdt_table);
+    ]
+
 (* --- Bechamel micro-benchmarks: one per table/figure kernel ------------- *)
 
 let perf_tests () =
@@ -210,6 +231,12 @@ let perf_tests () =
     Test.make ~name:"substrate: BFV encrypt (n=1024, v3.2 sampler)"
       (Staged.stage (fun () -> ignore (Bfv.Encryptor.encrypt rng ctx pk msg)))
   in
+  let v32 = Riscv.Sampler_prog.build ~variant:Riscv.Sampler_prog.Vulnerable ~n:64 ~k:1 () in
+  let lint_config = Ctcheck.Lint.sampler_config () in
+  let ctcheck_kernel =
+    Test.make ~name:"ctcheck: static lint of v3.2 firmware (n=64)"
+      (Staged.stage (fun () -> ignore (Ctcheck.Lint.analyze_program ~config:lint_config v32)))
+  in
   let lll_kernel =
     Test.make ~name:"substrate: LLL on dim-33 Kannan embedding"
       (Staged.stage (fun () ->
@@ -226,7 +253,7 @@ let perf_tests () =
            let basis = Lattice.Embed.kannan_basis inst in
            Lattice.Lll.reduce basis))
   in
-  [ fig3_kernel; table1_kernel; table2_kernel; table3_kernel; table4_kernel; ntt_kernel; bfv_kernel; lll_kernel ]
+  [ fig3_kernel; table1_kernel; table2_kernel; table3_kernel; table4_kernel; ctcheck_kernel; ntt_kernel; bfv_kernel; lll_kernel ]
 
 let run_perf () =
   section "Bechamel micro-benchmarks (one per table/figure kernel)";
@@ -269,6 +296,7 @@ let usage () =
     \  ablate-features feature-extraction comparison (SOST/SOSD/PCA/correlation)\n\
     \  fault-sweep     measurement-fault intensity sweep (recovery / bikz curves)\n\
     \  traceio         trace-archive write/read throughput\n\
+    \  ctcheck         constant-time lint of every firmware variant\n\
     \  perf            Bechamel micro-benchmarks"
 
 let () =
@@ -293,6 +321,7 @@ let () =
       run_ablate_features cfg;
       run_ablate_timing cfg;
       run_fault_sweep cfg;
+      run_ctcheck cfg;
       print_endline "\nall artefacts regenerated; see EXPERIMENTS.md for paper-vs-measured discussion"
   | [ "fig3" ] | [ "fig3a" ] | [ "fig3b" ] -> run_fig3 cfg
   | [ "table1" ] -> run_table1 cfg
@@ -312,5 +341,6 @@ let () =
   | [ "ablate-timing" ] -> run_ablate_timing cfg
   | [ "fault-sweep" ] -> run_fault_sweep cfg
   | [ "traceio" ] -> run_traceio cfg
+  | [ "ctcheck" ] -> run_ctcheck cfg
   | [ "perf" ] -> run_perf ()
   | _ -> usage ()

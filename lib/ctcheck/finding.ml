@@ -1,0 +1,39 @@
+type kind = Secret_branch | Secret_mem_addr | Secret_count | Secret_bus
+
+type severity = Violation | Leak_surface
+
+let severity = function Secret_bus -> Leak_surface | Secret_branch | Secret_mem_addr | Secret_count -> Violation
+
+type witness = { secret_lo : int; secret_hi : int; evidence : string }
+
+type confirmation = Static_only | Confirmed of witness
+
+type t = { kind : kind; addr : int; inst : Riscv.Inst.t; detail : string; confirmation : confirmation }
+
+let is_violation f = severity f.kind = Violation
+let is_confirmed f = match f.confirmation with Confirmed _ -> true | Static_only -> false
+
+let kind_name = function
+  | Secret_branch -> "secret-branch"
+  | Secret_mem_addr -> "secret-mem-addr"
+  | Secret_count -> "secret-count"
+  | Secret_bus -> "secret-bus"
+
+let severity_name = function Violation -> "VIOLATION" | Leak_surface -> "leak-surface"
+
+let kind_rank = function Secret_branch -> 0 | Secret_mem_addr -> 1 | Secret_count -> 2 | Secret_bus -> 3
+
+let compare a b =
+  match Int.compare a.addr b.addr with 0 -> Int.compare (kind_rank a.kind) (kind_rank b.kind) | c -> c
+
+let to_string f =
+  let tag =
+    match f.confirmation with
+    | Static_only -> "static-only"
+    | Confirmed w -> Printf.sprintf "confirmed %d vs %d" w.secret_lo w.secret_hi
+  in
+  Printf.sprintf "0x%08x  %-15s %-12s %-20s %s%s" f.addr (kind_name f.kind)
+    (severity_name (severity f.kind))
+    tag
+    (Riscv.Inst.to_string f.inst)
+    (if f.detail = "" then "" else "  ; " ^ f.detail)

@@ -59,7 +59,25 @@ let ret = ins (Inst.Jalr (Inst.x0, Inst.ra, 0))
 let neg rd rs = ins (Inst.Sub (rd, Inst.x0, rs))
 let halt = ins Inst.Ebreak
 
-type program = { words : int32 array; labels : (string * int) list; listing : string list }
+type program = { words : int32 array; labels : (string * int) list; listing : string list; origin : int }
+
+type error =
+  | Duplicate_label of string
+  | Undefined_label of string
+  | Branch_out_of_range of { label : string; distance : int; at : int }
+
+exception Error of error
+
+let error_to_string = function
+  | Duplicate_label name -> Printf.sprintf "duplicate label %S" name
+  | Undefined_label name -> Printf.sprintf "undefined label %S" name
+  | Branch_out_of_range { label; distance; at } ->
+      Printf.sprintf "branch at 0x%08x to label %S out of range (distance %d bytes)" at label distance
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Asm.Error (%s)" (error_to_string e))
+    | _ -> None)
 
 let item_size = function
   | Label _ | Comment _ -> 0
@@ -74,7 +92,7 @@ let assemble ?(origin = 0) items =
     (fun item ->
       (match item with
       | Label name ->
-          if Hashtbl.mem labels name then invalid_arg (Printf.sprintf "Asm.assemble: duplicate label %S" name);
+          if Hashtbl.mem labels name then raise (Error (Duplicate_label name));
           Hashtbl.add labels name !addr
       | _ -> ());
       addr := !addr + (4 * item_size item))
@@ -82,7 +100,7 @@ let assemble ?(origin = 0) items =
   let lookup name =
     match Hashtbl.find_opt labels name with
     | Some a -> a
-    | None -> invalid_arg (Printf.sprintf "Asm.assemble: undefined label %S" name)
+    | None -> raise (Error (Undefined_label name))
   in
   (* Pass 2: emit. *)
   let words = ref [] and listing = ref [] and addr = ref origin in
@@ -98,14 +116,22 @@ let assemble ?(origin = 0) items =
       | Comment text -> listing := Printf.sprintf "          ; %s" text :: !listing
       | Fixed is -> List.iter emit_inst is
       | Ref { emit; target; size } ->
-          let insts = emit ~own:!addr ~target:(lookup target) in
+          let own = !addr in
+          let resolved = lookup target in
+          let insts = emit ~own ~target:resolved in
           if List.length insts <> size then invalid_arg "Asm.assemble: ref expansion size mismatch";
-          List.iter emit_inst insts)
+          (* Label-relative offsets are the only immediates whose range
+             the program author cannot see locally: report which label
+             was too far, not just that some immediate overflowed. *)
+          (try List.iter emit_inst insts
+           with Invalid_argument _ ->
+             raise (Error (Branch_out_of_range { label = target; distance = resolved - own; at = own }))))
     items;
   {
     words = Array.of_list (List.rev !words);
     labels = Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels [];
     listing = List.rev !listing;
+    origin;
   }
 
 let label_address p name = List.assoc name p.labels

@@ -46,11 +46,25 @@ type program = {
   words : int32 array;  (** encoded instructions *)
   labels : (string * int) list;  (** label -> byte address *)
   listing : string list;  (** disassembly with addresses *)
+  origin : int;  (** byte address of [words.(0)] *)
 }
 
+type error =
+  | Duplicate_label of string
+  | Undefined_label of string
+  | Branch_out_of_range of { label : string; distance : int; at : int }
+      (** a label-relative branch/jump at byte address [at] cannot
+          encode the [distance] (bytes) to [label] *)
+
+exception Error of error
+
+val error_to_string : error -> string
+
 val assemble : ?origin:int -> item list -> program
-(** @raise Invalid_argument on duplicate or undefined labels, or
-    immediates out of range. *)
+(** @raise Error on duplicate or undefined labels and on
+    label-relative offsets that do not fit their encoding.
+    @raise Invalid_argument on out-of-range numeric immediates in
+    concrete instructions. *)
 
 val label_address : program -> string -> int
 (** @raise Not_found for unknown labels. *)

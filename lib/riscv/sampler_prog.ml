@@ -211,6 +211,12 @@ let cdt_dist_subroutine =
     label "cdt_loop";
     beq a2 t6 "cdt_scan_done";
     ins (Inst.Lw (a3, t5, 0));
+    comment "fixed-latency wide compare of the table entry, modelled on";
+    comment "the div unit (same burn convention as the polar dist): the";
+    comment "count is data-independent so the scan stays constant-time,";
+    comment "and every draw keeps the high-power plateau segmentation";
+    comment "anchors on";
+    ins (Inst.Divu (t3, a3, t6));
     ins (Inst.Sltu (t2, a3, a1));
     ins (Inst.Add (a0, a0, t2));
     ins (Inst.Addi (t5, t5, 4));
@@ -225,7 +231,7 @@ let cdt_dist_subroutine =
     ret;
   ]
 
-let build ?(variant = Vulnerable) ~n ~k () =
+let build ?(variant = Vulnerable) ?origin ~n ~k () =
   let layout = default_layout in
   if n <= 0 || k <= 0 then invalid_arg "Sampler_prog.build: n and k must be positive";
   let body, dist =
@@ -233,11 +239,16 @@ let build ?(variant = Vulnerable) ~n ~k () =
     | Vulnerable -> (prologue ~layout ~n ~k () @ vulnerable_body ~layout ~shuffled:false, dist_subroutine)
     | Shuffled -> (prologue ~with_perm:true ~layout ~n ~k () @ vulnerable_body ~layout ~shuffled:true, dist_subroutine)
     | Branchless -> (prologue ~layout ~n ~k () @ branchless_body ~layout, dist_subroutine)
-    | Cdt_table -> (prologue ~layout ~n ~k () @ vulnerable_body ~layout ~shuffled:false, cdt_dist_subroutine)
+    | Cdt_table ->
+        (* The CDT design point ([10]/[12]) pairs the constant-time
+           table scan with a branchless assignment body: its residual
+           leak is the sign branch inside the draw, not the v3.2
+           ladder. *)
+        (prologue ~layout ~n ~k () @ branchless_body ~layout, cdt_dist_subroutine)
   in
   (* The dist subroutine sits after the main code; execution falls into
      it only via call. *)
-  Asm.assemble (body @ dist)
+  Asm.assemble ?origin (body @ dist)
 
 let install_noise_port mem ~draws =
   let noise_cursor = ref 0 and rejection_cursor = ref 0 in

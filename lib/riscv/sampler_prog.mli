@@ -46,10 +46,11 @@ type layout = {
 
 val default_layout : layout
 
-val build : ?variant:variant -> n:int -> k:int -> unit -> Asm.program
-(** Assemble the sampler for [n] coefficients and [k] RNS primes.
-    Labels of interest: ["outer_loop"], ["dist"], ["pos_branch"],
-    ["neg_branch"], ["zero_branch"], ["next_i"], ["finish"]. *)
+val build : ?variant:variant -> ?origin:int -> n:int -> k:int -> unit -> Asm.program
+(** Assemble the sampler for [n] coefficients and [k] RNS primes, at
+    byte address [origin] (default 0).  Labels of interest:
+    ["outer_loop"], ["dist"], ["pos_branch"], ["neg_branch"],
+    ["zero_branch"], ["next_i"], ["finish"]. *)
 
 val noise_port : int
 (** MMIO address the program loads each accepted noise value from. *)
@@ -70,6 +71,9 @@ val install_cdt_port : Memory.t -> draws:(int * int) array -> unit
 val cdt_entries : int
 (** Number of thresholds the firmware scans (covers magnitudes
     0..cdt_entries). *)
+
+val cdt_base : int
+(** RAM address of the staged threshold table. *)
 
 val stage_cdt_table : Memory.t -> layout -> int array -> unit
 (** Write the scaled (31-bit) cumulative thresholds.

@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 echo "== dune build @all =="
 dune build @all
 
+echo "== dune build --profile strict @all (warnings are errors) =="
+dune build --profile strict @all
+
 echo "== dune runtest =="
 dune runtest
 
@@ -18,6 +21,18 @@ dune exec bin/reveal_cli.exe -- record --seed 7 -n 64 --traces 2 -o "$tmp/smoke.
 dune exec bin/reveal_cli.exe -- inspect "$tmp/smoke.rvt" --records
 dune exec bin/reveal_cli.exe -- replay-attack "$tmp/smoke.rvt" --per-value 40 | tee "$tmp/replay.out"
 grep -q "replayed attack over 2 traces" "$tmp/replay.out"
+
+echo "== smoke: leaklint verdict table on every firmware variant =="
+for v in v32 v36 shuffled cdt; do
+  dune exec bin/reveal_cli.exe -- lint --variant "$v" --check -n 8 > "$tmp/lint-$v.out"
+  grep -q "verdict table check: OK" "$tmp/lint-$v.out"
+done
+# plain exit codes carry the verdict: v32 leaks (1), v36 is clean (0)
+if dune exec bin/reveal_cli.exe -- lint --variant v32 -n 8 > /dev/null; then
+  echo "lint: expected a NOT CONSTANT-TIME exit for v32" >&2
+  exit 1
+fi
+dune exec bin/reveal_cli.exe -- lint --variant v36 -n 8 > /dev/null
 
 echo "== smoke: fault sweep (monotone recovery, bikz never under-reported, zero = clean) =="
 dune exec bin/reveal_cli.exe -- fault-sweep --seed 7 -n 64 --per-value 100 --traces 4 \

@@ -9,6 +9,7 @@ let () =
       ("hints", Test_hints.suite);
       ("lattice", Test_lattice.suite);
       ("traceio", Test_traceio.suite);
+      ("ctcheck", Test_ctcheck.suite);
       ("pipeline", Test_pipeline.suite);
       ("cli", Test_cli.suite);
     ]

@@ -89,6 +89,39 @@ let test_codec_illegal_decode () =
      Alcotest.fail "expected Illegal"
    with Codec.Illegal _ -> ())
 
+(* Words that look almost like instructions: every undefined opcode,
+   funct3 or funct7 combination must surface as Codec.Illegal — the
+   static analyzer decodes whole programs and relies on this boundary
+   never escaping as a different exception. *)
+let illegal_word_corpus =
+  [
+    (0x00000000l, "all-zero word");
+    (0x00000001l, "compressed-looking opcode 0x01");
+    (0x0000002Fl, "AMO opcode (not in RV32IM)");
+    (0x0000300Fl, "FENCE opcode");
+    (0x00003003l, "load funct3=3");
+    (0x00006003l, "load funct3=6 (lwu is RV64)");
+    (0x00003023l, "store funct3=3");
+    (0x00002063l, "branch funct3=2");
+    (0x00003063l, "branch funct3=3");
+    (0x00001067l, "jalr funct3=1");
+    (0x40001013l, "slli with srai's funct7");
+    (0x20005013l, "srli/srai with funct7=0x10");
+    (0xFE000033l, "op funct7=0x7F");
+    (0x42000033l, "op funct7=0x21 (mul+sub mixup)");
+    (0x00200073l, "system imm=2 (neither ecall nor ebreak)");
+    (0x000000F3l, "ecall encoding with rd!=x0");
+    (0xFFFFFFFFl, "all-ones word");
+  ]
+
+let test_codec_illegal_corpus () =
+  List.iter
+    (fun (word, what) ->
+      match Codec.decode word with
+      | inst -> Alcotest.failf "%s decoded as %s" what (Inst.to_string inst)
+      | exception Codec.Illegal w -> Alcotest.(check int32) what word w)
+    illegal_word_corpus
+
 (* --- Memory -------------------------------------------------------------- *)
 
 let test_memory_word_roundtrip () =
@@ -155,12 +188,29 @@ let test_asm_forward_backward_labels () =
   Alcotest.(check int) "sum 1..10" 55 (Cpu.reg cpu (Inst.a 0))
 
 let test_asm_duplicate_label_raises () =
-  Alcotest.check_raises "dup" (Invalid_argument "Asm.assemble: duplicate label \"x\"") (fun () ->
+  Alcotest.check_raises "dup" (Asm.Error (Asm.Duplicate_label "x")) (fun () ->
       ignore (Asm.assemble [ Asm.label "x"; Asm.label "x" ]))
 
 let test_asm_undefined_label_raises () =
-  Alcotest.check_raises "undef" (Invalid_argument "Asm.assemble: undefined label \"nowhere\"") (fun () ->
+  Alcotest.check_raises "undef" (Asm.Error (Asm.Undefined_label "nowhere")) (fun () ->
       ignore (Asm.assemble [ Asm.j "nowhere" ]))
+
+let test_asm_branch_out_of_range () =
+  (* A conditional branch reaches +-4 KiB; park the target 2000
+     instructions away and the assembler must name the label and the
+     distance, not die inside the encoder. *)
+  let open Asm in
+  let far = List.init 2000 (fun _ -> nop) in
+  (try
+     ignore (Asm.assemble ((blt (Inst.t 0) (Inst.t 1) "far" :: far) @ [ label "far"; halt ]));
+     Alcotest.fail "expected Asm.Error"
+   with Asm.Error (Asm.Branch_out_of_range { label; distance; at }) ->
+     Alcotest.(check string) "label" "far" label;
+     Alcotest.(check int) "distance" 8004 distance;
+     Alcotest.(check int) "at" 0 at);
+  (* jal reaches +-1 MiB: the same label distance assembles fine *)
+  let prog = Asm.assemble ((j "far" :: far) @ [ label "far"; halt ]) in
+  Alcotest.(check int) "jal spans it" 8004 (Asm.label_address prog "far")
 
 let test_asm_li_large_constant () =
   let open Asm in
@@ -424,6 +474,7 @@ let suite =
       ("codec known encodings", test_codec_known_words);
       ("codec rejects bad immediate", test_codec_rejects_bad_imm);
       ("codec illegal decode", test_codec_illegal_decode);
+      ("codec illegal-word corpus", test_codec_illegal_corpus);
       ("memory word roundtrip", test_memory_word_roundtrip);
       ("memory byte sign extension", test_memory_byte_sign);
       ("memory half sign extension", test_memory_half_sign);
@@ -433,6 +484,7 @@ let suite =
       ("asm labels forward/backward", test_asm_forward_backward_labels);
       ("asm duplicate label raises", test_asm_duplicate_label_raises);
       ("asm undefined label raises", test_asm_undefined_label_raises);
+      ("asm branch out of range names label", test_asm_branch_out_of_range);
       ("asm li large constants", test_asm_li_large_constant);
       ("asm call/ret", test_asm_call_ret);
       ("cpu add wraps", test_cpu_add_wraps);
@@ -535,7 +587,27 @@ let qcheck_cases =
         (fun (a, b) -> exec_rr op a b = reference op a b))
     alu_ops
 
-let suite = suite @ List.map QCheck_alcotest.to_alcotest qcheck_cases
+let codec_qcheck_cases =
+  let open QCheck in
+  [
+    (* structural equality: encode is injective on legal instructions *)
+    Test.make ~name:"codec encode/decode roundtrip (property)" ~count:2000 int
+      (fun seed ->
+        let g = Mathkit.Prng.create ~seed:(Int64.of_int seed) () in
+        let inst = arbitrary_inst g in
+        Codec.decode (Codec.encode inst) = inst);
+    (* decode is total up to Codec.Illegal: no random word may escape
+       through any other exception *)
+    Test.make ~name:"codec decode total (Illegal or a value)" ~count:5000
+      (int_bound 0xFFFFFFF)
+      (fun r ->
+        let word = Int32.of_int ((r * 0x9E3779B9) land 0xFFFFFFFF) in
+        match Codec.decode word with
+        | _ -> true
+        | exception Codec.Illegal w -> w = word);
+  ]
+
+let suite = suite @ List.map QCheck_alcotest.to_alcotest (qcheck_cases @ codec_qcheck_cases)
 
 (* --- CDT firmware variant (prior-work baseline) --------------------------- *)
 
@@ -611,11 +683,11 @@ let test_cdt_constant_scan_length () =
     Array.length (Trace.events recorder)
   in
   (* same-sign values must execute identical counts (the scan is
-     constant-time); the sign flips the dist negation AND the main
-     body's assignment ladder, so compare within each sign *)
+     constant-time, and the assignment body is branchless); the only
+     data-dependent instruction left is the sign-branch negation *)
   Alcotest.(check int) "positive scan constant" (run_count 3) (run_count 9);
   Alcotest.(check int) "negative scan constant" (run_count (-3)) (run_count (-9));
-  Alcotest.(check bool) "negative path longer (negation + ladder)" true (run_count (-3) > run_count 3)
+  Alcotest.(check int) "negation is the single residual instruction" (run_count 3 + 1) (run_count (-3))
 
 let cdt_cases =
   [
