@@ -3,12 +3,18 @@
    Subcommands:
      disasm        print the RV32IM listing of a sampler firmware variant
      trace         capture one sampler power trace (ASCII plot / CSV)
+     profile       build attack templates and cache them to disk
      attack        run the single-trace attack once and print per-coefficient results
      record        capture a campaign of honest traces into a binary archive
      replay-attack re-run the single-trace attack offline, from an archive
      inspect       validate an archive and print its header / record summary
      fault-sweep   sweep measurement-fault intensity, report graceful degradation
+     lint          constant-time lint of the sampler firmware
      estimate      DBDD security estimates for SEAL parameter sets with hint counts
+     report        render any experiment artefact of the paper (text or JSON)
+
+   Every subcommand accepts --json: one JSON object (or array) on
+   stdout, progress chatter suppressed, same exit codes.
 
    Exit codes: 0 success; 1 attack/check failure; 2 usage error;
    3 I/O error or corrupt input. *)
@@ -36,22 +42,38 @@ let variant_arg =
   in
   Arg.(value & opt variant_conv Riscv.Sampler_prog.Vulnerable & info [ "variant" ] ~docv:"VARIANT" ~doc)
 
+let json_arg =
+  let doc = "Emit one machine-readable JSON value on stdout instead of the human-readable report." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let rng_of_seed seed = Mathkit.Prng.create ~seed:(Int64.of_int seed) ()
 
 (* --- disasm ------------------------------------------------------------ *)
 
-let disasm variant n =
+let disasm variant n json =
   let prog = Riscv.Sampler_prog.build ~variant ~n ~k:1 () in
-  List.iter print_endline prog.Riscv.Asm.listing;
-  Printf.printf "; %d instructions\n" (Array.length prog.Riscv.Asm.words)
+  if json then
+    Reveal.Report.(
+      print
+        (Obj
+           [
+             ("variant", String (Traceio.Archive.variant_name variant));
+             ("n", Int n);
+             ("instructions", Int (Array.length prog.Riscv.Asm.words));
+             ("listing", List (List.map (fun l -> String l) prog.Riscv.Asm.listing));
+           ]))
+  else begin
+    List.iter print_endline prog.Riscv.Asm.listing;
+    Printf.printf "; %d instructions\n" (Array.length prog.Riscv.Asm.words)
+  end
 
 let disasm_cmd =
   let doc = "Print the RV32IM assembly listing of the sampler firmware." in
-  Cmd.v (Cmd.info "disasm" ~doc) Term.(const disasm $ variant_arg $ n_arg 4)
+  Cmd.v (Cmd.info "disasm" ~doc) Term.(const disasm $ variant_arg $ n_arg 4 $ json_arg)
 
 (* --- trace -------------------------------------------------------------- *)
 
-let trace seed variant n csv =
+let trace seed variant n csv json =
   let rng = rng_of_seed seed in
   let device = Reveal.Device.create ~variant ~n () in
   let run =
@@ -62,36 +84,62 @@ let trace seed variant n csv =
     end
     else Reveal.Device.run_gaussian device ~scope_rng:rng ~sampler_rng:rng
   in
-  Printf.printf "sampled noises: %s\n"
-    (String.concat " " (Array.to_list (Array.map string_of_int run.Reveal.Device.noises)));
-  (match csv with
-  | Some path ->
-      Power.Ptrace.save_csv path run.Reveal.Device.trace;
-      Printf.printf "trace written to %s (%d samples)\n" path (Power.Ptrace.length run.Reveal.Device.trace)
-  | None -> print_string (Power.Ptrace.ascii_plot ~width:110 ~height:16 run.Reveal.Device.trace.Power.Ptrace.samples));
-  let bursts = Sca.Segment.burst_regions Sca.Segment.default run.Reveal.Device.trace.Power.Ptrace.samples in
-  Printf.printf "%d distribution-call peaks detected\n" (Array.length bursts)
+  if json then begin
+    (match csv with Some path -> Power.Ptrace.save_csv path run.Reveal.Device.trace | None -> ());
+    let bursts = Sca.Segment.burst_regions Sca.Segment.default run.Reveal.Device.trace.Power.Ptrace.samples in
+    Reveal.Report.(
+      print
+        (Obj
+           ([
+              ("noises", List (Array.to_list (Array.map (fun v -> Int v) run.Reveal.Device.noises)));
+              ("samples", Int (Power.Ptrace.length run.Reveal.Device.trace));
+              ("peaks", Int (Array.length bursts));
+            ]
+           @ match csv with Some path -> [ ("csv", String path) ] | None -> [])))
+  end
+  else begin
+    Printf.printf "sampled noises: %s\n"
+      (String.concat " " (Array.to_list (Array.map string_of_int run.Reveal.Device.noises)));
+    (match csv with
+    | Some path ->
+        Power.Ptrace.save_csv path run.Reveal.Device.trace;
+        Printf.printf "trace written to %s (%d samples)\n" path (Power.Ptrace.length run.Reveal.Device.trace)
+    | None -> print_string (Power.Ptrace.ascii_plot ~width:110 ~height:16 run.Reveal.Device.trace.Power.Ptrace.samples));
+    let bursts = Sca.Segment.burst_regions Sca.Segment.default run.Reveal.Device.trace.Power.Ptrace.samples in
+    Printf.printf "%d distribution-call peaks detected\n" (Array.length bursts)
+  end
 
 let trace_cmd =
   let doc = "Capture one power trace of the sampler and plot or dump it." in
   let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write the trace as CSV.") in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const trace $ seed_arg $ variant_arg $ n_arg 4 $ csv)
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const trace $ seed_arg $ variant_arg $ n_arg 4 $ csv $ json_arg)
 
 (* --- profile ----------------------------------------------------------------- *)
 
-let profile_cmd_impl seed n per_value out =
+let profile_cmd_impl seed n per_value out json =
   let rng = rng_of_seed seed in
   let device = Reveal.Device.create ~n () in
-  Printf.printf "profiling (%d windows per candidate value, n = %d)...\n%!" per_value n;
+  if not json then Printf.printf "profiling (%d windows per candidate value, n = %d)...\n%!" per_value n;
   let prof = Reveal.Campaign.profile ~per_value device rng in
   Reveal.Campaign.save_profile out prof;
-  Printf.printf "profile saved to %s (window length %d)\n" out prof.Reveal.Campaign.window_length
+  if json then
+    Reveal.Report.(
+      print
+        (Obj
+           [
+             ("out", String out);
+             ("n", Int n);
+             ("per_value", Int per_value);
+             ("window_length", Int prof.Reveal.Campaign.window_length);
+             ("sigma", Float prof.Reveal.Campaign.sigma);
+           ]))
+  else Printf.printf "profile saved to %s (window length %d)\n" out prof.Reveal.Campaign.window_length
 
 let profile_cmd =
   let doc = "Build attack templates on a clone device and cache them to disk." in
   let out = Arg.(value & opt string "reveal_profile.bin" & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Cache file.") in
   let per_value = Arg.(value & opt int 400 & info [ "per-value" ] ~docv:"K" ~doc:"Profiling windows per value.") in
-  Cmd.v (Cmd.info "profile" ~doc) Term.(const profile_cmd_impl $ seed_arg $ n_arg 128 $ per_value $ out)
+  Cmd.v (Cmd.info "profile" ~doc) Term.(const profile_cmd_impl $ seed_arg $ n_arg 128 $ per_value $ out $ json_arg)
 
 (* --- attack --------------------------------------------------------------- *)
 
@@ -112,17 +160,27 @@ let traceio_guard f =
       prerr_endline ("reveal: " ^ msg);
       exit 2
 
-let attack seed n per_value cached verbose =
+let coefficient_json i (r : Reveal.Campaign.coefficient_result) =
+  Reveal.Report.(
+    Obj
+      [
+        ("index", Int i);
+        ("actual", Int r.Reveal.Campaign.actual);
+        ("recovered", Int r.Reveal.Campaign.verdict.Sca.Attack.value);
+        ("sign", Int r.Reveal.Campaign.verdict.Sca.Attack.sign);
+      ])
+
+let attack seed n per_value cached verbose json =
   traceio_guard @@ fun () ->
   let rng = rng_of_seed seed in
   let device = Reveal.Device.create ~n () in
   let prof =
     match cached with
     | Some path ->
-        Printf.printf "loading cached profile from %s\n%!" path;
+        if not json then Printf.printf "loading cached profile from %s\n%!" path;
         Reveal.Campaign.load_profile path
     | None ->
-        Printf.printf "profiling (%d windows per candidate value)...\n%!" per_value;
+        if not json then Printf.printf "profiling (%d windows per candidate value)...\n%!" per_value;
         Reveal.Campaign.profile ~per_value device rng
   in
   let scope_rng = Mathkit.Prng.split rng and sampler_rng = Mathkit.Prng.split rng in
@@ -134,61 +192,83 @@ let attack seed n per_value cached verbose =
       let v = r.Reveal.Campaign.verdict in
       if compare r.Reveal.Campaign.actual 0 = v.Sca.Attack.sign then incr sign_ok;
       if r.Reveal.Campaign.actual = v.Sca.Attack.value then incr value_ok;
-      if verbose then
+      if verbose && not json then
         Printf.printf "coeff %4d: actual %3d -> recovered %3d %s\n" i r.Reveal.Campaign.actual v.Sca.Attack.value
           (if r.Reveal.Campaign.actual = v.Sca.Attack.value then "" else "x"))
     results;
-  Printf.printf "single-trace attack over %d coefficients: signs %d/%d, values %d/%d\n" n !sign_ok n !value_ok n
+  if json then
+    Reveal.Report.(
+      print
+        (Obj
+           ([ ("n", Int n); ("sign_correct", Int !sign_ok); ("value_correct", Int !value_ok) ]
+           @
+           if verbose then
+             [ ("coefficients", List (Array.to_list (Array.mapi coefficient_json results))) ]
+           else [])))
+  else Printf.printf "single-trace attack over %d coefficients: signs %d/%d, values %d/%d\n" n !sign_ok n !value_ok n
 
 let attack_cmd =
   let doc = "Run the single-trace attack on one honest sampling." in
   let per_value = Arg.(value & opt int 300 & info [ "per-value" ] ~docv:"K" ~doc:"Profiling windows per value.") in
   let cached = Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc:"Use a cached profile (see the profile command).") in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every coefficient.") in
-  Cmd.v (Cmd.info "attack" ~doc) Term.(const attack $ seed_arg $ n_arg 128 $ per_value $ cached $ verbose)
+  Cmd.v (Cmd.info "attack" ~doc) Term.(const attack $ seed_arg $ n_arg 128 $ per_value $ cached $ verbose $ json_arg)
 
 (* --- record ------------------------------------------------------------- *)
 
 (* The rng derivation (create, split scope, split sampler) matches the
    attack command exactly, so `record --seed S --traces 1` captures the
    very trace `attack --seed S --profile …` attacks live. *)
-let record seed variant n traces out =
+let record seed variant n traces out json =
   traceio_guard (fun () ->
       let rng = rng_of_seed seed in
       let device = Reveal.Device.create ~variant ~n () in
       let scope_rng = Mathkit.Prng.split rng and sampler_rng = Mathkit.Prng.split rng in
       Reveal.Device.record device ~path:out ~seed:(Int64.of_int seed) ~traces ~scope_rng ~sampler_rng;
-      Printf.printf "recorded %d traces (n = %d, %s) to %s (%d bytes)\n" traces n
-        (Traceio.Archive.variant_name variant) out (Traceio.Archive.file_size out))
+      if json then
+        Reveal.Report.(
+          print
+            (Obj
+               [
+                 ("out", String out);
+                 ("traces", Int traces);
+                 ("n", Int n);
+                 ("variant", String (Traceio.Archive.variant_name variant));
+                 ("bytes", Int (Traceio.Archive.file_size out));
+               ]))
+      else
+        Printf.printf "recorded %d traces (n = %d, %s) to %s (%d bytes)\n" traces n
+          (Traceio.Archive.variant_name variant) out (Traceio.Archive.file_size out))
 
 let record_cmd =
   let doc = "Capture a campaign of honest sampler traces into a binary archive." in
   let traces = Arg.(value & opt int 16 & info [ "traces" ] ~docv:"T" ~doc:"Number of traces to record.") in
   let out = Arg.(value & opt string "campaign.rvt" & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Archive file.") in
-  Cmd.v (Cmd.info "record" ~doc) Term.(const record $ seed_arg $ variant_arg $ n_arg 128 $ traces $ out)
+  Cmd.v (Cmd.info "record" ~doc) Term.(const record $ seed_arg $ variant_arg $ n_arg 128 $ traces $ out $ json_arg)
 
 (* --- replay-attack ------------------------------------------------------- *)
 
-let replay_attack archive cached per_value profile_seed strict min_values verbose =
+let replay_attack archive cached per_value profile_seed strict min_values verbose json =
   traceio_guard (fun () ->
       let header = Traceio.Archive.with_reader archive Traceio.Archive.header in
-      Printf.printf "archive %s: %d traces, n = %d, %s, seed %Ld\n" archive header.Traceio.Archive.trace_count
-        header.Traceio.Archive.n
-        (Traceio.Archive.variant_name header.Traceio.Archive.variant)
-        header.Traceio.Archive.seed;
+      if not json then
+        Printf.printf "archive %s: %d traces, n = %d, %s, seed %Ld\n" archive header.Traceio.Archive.trace_count
+          header.Traceio.Archive.n
+          (Traceio.Archive.variant_name header.Traceio.Archive.variant)
+          header.Traceio.Archive.seed;
       let prof =
         match cached with
         | Some path ->
-            Printf.printf "loading cached profile from %s\n%!" path;
+            if not json then Printf.printf "loading cached profile from %s\n%!" path;
             Reveal.Campaign.load_profile path
         | None ->
             (* profile on a clone device matching the archive's header *)
             let device = Reveal.Device.of_header header in
-            Printf.printf "profiling clone device (%d windows per candidate value)...\n%!" per_value;
+            if not json then Printf.printf "profiling clone device (%d windows per candidate value)...\n%!" per_value;
             Reveal.Campaign.profile ~per_value device (rng_of_seed profile_seed)
       in
       let stats, results = Reveal.Campaign.attack_archive ~strict prof archive in
-      if verbose then
+      if verbose && not json then
         Array.iteri
           (fun i r ->
             let v = r.Reveal.Campaign.verdict in
@@ -197,17 +277,39 @@ let replay_attack archive cached per_value profile_seed strict min_values verbos
               (if r.Reveal.Campaign.actual = v.Sca.Attack.value then "" else "x"))
           results;
       let replayed = header.Traceio.Archive.trace_count - stats.Reveal.Campaign.corrupt_skipped in
-      Printf.printf
-        "replayed attack over %d traces x %d coefficients: signs %d/%d, values %d/%d (%d out of template range)\n"
-        replayed header.Traceio.Archive.n stats.Reveal.Campaign.sign_correct
-        stats.Reveal.Campaign.sign_total stats.Reveal.Campaign.value_correct stats.Reveal.Campaign.value_total
-        stats.Reveal.Campaign.skipped_out_of_range;
-      if stats.Reveal.Campaign.corrupt_skipped > 0 then
-        Printf.printf "%d corrupt record(s) skipped mid-stream\n" stats.Reveal.Campaign.corrupt_skipped;
       let value_rate =
         if stats.Reveal.Campaign.value_total = 0 then 0.0
         else float_of_int stats.Reveal.Campaign.value_correct /. float_of_int stats.Reveal.Campaign.value_total
       in
+      if json then
+        Reveal.Report.(
+          print
+            (Obj
+               ([
+                  ("archive", String archive);
+                  ("replayed", Int replayed);
+                  ("n", Int header.Traceio.Archive.n);
+                  ("sign_correct", Int stats.Reveal.Campaign.sign_correct);
+                  ("sign_total", Int stats.Reveal.Campaign.sign_total);
+                  ("value_correct", Int stats.Reveal.Campaign.value_correct);
+                  ("value_total", Int stats.Reveal.Campaign.value_total);
+                  ("out_of_range", Int stats.Reveal.Campaign.skipped_out_of_range);
+                  ("corrupt_skipped", Int stats.Reveal.Campaign.corrupt_skipped);
+                  ("value_rate", Float value_rate);
+                ]
+               @
+               if verbose then
+                 [ ("coefficients", List (Array.to_list (Array.mapi coefficient_json results))) ]
+               else [])))
+      else begin
+        Printf.printf
+          "replayed attack over %d traces x %d coefficients: signs %d/%d, values %d/%d (%d out of template range)\n"
+          replayed header.Traceio.Archive.n stats.Reveal.Campaign.sign_correct
+          stats.Reveal.Campaign.sign_total stats.Reveal.Campaign.value_correct stats.Reveal.Campaign.value_total
+          stats.Reveal.Campaign.skipped_out_of_range;
+        if stats.Reveal.Campaign.corrupt_skipped > 0 then
+          Printf.printf "%d corrupt record(s) skipped mid-stream\n" stats.Reveal.Campaign.corrupt_skipped
+      end;
       if value_rate < min_values then begin
         Printf.eprintf "reveal: value recovery rate %.3f below required %.3f\n" value_rate min_values;
         exit 1
@@ -231,24 +333,27 @@ let replay_attack_cmd =
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every coefficient.") in
   Cmd.v (Cmd.info "replay-attack" ~doc)
-    Term.(const replay_attack $ archive $ cached $ per_value $ profile_seed $ strict $ min_values $ verbose)
+    Term.(const replay_attack $ archive $ cached $ per_value $ profile_seed $ strict $ min_values $ verbose $ json_arg)
 
 (* --- inspect -------------------------------------------------------------- *)
 
-let inspect path show_records =
+let inspect path show_records json =
   traceio_guard (fun () ->
       let size = Traceio.Archive.file_size path in
       Traceio.Archive.with_reader path (fun reader ->
           let h = Traceio.Archive.header reader in
-          Printf.printf "%s: reveal trace archive (format v1), %d bytes\n" path size;
-          Printf.printf "  variant            %s\n" (Traceio.Archive.variant_name h.Traceio.Archive.variant);
-          Printf.printf "  coefficients/run   %d\n" h.Traceio.Archive.n;
-          Printf.printf "  campaign seed      %Ld\n" h.Traceio.Archive.seed;
-          Printf.printf "  samples/cycle      %d\n" h.Traceio.Archive.samples_per_cycle;
-          Printf.printf "  scope noise sigma  %.4f\n" h.Traceio.Archive.noise_sigma;
-          Printf.printf "  traces             %d\n" h.Traceio.Archive.trace_count;
-          List.iter (fun (k, v) -> Printf.printf "  meta %-18s %s\n" k v) h.Traceio.Archive.meta;
+          if not json then begin
+            Printf.printf "%s: reveal trace archive (format v1), %d bytes\n" path size;
+            Printf.printf "  variant            %s\n" (Traceio.Archive.variant_name h.Traceio.Archive.variant);
+            Printf.printf "  coefficients/run   %d\n" h.Traceio.Archive.n;
+            Printf.printf "  campaign seed      %Ld\n" h.Traceio.Archive.seed;
+            Printf.printf "  samples/cycle      %d\n" h.Traceio.Archive.samples_per_cycle;
+            Printf.printf "  scope noise sigma  %.4f\n" h.Traceio.Archive.noise_sigma;
+            Printf.printf "  traces             %d\n" h.Traceio.Archive.trace_count;
+            List.iter (fun (k, v) -> Printf.printf "  meta %-18s %s\n" k v) h.Traceio.Archive.meta
+          end;
           let total_samples = ref 0 and raw = ref 0 in
+          let record_rows = ref [] in
           let rec loop () =
             match Traceio.Archive.next reader with
             | None -> ()
@@ -259,51 +364,112 @@ let inspect path show_records =
                 (* what a naive 64-bit dump of the same record costs *)
                 raw := !raw + (8 * (len + (2 * events) + Array.length r.Traceio.Archive.noises));
                 if show_records then
-                  Printf.printf "  record %4d: %6d samples, %5d events, mean power %8.2f\n" r.Traceio.Archive.index
-                    len events
-                    (Power.Ptrace.mean r.Traceio.Archive.trace);
+                  if json then
+                    record_rows :=
+                      Reveal.Report.(
+                        Obj
+                          [
+                            ("index", Int r.Traceio.Archive.index);
+                            ("samples", Int len);
+                            ("events", Int events);
+                            ("mean_power", Float (Power.Ptrace.mean r.Traceio.Archive.trace));
+                          ])
+                      :: !record_rows
+                  else
+                    Printf.printf "  record %4d: %6d samples, %5d events, mean power %8.2f\n" r.Traceio.Archive.index
+                      len events
+                      (Power.Ptrace.mean r.Traceio.Archive.trace);
                 loop ()
           in
           loop ();
-          Printf.printf "all %d record checksums verified\n" h.Traceio.Archive.trace_count;
-          if !raw > 0 then
-            Printf.printf "%d samples total; %d bytes on disk vs %d raw 64-bit dump (%.2fx compression)\n"
-              !total_samples size !raw
-              (float_of_int !raw /. float_of_int size)))
+          if json then
+            Reveal.Report.(
+              print
+                (Obj
+                   ([
+                      ("path", String path);
+                      ("bytes", Int size);
+                      ("variant", String (Traceio.Archive.variant_name h.Traceio.Archive.variant));
+                      ("n", Int h.Traceio.Archive.n);
+                      ("seed", String (Int64.to_string h.Traceio.Archive.seed));
+                      ("samples_per_cycle", Int h.Traceio.Archive.samples_per_cycle);
+                      ("noise_sigma", Float h.Traceio.Archive.noise_sigma);
+                      ("traces", Int h.Traceio.Archive.trace_count);
+                      ("meta", Obj (List.map (fun (k, v) -> (k, String v)) h.Traceio.Archive.meta));
+                      ("total_samples", Int !total_samples);
+                      ("raw_bytes", Int !raw);
+                      ("checksums_verified", Bool true);
+                    ]
+                   @ if show_records then [ ("records", List (List.rev !record_rows)) ] else [])))
+          else begin
+            Printf.printf "all %d record checksums verified\n" h.Traceio.Archive.trace_count;
+            if !raw > 0 then
+              Printf.printf "%d samples total; %d bytes on disk vs %d raw 64-bit dump (%.2fx compression)\n"
+                !total_samples size !raw
+                (float_of_int !raw /. float_of_int size)
+          end))
 
 let inspect_cmd =
   let doc = "Validate every checksum of a trace archive and print its contents." in
   let archive = Arg.(required & pos 0 (some string) None & info [] ~docv:"ARCHIVE" ~doc:"Trace archive.") in
   let records = Arg.(value & flag & info [ "records" ] ~doc:"Print a line per record.") in
-  Cmd.v (Cmd.info "inspect" ~doc) Term.(const inspect $ archive $ records)
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const inspect $ archive $ records $ json_arg)
 
 (* --- fault-sweep ------------------------------------------------------------- *)
 
-let fault_sweep seed n per_value traces intensities check =
+let fault_sweep seed n per_value traces intensities check json =
   traceio_guard (fun () ->
       let config =
         { Reveal.Experiment.seed = Int64.of_int seed; device_n = n; per_value; attack_traces = traces }
       in
       let intensities = Option.map Array.of_list intensities in
       let rows = Reveal.Experiment.fault_sweep ?intensities config in
-      print_string (Reveal.Experiment.render_fault_sweep rows);
-      if check then begin
-        (match Reveal.Experiment.fault_sweep_check rows with
-        | Ok () -> print_endline "sweep invariants hold: recovery monotone, bikz never under-reported"
-        | Error msg ->
-            Printf.eprintf "reveal: fault sweep violates invariants:\n%s\n" msg;
-            exit 1);
-        let zc = Reveal.Experiment.fault_zero_consistency config in
-        print_string (Reveal.Experiment.render_zero_consistency zc);
-        if
-          zc.Reveal.Experiment.verdict_mismatches > 0
-          || zc.Reveal.Experiment.grade_downgrades > 0
-          || zc.Reveal.Experiment.bikz_classic <> zc.Reveal.Experiment.bikz_graded
-        then begin
-          prerr_endline "reveal: zero-intensity pipeline diverges from the clean attack";
-          exit 1
+      if json then begin
+        let fields = ref [ ("rows", (Reveal.Experiment.fault_sweep_doc rows).Reveal.Report.json) ] in
+        if check then begin
+          (match Reveal.Experiment.fault_sweep_check rows with
+          | Ok () -> ()
+          | Error msg ->
+              Printf.eprintf "reveal: fault sweep violates invariants:\n%s\n" msg;
+              exit 1);
+          let zc = Reveal.Experiment.fault_zero_consistency config in
+          if
+            zc.Reveal.Experiment.verdict_mismatches > 0
+            || zc.Reveal.Experiment.grade_downgrades > 0
+            || zc.Reveal.Experiment.bikz_classic <> zc.Reveal.Experiment.bikz_graded
+          then begin
+            prerr_endline "reveal: zero-intensity pipeline diverges from the clean attack";
+            exit 1
+          end;
+          fields :=
+            !fields
+            @ [
+                ("invariants_ok", Reveal.Report.Bool true);
+                ("zero_consistency", (Reveal.Experiment.zero_consistency_doc zc).Reveal.Report.json);
+              ]
         end;
-        print_endline "zero-intensity attack is bit-identical to the clean pipeline"
+        Reveal.Report.(print (Obj !fields))
+      end
+      else begin
+        print_string (Reveal.Experiment.render_fault_sweep rows);
+        if check then begin
+          (match Reveal.Experiment.fault_sweep_check rows with
+          | Ok () -> print_endline "sweep invariants hold: recovery monotone, bikz never under-reported"
+          | Error msg ->
+              Printf.eprintf "reveal: fault sweep violates invariants:\n%s\n" msg;
+              exit 1);
+          let zc = Reveal.Experiment.fault_zero_consistency config in
+          print_string (Reveal.Experiment.render_zero_consistency zc);
+          if
+            zc.Reveal.Experiment.verdict_mismatches > 0
+            || zc.Reveal.Experiment.grade_downgrades > 0
+            || zc.Reveal.Experiment.bikz_classic <> zc.Reveal.Experiment.bikz_graded
+          then begin
+            prerr_endline "reveal: zero-intensity pipeline diverges from the clean attack";
+            exit 1
+          end;
+          print_endline "zero-intensity attack is bit-identical to the clean pipeline"
+        end
       end)
 
 let fault_sweep_cmd =
@@ -326,22 +492,42 @@ let fault_sweep_cmd =
              intensity reproduces the clean pipeline exactly; exit 1 on violation.")
   in
   Cmd.v (Cmd.info "fault-sweep" ~doc)
-    Term.(const fault_sweep $ seed_arg $ n_arg 128 $ per_value $ traces $ intensities $ check)
+    Term.(const fault_sweep $ seed_arg $ n_arg 128 $ per_value $ traces $ intensities $ check $ json_arg)
 
 (* --- lint ----------------------------------------------------------------- *)
 
-let lint variant n k no_confirm check verbose =
+let lint variant n k no_confirm check verbose json =
   traceio_guard (fun () ->
       if n <= 0 || k <= 0 then invalid_arg "lint: n and k must be positive";
       let report = Ctcheck.Lint.analyze_variant ~n ~k ~confirm:(not no_confirm) variant in
-      print_string (Ctcheck.Lint.render ~verbose report);
-      if check then
-        match Ctcheck.Lint.check report with
-        | [] -> print_endline "verdict table check: OK"
-        | drift ->
-            List.iter (fun d -> Printf.eprintf "reveal: verdict drift: %s\n" d) drift;
-            exit 1
-      else if Ctcheck.Lint.violations report <> [] then exit 1)
+      if json then begin
+        let violations = Ctcheck.Lint.violations report in
+        let drift = if check then Ctcheck.Lint.check report else [] in
+        let ok = if check then drift = [] else violations = [] in
+        Reveal.Report.(
+          print
+            (Obj
+               [
+                 ("variant", String (Traceio.Archive.variant_name variant));
+                 ("findings", Int (List.length report.Ctcheck.Lint.findings));
+                 ("violations", Int (List.length violations));
+                 ( "confirmed",
+                   Int (List.length (List.filter Ctcheck.Finding.is_confirmed report.Ctcheck.Lint.findings)) );
+                 ("drift", List (List.map (fun d -> String d) drift));
+                 ("ok", Bool ok);
+               ]));
+        if not ok then exit 1
+      end
+      else begin
+        print_string (Ctcheck.Lint.render ~verbose report);
+        if check then
+          match Ctcheck.Lint.check report with
+          | [] -> print_endline "verdict table check: OK"
+          | drift ->
+              List.iter (fun d -> Printf.eprintf "reveal: verdict drift: %s\n" d) drift;
+              exit 1
+        else if Ctcheck.Lint.violations report <> [] then exit 1
+      end)
 
 let lint_cmd =
   let doc = "Constant-time lint of the sampler firmware, with differential-trace confirmation." in
@@ -370,46 +556,112 @@ let lint_cmd =
       & info [ "check" ] ~doc:"Compare the findings against the variant's expected verdict table; exit 1 on drift.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Append the annotated listing.") in
-  Cmd.v (Cmd.info "lint" ~doc ~man) Term.(const lint $ variant_arg $ n_arg 4 $ k $ no_confirm $ check $ verbose)
+  Cmd.v (Cmd.info "lint" ~doc ~man) Term.(const lint $ variant_arg $ n_arg 4 $ k $ no_confirm $ check $ verbose $ json_arg)
 
 (* --- estimate --------------------------------------------------------------- *)
 
-let estimate perfect sign_only =
+let estimate perfect sign_only json =
   let lwe = Hints.Lwe.seal_128_1024 in
   let d = Hints.Dbdd.create lwe in
-  Printf.printf "SEAL-128 (q=%d, n=%d): %.2f bikz (~2^%.1f) without hints\n" lwe.Hints.Lwe.q lwe.Hints.Lwe.n
-    (Hints.Dbdd.estimate_bikz d)
-    (Hints.Bkz_model.security_bits (Hints.Dbdd.estimate_bikz d));
-  if sign_only then begin
-    let sigma = lwe.Hints.Lwe.sigma_error in
-    let p0 = Mathkit.Gaussian.discrete_probability ~sigma 0 in
-    let zeros = int_of_float (Float.round (p0 *. float_of_int lwe.Hints.Lwe.m)) in
-    let hv = sigma *. sigma *. (1.0 -. (2.0 /. Float.pi)) in
-    for i = 0 to lwe.Hints.Lwe.m - 1 do
-      if i < zeros then Hints.Dbdd.perfect_hint d i else Hints.Dbdd.posterior_hint d i ~posterior_variance:hv
-    done;
-    Printf.printf "with sign/zero hints on all %d error coordinates: %.2f bikz (~2^%.1f)\n" lwe.Hints.Lwe.m
-      (Hints.Dbdd.estimate_bikz d)
-      (Hints.Bkz_model.security_bits (Hints.Dbdd.estimate_bikz d))
-  end
+  let bikz0 = Hints.Dbdd.estimate_bikz d in
+  if not json then
+    Printf.printf "SEAL-128 (q=%d, n=%d): %.2f bikz (~2^%.1f) without hints\n" lwe.Hints.Lwe.q lwe.Hints.Lwe.n bikz0
+      (Hints.Bkz_model.security_bits bikz0);
+  let hints =
+    if sign_only then begin
+      let sigma = lwe.Hints.Lwe.sigma_error in
+      let p0 = Mathkit.Gaussian.discrete_probability ~sigma 0 in
+      let zeros = int_of_float (Float.round (p0 *. float_of_int lwe.Hints.Lwe.m)) in
+      let hv = sigma *. sigma *. (1.0 -. (2.0 /. Float.pi)) in
+      for i = 0 to lwe.Hints.Lwe.m - 1 do
+        if i < zeros then Hints.Dbdd.perfect_hint d i else Hints.Dbdd.posterior_hint d i ~posterior_variance:hv
+      done;
+      if not json then
+        Printf.printf "with sign/zero hints on all %d error coordinates: %.2f bikz (~2^%.1f)\n" lwe.Hints.Lwe.m
+          (Hints.Dbdd.estimate_bikz d)
+          (Hints.Bkz_model.security_bits (Hints.Dbdd.estimate_bikz d));
+      lwe.Hints.Lwe.m
+    end
+    else begin
+      let k = min perfect lwe.Hints.Lwe.m in
+      for i = 0 to k - 1 do
+        Hints.Dbdd.perfect_hint d i
+      done;
+      if not json then
+        Printf.printf "with %d perfect error hints: %.2f bikz (~2^%.1f)\n" k (Hints.Dbdd.estimate_bikz d)
+          (Hints.Bkz_model.security_bits (Hints.Dbdd.estimate_bikz d));
+      k
+    end
+  in
+  let bikz1 = Hints.Dbdd.estimate_bikz d in
+  if json then
+    Reveal.Report.(
+      print
+        (Obj
+           [
+             ("q", Int lwe.Hints.Lwe.q);
+             ("n", Int lwe.Hints.Lwe.n);
+             ("mode", String (if sign_only then "sign-only" else "perfect"));
+             ("hints", Int hints);
+             ("bikz_no_hints", Float bikz0);
+             ("bits_no_hints", Float (Hints.Bkz_model.security_bits bikz0));
+             ("bikz_with_hints", Float bikz1);
+             ("bits_with_hints", Float (Hints.Bkz_model.security_bits bikz1));
+             ( "cost_models",
+               Obj (List.map (fun (label, bits) -> (label, Float bits)) (Hints.Bkz_model.cost_summary bikz1)) );
+           ]))
   else begin
-    let k = min perfect lwe.Hints.Lwe.m in
-    for i = 0 to k - 1 do
-      Hints.Dbdd.perfect_hint d i
-    done;
-    Printf.printf "with %d perfect error hints: %.2f bikz (~2^%.1f)\n" k (Hints.Dbdd.estimate_bikz d)
-      (Hints.Bkz_model.security_bits (Hints.Dbdd.estimate_bikz d))
-  end;
-  print_endline "cost-model conversions of the final block size:";
-  List.iter
-    (fun (label, bits) -> Printf.printf "  %-30s %7.1f bits\n" label bits)
-    (Hints.Bkz_model.cost_summary (Hints.Dbdd.estimate_bikz d))
+    print_endline "cost-model conversions of the final block size:";
+    List.iter
+      (fun (label, bits) -> Printf.printf "  %-30s %7.1f bits\n" label bits)
+      (Hints.Bkz_model.cost_summary bikz1)
+  end
 
 let estimate_cmd =
   let doc = "DBDD security estimate for SEAL-128 under side-channel hints." in
   let perfect = Arg.(value & opt int 1024 & info [ "perfect" ] ~docv:"K" ~doc:"Number of perfect error hints.") in
   let sign_only = Arg.(value & flag & info [ "sign-only" ] ~doc:"Use branch-vulnerability hints only (Table IV).") in
-  Cmd.v (Cmd.info "estimate" ~doc) Term.(const estimate $ perfect $ sign_only)
+  Cmd.v (Cmd.info "estimate" ~doc) Term.(const estimate $ perfect $ sign_only $ json_arg)
+
+(* --- report ---------------------------------------------------------------- *)
+
+let report name list_only seed n per_value traces json =
+  if list_only then List.iter print_endline Reveal.Experiment.artefact_names
+  else
+    match name with
+    | None ->
+        prerr_endline "reveal: report: missing ARTEFACT argument (use --list for the available names)";
+        exit 2
+    | Some name -> (
+        let config =
+          { Reveal.Experiment.seed = Int64.of_int seed; device_n = n; per_value; attack_traces = traces }
+        in
+        match Reveal.Experiment.artefact name config with
+        | Some doc ->
+            if json then Reveal.Report.print doc.Reveal.Report.json else print_string doc.Reveal.Report.text
+        | None ->
+            Printf.eprintf "reveal: report: unknown artefact %s (use --list for the available names)\n" name;
+            exit 2)
+
+let report_cmd =
+  let doc = "Render one experiment artefact of the paper (tables, figures, ablations)." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Every table and figure of the paper's evaluation is registered by name (see $(b,--list)). Each artefact is \
+         rendered either as the historical fixed-width text or, with $(b,--json), as a machine-readable JSON value \
+         carrying the same rows. Artefacts are deterministic in $(b,--seed) and the campaign-size arguments.";
+    ]
+  in
+  let artefact_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ARTEFACT" ~doc:"Artefact name (see --list).")
+  in
+  let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List the available artefact names and exit.") in
+  let per_value = Arg.(value & opt int 80 & info [ "per-value" ] ~docv:"K" ~doc:"Profiling windows per value.") in
+  let traces = Arg.(value & opt int 2 & info [ "traces" ] ~docv:"T" ~doc:"Attack traces for campaign artefacts.") in
+  Cmd.v (Cmd.info "report" ~doc ~man)
+    Term.(const report $ artefact_arg $ list_only $ seed_arg $ n_arg 64 $ per_value $ traces $ json_arg)
 
 let () =
   let doc = "RevEAL: single-trace side-channel attack on the SEAL BFV encryptor (reproduction)" in
@@ -436,4 +688,5 @@ let () =
             fault_sweep_cmd;
             lint_cmd;
             estimate_cmd;
+            report_cmd;
           ]))

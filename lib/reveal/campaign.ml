@@ -1,4 +1,12 @@
-type profile = {
+(* Thin composition of the staged pipeline: every campaign is a
+   Pipeline.source pulled through a batching driver that fans the
+   acquire/segment/classify/grade work out to worker domains and folds
+   the per-trace results into one tally.  The stages themselves live
+   in Profiling, Profile_store, Grading and Source; this module only
+   re-exports their types under the historical names and wires them
+   together. *)
+
+type profile = Pipeline.profile = {
   attack : Sca.Attack.t;
   window_length : int;
   segment : Sca.Segment.config;
@@ -8,377 +16,10 @@ type profile = {
   value_fit_floor : float;
 }
 
-let default_values = Array.init 29 (fun i -> i - 14)
+type grade = Grading.grade = Confident | Tentative | SignOnly | Unknown
+type recovery = Grading.recovery = Clean | Retried of int | Unrecoverable
 
-(* Segment one trace into per-coefficient windows.  The firmware
-   samples a trailing dummy coefficient, so a run over n coefficients
-   produces n+1 bursts and we keep the first n windows. *)
-let raw_windows_of_samples segment ~samples ~count =
-  let wins = Sca.Segment.windows segment samples in
-  if Array.length wins <> count + 1 then
-    failwith
-      (Printf.sprintf "Campaign: segmentation found %d windows for %d coefficients" (Array.length wins) count);
-  Array.sub wins 0 count
-
-(* (label, full window) pairs of one run — the per-chunk unit both the
-   in-memory and the archive-streamed profiling paths produce. *)
-let labelled_windows segment ~samples ~noises =
-  let wins = raw_windows_of_samples segment ~samples ~count:(Array.length noises) in
-  Array.mapi
-    (fun i w -> (noises.(i), Array.sub samples w.Sca.Segment.start (w.Sca.Segment.stop - w.Sca.Segment.start)))
-    wins
-
-(* Calibrate an absolute burst threshold once so that profiling and
-   attack traces segment identically. *)
-let calibrate_threshold device rng =
-  let run = Device.run_gaussian device ~scope_rng:rng ~sampler_rng:rng in
-  Sca.Segment.auto_threshold Sca.Segment.default run.Device.trace.Power.Ptrace.samples
-
-let segment_of_threshold threshold =
-  { Sca.Segment.default with Sca.Segment.threshold = Sca.Segment.Absolute threshold }
-
-let profiling_shape ~values ~per_value device =
-  if per_value < 2 then invalid_arg "Campaign.profile: need at least 2 traces per value";
-  let n = Device.n device in
-  let value_count = Array.length values in
-  if n < 2 * value_count then invalid_arg "Campaign.profile: device too small to profile every value per run";
-  let copies = n / value_count in
-  let runs = (per_value + copies - 1) / copies in
-  (copies, runs)
-
-(* One profiling run forces every candidate value into several
-   shuffled positions of one honest-length sampling, so templates see
-   the value at arbitrary indices with arbitrary neighbours — exactly
-   the conditions of the attacked trace.  Runs carry their own seeds,
-   so neither the domain count nor record/replay can change the
-   results. *)
-let profiling_run device ~values ~copies seed =
-  let rng = Mathkit.Prng.create ~seed () in
-  let n = Device.n device in
-  let forced = Array.concat (List.init copies (fun _ -> Array.copy values)) in
-  let honest, _ =
-    Riscv.Sampler_prog.draws_of_gaussian rng Mathkit.Gaussian.seal_default ~count:(n - Array.length forced)
-  in
-  let draws = Array.append (Array.map (fun v -> Device.profiling_draw device rng ~value:v) forced) honest in
-  Mathkit.Prng.shuffle rng draws;
-  Device.run device ~scope_rng:rng ~draws
-
-(* Per-value window bags, filled incrementally so the archive path can
-   stream chunk by chunk. *)
-let make_bags values =
-  let bags = Hashtbl.create (Array.length values) in
-  Array.iter (fun v -> Hashtbl.replace bags v []) values;
-  bags
-
-let add_labelled bags labelled =
-  Array.iter
-    (fun (v, w) ->
-      match Hashtbl.find_opt bags v with
-      | Some lst -> Hashtbl.replace bags v (w :: lst)
-      | None -> ())
-    labelled
-
-let finalize_bags values bags =
-  let total = Hashtbl.fold (fun _ ws acc -> acc + List.length ws) bags 0 in
-  if total = 0 then failwith "Campaign.profile: no profiling windows collected";
-  (* Common window length: the shortest observed window. *)
-  let window_length =
-    Hashtbl.fold (fun _ ws acc -> List.fold_left (fun acc w -> min acc (Array.length w)) acc ws) bags max_int
-  in
-  if window_length < 16 then failwith "Campaign.profile: windows too short — segmentation is misconfigured";
-  let classes =
-    Array.to_list values
-    |> List.map (fun v ->
-           let ws = Hashtbl.find bags v in
-           (v, Array.of_list (List.map (fun w -> Array.sub w 0 window_length) ws)))
-  in
-  (window_length, classes)
-
-let profiling_windows ?(values = default_values) ?(per_value = 400) ?domains device rng =
-  let copies, runs = profiling_shape ~values ~per_value device in
-  let threshold = calibrate_threshold device rng in
-  let segment = segment_of_threshold threshold in
-  let seeds = Array.init runs (fun _ -> Mathkit.Prng.bits64 rng) in
-  let one_run seed =
-    let run = profiling_run device ~values ~copies seed in
-    labelled_windows segment ~samples:run.Device.trace.Power.Ptrace.samples ~noises:run.Device.noises
-  in
-  let per_run = Mathkit.Parallel.map_array ?domains one_run seeds in
-  let bags = make_bags values in
-  Array.iter (add_labelled bags) per_run;
-  let window_length, classes = finalize_bags values bags in
-  (segment, window_length, classes)
-
-(* Floor below the profiling population: mirror the lower half of the
-   distribution below its minimum and leave 30 nats of slack.  Honest
-   attack windows (same distribution) essentially never fall under it;
-   faulted windows overshoot it by orders of magnitude because the
-   Gaussian exponent is quadratic in the corruption. *)
-let fit_floor fits =
-  let mn = Array.fold_left Float.min infinity fits in
-  let p50 = Mathkit.Stats.percentile fits 50.0 in
-  mn -. (p50 -. mn) -. 30.0
-
-let profile_of_windows ~poi_count ~sign_poi_count (segment, window_length, classes) =
-  let values = Array.of_list (List.map fst classes) in
-  let sigma = Mathkit.Gaussian.seal_default.Mathkit.Gaussian.sigma in
-  let attack = Sca.Attack.build ~poi_count ~sign_poi_count ~sigma classes in
-  (* Calibrate the goodness-of-fit floors on the profiling windows
-     themselves — the reference for "what an honest window looks like". *)
-  let sign_fits = ref [] and value_fits = ref [] in
-  List.iter
-    (fun (label, rows) ->
-      let sign = Sca.Attack.sign_of_label label in
-      Array.iter
-        (fun w ->
-          sign_fits := Sca.Attack.sign_fit attack w :: !sign_fits;
-          if sign <> 0 then value_fits := Sca.Attack.value_fit attack ~sign w :: !value_fits)
-        rows)
-    classes;
-  let sign_fit_floor = fit_floor (Array.of_list !sign_fits) in
-  let value_fit_floor = fit_floor (Array.of_list !value_fits) in
-  { attack; window_length; segment; values; sigma; sign_fit_floor; value_fit_floor }
-
-let profile ?values ?per_value ?domains ?(poi_count = 16) ?(sign_poi_count = 6) device rng =
-  profile_of_windows ~poi_count ~sign_poi_count (profiling_windows ?values ?per_value ?domains device rng)
-
-(* --- profiling campaigns on disk ----------------------------------------- *)
-
-let meta_kind_key = "campaign:kind"
-let meta_threshold_key = "profiling:threshold-bits"
-let meta_values_key = "profiling:values"
-let meta_per_value_key = "profiling:per-value"
-
-let record_profiling ?(values = default_values) ?(per_value = 400) ?(seed = 0L) device rng ~path =
-  let copies, runs = profiling_shape ~values ~per_value device in
-  let threshold = calibrate_threshold device rng in
-  let seeds = Array.init runs (fun _ -> Mathkit.Prng.bits64 rng) in
-  let meta =
-    [
-      (meta_kind_key, "profiling");
-      (meta_threshold_key, Printf.sprintf "%Lx" (Int64.bits_of_float threshold));
-      (meta_values_key, String.concat "," (List.map string_of_int (Array.to_list values)));
-      (meta_per_value_key, string_of_int per_value);
-    ]
-  in
-  let writer = Device.open_recorder ~meta device ~path ~seed in
-  Fun.protect
-    ~finally:(fun () -> Traceio.Archive.close_writer writer)
-    (fun () -> Array.iter (fun seed -> Device.record_run writer (profiling_run device ~values ~copies seed)) seeds)
-
-let profiling_meta_of_header ~path (h : Traceio.Archive.header) =
-  let require key =
-    match Traceio.Archive.meta_find h key with
-    | Some v -> v
-    | None ->
-        Traceio.Error.corruptf "%s: not a profiling archive (missing %S metadata) — record it with record_profiling"
-          path key
-  in
-  let threshold =
-    let s = require meta_threshold_key in
-    match Int64.of_string_opt ("0x" ^ s) with
-    | Some bits -> Int64.float_of_bits bits
-    | None -> Traceio.Error.corruptf "%s: unreadable calibration threshold %S" path s
-  in
-  let values =
-    let s = require meta_values_key in
-    let parts = String.split_on_char ',' s in
-    match List.map int_of_string_opt parts |> List.fold_left (fun acc v -> match acc, v with Some l, Some x -> Some (x :: l) | _ -> None) (Some []) with
-    | Some l -> Array.of_list (List.rev l)
-    | None -> Traceio.Error.corruptf "%s: unreadable candidate-value list %S" path s
-  in
-  if Array.length values = 0 then Traceio.Error.corruptf "%s: empty candidate-value list" path;
-  (threshold, values)
-
-(* Stream the labelled profiling windows out of an archive: one batch
-   of records resident at a time, segmentation parallelised over the
-   batch.  Memory is bounded by [batch] traces plus the (much smaller)
-   accumulated windows, never the whole trace set. *)
-let profiling_windows_of_archive ?domains ?(batch = 16) path =
-  if batch <= 0 then invalid_arg "Campaign.profiling_windows_of_archive: batch must be positive";
-  Traceio.Archive.with_reader path (fun reader ->
-      let h = Traceio.Archive.header reader in
-      let threshold, values = profiling_meta_of_header ~path h in
-      let segment = segment_of_threshold threshold in
-      let bags = make_bags values in
-      let rec loop () =
-        let records = Traceio.Archive.next_batch reader ~max:batch in
-        if Array.length records > 0 then begin
-          let labelled =
-            Mathkit.Parallel.map_array ?domains
-              (fun (r : Traceio.Archive.record) ->
-                labelled_windows segment ~samples:r.Traceio.Archive.trace.Power.Ptrace.samples
-                  ~noises:r.Traceio.Archive.noises)
-              records
-          in
-          Array.iter (add_labelled bags) labelled;
-          loop ()
-        end
-      in
-      loop ();
-      let window_length, classes = finalize_bags values bags in
-      (segment, window_length, classes))
-
-let profile_of_archive ?domains ?batch ?(poi_count = 16) ?(sign_poi_count = 6) path =
-  profile_of_windows ~poi_count ~sign_poi_count (profiling_windows_of_archive ?domains ?batch path)
-
-(* --- profile cache -------------------------------------------------------- *)
-
-(* Versioned binary codec in the traceio format family: magic + u16
-   version + one CRC-framed payload.  Version 1 was the Marshal-based
-   cache; version 2 introduced this explicit encoding; version 3 added
-   the calibrated goodness-of-fit floors, so stale caches are
-   detected by their magic/version instead of crashing Marshal. *)
-let profile_magic = "REVEALPF"
-let profile_version = 3
-let legacy_profile_magic_prefix = "REVEAL-P" (* "REVEAL-PROFILE-v1\n" of the Marshal era *)
-
-let put_template b (t : Sca.Template.t) =
-  Traceio.Codec.put_ints b t.Sca.Template.labels;
-  Traceio.Binio.put_varint b (Int64.of_int (Array.length t.Sca.Template.means));
-  Array.iter (Traceio.Codec.put_floats b) t.Sca.Template.means;
-  let cov = Mathkit.Matrix.to_arrays t.Sca.Template.inv_cov in
-  Traceio.Binio.put_varint b (Int64.of_int (Array.length cov));
-  Array.iter (Traceio.Codec.put_floats b) cov;
-  Traceio.Binio.put_f64 b t.Sca.Template.log_det;
-  Traceio.Codec.put_ints b t.Sca.Template.pois
-
-let get_template ~path c =
-  let labels = Traceio.Codec.get_ints c in
-  let rows = Traceio.Binio.get_varint_int c in
-  if rows <> Array.length labels then
-    Traceio.Error.corruptf "%s: template has %d mean vectors for %d labels" path rows (Array.length labels);
-  let means = Array.init rows (fun _ -> Traceio.Codec.get_floats c) in
-  let d = Traceio.Binio.get_varint_int c in
-  let cov = Array.init d (fun _ -> Traceio.Codec.get_floats c) in
-  Array.iteri
-    (fun i row ->
-      if Array.length row <> d then
-        Traceio.Error.corruptf "%s: covariance row %d has %d columns in a %dx%d matrix" path i (Array.length row) d d)
-    cov;
-  let log_det = Traceio.Binio.get_f64 c in
-  let pois = Traceio.Codec.get_ints c in
-  { Sca.Template.labels; means; inv_cov = Mathkit.Matrix.of_arrays cov; log_det; pois }
-
-let put_threshold b = function
-  | Sca.Segment.Auto -> Traceio.Binio.put_u8 b 0
-  | Sca.Segment.Percentile p ->
-      Traceio.Binio.put_u8 b 1;
-      Traceio.Binio.put_f64 b p
-  | Sca.Segment.Absolute a ->
-      Traceio.Binio.put_u8 b 2;
-      Traceio.Binio.put_f64 b a
-
-let get_threshold ~path c =
-  match Traceio.Binio.get_u8 c with
-  | 0 -> Sca.Segment.Auto
-  | 1 -> Sca.Segment.Percentile (Traceio.Binio.get_f64 c)
-  | 2 -> Sca.Segment.Absolute (Traceio.Binio.get_f64 c)
-  | t -> Traceio.Error.corruptf "%s: unknown segmentation-threshold tag %d" path t
-
-let profile_payload prof =
-  let b = Buffer.create 65536 in
-  put_threshold b prof.segment.Sca.Segment.threshold;
-  Traceio.Binio.put_varint b (Int64.of_int prof.segment.Sca.Segment.smooth_radius);
-  Traceio.Binio.put_varint b (Int64.of_int prof.segment.Sca.Segment.merge_gap);
-  Traceio.Binio.put_varint b (Int64.of_int prof.segment.Sca.Segment.min_burst);
-  Traceio.Binio.put_varint b (Int64.of_int prof.window_length);
-  Traceio.Codec.put_ints b prof.values;
-  Traceio.Binio.put_f64 b prof.sigma;
-  Traceio.Binio.put_f64 b prof.sign_fit_floor;
-  Traceio.Binio.put_f64 b prof.value_fit_floor;
-  let a = prof.attack in
-  put_template b a.Sca.Attack.sign_template;
-  put_template b a.Sca.Attack.neg_template;
-  put_template b a.Sca.Attack.pos_template;
-  Traceio.Codec.put_floats b a.Sca.Attack.neg_priors;
-  Traceio.Codec.put_floats b a.Sca.Attack.pos_priors;
-  Traceio.Codec.put_floats b a.Sca.Attack.prior_of_sign;
-  Traceio.Codec.put_ints b a.Sca.Attack.pois_sign;
-  Traceio.Codec.put_ints b a.Sca.Attack.pois_neg;
-  Traceio.Codec.put_ints b a.Sca.Attack.pois_pos;
-  Buffer.contents b
-
-let profile_of_payload ~path payload =
-  let c = Traceio.Binio.cursor ~name:path payload in
-  let threshold = get_threshold ~path c in
-  let smooth_radius = Traceio.Binio.get_varint_int c in
-  let merge_gap = Traceio.Binio.get_varint_int c in
-  let min_burst = Traceio.Binio.get_varint_int c in
-  let segment = { Sca.Segment.threshold; smooth_radius; merge_gap; min_burst } in
-  let window_length = Traceio.Binio.get_varint_int c in
-  let values = Traceio.Codec.get_ints c in
-  let sigma = Traceio.Binio.get_f64 c in
-  let sign_fit_floor = Traceio.Binio.get_f64 c in
-  let value_fit_floor = Traceio.Binio.get_f64 c in
-  let sign_template = get_template ~path c in
-  let neg_template = get_template ~path c in
-  let pos_template = get_template ~path c in
-  let neg_priors = Traceio.Codec.get_floats c in
-  let pos_priors = Traceio.Codec.get_floats c in
-  let prior_of_sign = Traceio.Codec.get_floats c in
-  let pois_sign = Traceio.Codec.get_ints c in
-  let pois_neg = Traceio.Codec.get_ints c in
-  let pois_pos = Traceio.Codec.get_ints c in
-  Traceio.Binio.expect_end c;
-  let attack =
-    {
-      Sca.Attack.sign_template;
-      neg_template;
-      pos_template;
-      neg_priors;
-      pos_priors;
-      prior_of_sign;
-      pois_sign;
-      pois_neg;
-      pois_pos;
-    }
-  in
-  { attack; window_length; segment; values; sigma; sign_fit_floor; value_fit_floor }
-
-let save_profile path prof =
-  let oc = Traceio.Error.open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
-    (fun () ->
-      Traceio.Error.wrap_io path (fun () ->
-          output_string oc profile_magic;
-          output_string oc (String.init 2 (fun i -> Char.chr ((profile_version lsr (8 * i)) land 0xFF))));
-      Traceio.Frame.write ~path oc (profile_payload prof))
-
-let load_profile path =
-  let ic = Traceio.Error.open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> try close_in ic with Sys_error _ -> ())
-    (fun () ->
-      try
-        let m = Traceio.Error.wrap_io path (fun () -> really_input_string ic (String.length profile_magic)) in
-        if m = legacy_profile_magic_prefix then
-          invalid_arg
-            (Printf.sprintf
-               "Campaign.load_profile: %s is a stale v1 (Marshal) profile cache — delete it and re-run profiling"
-               path);
-        if m <> profile_magic then
-          invalid_arg (Printf.sprintf "Campaign.load_profile: %s is not a profile cache (bad magic)" path);
-        let v = Traceio.Error.wrap_io path (fun () -> really_input_string ic 2) in
-        let v = Char.code v.[0] lor (Char.code v.[1] lsl 8) in
-        if v <> profile_version then
-          invalid_arg
-            (Printf.sprintf
-               "Campaign.load_profile: %s has profile-cache version %d, this build reads version %d — re-run \
-                profiling"
-               path v profile_version);
-        match Traceio.Frame.read ~path ic with
-        | None -> invalid_arg (Printf.sprintf "Campaign.load_profile: %s: truncated profile cache" path)
-        | Some payload -> profile_of_payload ~path payload
-      with Traceio.Error.Corrupt msg -> invalid_arg (Printf.sprintf "Campaign.load_profile: corrupt cache: %s" msg))
-
-(* --- attack --------------------------------------------------------------- *)
-
-type grade = Confident | Tentative | SignOnly | Unknown
-type recovery = Clean | Retried of int | Unrecoverable
-
-type coefficient_result = {
+type coefficient_result = Grading.coefficient_result = {
   actual : int;
   verdict : Sca.Attack.verdict;
   posterior_all : (int * float) array;
@@ -386,177 +27,52 @@ type coefficient_result = {
   recovery : recovery;
 }
 
-type gate = {
+type gate = Grading.gate = {
   confident_threshold : float;
   tentative_threshold : float;
   sign_only_threshold : float;
   retry_budget : int;
 }
 
-let default_gate =
-  { confident_threshold = 0.85; tentative_threshold = 0.0; sign_only_threshold = 0.5; retry_budget = 2 }
+let default_values = Constants.default_values
+let default_gate = Grading.default_gate
+let grade_counts = Grading.grade_counts
+let hint_of_result = Grading.hint_of_result
 
-(* Grading is goodness-of-fit first, posterior confidence second.  A
-   posterior normalises the absolute likelihood away, so a corrupted
-   window often looks MORE confident than an honest one (one garbage
-   class is merely the least garbage).  The absolute best-class log
-   density has no such failure mode: honest attack windows land in the
-   band the profiling windows calibrated, faulted ones fall off a
-   quadratic cliff.  Only windows that fit are allowed to carry value
-   information; only then does the joint confidence (sign-match peak
-   times value-posterior peak, both flat-prior) pick the rung. *)
-let classify_graded prof gate ~quality window =
-  let sign_conf = Sca.Attack.sign_confidence prof.attack window in
-  let verdict = Sca.Attack.classify prof.attack window in
-  let posterior_all = Sca.Attack.posterior_all prof.attack window in
-  (* Peak of the joint Bayesian posterior.  Crucially, a point-mass
-     posterior (the one that would become a perfect hint) always scores
-     1.0 here, so on a clean window it always clears the Confident
-     threshold — the Tentative perfect-hint demotion provably cannot
-     change a clean-trace hint. *)
-  let conf = Array.fold_left (fun acc (_, p) -> Float.max acc p) 0.0 posterior_all in
-  let grade =
-    if Sca.Attack.sign_fit prof.attack window < prof.sign_fit_floor then
-      (* not even the branch region looks like any class: the window is
-         noise and nothing in it can be trusted *)
-      Unknown
-    else if Sca.Attack.value_fit prof.attack ~sign:verdict.Sca.Attack.sign window < prof.value_fit_floor
-    then if sign_conf >= gate.sign_only_threshold then SignOnly else Unknown
-    else if conf >= gate.confident_threshold && quality <> Sca.Segment.Resynced then
-      (* a window that segmentation had to repair can never be Confident:
-         a confidently-wrong verdict would enter the lattice as a perfect
-         hint and poison the whole estimate.  Suspect (a length outlier)
-         does not bar Confident: burst length varies legitimately with
-         the coefficient value, so rare large-magnitude values trip the
-         MAD check on perfectly clean traces — corruption is what the
-         fit floors detect. *)
-      Confident
-    else if conf >= gate.tentative_threshold then Tentative
-    else if sign_conf >= gate.sign_only_threshold then SignOnly
-    else Unknown
-  in
-  (verdict, posterior_all, grade)
+(* --- profiling ------------------------------------------------------------ *)
 
-let grade_counts results =
-  let c = ref 0 and t = ref 0 and s = ref 0 and u = ref 0 in
-  Array.iter
-    (fun r ->
-      match r.grade with
-      | Confident -> incr c
-      | Tentative -> incr t
-      | SignOnly -> incr s
-      | Unknown -> incr u)
-    results;
-  (!c, !t, !s, !u)
+let profile = Profiling.profile
+let profiling_windows = Profiling.profiling_windows
+let record_profiling = Profiling.record_profiling
+let profiling_windows_of_archive = Profiling.profiling_windows_of_archive
+let profile_of_archive = Profiling.profile_of_archive
+let save_profile = Profile_store.save
+let load_profile = Profile_store.load
 
-let hint_of_result ~sigma ~coordinate r =
-  match r.grade with
-  | Confident -> Hints.Hint.of_posterior ~coordinate r.posterior_all
-  | Tentative -> (
-      (* keep the measured posterior, but never let a Tentative verdict
-         harden into a perfect hint: a point-mass posterior on a window
-         the gate would not call Confident (repaired segmentation, soft
-         sign match) is exactly the confidently-wrong case *)
-      let h = Hints.Hint.of_posterior ~coordinate r.posterior_all in
-      match h.Hints.Hint.kind with
-      | Hints.Hint.Perfect v ->
-          {
-            h with
-            Hints.Hint.kind =
-              Hints.Hint.Approximate { mean = float_of_int v; variance = 0.25; confidence = 1.0 };
-          }
-      | _ -> h)
-  | SignOnly -> Hints.Hint.sign_hint ~sigma ~coordinate r.verdict.Sca.Attack.sign
-  | Unknown -> { Hints.Hint.coordinate; kind = Hints.Hint.None_useful }
-
-let windows_of_samples prof samples ~count =
-  let wins = raw_windows_of_samples prof.segment ~samples ~count in
-  Sca.Segment.vectorize samples wins ~length:prof.window_length
+(* --- per-trace attacks ---------------------------------------------------- *)
 
 let attack_samples prof ~samples ~noises =
-  let vectors = windows_of_samples prof samples ~count:(Array.length noises) in
-  Array.mapi
-    (fun i window ->
-      let verdict, posterior_all, grade = classify_graded prof default_gate ~quality:Sca.Segment.Clean window in
-      { actual = noises.(i); verdict; posterior_all; grade; recovery = Clean })
-    vectors
-
-(* --- fault-tolerant attack ------------------------------------------------- *)
-
-let null_verdict = { Sca.Attack.sign = 0; value = 0; posterior = [| (0, 1.0) |] }
-
-(* Resilient segmentation of one trace: exactly count+1 windows (the
-   firmware's trailing dummy included) or a typed error, with the
-   per-window quality feeding the grade gate. *)
-let graded_windows prof gate ~count samples =
-  match Sca.Segment.segment prof.segment ~expected:(count + 1) samples with
-  | Error e -> Error e
-  | Ok seg ->
-      let wins = Array.sub seg.Sca.Segment.wins 0 count in
-      let quality = Array.sub seg.Sca.Segment.quality 0 count in
-      let vectors = Sca.Segment.vectorize samples wins ~length:prof.window_length in
-      Ok (Array.init count (fun i -> classify_graded prof gate ~quality:quality.(i) vectors.(i)))
-
-let attack_samples_resilient ?(gate = default_gate) ?retry prof ~samples ~noises =
-  let count = Array.length noises in
-  let results =
-    Array.init count (fun i ->
-        {
-          actual = noises.(i);
-          verdict = null_verdict;
-          posterior_all = [| (0, 1.0) |];
-          grade = Unknown;
-          recovery = Unrecoverable;
-        })
-  in
-  let pending = ref [] in
-  (match graded_windows prof gate ~count samples with
-  | Ok graded ->
-      Array.iteri
-        (fun i (verdict, posterior_all, grade) ->
-          results.(i) <-
-            {
-              actual = noises.(i);
-              verdict;
-              posterior_all;
-              grade;
-              recovery = (if grade = Unknown then Unrecoverable else Clean);
-            };
-          if grade = Unknown then pending := i :: !pending)
-        graded
-  | Error _ -> pending := List.init count Fun.id);
-  (match retry with
-  | Some remeasure ->
-      let attempt = ref 1 in
-      while !pending <> [] && !attempt <= gate.retry_budget do
-        (match graded_windows prof gate ~count (remeasure !attempt) with
-        | Ok graded ->
-            pending :=
-              List.filter
-                (fun i ->
-                  let verdict, posterior_all, grade = graded.(i) in
-                  if grade = Unknown then true
-                  else begin
-                    results.(i) <-
-                      { actual = noises.(i); verdict; posterior_all; grade; recovery = Retried !attempt };
-                    false
-                  end)
-                !pending
-        | Error _ -> ());
-        incr attempt
-      done
-  | None -> ());
-  results
-
-let windows_of_run prof (run : Device.run) =
-  windows_of_samples prof run.Device.trace.Power.Ptrace.samples ~count:(Array.length run.Device.noises)
+  match Grading.attack_strict prof ~samples ~noises with
+  | Ok results -> results
+  | Error e -> failwith (Pipeline.error_to_string e)
 
 let attack_trace prof (run : Device.run) =
   attack_samples prof ~samples:run.Device.trace.Power.Ptrace.samples ~noises:run.Device.noises
 
-let attack_signs_only prof run =
-  let vectors = windows_of_run prof run in
-  Array.mapi (fun i window -> (compare run.Device.noises.(i) 0, Sca.Attack.classify_sign_only prof.attack window)) vectors
+let attack_signs_only prof (run : Device.run) =
+  let samples = run.Device.trace.Power.Ptrace.samples in
+  let count = Array.length run.Device.noises in
+  match Pipeline.run_segmenter Pipeline.strict_segmenter prof ~count samples with
+  | Error e -> failwith (Pipeline.error_to_string e)
+  | Ok seg ->
+      Array.mapi
+        (fun i window -> (compare run.Device.noises.(i) 0, Sca.Attack.classify_sign_only prof.attack window))
+        seg.Pipeline.vectors
+
+let attack_samples_resilient ?gate ?retry prof ~samples ~noises =
+  Grading.attack_resilient ?gate ?retry prof ~samples ~noises
+
+(* --- aggregate statistics ------------------------------------------------- *)
 
 type stats = {
   confusion : Sca.Confusion.t;
@@ -568,8 +84,7 @@ type stats = {
   corrupt_skipped : int;
 }
 
-(* Shared aggregate accumulator for the live and archive-replay attack
-   campaigns. *)
+(* Shared aggregate accumulator for every campaign driver. *)
 type tally = {
   t_confusion : Sca.Confusion.t;
   t_in_range : (int, unit) Hashtbl.t;
@@ -621,18 +136,62 @@ let tally_finish ?(corrupt_skipped = 0) t =
     },
     Array.of_list (List.rev t.t_all) )
 
-let run_attacks ?domains prof device ~traces ~scope_rng ~sampler_rng =
-  let seeds = Array.init traces (fun _ -> (Mathkit.Prng.bits64 scope_rng, Mathkit.Prng.bits64 sampler_rng)) in
-  let one_trace (scope_seed, sampler_seed) =
-    let scope_rng = Mathkit.Prng.create ~seed:scope_seed () in
-    let sampler_rng = Mathkit.Prng.create ~seed:sampler_seed () in
-    let run = Device.run_gaussian device ~scope_rng ~sampler_rng in
-    attack_trace prof run
-  in
-  let per_trace = Mathkit.Parallel.map_array ?domains one_trace seeds in
+(* --- the driver ----------------------------------------------------------- *)
+
+type mode = Classic | Resilient of gate
+
+let attack_acquired mode prof (a : Pipeline.acquired) =
+  match mode with
+  | Classic -> (
+      match Grading.attack_strict prof ~samples:a.Pipeline.samples ~noises:a.Pipeline.noises with
+      | Ok results -> results
+      | Error e -> failwith (Pipeline.error_to_string e))
+  | Resilient gate ->
+      Grading.attack_resilient ~gate ?retry:a.Pipeline.remeasure prof ~samples:a.Pipeline.samples
+        ~noises:a.Pipeline.noises
+
+(* Pull up to [batch] items, attack them in parallel, tally in item
+   order; a `Skip (corrupt record a tolerant source dropped) counts
+   toward the batch budget and the corrupt counter, exactly as the
+   record it replaced would have. *)
+let run_source ?domains ?(batch = Constants.default_batch) ?(mode = Resilient Grading.default_gate) prof source =
+  if batch <= 0 then invalid_arg "Campaign.run_source: batch must be positive";
   let tally = tally_create prof in
-  Array.iter (tally_add tally) per_trace;
-  tally_finish tally
+  let corrupt = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> Pipeline.close_source source)
+    (fun () ->
+      let finished = ref false in
+      while not !finished do
+        let rec take acc k =
+          if k = 0 then acc
+          else
+            match Pipeline.next_item source with
+            | `End ->
+                finished := true;
+                acc
+            | `Skip _ ->
+                incr corrupt;
+                take acc (k - 1)
+            | `Item it -> take (it :: acc) (k - 1)
+        in
+        let items = Array.of_list (List.rev (take [] batch)) in
+        if Array.length items > 0 then begin
+          let per_item =
+            Mathkit.Parallel.map_array ?domains
+              (fun (it : Pipeline.item) -> attack_acquired mode prof (it.Pipeline.acquire ()))
+              items
+          in
+          Array.iter (tally_add tally) per_item
+        end
+      done);
+  tally_finish ~corrupt_skipped:!corrupt tally
+
+(* --- campaign entry points ------------------------------------------------ *)
+
+let run_attacks ?domains prof device ~traces ~scope_rng ~sampler_rng =
+  let source = Source.device_live device ~traces ~scope_rng ~sampler_rng in
+  run_source ?domains ~batch:(max 1 traces) ~mode:Classic prof source
 
 (* Live campaign with the full fault-tolerance stack: resilient
    segmentation, confidence gating, and a bounded re-measurement
@@ -642,25 +201,9 @@ let run_attacks ?domains prof device ~traces ~scope_rng ~sampler_rng =
    The retry stream is carved from a separate generator, so a campaign
    that needs no retries consumes its randomness exactly like
    [run_attacks] and yields bit-identical verdicts. *)
-let run_attacks_resilient ?domains ?(gate = default_gate) prof device ~traces ~scope_rng ~sampler_rng =
-  let seeds = Array.init traces (fun _ -> (Mathkit.Prng.bits64 scope_rng, Mathkit.Prng.bits64 sampler_rng)) in
-  let one_trace (scope_seed, sampler_seed) =
-    let scope_rng = Mathkit.Prng.create ~seed:scope_seed () in
-    let sampler_rng = Mathkit.Prng.create ~seed:sampler_seed () in
-    let run = Device.run_gaussian device ~scope_rng ~sampler_rng in
-    let retry_master = Mathkit.Prng.create ~seed:(Int64.logxor scope_seed 0x5DEECE66DL) () in
-    let remeasure _attempt =
-      let rng = Mathkit.Prng.split retry_master in
-      let draws = Array.map (fun v -> Device.profiling_draw device rng ~value:v) run.Device.noises in
-      (Device.run device ~scope_rng:rng ~draws).Device.trace.Power.Ptrace.samples
-    in
-    attack_samples_resilient ~gate ~retry:remeasure prof
-      ~samples:run.Device.trace.Power.Ptrace.samples ~noises:run.Device.noises
-  in
-  let per_trace = Mathkit.Parallel.map_array ?domains one_trace seeds in
-  let tally = tally_create prof in
-  Array.iter (tally_add tally) per_trace;
-  tally_finish tally
+let run_attacks_resilient ?domains ?(gate = Grading.default_gate) prof device ~traces ~scope_rng ~sampler_rng =
+  let source = Source.device_live ~retry:true device ~traces ~scope_rng ~sampler_rng in
+  run_source ?domains ~batch:(max 1 traces) ~mode:(Resilient gate) prof source
 
 (* Re-attack a recorded campaign: records stream through in batches
    ([batch] traces resident at a time), classification parallelised
@@ -669,43 +212,7 @@ let run_attacks_resilient ?domains ?(gate = default_gate) prof device ~traces ~s
    and the replay continues at the next frame boundary; [~strict:true]
    restores fail-fast.  Replay has no device to re-measure on, so
    Unknown-graded coefficients come back [Unrecoverable]. *)
-let attack_archive ?domains ?(batch = 16) ?(gate = default_gate) ?(strict = false) prof path =
+let attack_archive ?domains ?(batch = Constants.default_batch) ?(gate = Grading.default_gate) ?(strict = false) prof
+    path =
   if batch <= 0 then invalid_arg "Campaign.attack_archive: batch must be positive";
-  Traceio.Archive.with_reader path (fun reader ->
-      let tally = tally_create prof in
-      let corrupt = ref 0 in
-      let finished = ref false in
-      let next_tolerant_batch () =
-        let rec take acc k =
-          if k = 0 then acc
-          else
-            match Traceio.Archive.try_next reader with
-            | `End_of_archive ->
-                finished := true;
-                acc
-            | `Skipped _ ->
-                incr corrupt;
-                take acc (k - 1)
-            | `Record r -> take (r :: acc) (k - 1)
-        in
-        Array.of_list (List.rev (take [] batch))
-      in
-      let next_strict_batch () =
-        let records = Traceio.Archive.next_batch reader ~max:batch in
-        if Array.length records < batch then finished := true;
-        records
-      in
-      while not !finished do
-        let records = if strict then next_strict_batch () else next_tolerant_batch () in
-        if Array.length records > 0 then begin
-          let per_trace =
-            Mathkit.Parallel.map_array ?domains
-              (fun (r : Traceio.Archive.record) ->
-                attack_samples_resilient ~gate prof ~samples:r.Traceio.Archive.trace.Power.Ptrace.samples
-                  ~noises:r.Traceio.Archive.noises)
-              records
-          in
-          Array.iter (tally_add tally) per_trace
-        end
-      done;
-      tally_finish ~corrupt_skipped:!corrupt tally)
+  run_source ?domains ~batch ~mode:(Resilient gate) prof (Source.archive_replay ~strict path)

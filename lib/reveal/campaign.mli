@@ -1,18 +1,19 @@
-(** Profiling and attack campaigns (Section IV-B).
+(** Profiling and attack campaigns (Section IV-B) — the stage drivers.
 
-    Profiling re-creates the paper's template-building phase: the
-    adversary owns an identical device, forces every candidate
-    coefficient value through the sampler many times, segments each
-    trace, and learns (a) an absolute segmentation threshold, (b) a
-    common window length, (c) SOSD POIs and Gaussian templates.
+    This module is the composition root of the staged pipeline: the
+    historical entry points ({!run_attacks}, {!attack_archive}, …) are
+    thin wrappers that pick a {!Pipeline.source}, a segmenter and a
+    grading mode and hand them to the one generic driver,
+    {!run_source}.  The stages themselves live in {!Profiling}
+    (template building), {!Profile_store} (cache v3), {!Grading}
+    (gate + retry ladder) and {!Source} (live / archive / synthetic);
+    their types are re-exported here under their historical names.
 
-    The attack phase then takes honest single traces of a full
-    polynomial sampling and classifies every coefficient window.  The
-    paper's sizes are 220 000 profiling runs and 25 000 attacked
+    The paper's sizes are 220 000 profiling runs and 25 000 attacked
     coefficients; the default here is scaled down (the shapes are
     stable); pass larger counts to match the paper exactly. *)
 
-type profile = {
+type profile = Pipeline.profile = {
   attack : Sca.Attack.t;
   window_length : int;
   segment : Sca.Segment.config;  (** with the calibrated absolute threshold *)
@@ -26,7 +27,8 @@ type profile = {
 }
 
 val default_values : int array
-(** -14 .. 14, the range the paper observed over 220 000 draws. *)
+(** -14 .. 14, the range the paper observed over 220 000 draws
+    ({!Constants.default_values}). *)
 
 val profile :
   ?values:int array ->
@@ -37,29 +39,16 @@ val profile :
   Device.t ->
   Mathkit.Prng.t ->
   profile
-(** Build templates on the attack device itself: each profiling run
-    forces every candidate value into several uniformly shuffled
-    positions of an honest-length sampling, so the templates see each
-    value at arbitrary coefficient indices with arbitrary neighbours —
-    removing the index- and context-dependent leakage components from
-    the class means (SOST then ranks those positions low).
-    [per_value] defaults to 400 windows per candidate value; runs are
-    distributed over [domains] worker domains (results are independent
-    of the domain count — every run carries its own seed).
+(** {!Profiling.profile}: build templates on the attack device itself.
     @raise Invalid_argument when the device is too small to host every
     candidate value twice per run. *)
 
 val save_profile : string -> profile -> unit
-(** Persist a built profile (templates, POIs, segmentation calibration)
-    so the expensive profiling phase runs once per device.  The format
-    is a versioned binary codec in the {!Traceio} format family (magic
-    + version + one CRC-framed payload) — stale or damaged caches are
-    rejected on load instead of being misinterpreted.
-    @raise Traceio.Error.Io when the path cannot be written (message
-    carries the path). *)
+(** {!Profile_store.save}. *)
 
 val load_profile : string -> profile
-(** @raise Invalid_argument with a clear message on a stale (v1 /
+(** {!Profile_store.load}.
+    @raise Invalid_argument with a clear message on a stale (v1 /
     Marshal-era), version-mismatched, truncated or corrupt cache.
     @raise Traceio.Error.Io when the file cannot be read. *)
 
@@ -75,17 +64,12 @@ val load_profile : string -> profile
 
 val record_profiling :
   ?values:int array -> ?per_value:int -> ?seed:int64 -> Device.t -> Mathkit.Prng.t -> path:string -> unit
-(** Capture the profiling campaign of {!profile} into an archive, one
-    run resident at a time.  [seed] is stamped into the header for
-    provenance.
+(** {!Profiling.record_profiling}.
     @raise Invalid_argument under the same conditions as {!profile}. *)
 
 val profiling_windows_of_archive :
   ?domains:int -> ?batch:int -> string -> Sca.Segment.config * int * (int * float array array) list
-(** Stream the labelled windows back out of a profiling archive:
-    records are ingested in batches of [batch] (default 16) traces —
-    the peak resident set — and segmented in parallel over [domains]
-    worker domains.
+(** {!Profiling.profiling_windows_of_archive}.
     @raise Traceio.Error.Corrupt when the archive is damaged or is not
     a profiling archive. *)
 
@@ -100,19 +84,17 @@ val profiling_windows :
   Device.t ->
   Mathkit.Prng.t ->
   Sca.Segment.config * int * (int * float array array) list
-(** The raw material {!profile} is built from: the calibrated
-    segmentation config, the common window length, and the labelled
-    window vectors per candidate value.  Exposed for the
-    feature-selection ablation and for custom classifiers. *)
+(** {!Profiling.profiling_windows}: the raw material {!profile} is
+    built from.  Exposed for the feature-selection ablation and for
+    custom classifiers. *)
 
 (** {1 Confidence grading}
 
-    Under measurement faults a verdict can be garbage even when the
-    classifier returns one.  Every attacked coefficient therefore
+    Re-exports of the {!Grading} stage: every attacked coefficient
     carries a grade — the rung of the hint-degradation ladder it is
     still good for — and a recovery tag saying how it was obtained. *)
 
-type grade =
+type grade = Grading.grade =
   | Confident  (** clean window, unambiguous match: full-strength hint *)
   | Tentative
       (** usable posterior but a repaired window or a soft match: the
@@ -120,14 +102,14 @@ type grade =
   | SignOnly  (** only the branch-region sign is trustworthy *)
   | Unknown  (** nothing usable — the window is noise *)
 
-type recovery =
+type recovery = Grading.recovery =
   | Clean  (** first measurement sufficed *)
   | Retried of int  (** usable after this many re-measurements *)
   | Unrecoverable
       (** still Unknown when the retry budget ran out — or no live
           device to re-measure on (archive replay) *)
 
-type gate = {
+type gate = Grading.gate = {
   confident_threshold : float;
       (** min peak of the joint Bayesian posterior for Confident (also
           requires a window segmentation did not have to repair); a
@@ -143,7 +125,7 @@ val default_gate : gate
     (see {!profile}) — clean traces always fit, so the zero-fault
     pipeline is bit-identical to the ungated one. *)
 
-type coefficient_result = {
+type coefficient_result = Grading.coefficient_result = {
   actual : int;
   verdict : Sca.Attack.verdict;
   posterior_all : (int * float) array;  (** unrestricted posterior, Table II *)
@@ -155,15 +137,11 @@ val grade_counts : coefficient_result array -> int * int * int * int
 (** (confident, tentative, sign-only, unknown). *)
 
 val hint_of_result : sigma:float -> coordinate:int -> coefficient_result -> Hints.Hint.t
-(** The hint-degradation ladder: [Confident] integrates the measured
-    posterior exactly as the clean pipeline does (near-point-mass
-    posteriors become perfect hints), [Tentative] keeps the measured
-    posterior but is barred from hardening into a perfect hint (a
-    point-mass is floored at variance 0.25), [SignOnly] degrades to
-    the half-Gaussian sign hint, [Unknown] contributes nothing. *)
+(** {!Grading.hint_of_result}: the hint-degradation ladder. *)
 
 val attack_trace : profile -> Device.run -> coefficient_result array
-(** Segment one honest trace and classify every coefficient.
+(** Segment one honest trace (strict segmenter) and classify every
+    coefficient.
     @raise Failure when segmentation finds a window count different
     from the device's coefficient count. *)
 
@@ -177,15 +155,12 @@ val attack_samples_resilient :
   samples:float array ->
   noises:int array ->
   coefficient_result array
-(** Fault-tolerant single-trace attack: resilient segmentation
-    ({!Sca.Segment.segment}), per-window confidence grading, and —
-    when [retry] is provided — a bounded re-measurement loop.
-    [retry attempt] must return a fresh capture of the same
-    coefficients; coefficients still Unknown after [gate.retry_budget]
-    attempts (or with no [retry]) are marked [Unrecoverable].  A trace
-    whose segmentation fails outright grades every coefficient Unknown
-    and is retried whole.  On a clean trace the verdicts are
-    bit-identical to {!attack_trace}. *)
+(** {!Grading.attack_resilient}: fault-tolerant single-trace attack —
+    resilient segmentation, per-window confidence grading, and — when
+    [retry] is provided — a bounded re-measurement loop.  On a clean
+    trace the verdicts are bit-identical to {!attack_trace}. *)
+
+(** {1 Campaign drivers} *)
 
 type stats = {
   confusion : Sca.Confusion.t;
@@ -195,9 +170,23 @@ type stats = {
   value_total : int;
   skipped_out_of_range : int;  (** |actual| beyond the template labels *)
   corrupt_skipped : int;
-      (** archive records dropped for CRC/decode failures (tolerant
+      (** source records dropped for CRC/decode failures (tolerant
           replay only; always 0 for live campaigns) *)
 }
+
+type mode =
+  | Classic  (** strict segmentation, no gating or retries; failures raise *)
+  | Resilient of gate  (** the fault-tolerance stack *)
+
+val run_source : ?domains:int -> ?batch:int -> ?mode:mode -> profile -> Pipeline.source -> stats * coefficient_result array
+(** The one generic driver every campaign below is a wrapper around:
+    pull up to [batch] items (default {!Constants.default_batch}) from
+    the source, attack them in parallel over [domains] worker domains,
+    tally in item order, repeat to exhaustion.  A [`Skip]ped source
+    record counts toward the batch budget and [stats.corrupt_skipped].
+    The source is closed on exit, also on exceptions.  [mode] defaults
+    to [Resilient default_gate].
+    @raise Invalid_argument when [batch <= 0]. *)
 
 val run_attacks :
   ?domains:int ->
@@ -207,8 +196,9 @@ val run_attacks :
   scope_rng:Mathkit.Prng.t ->
   sampler_rng:Mathkit.Prng.t ->
   stats * coefficient_result array
-(** Repeated single-trace attacks; returns aggregate statistics and
-    the flattened per-coefficient results (for hint building). *)
+(** Repeated single-trace attacks ({!Source.device_live} through
+    [Classic] mode); returns aggregate statistics and the flattened
+    per-coefficient results (for hint building). *)
 
 val run_attacks_resilient :
   ?domains:int ->
@@ -219,22 +209,21 @@ val run_attacks_resilient :
   scope_rng:Mathkit.Prng.t ->
   sampler_rng:Mathkit.Prng.t ->
   stats * coefficient_result array
-(** {!run_attacks} through the fault-tolerance stack: each trace is
-    attacked with {!attack_samples_resilient}, re-measuring
-    Unknown-graded coefficients on the live device (same noise values,
-    honest timing, fresh scope/fault realisation) within the gate's
-    retry budget.  Retries draw from a separate generator stream, so a
-    campaign that needs none consumes randomness exactly like
-    {!run_attacks} and yields bit-identical verdicts. *)
+(** {!run_attacks} through the fault-tolerance stack
+    ({!Source.device_live} with [~retry:true] through [Resilient]
+    mode): Unknown-graded coefficients are re-measured on the live
+    device within the gate's retry budget.  Retries draw from a
+    separate generator stream, so a campaign that needs none consumes
+    randomness exactly like {!run_attacks} and yields bit-identical
+    verdicts. *)
 
 val attack_archive :
   ?domains:int -> ?batch:int -> ?gate:gate -> ?strict:bool -> profile -> string -> stats * coefficient_result array
 (** Re-attack a recorded campaign (see {!Device.record}) offline:
-    records stream through in batches of [batch] (default 16) traces,
-    classified in parallel — the same aggregates as {!run_attacks},
-    and bit-identical results for the runs the archive holds, with
-    memory bounded by one batch instead of the whole trace set.
-    A mid-stream record that fails its CRC (or will not decode) is
+    {!Source.archive_replay} through [Resilient] mode — the same
+    aggregates as {!run_attacks}, and bit-identical results for the
+    runs the archive holds, with memory bounded by one batch instead
+    of the whole trace set.  A mid-stream record that fails its CRC is
     skipped, counted in [stats.corrupt_skipped], and replay continues
     at the next frame boundary; pass [~strict:true] to fail fast
     instead.  Replaying cannot re-measure, so Unknown coefficients are

@@ -1,0 +1,68 @@
+type config = {
+  seed : int64;
+  device_n : int;
+  per_value : int;
+  attack_traces : int;
+}
+
+let default = { seed = 0xD47EL; device_n = 256; per_value = 400; attack_traces = 20 }
+let paper_scale = { seed = 0xD47EL; device_n = 1024; per_value = 7600; attack_traces = 25 }
+
+type env = {
+  config : config;
+  device : Device.t;
+  prof : Campaign.profile;
+  stats : Campaign.stats;
+  results : Campaign.coefficient_result array;
+}
+
+let prepare config =
+  let rng = Mathkit.Prng.create ~seed:config.seed () in
+  let device = Device.create ~n:config.device_n () in
+  let prof = Campaign.profile ~per_value:config.per_value device rng in
+  let scope_rng = Mathkit.Prng.split rng and sampler_rng = Mathkit.Prng.split rng in
+  let stats, results = Campaign.run_attacks prof device ~traces:config.attack_traces ~scope_rng ~sampler_rng in
+  { config; device; prof; stats; results }
+
+let env_stats env = env.stats
+let env_profile env = env.prof
+
+let small_campaign ?(variant = Riscv.Sampler_prog.Vulnerable) ?synth ?cycle_model ?poi_count config rng =
+  let n = min config.device_n 128 in
+  let device =
+    match synth with
+    | Some s -> Device.create ~variant ~synth:s ?cycle_model ~n ()
+    | None -> Device.create ~variant ?cycle_model ~n ()
+  in
+  let per_value = min config.per_value 200 in
+  let prof =
+    match poi_count with
+    | Some p -> Campaign.profile ~per_value ~poi_count:p device rng
+    | None -> Campaign.profile ~per_value device rng
+  in
+  let scope_rng = Mathkit.Prng.split rng and sampler_rng = Mathkit.Prng.split rng in
+  if variant = Riscv.Sampler_prog.Shuffled then begin
+    (* shuffled sampling order: attack the windows in sampled order *)
+    let perm = Array.init n (fun i -> i) in
+    Mathkit.Prng.shuffle sampler_rng perm;
+    let run = Device.run_shuffled device ~scope_rng ~sampler_rng ~perm in
+    let results = Campaign.attack_trace prof run in
+    (prof, results)
+  end
+  else begin
+    let _, results =
+      Campaign.run_attacks prof device ~traces:(max 2 (config.attack_traces / 4)) ~scope_rng ~sampler_rng
+    in
+    (prof, results)
+  end
+
+let accuracies results =
+  let sign_ok = ref 0 and value_ok = ref 0 and total = ref 0 in
+  Array.iter
+    (fun r ->
+      incr total;
+      if compare r.Campaign.actual 0 = r.Campaign.verdict.Sca.Attack.sign then incr sign_ok;
+      if r.Campaign.actual = r.Campaign.verdict.Sca.Attack.value then incr value_ok)
+    results;
+  let pct x = 100.0 *. float_of_int x /. float_of_int (max 1 !total) in
+  (pct !sign_ok, pct !value_ok)

@@ -1,971 +1,39 @@
-type config = {
-  seed : int64;
-  device_n : int;
-  per_value : int;
-  attack_traces : int;
-}
+(* Thin aggregator over the per-table experiment modules.  Each
+   [include] re-exports the stage's types and runners so the public
+   [Experiment] API is unchanged; the artefact registry at the bottom
+   is what the CLI's [report] subcommand dispatches over. *)
 
-let default = { seed = 0xD47EL; device_n = 256; per_value = 400; attack_traces = 20 }
-let paper_scale = { seed = 0xD47EL; device_n = 1024; per_value = 7600; attack_traces = 25 }
+include Exp_core
+include Exp_tables
+include Exp_validate
+include Exp_defense
+include Exp_fault
 
-type env = {
-  config : config;
-  device : Device.t;
-  prof : Campaign.profile;
-  stats : Campaign.stats;
-  results : Campaign.coefficient_result array;
-}
-
-let prepare config =
-  let rng = Mathkit.Prng.create ~seed:config.seed () in
-  let device = Device.create ~n:config.device_n () in
-  let prof = Campaign.profile ~per_value:config.per_value device rng in
-  let scope_rng = Mathkit.Prng.split rng and sampler_rng = Mathkit.Prng.split rng in
-  let stats, results = Campaign.run_attacks prof device ~traces:config.attack_traces ~scope_rng ~sampler_rng in
-  { config; device; prof; stats; results }
-
-let env_stats env = env.stats
-let env_profile env = env.prof
-
-(* --- figures ------------------------------------------------------------ *)
-
-type fig3 = {
-  full_portion : float array;
-  bursts : (int * int) array;
-  sub_zero : float array;
-  sub_pos : float array;
-  sub_neg : float array;
-}
-
-let fig3 config =
-  let rng = Mathkit.Prng.create ~seed:config.seed () in
-  let device = Device.create ~n:3 () in
-  (* the three iterations of Fig. 3: noise = 0, > 0, < 0 *)
-  let run = Device.run device ~scope_rng:rng ~draws:[| (0, 1); (4, 0); (-5, 2) |] in
-  let samples = run.Device.trace.Power.Ptrace.samples in
-  let seg = Sca.Segment.default in
-  let bursts = Sca.Segment.burst_regions seg samples in
-  let wins = Sca.Segment.windows seg samples in
-  if Array.length wins < 4 then failwith "Experiment.fig3: segmentation failed";
-  let sub i =
-    let w = wins.(i) in
-    Array.sub samples w.Sca.Segment.start (min 220 (w.Sca.Segment.stop - w.Sca.Segment.start))
-  in
-  {
-    full_portion = samples;
-    bursts = Array.map (fun b -> (b.Sca.Segment.start, b.Sca.Segment.stop)) bursts;
-    sub_zero = sub 0;
-    sub_pos = sub 1;
-    sub_neg = sub 2;
-  }
-
-let render_fig3 f =
-  let buf = Buffer.create 8192 in
-  Buffer.add_string buf "Fig. 3 (a): power trace of three coefficient samplings\n";
-  Buffer.add_string buf
-    (Printf.sprintf "peaks (distribution calls) at sample ranges: %s\n"
-       (String.concat ", " (Array.to_list (Array.map (fun (a, b) -> Printf.sprintf "[%d,%d)" a b) f.bursts))));
-  Buffer.add_string buf (Power.Ptrace.ascii_plot ~width:110 ~height:14 f.full_portion);
-  Buffer.add_string buf "\nFig. 3 (b): branch sub-traces (control flow differs per case)\n";
-  Buffer.add_string buf "--- noise = 0 ---\n";
-  Buffer.add_string buf (Power.Ptrace.ascii_plot ~width:110 ~height:8 f.sub_zero);
-  Buffer.add_string buf "--- noise > 0 ---\n";
-  Buffer.add_string buf (Power.Ptrace.ascii_plot ~width:110 ~height:8 f.sub_pos);
-  Buffer.add_string buf "--- noise < 0 ---\n";
-  Buffer.add_string buf (Power.Ptrace.ascii_plot ~width:110 ~height:8 f.sub_neg);
-  Buffer.contents buf
-
-(* --- Table I -------------------------------------------------------------- *)
-
-let render_table1 env =
-  let s = env.stats in
-  let buf = Buffer.create 8192 in
-  Buffer.add_string buf "Table I: attack success percentages per actual coefficient (columns sum to 100)\n";
-  Buffer.add_string buf (Sca.Confusion.render ~lo:(-7) ~hi:7 s.Campaign.confusion);
-  Buffer.add_string buf
-    (Printf.sprintf "\nsign accuracy: %.2f%% (%d/%d)   value accuracy: %.2f%% (%d/%d)\n"
-       (100.0 *. float_of_int s.Campaign.sign_correct /. float_of_int (max 1 s.Campaign.sign_total))
-       s.Campaign.sign_correct s.Campaign.sign_total
-       (100.0 *. float_of_int s.Campaign.value_correct /. float_of_int (max 1 s.Campaign.value_total))
-       s.Campaign.value_correct s.Campaign.value_total);
-  Buffer.contents buf
-
-(* --- Table II -------------------------------------------------------------- *)
-
-type table2_row = {
-  secret : int;
-  probabilities : (int * float) array;
-  centered : float;
-  variance : float;
-}
-
-let table2 env =
-  (* one example row per secret in -2..2, as the paper prints *)
-  let wanted = [ 0; 1; -1; 2; -2 ] in
-  List.filter_map
-    (fun s ->
-      let found = Array.to_list env.results |> List.find_opt (fun r -> r.Campaign.actual = s) in
-      Option.map
-        (fun r ->
-          let post = r.Campaign.posterior_all in
-          let probabilities = Array.to_list post |> List.filter (fun (v, _) -> v >= -2 && v <= 2) |> Array.of_list in
-          {
-            secret = s;
-            probabilities;
-            centered = Hints.Hint.centered_mean post;
-            variance = Hints.Hint.variance post;
-          })
-        found)
-    wanted
-
-let render_table2 rows =
-  let buf = Buffer.create 2048 in
-  Buffer.add_string buf "Table II: guessing probabilities derived from selected measurements\n";
-  Buffer.add_string buf "secret |        -2        -1         0         1         2 |  centered  variance\n";
-  List.iter
-    (fun row ->
-      Buffer.add_string buf (Printf.sprintf "%6d |" row.secret);
-      List.iter
-        (fun v ->
-          let p = Array.to_list row.probabilities |> List.assoc_opt v |> Option.value ~default:0.0 in
-          if p > 0.999 then Buffer.add_string buf "        ~1"
-          else if p < 1e-12 then Buffer.add_string buf "         0"
-          else Buffer.add_string buf (Printf.sprintf "  %8.2e" p))
-        [ -2; -1; 0; 1; 2 ];
-      Buffer.add_string buf (Printf.sprintf " | %9.3f %9.2e\n" row.centered row.variance))
-    rows;
-  Buffer.contents buf
-
-(* --- Tables III / IV --------------------------------------------------------- *)
-
-type security_report = {
-  bikz_no_hints : float;
-  bikz_with_hints : float;
-  bits_no_hints : float;
-  bits_with_hints : float;
-  perfect_hints : int;
-  approximate_hints : int;
-}
-
-let lwe_instance = Hints.Lwe.seal_128_1024
-
-(* When the campaign attacked fewer coefficients than the instance has
-   (scaled-down configs), the per-coefficient statistics are recycled -
-   the per-coordinate hint quality is i.i.d., so this is an unbiased
-   extrapolation of the security estimate. *)
-let hints_of_results results count mk =
-  if Array.length results = 0 then failwith "Experiment: no attacked coefficients";
-  let len = Array.length results in
-  List.init count (fun i -> mk i results.(i mod len))
-
-let security_of_hints hint_list =
-  let dbdd = Hints.Dbdd.create lwe_instance in
-  let bikz_no_hints = Hints.Dbdd.estimate_bikz dbdd in
-  Hints.Hint.apply_all dbdd hint_list;
-  let bikz_with_hints = Hints.Dbdd.estimate_bikz dbdd in
-  let perfect = Hints.Dbdd.integrated dbdd in
-  {
-    bikz_no_hints;
-    bikz_with_hints;
-    bits_no_hints = Hints.Bkz_model.security_bits bikz_no_hints;
-    bits_with_hints = Hints.Bkz_model.security_bits bikz_with_hints;
-    perfect_hints = perfect;
-    approximate_hints = List.length hint_list - perfect;
-  }
-
-type table3_report = {
-  paper_mode : security_report;
-  calibrated : security_report;
-}
-
-let table3 env =
-  let calibrated =
-    security_of_hints
-      (hints_of_results env.results lwe_instance.Hints.Lwe.m (fun i r ->
-           Hints.Hint.of_posterior ~coordinate:i r.Campaign.posterior_all))
-  in
-  (* Paper mode: the authors note their per-measurement probabilities
-     round to 1 (or 0) in floating point, so the framework integrates
-     essentially every measurement as a perfect hint. *)
-  let paper_mode =
-    security_of_hints
-      (hints_of_results env.results lwe_instance.Hints.Lwe.m (fun i r ->
-           { Hints.Hint.coordinate = i; kind = Hints.Hint.Perfect r.Campaign.verdict.Sca.Attack.value }))
-  in
-  { paper_mode; calibrated }
-
-let render_table3 r =
-  Printf.sprintf
-    "Table III: cost of attack with/without hints, SEAL-128 (q=132120577, n=1024, sigma=3.2)\n\
-    \  attack without hints:                 %8.2f bikz  (~2^%.1f)   [paper: 382.25 bikz / 2^128]\n\
-    \  attack with hints (paper pipeline):   %8.2f bikz  (~2^%.1f)   [paper:  12.20 bikz / 2^4.4]\n\
-    \  attack with hints (calibrated):       %8.2f bikz  (~2^%.1f)   (honest posterior variances)\n\
-    \  calibrated hints: %d perfect, %d approximate\n"
-    r.paper_mode.bikz_no_hints r.paper_mode.bits_no_hints r.paper_mode.bikz_with_hints
-    r.paper_mode.bits_with_hints r.calibrated.bikz_with_hints r.calibrated.bits_with_hints
-    r.calibrated.perfect_hints r.calibrated.approximate_hints
-
-type table4_report = {
-  base : security_report;
-  bikz_with_guess : float;
-  guesses : int;
-  guess_success_probability : float;
-  ladder : Hints.Hint.ladder_step list;
-}
-
-let table4 env =
-  let sigma = env.prof.Campaign.sigma in
-  let hint_list =
-    hints_of_results env.results lwe_instance.Hints.Lwe.m (fun i r ->
-        Hints.Hint.sign_hint ~sigma ~coordinate:i r.Campaign.verdict.Sca.Attack.sign)
-  in
-  let base = security_of_hints hint_list in
-  (* one extra guess: the most likely value given only the sign is
-     +-1; its success probability is the conditional prior mass *)
-  let dbdd = Hints.Dbdd.create lwe_instance in
-  Hints.Hint.apply_all dbdd hint_list;
-  let first_nonzero =
-    Array.to_list env.results
-    |> List.mapi (fun i r -> (i, r))
-    |> List.find_opt (fun (i, r) -> i < lwe_instance.Hints.Lwe.m && r.Campaign.verdict.Sca.Attack.sign <> 0)
-  in
-  (* extension: a full guess ladder driven by the value posteriors *)
-  let ladder =
-    let dbdd_ladder = Hints.Dbdd.create lwe_instance in
-    let value_hints =
-      hints_of_results env.results lwe_instance.Hints.Lwe.m (fun i r ->
-          Hints.Hint.of_posterior ~coordinate:i r.Campaign.posterior_all)
-    in
-    Hints.Hint.apply_all dbdd_ladder value_hints;
-    Hints.Hint.guess_ladder dbdd_ladder value_hints ~max_guesses:16
-  in
-  match first_nonzero with
-  | None -> { base; bikz_with_guess = base.bikz_with_hints; guesses = 0; guess_success_probability = 0.0; ladder }
-  | Some (i, _) ->
-      Hints.Dbdd.perfect_hint dbdd i;
-      let p1 = Mathkit.Gaussian.discrete_probability ~sigma 1 in
-      let p_pos =
-        let acc = ref 0.0 in
-        for z = 1 to 41 do
-          acc := !acc +. Mathkit.Gaussian.discrete_probability ~sigma z
-        done;
-        !acc
-      in
-      {
-        base;
-        bikz_with_guess = Hints.Dbdd.estimate_bikz dbdd;
-        guesses = 1;
-        guess_success_probability = p1 /. p_pos;
-        ladder;
-      }
-
-let render_table4 r =
-  let head =
-    Printf.sprintf
-      "Table IV: cost of attack using ONLY the branch vulnerability, SEAL-128\n\
-      \  attack without hints:        %8.2f bikz   [paper: 382.25]\n\
-      \  attack with sign hints:      %8.2f bikz   [paper: 253.29]\n\
-      \  attack with hints & guesses: %8.2f bikz   [paper: 252.83]\n\
-      \  number of guesses: %d   success probability: %.0f%%   [paper: 1 guess, 20%%]\n\
-      \  => signs alone cannot recover the message (2^%.1f remains)\n"
-      r.base.bikz_no_hints r.base.bikz_with_hints r.bikz_with_guess r.guesses
-      (100.0 *. r.guess_success_probability)
-      (Hints.Bkz_model.security_bits r.base.bikz_with_hints)
-  in
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf head;
-  Buffer.add_string buf "  extension - guess ladder on the FULL attack's posteriors ([31]'s hints & guesses):\n";
-  List.iteri
-    (fun i step ->
-      if i = 0 || (i + 1) mod 4 = 0 then
-        Buffer.add_string buf
-          (Printf.sprintf "    %2d guesses: success %5.1f%%  -> %7.2f bikz\n" step.Hints.Hint.guesses
-             (100.0 *. step.Hints.Hint.success_probability)
-             step.Hints.Hint.bikz))
-    r.ladder;
-  Buffer.contents buf
-
-(* --- supporting experiments ---------------------------------------------------- *)
-
-type sign_report = { correct : int; total : int; accuracy_percent : float }
-
-let signs env =
-  let s = env.stats in
-  {
-    correct = s.Campaign.sign_correct;
-    total = s.Campaign.sign_total;
-    accuracy_percent = 100.0 *. float_of_int s.Campaign.sign_correct /. float_of_int (max 1 s.Campaign.sign_total);
-  }
-
-let render_signs r =
-  Printf.sprintf "Sign recovery: %d/%d = %.2f%%   [paper: 100%%]\n" r.correct r.total r.accuracy_percent
-
-type recovery_report = {
-  n : int;
-  coefficients_total : int;
-  coefficients_exact : int;
-  message_recovered_exactly : bool;
-  residual_bikz : float;
-  expected_wrong : float;
-  log2_full_recovery_probability : float;
-}
-
-let recovery config =
-  let rng = Mathkit.Prng.create ~seed:(Int64.add config.seed 17L) () in
-  let n = config.device_n in
-  let params = Bfv.Params.create ~n ~coeff_modulus:[ 132120577 ] ~plain_modulus:256 in
-  let ctx = Bfv.Rq.context params in
-  let sk = Bfv.Keygen.secret_key rng ctx in
-  let pk = Bfv.Keygen.public_key rng ctx sk in
-  let m =
-    Bfv.Keys.plaintext_of_coeffs params (Array.init n (fun _ -> Mathkit.Prng.int rng 256))
-  in
-  (* the device samples e1 then e2 in one encryption: 2n draws *)
-  let device = Device.create ~n:(2 * n) () in
-  let prof_device = Device.create ~n:(min n 256) () in
-  let prof = Campaign.profile ~per_value:(min config.per_value 400) prof_device rng in
-  let scope_rng = Mathkit.Prng.split rng and sampler_rng = Mathkit.Prng.split rng in
-  let run = Device.run_gaussian device ~scope_rng ~sampler_rng in
-  let e1_true = Array.sub run.Device.noises 0 n and e2_true = Array.sub run.Device.noises n n in
-  let u = Bfv.Rq.ternary rng ctx in
-  let randomness =
-    {
-      Bfv.Encryptor.u;
-      e1 = Bfv.Sampler.of_noises ctx e1_true;
-      e2 = Bfv.Sampler.of_noises ctx e2_true;
-      e1_log = { Bfv.Sampler.noises = e1_true; rejections = Array.make n 0 };
-      e2_log = { Bfv.Sampler.noises = e2_true; rejections = Array.make n 0 };
-    }
-  in
-  let c = Bfv.Encryptor.encrypt_with ctx pk m randomness in
-  (* sanity: the algebra recovers m from the true noise *)
-  (match Bfv.Recover.recover_with_noises ctx pk c ~e1_noises:e1_true ~e2_noises:e2_true with
-  | Some m' when Bfv.Keys.plaintext_equal m m' -> ()
-  | _ -> failwith "Experiment.recovery: eq. (3) sanity check failed");
-  (* the attack *)
-  let results = Campaign.attack_trace prof run in
-  let recovered = Array.map (fun r -> r.Campaign.verdict.Sca.Attack.value) results in
-  let exact = ref 0 in
-  Array.iteri (fun i v -> if v = run.Device.noises.(i) then incr exact) recovered;
-  let e1_rec = Array.sub recovered 0 n and e2_rec = Array.sub recovered n n in
-  let recovered_exactly =
-    match Bfv.Recover.recover_with_noises ctx pk c ~e1_noises:e1_rec ~e2_noises:e2_rec with
-    | Some m' -> Bfv.Keys.plaintext_equal m m'
-    | None -> false
-  in
-  (* residual search space, extrapolated to the full SEAL-128 instance:
-     the e2-half posteriors are recycled over the 1024 coordinates *)
-  let dbdd = Hints.Dbdd.create lwe_instance in
-  for c = 0 to lwe_instance.Hints.Lwe.m - 1 do
-    let r = results.(n + (c mod n)) in
-    Hints.Hint.apply dbdd (Hints.Hint.of_posterior ~coordinate:c r.Campaign.posterior_all)
-  done;
-  (* posterior-based success accounting: P(correct) per coefficient *)
-  let expected_wrong = ref 0.0 and log2_all = ref 0.0 in
-  Array.iter
-    (fun r ->
-      let p_true =
-        Array.fold_left
-          (fun acc (v, p) -> if v = r.Campaign.actual then acc +. p else acc)
-          0.0 r.Campaign.posterior_all
-      in
-      expected_wrong := !expected_wrong +. (1.0 -. p_true);
-      log2_all := !log2_all +. Float.log2 (Float.max p_true 1e-300))
-    results;
-  {
-    n;
-    coefficients_total = 2 * n;
-    coefficients_exact = !exact;
-    message_recovered_exactly = recovered_exactly;
-    residual_bikz = Hints.Dbdd.estimate_bikz dbdd;
-    expected_wrong = !expected_wrong;
-    log2_full_recovery_probability = !log2_all;
-  }
-
-let render_recovery r =
-  Printf.sprintf
-    "End-to-end single-trace recovery (n = %d):\n\
-    \  eq.(3) with true e1,e2: message recovered exactly (sanity check passed)\n\
-    \  attacked coefficients exactly right: %d / %d (%.1f%%)\n\
-    \  plaintext recovered from raw guesses alone: %b\n\
-    \  expected wrong coefficients (posterior-based): %.1f; P(all correct) = 2^%.0f\n\
-    \  => the lattice stage is what absorbs the residue:\n\
-    \  residual search space from posteriors: %.2f bikz (~2^%.1f)\n"
-    r.n r.coefficients_exact r.coefficients_total
-    (100.0 *. float_of_int r.coefficients_exact /. float_of_int r.coefficients_total)
-    r.message_recovered_exactly r.expected_wrong r.log2_full_recovery_probability r.residual_bikz
-    (Hints.Bkz_model.security_bits r.residual_bikz)
-
-(* --- toy lattice validation -------------------------------------------------------- *)
-
-type toylattice_row = {
-  toy_n : int;
-  hints_given : int;
-  predicted_bikz : float;
-  solved : bool;
-}
-
-let toylattice config =
-  let rng = Mathkit.Prng.create ~seed:(Int64.add config.seed 31L) () in
-  let polar = Mathkit.Gaussian.polar () in
-  let rows = ref [] in
-  List.iter
-    (fun (toy_n, q) ->
-      let md = Mathkit.Modular.modulus q in
-      (* ring instance b = p1 * u + e2 over Z_q[x]/(x^n+1) *)
-      let p1 = Mathkit.Poly.uniform rng md toy_n in
-      let u = Array.init toy_n (fun _ -> Mathkit.Prng.ternary rng) in
-      let e2 = Array.init toy_n (fun _ -> int_of_float (Float.round (Mathkit.Gaussian.normal polar rng ~mu:0.0 ~sigma:3.19))) in
-      let a = Lattice.Embed.negacyclic_matrix ~q p1 in
-      let b =
-        Array.init toy_n (fun j ->
-            let acc = ref 0 in
-            for i = 0 to toy_n - 1 do
-              acc := Mathkit.Modular.add md !acc (Mathkit.Modular.mul md a.(j).(i) (Mathkit.Modular.reduce md u.(i)))
-            done;
-            Mathkit.Modular.add md !acc (Mathkit.Modular.reduce md e2.(j)))
-      in
-      let inst = { Lattice.Embed.q; a; b } in
-      List.iter
-        (fun hints_given ->
-          let reduced =
-            if hints_given = 0 then inst
-            else Lattice.Embed.eliminate_perfect inst ~known:(List.init hints_given (fun j -> (j, e2.(j))))
-          in
-          let solved =
-            match Lattice.Embed.solve ~block_size:12 reduced with
-            | Some sol -> sol.Lattice.Embed.error = Array.sub e2 hints_given (toy_n - hints_given)
-            | None -> false
-          in
-          (* estimator prediction for the same shrinkage *)
-          let lwe = { Hints.Lwe.n = toy_n; m = toy_n; q; sigma_error = 3.19; sigma_secret = sqrt (2.0 /. 3.0) } in
-          let dbdd = Hints.Dbdd.create lwe in
-          for i = 0 to hints_given - 1 do
-            Hints.Dbdd.perfect_hint dbdd i
-          done;
-          rows := { toy_n; hints_given; predicted_bikz = Hints.Dbdd.estimate_bikz dbdd; solved } :: !rows)
-        [ 0; toy_n / 2 ])
-    [ (16, 521); (32, 257); (40, 127) ];
-  List.rev !rows
-
-let render_toylattice rows =
-  let buf = Buffer.create 2048 in
-  Buffer.add_string buf "Estimator vs. solver on toy Ring-LWE (sigma = 3.19, q shrinks as n grows to stay lattice-solvable):\n";
-  Buffer.add_string buf "   n  hints  predicted bikz  BKZ-12 solved?\n";
-  List.iter
-    (fun r ->
-      Buffer.add_string buf
-        (Printf.sprintf "%4d  %5d  %14.1f  %s\n" r.toy_n r.hints_given r.predicted_bikz
-           (if r.solved then "yes" else "no")))
-    rows;
-  Buffer.add_string buf "(hints shrink the instance; estimator and solver must agree on the trend)\n";
-  Buffer.contents buf
-
-(* --- defenses ------------------------------------------------------------------------ *)
-
-type defense_report = {
-  variant : string;
-  sign_accuracy : float;
-  value_accuracy : float;
-  bikz_after_attack : float;
-}
-
-let small_campaign ?(variant = Riscv.Sampler_prog.Vulnerable) ?synth ?cycle_model ?poi_count config rng =
-  let n = min config.device_n 128 in
-  let device =
-    match synth with
-    | Some s -> Device.create ~variant ~synth:s ?cycle_model ~n ()
-    | None -> Device.create ~variant ?cycle_model ~n ()
-  in
-  let per_value = min config.per_value 200 in
-  let prof =
-    match poi_count with
-    | Some p -> Campaign.profile ~per_value ~poi_count:p device rng
-    | None -> Campaign.profile ~per_value device rng
-  in
-  let scope_rng = Mathkit.Prng.split rng and sampler_rng = Mathkit.Prng.split rng in
-  if variant = Riscv.Sampler_prog.Shuffled then begin
-    (* shuffled sampling order: attack the windows in sampled order *)
-    let perm = Array.init n (fun i -> i) in
-    Mathkit.Prng.shuffle sampler_rng perm;
-    let run = Device.run_shuffled device ~scope_rng ~sampler_rng ~perm in
-    let results = Campaign.attack_trace prof run in
-    (prof, results)
-  end
-  else begin
-    let _, results = Campaign.run_attacks prof device ~traces:(max 2 (config.attack_traces / 4)) ~scope_rng ~sampler_rng in
-    (prof, results)
-  end
-
-let accuracies results =
-  let sign_ok = ref 0 and value_ok = ref 0 and total = ref 0 in
-  Array.iter
-    (fun r ->
-      incr total;
-      if compare r.Campaign.actual 0 = r.Campaign.verdict.Sca.Attack.sign then incr sign_ok;
-      if r.Campaign.actual = r.Campaign.verdict.Sca.Attack.value then incr value_ok)
-    results;
-  let pct x = 100.0 *. float_of_int x /. float_of_int (max 1 !total) in
-  (pct !sign_ok, pct !value_ok)
-
-let defenses config =
-  let run variant name coordinates_known =
-    let rng = Mathkit.Prng.create ~seed:(Int64.add config.seed 47L) () in
-    let prof, results = small_campaign ~variant config rng in
-    ignore prof;
-    let sign_accuracy, value_accuracy = accuracies results in
-    let bikz =
-      if coordinates_known then begin
-        let dbdd = Hints.Dbdd.create lwe_instance in
-        Array.iteri
-          (fun i r ->
-            if i < lwe_instance.Hints.Lwe.m then
-              Hints.Hint.apply dbdd (Hints.Hint.of_posterior ~coordinate:i r.Campaign.posterior_all))
-          (Array.append results (Array.make (max 0 (lwe_instance.Hints.Lwe.m - Array.length results)) results.(0)));
-        Hints.Dbdd.estimate_bikz dbdd
-      end
-      else Hints.Lwe.no_hint_bikz lwe_instance
-    in
-    { variant = name; sign_accuracy; value_accuracy; bikz_after_attack = bikz }
-  in
+let artefacts : (string * (config -> Report.doc)) list =
   [
-    run Riscv.Sampler_prog.Vulnerable "SEAL v3.2 (vulnerable)" true;
-    run Riscv.Sampler_prog.Branchless "v3.6-style branchless" true;
-    run Riscv.Sampler_prog.Shuffled "shuffled sampling order" false;
-    run Riscv.Sampler_prog.Cdt_table "constant-time CDT sampler" true;
+    ("fig3", fun c -> fig3_doc (fig3 c));
+    ("table1", fun c -> table1_doc (prepare c));
+    ("table2", fun c -> table2_doc (table2 (prepare c)));
+    ("table3", fun c -> table3_doc (table3 (prepare c)));
+    ("table4", fun c -> table4_doc (table4 (prepare c)));
+    ("signs", fun c -> signs_doc (signs (prepare c)));
+    ("recover", fun c -> recovery_doc (recovery c));
+    ("toylattice", fun c -> toylattice_doc (toylattice c));
+    ("defenses", fun c -> defenses_doc (defenses c));
+    ("tvla", fun c -> tvla_doc (tvla c));
+    ("averaging", fun c -> averaging_doc (averaging c));
+    ("ablate-leakage", fun c -> ablation_doc ~title:"leakage model" (ablate_leakage c));
+    ("ablate-noise", fun c -> ablation_doc ~title:"measurement noise" (ablate_noise c));
+    ("ablate-poi", fun c -> ablation_doc ~title:"POI count" (ablate_poi c));
+    ("ablate-timing", fun c -> ablation_doc ~title:"CPU timing model" (ablate_timing c));
+    ("ablate-features", fun c -> features_doc (ablate_features c));
+    ("fault-sweep", fun c -> fault_sweep_doc (fault_sweep c));
+    ("zero-consistency", fun c -> zero_consistency_doc (fault_zero_consistency c));
   ]
 
-let render_defenses rows =
-  let buf = Buffer.create 2048 in
-  Buffer.add_string buf "Countermeasure study (Section V-A):\n";
-  Buffer.add_string buf "  variant                      sign%   value%   residual bikz\n";
-  List.iter
-    (fun r ->
-      Buffer.add_string buf
-        (Printf.sprintf "  %-26s %6.1f   %6.1f   %10.1f\n" r.variant r.sign_accuracy r.value_accuracy r.bikz_after_attack))
-    rows;
-  Buffer.add_string buf
-    "(shuffling voids the coordinate hints; the branchless sampler removes the control-flow\n\
-    \ leak but its mask arithmetic still leaks data -> 'may have a different vulnerability';\n\
-    \ the CDT sampler -- prior work's target [10][12] -- leaks less but is not leak-free)\n";
-  Buffer.contents buf
+let artefact_names = List.map fst artefacts
 
-(* --- leakage assessment -------------------------------------------------------------- *)
-
-type tvla_row = {
-  sampler : string;
-  max_t_first_order : float;
-  leaky_samples : int;
-  max_t_second_order : float;
-}
-
-let tvla_windows device rng ~count ~draw =
-  (* fixed-length windows of single-coefficient runs *)
-  let seg = Sca.Segment.default in
-  let raw =
-    Array.init count (fun _ ->
-        let run = Device.run device ~scope_rng:rng ~draws:[| draw rng |] in
-        let samples = run.Device.trace.Power.Ptrace.samples in
-        let wins = Sca.Segment.windows seg samples in
-        if Array.length wins < 1 then failwith "Experiment.tvla: no window";
-        let w = wins.(0) in
-        Array.sub samples w.Sca.Segment.start (w.Sca.Segment.stop - w.Sca.Segment.start))
-  in
-  let len = Array.fold_left (fun acc w -> min acc (Array.length w)) max_int raw in
-  Array.map (fun w -> Array.sub w 0 len) raw
-
-let tvla config =
-  List.map
-    (fun (variant, name) ->
-      let rng = Mathkit.Prng.create ~seed:(Int64.add config.seed 71L) () in
-      let device = Device.create ~variant ~n:1 () in
-      let count = max 100 (config.per_value / 2) in
-      let fixed = tvla_windows device rng ~count ~draw:(fun rng -> Device.profiling_draw device rng ~value:5) in
-      let random =
-        tvla_windows device rng ~count ~draw:(fun rng ->
-            let draws, _ = Riscv.Sampler_prog.draws_of_gaussian rng Mathkit.Gaussian.seal_default ~count:1 in
-            draws.(0))
-      in
-      let len = min (Array.length fixed.(0)) (Array.length random.(0)) in
-      let clip set = Array.map (fun w -> Array.sub w 0 len) set in
-      let fixed = clip fixed and random = clip random in
-      let t1 = Sca.Tvla.t_statistics fixed random in
-      let t2 = Sca.Tvla.second_order fixed random in
-      {
-        sampler = name;
-        max_t_first_order = Sca.Tvla.max_abs_t t1;
-        leaky_samples = Array.length (Sca.Tvla.leaky_points t1);
-        max_t_second_order = Sca.Tvla.max_abs_t t2;
-      })
-    [ (Riscv.Sampler_prog.Vulnerable, "SEAL v3.2 (vulnerable)"); (Riscv.Sampler_prog.Branchless, "v3.6-style branchless") ]
-
-let render_tvla rows =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "TVLA (fixed coefficient = 5 vs honest Gaussian), pass level |t| <= 4.5:\n";
-  Buffer.add_string buf "  variant                     max |t| (1st)   leaky samples   max |t| (2nd)\n";
-  List.iter
-    (fun r ->
-      Buffer.add_string buf
-        (Printf.sprintf "  %-26s %12.1f   %13d   %13.1f%s\n" r.sampler r.max_t_first_order r.leaky_samples
-           r.max_t_second_order
-           (if r.max_t_first_order > Sca.Tvla.threshold then "   FAIL" else "   pass")))
-    rows;
-  Buffer.add_string buf
-    "(the branchless sampler removes the branches yet still fails TVLA: its mask\n\
-    \ arithmetic is data-dependent -- the paper's 'may have a different vulnerability')\n";
-  Buffer.contents buf
-
-type averaging_row = { traces_averaged : int; value_accuracy : float }
-
-let averaging config =
-  let rng = Mathkit.Prng.create ~seed:(Int64.add config.seed 83L) () in
-  let n = min config.device_n 128 in
-  let device = Device.create ~n () in
-  let prof = Campaign.profile ~per_value:(min config.per_value 200) device rng in
-  let scope_rng = Mathkit.Prng.split rng and sampler_rng = Mathkit.Prng.split rng in
-  (* hypothetical noise-reusing device: the same draw queue measured K
-     times with fresh scope noise; windows averaged before matching *)
-  let draws, _ = Riscv.Sampler_prog.draws_of_gaussian sampler_rng Mathkit.Gaussian.seal_default ~count:n in
-  List.map
-    (fun k ->
-      let window_sets =
-        Array.init k (fun _ ->
-            let run = Device.run device ~scope_rng ~draws in
-            let samples = run.Device.trace.Power.Ptrace.samples in
-            let wins = Sca.Segment.windows prof.Campaign.segment samples in
-            Sca.Segment.vectorize samples (Array.sub wins 0 n) ~length:prof.Campaign.window_length)
-      in
-      let averaged =
-        Array.init n (fun i ->
-            let acc = Array.make prof.Campaign.window_length 0.0 in
-            Array.iter (fun set -> Array.iteri (fun t x -> acc.(t) <- acc.(t) +. x) set.(i)) window_sets;
-            Array.map (fun x -> x /. float_of_int k) acc)
-      in
-      let ok = ref 0 in
-      Array.iteri
-        (fun i w -> if (Sca.Attack.classify prof.Campaign.attack w).Sca.Attack.value = fst draws.(i) then incr ok)
-        averaged;
-      { traces_averaged = k; value_accuracy = 100.0 *. float_of_int !ok /. float_of_int n })
-    [ 1; 4; 16 ]
-
-let render_averaging rows =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "Multi-trace averaging baseline (hypothetical noise-reusing device):\n";
-  List.iter
-    (fun r -> Buffer.add_string buf (Printf.sprintf "  averaging %2d traces: value accuracy %5.1f%%\n" r.traces_averaged r.value_accuracy))
-    rows;
-  Buffer.add_string buf
-    "(BFV samples fresh noise per encryption, so the real adversary gets K = 1;\n\
-    \ this is why the paper's attack is designed to be single-trace)\n";
-  Buffer.contents buf
-
-(* --- ablations ----------------------------------------------------------------------- *)
-
-type ablation_row = { label : string; sign_accuracy : float; value_accuracy : float }
-
-let ablate_leakage config =
-  List.map
-    (fun (label, model) ->
-      let rng = Mathkit.Prng.create ~seed:(Int64.add config.seed 53L) () in
-      let synth = { Power.Synth.default with Power.Synth.model } in
-      let _, results = small_campaign ~synth config rng in
-      let sign_accuracy, value_accuracy = accuracies results in
-      { label; sign_accuracy; value_accuracy })
-    [
-      ("HW + HD (default)", Power.Leakage.default);
-      ("HW only", Power.Leakage.hw_only);
-      ("HD only", Power.Leakage.hd_only);
-    ]
-
-let ablate_noise config =
-  List.map
-    (fun sigma ->
-      let rng = Mathkit.Prng.create ~seed:(Int64.add config.seed 59L) () in
-      let synth = { Power.Synth.default with Power.Synth.noise_sigma = sigma } in
-      let _, results = small_campaign ~synth config rng in
-      let sign_accuracy, value_accuracy = accuracies results in
-      { label = Printf.sprintf "scope noise sigma = %.2f" sigma; sign_accuracy; value_accuracy })
-    [ 0.05; 0.17; 0.35; 0.7; 1.4 ]
-
-let ablate_poi config =
-  List.map
-    (fun poi_count ->
-      let rng = Mathkit.Prng.create ~seed:(Int64.add config.seed 61L) () in
-      let _, results = small_campaign ~poi_count config rng in
-      let sign_accuracy, value_accuracy = accuracies results in
-      { label = Printf.sprintf "%2d POIs per template" poi_count; sign_accuracy; value_accuracy })
-    [ 4; 8; 16; 24; 32 ]
-
-type feature_row = { feature_method : string; accuracy : float }
-
-let ablate_features config =
-  let rng = Mathkit.Prng.create ~seed:(Int64.add config.seed 67L) () in
-  let n = min config.device_n 128 in
-  let device = Device.create ~n () in
-  let segment, window_length, classes =
-    Campaign.profiling_windows ~per_value:(min config.per_value 200) device rng
-  in
-  (* held-out attack windows with ground truth *)
-  let scope_rng = Mathkit.Prng.split rng and sampler_rng = Mathkit.Prng.split rng in
-  let test_windows =
-    List.concat
-      (List.init 4 (fun _ ->
-           let run = Device.run_gaussian device ~scope_rng ~sampler_rng in
-           let samples = run.Device.trace.Power.Ptrace.samples in
-           let wins = Sca.Segment.windows segment samples in
-           let vecs = Sca.Segment.vectorize samples (Array.sub wins 0 n) ~length:window_length in
-           Array.to_list (Array.mapi (fun i w -> (run.Device.noises.(i), w)) vecs)))
-  in
-  let in_labels = Hashtbl.create 32 in
-  List.iter (fun (v, _) -> Hashtbl.replace in_labels v ()) classes;
-  let test_windows = List.filter (fun (v, _) -> Hashtbl.mem in_labels v) test_windows in
-  let evaluate name project =
-    let template = Sca.Template.build ~pois:[||] (List.map (fun (l, rows) -> (l, Array.map project rows)) classes) in
-    let ok = List.fold_left (fun acc (actual, w) -> if Sca.Template.classify template (project w) = actual then acc + 1 else acc) 0 test_windows in
-    { feature_method = name; accuracy = 100.0 *. float_of_int ok /. float_of_int (List.length test_windows) }
-  in
-  let class_array = Array.of_list (List.map snd classes) in
-  let sost_pois = Sca.Sosd.select ~count:24 (Sca.Sosd.scores_t class_array) in
-  let sosd_pois = Sca.Sosd.select ~count:24 (Sca.Sosd.scores class_array) in
-  let pca = Sca.Pca.fit ~k:12 classes in
-  let corr_pois =
-    let rows = List.concat_map (fun (l, ws) -> Array.to_list (Array.map (fun w -> (l, w)) ws)) classes in
-    let traces = Array.of_list (List.map snd rows) in
-    let labels = Array.of_list (List.map fst rows) in
-    Sca.Cpa.correlation_poi ~count:24 traces labels
-  in
-  [
-    evaluate "SOST POIs (default)" (fun w -> Sca.Sosd.pick w sost_pois);
-    evaluate "SOSD POIs (paper's cite [30])" (fun w -> Sca.Sosd.pick w sosd_pois);
-    evaluate "PCA subspace (k=12)" (Sca.Pca.transform pca);
-    evaluate "correlation POIs" (fun w -> Sca.Sosd.pick w corr_pois);
-  ]
-
-let ablate_timing config =
-  let picorv32 = Riscv.Cpu.cycles_of_class in
-  let uniform4 = fun (_ : Riscv.Inst.klass) -> 4 in
-  let slow_div k = match k with Riscv.Inst.K_div -> 64 | other -> picorv32 other in
-  let fast_div k = match k with Riscv.Inst.K_div -> 12 | other -> picorv32 other in
-  List.map
-    (fun (label, cycle_model) ->
-      let rng = Mathkit.Prng.create ~seed:(Int64.add config.seed 73L) () in
-      match small_campaign ~cycle_model ?synth:None config rng with
-      | _, results ->
-          let sign_accuracy, value_accuracy = accuracies results in
-          { label; sign_accuracy; value_accuracy }
-      | exception Failure _ ->
-          (* segmentation collapsed: the peaks this timing model
-             produces are too short/close for the default settings *)
-          { label = label ^ " (segmentation failed)"; sign_accuracy = 0.0; value_accuracy = 0.0 })
-    [
-      ("PicoRV32 latencies (default)", picorv32);
-      ("slow bit-serial divider (64)", slow_div);
-      ("fast divider (12 cycles)", fast_div);
-      ("uniform 4-cycle machine", uniform4);
-    ]
-
-let render_features rows =
-  let buf = Buffer.create 512 in
-  Buffer.add_string buf "Feature-extraction comparison (flat 29-class templates, same data):\n";
-  List.iter
-    (fun r -> Buffer.add_string buf (Printf.sprintf "  %-32s value accuracy %5.1f%%\n" r.feature_method r.accuracy))
-    rows;
-  Buffer.contents buf
-
-let render_ablation ~title rows =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf (Printf.sprintf "Ablation: %s\n" title);
-  Buffer.add_string buf "  setting                        sign%   value%\n";
-  List.iter
-    (fun r -> Buffer.add_string buf (Printf.sprintf "  %-28s %6.1f   %6.1f\n" r.label r.sign_accuracy r.value_accuracy))
-    rows;
-  Buffer.contents buf
-
-(* --- fault sweep --------------------------------------------------------------------- *)
-
-type fault_sweep_row = {
-  intensity : float;
-  recovery_rate : float;
-  sign_accuracy : float;
-  value_accuracy : float;
-  confident : int;
-  tentative : int;
-  sign_only : int;
-  unknown : int;
-  retried : int;
-  unrecoverable : int;
-  perfect_hints : int;
-  approximate_hints : int;
-  none_hints : int;
-  graded_bikz : float;
-}
-
-(* All intensities share one fault-free profile and the same attack
-   seeds: the only thing that varies along the sweep is the fault load
-   on the attacked device, so the curves measure fault tolerance and
-   nothing else. *)
-let fault_sweep ?(intensities = [| 0.0; 0.25; 0.5; 0.75; 1.0 |]) config =
-  let rng = Mathkit.Prng.create ~seed:(Int64.add config.seed 89L) () in
-  let n = min config.device_n 128 in
-  let device = Device.create ~n () in
-  let prof = Campaign.profile ~per_value:(min config.per_value 200) device rng in
-  let traces = max 2 (config.attack_traces / 4) in
-  Array.to_list intensities
-  |> List.map (fun intensity ->
-         let fault = if intensity = 0.0 then None else Some (Power.Fault.of_intensity intensity) in
-         let dev = Device.with_fault device fault in
-         let scope_rng = Mathkit.Prng.create ~seed:(Int64.add config.seed 97L) () in
-         let sampler_rng = Mathkit.Prng.create ~seed:(Int64.add config.seed 101L) () in
-         let stats, results = Campaign.run_attacks_resilient prof dev ~traces ~scope_rng ~sampler_rng in
-         let confident, tentative, sign_only, unknown = Campaign.grade_counts results in
-         let retried = ref 0 and unrecoverable = ref 0 in
-         Array.iter
-           (fun r ->
-             match r.Campaign.recovery with
-             | Campaign.Retried _ -> incr retried
-             | Campaign.Unrecoverable -> incr unrecoverable
-             | Campaign.Clean -> ())
-           results;
-         let hints =
-           hints_of_results results lwe_instance.Hints.Lwe.m (fun i r ->
-               Campaign.hint_of_result ~sigma:prof.Campaign.sigma ~coordinate:i r)
-         in
-         let perfect_hints, approximate_hints, none_hints = Hints.Hint.kind_counts hints in
-         let sec = security_of_hints hints in
-         let total = max 1 (Array.length results) in
-         {
-           intensity;
-           recovery_rate = float_of_int (confident + tentative) /. float_of_int total;
-           sign_accuracy =
-             100.0 *. float_of_int stats.Campaign.sign_correct /. float_of_int (max 1 stats.Campaign.sign_total);
-           value_accuracy =
-             100.0 *. float_of_int stats.Campaign.value_correct /. float_of_int (max 1 stats.Campaign.value_total);
-           confident;
-           tentative;
-           sign_only;
-           unknown;
-           retried = !retried;
-           unrecoverable = !unrecoverable;
-           perfect_hints;
-           approximate_hints;
-           none_hints;
-           graded_bikz = sec.bikz_with_hints;
-         })
-
-let render_fault_sweep rows =
-  let buf = Buffer.create 2048 in
-  Buffer.add_string buf "Fault sweep: graceful degradation under measurement faults\n";
-  Buffer.add_string buf
-    "  intensity  recovery%  sign%   value%   conf  tent  sign  unk   retried  unrec   hints(P/A/-)      bikz\n";
-  List.iter
-    (fun r ->
-      Buffer.add_string buf
-        (Printf.sprintf "  %9.2f  %8.1f  %5.1f   %5.1f   %4d  %4d  %4d  %4d   %7d  %5d   %4d/%4d/%4d  %8.2f\n"
-           r.intensity
-           (100.0 *. r.recovery_rate)
-           r.sign_accuracy r.value_accuracy r.confident r.tentative r.sign_only r.unknown r.retried
-           r.unrecoverable r.perfect_hints r.approximate_hints r.none_hints r.graded_bikz))
-    rows;
-  Buffer.add_string buf
-    "(recovery = coefficients graded Confident or Tentative; bikz rises as hints degrade\n\
-    \ along the ladder perfect -> approximate -> sign-only -> none)\n";
-  Buffer.contents buf
-
-(* The two properties the sweep must honour: recovery degrades
-   monotonically with intensity, and the reported hardness never drops
-   below the clean run's (degradation must not make the attack look
-   stronger).  Small tolerances absorb grade flips of individual
-   borderline coefficients. *)
-let fault_sweep_check ?(recovery_tolerance = 0.02) ?(bikz_tolerance = 0.5) rows =
-  match rows with
-  | [] -> Error "fault sweep produced no rows"
-  | first :: _ ->
-      let problems = ref [] in
-      let rec walk = function
-        | a :: (b :: _ as rest) ->
-            if b.recovery_rate > a.recovery_rate +. recovery_tolerance then
-              problems :=
-                Printf.sprintf "recovery rate rises from %.3f (intensity %.2f) to %.3f (intensity %.2f)"
-                  a.recovery_rate a.intensity b.recovery_rate b.intensity
-                :: !problems;
-            walk rest
-        | _ -> ()
-      in
-      walk rows;
-      List.iter
-        (fun r ->
-          if r.graded_bikz < first.graded_bikz -. bikz_tolerance then
-            problems :=
-              Printf.sprintf "bikz %.2f at intensity %.2f under-reports hardness vs clean run (%.2f)" r.graded_bikz
-                r.intensity first.graded_bikz
-              :: !problems)
-        rows;
-      (match !problems with [] -> Ok () | ps -> Error (String.concat "; " (List.rev ps)))
-
-(* --- zero-fault regression ------------------------------------------------------------- *)
-
-type zero_consistency = {
-  coefficients : int;
-  verdict_mismatches : int;
-  grade_downgrades : int;  (* resilient coefficients graded SignOnly/Unknown *)
-  bikz_classic : float;
-  bikz_graded : float;
-}
-
-(* The acceptance gate for the whole fault-tolerance stack: with no
-   fault model installed, the resilient pipeline must reproduce the
-   classic one bit for bit — same verdicts, same bikz. *)
-let fault_zero_consistency config =
-  let rng = Mathkit.Prng.create ~seed:(Int64.add config.seed 89L) () in
-  let n = min config.device_n 128 in
-  let device = Device.create ~n () in
-  let prof = Campaign.profile ~per_value:(min config.per_value 200) device rng in
-  let traces = max 2 (config.attack_traces / 4) in
-  let seeds () =
-    ( Mathkit.Prng.create ~seed:(Int64.add config.seed 97L) (),
-      Mathkit.Prng.create ~seed:(Int64.add config.seed 101L) () )
-  in
-  let scope_rng, sampler_rng = seeds () in
-  let _, classic = Campaign.run_attacks prof device ~traces ~scope_rng ~sampler_rng in
-  (* thread an explicit no-op fault config through the device to also
-     exercise the is_noop short-circuit *)
-  let scope_rng, sampler_rng = seeds () in
-  let _, resilient =
-    Campaign.run_attacks_resilient prof
-      (Device.with_fault device (Some Power.Fault.none))
-      ~traces ~scope_rng ~sampler_rng
-  in
-  if Array.length classic <> Array.length resilient then
-    failwith "Experiment.fault_zero_consistency: result counts differ";
-  let mism = ref 0 and downgrades = ref 0 in
-  Array.iteri
-    (fun i c ->
-      let r = resilient.(i) in
-      if
-        c.Campaign.actual <> r.Campaign.actual
-        || c.Campaign.verdict.Sca.Attack.value <> r.Campaign.verdict.Sca.Attack.value
-        || c.Campaign.verdict.Sca.Attack.sign <> r.Campaign.verdict.Sca.Attack.sign
-      then incr mism;
-      match r.Campaign.grade with
-      | Campaign.SignOnly | Campaign.Unknown -> incr downgrades
-      | Campaign.Confident | Campaign.Tentative -> ())
-    classic;
-  let bikz results mk =
-    (security_of_hints (hints_of_results results lwe_instance.Hints.Lwe.m mk)).bikz_with_hints
-  in
-  {
-    coefficients = Array.length classic;
-    verdict_mismatches = !mism;
-    grade_downgrades = !downgrades;
-    bikz_classic = bikz classic (fun i r -> Hints.Hint.of_posterior ~coordinate:i r.Campaign.posterior_all);
-    bikz_graded =
-      bikz resilient (fun i r -> Campaign.hint_of_result ~sigma:prof.Campaign.sigma ~coordinate:i r);
-  }
-
-let render_zero_consistency z =
-  Printf.sprintf
-    "Zero-fault regression: resilient pipeline vs classic pipeline over %d coefficients\n\
-    \  verdict mismatches: %d (must be 0)\n\
-    \  grades below Tentative: %d (must be 0 for bikz equality)\n\
-    \  bikz classic %.4f vs graded %.4f (must match)\n"
-    z.coefficients z.verdict_mismatches z.grade_downgrades z.bikz_classic z.bikz_graded
+let artefact name config =
+  match List.assoc_opt name artefacts with
+  | Some build -> Some (build config)
+  | None -> None

@@ -257,3 +257,37 @@ val fault_zero_consistency : config -> zero_consistency
     the graded hint ladder must reproduce the calibrated bikz. *)
 
 val render_zero_consistency : zero_consistency -> string
+
+(* --- machine-readable artefacts -------------------------------------------------- *)
+
+(** Every artefact is also available as a {!Report.doc}: the historical
+    byte-exact text plus a JSON rendering of the same rows, both
+    produced from one declaration (see {!Report.table}).  The [_doc]
+    builders take the same inputs as the corresponding [render_*]. *)
+
+val fig3_doc : fig3 -> Report.doc
+val table1_doc : env -> Report.doc
+val table2_doc : table2_row list -> Report.doc
+val table3_doc : table3_report -> Report.doc
+val table4_doc : table4_report -> Report.doc
+val signs_doc : sign_report -> Report.doc
+val recovery_doc : recovery_report -> Report.doc
+val toylattice_doc : toylattice_row list -> Report.doc
+val defenses_doc : defense_report list -> Report.doc
+val tvla_doc : tvla_row list -> Report.doc
+val averaging_doc : averaging_row list -> Report.doc
+val features_doc : feature_row list -> Report.doc
+val ablation_doc : title:string -> ablation_row list -> Report.doc
+val fault_sweep_doc : fault_sweep_row list -> Report.doc
+val zero_consistency_doc : zero_consistency -> Report.doc
+
+val artefacts : (string * (config -> Report.doc)) list
+(** Name -> builder registry, one entry per artefact of the paper's
+    evaluation.  Builders that need a profiled campaign run
+    {!prepare} themselves; each call is self-contained and
+    deterministic in [config.seed]. *)
+
+val artefact_names : string list
+
+val artefact : string -> config -> Report.doc option
+(** Look up and build one artefact; [None] for an unknown name. *)

@@ -1,0 +1,180 @@
+type grade = Confident | Tentative | SignOnly | Unknown
+type recovery = Clean | Retried of int | Unrecoverable
+
+type coefficient_result = {
+  actual : int;
+  verdict : Sca.Attack.verdict;
+  posterior_all : (int * float) array;
+  grade : grade;
+  recovery : recovery;
+}
+
+type gate = {
+  confident_threshold : float;
+  tentative_threshold : float;
+  sign_only_threshold : float;
+  retry_budget : int;
+}
+
+let default_gate =
+  {
+    confident_threshold = Constants.gate_confident_threshold;
+    tentative_threshold = Constants.gate_tentative_threshold;
+    sign_only_threshold = Constants.gate_sign_only_threshold;
+    retry_budget = Constants.gate_retry_budget;
+  }
+
+(* Grading is goodness-of-fit first, posterior confidence second.  A
+   posterior normalises the absolute likelihood away, so a corrupted
+   window often looks MORE confident than an honest one (one garbage
+   class is merely the least garbage).  The absolute best-class log
+   density has no such failure mode: honest attack windows land in the
+   band the profiling windows calibrated, faulted ones fall off a
+   quadratic cliff.  Only windows that fit are allowed to carry value
+   information; only then does the joint confidence (sign-match peak
+   times value-posterior peak, both flat-prior) pick the rung. *)
+let classify_graded ?classifier prof gate ~quality window =
+  let (Pipeline.Classifier ((module C), cls)) =
+    match classifier with Some c -> c | None -> Pipeline.classifier_of_profile prof
+  in
+  let sign_conf = C.sign_confidence cls window in
+  let verdict = C.classify cls window in
+  let posterior_all = C.posterior_all cls window in
+  (* Peak of the joint Bayesian posterior.  Crucially, a point-mass
+     posterior (the one that would become a perfect hint) always scores
+     1.0 here, so on a clean window it always clears the Confident
+     threshold — the Tentative perfect-hint demotion provably cannot
+     change a clean-trace hint. *)
+  let conf = Array.fold_left (fun acc (_, p) -> Float.max acc p) 0.0 posterior_all in
+  let grade =
+    if C.sign_fit cls window < prof.Pipeline.sign_fit_floor then
+      (* not even the branch region looks like any class: the window is
+         noise and nothing in it can be trusted *)
+      Unknown
+    else if C.value_fit cls ~sign:verdict.Sca.Attack.sign window < prof.Pipeline.value_fit_floor then
+      if sign_conf >= gate.sign_only_threshold then SignOnly else Unknown
+    else if conf >= gate.confident_threshold && quality <> Sca.Segment.Resynced then
+      (* a window that segmentation had to repair can never be Confident:
+         a confidently-wrong verdict would enter the lattice as a perfect
+         hint and poison the whole estimate.  Suspect (a length outlier)
+         does not bar Confident: burst length varies legitimately with
+         the coefficient value, so rare large-magnitude values trip the
+         MAD check on perfectly clean traces — corruption is what the
+         fit floors detect. *)
+      Confident
+    else if conf >= gate.tentative_threshold then Tentative
+    else if sign_conf >= gate.sign_only_threshold then SignOnly
+    else Unknown
+  in
+  (verdict, posterior_all, grade)
+
+let grade_counts results =
+  let c = ref 0 and t = ref 0 and s = ref 0 and u = ref 0 in
+  Array.iter
+    (fun r ->
+      match r.grade with
+      | Confident -> incr c
+      | Tentative -> incr t
+      | SignOnly -> incr s
+      | Unknown -> incr u)
+    results;
+  (!c, !t, !s, !u)
+
+let hint_of_result ~sigma ~coordinate r =
+  match r.grade with
+  | Confident -> Hints.Hint.of_posterior ~coordinate r.posterior_all
+  | Tentative -> (
+      (* keep the measured posterior, but never let a Tentative verdict
+         harden into a perfect hint: a point-mass posterior on a window
+         the gate would not call Confident (repaired segmentation, soft
+         sign match) is exactly the confidently-wrong case *)
+      let h = Hints.Hint.of_posterior ~coordinate r.posterior_all in
+      match h.Hints.Hint.kind with
+      | Hints.Hint.Perfect v ->
+          {
+            h with
+            Hints.Hint.kind = Hints.Hint.Approximate { mean = float_of_int v; variance = 0.25; confidence = 1.0 };
+          }
+      | _ -> h)
+  | SignOnly -> Hints.Hint.sign_hint ~sigma ~coordinate r.verdict.Sca.Attack.sign
+  | Unknown -> { Hints.Hint.coordinate; kind = Hints.Hint.None_useful }
+
+let null_verdict = { Sca.Attack.sign = 0; value = 0; posterior = [| (0, 1.0) |] }
+
+(* --- strict (classic) attack ---------------------------------------------- *)
+
+let attack_strict ?classifier prof ~samples ~noises =
+  let count = Array.length noises in
+  match Pipeline.run_segmenter Pipeline.strict_segmenter prof ~count samples with
+  | Error _ as e -> e
+  | Ok seg ->
+      Ok
+        (Array.mapi
+           (fun i window ->
+             let verdict, posterior_all, grade =
+               classify_graded ?classifier prof default_gate ~quality:seg.Pipeline.quality.(i) window
+             in
+             { actual = noises.(i); verdict; posterior_all; grade; recovery = Clean })
+           seg.Pipeline.vectors)
+
+(* --- fault-tolerant attack ------------------------------------------------- *)
+
+(* Resilient segmentation of one trace: exactly count+1 windows (the
+   firmware's trailing dummy included) or a typed error, with the
+   per-window quality feeding the grade gate. *)
+let graded_windows ?classifier ?(segmenter = Pipeline.resilient_segmenter) prof gate ~count samples =
+  match Pipeline.run_segmenter segmenter prof ~count samples with
+  | Error e -> Error e
+  | Ok { Pipeline.vectors; quality } ->
+      Ok (Array.init count (fun i -> classify_graded ?classifier prof gate ~quality:quality.(i) vectors.(i)))
+
+let attack_resilient ?(gate = default_gate) ?classifier ?segmenter ?retry prof ~samples ~noises =
+  let count = Array.length noises in
+  let results =
+    Array.init count (fun i ->
+        {
+          actual = noises.(i);
+          verdict = null_verdict;
+          posterior_all = [| (0, 1.0) |];
+          grade = Unknown;
+          recovery = Unrecoverable;
+        })
+  in
+  let pending = ref [] in
+  (match graded_windows ?classifier ?segmenter prof gate ~count samples with
+  | Ok graded ->
+      Array.iteri
+        (fun i (verdict, posterior_all, grade) ->
+          results.(i) <-
+            {
+              actual = noises.(i);
+              verdict;
+              posterior_all;
+              grade;
+              recovery = (if grade = Unknown then Unrecoverable else Clean);
+            };
+          if grade = Unknown then pending := i :: !pending)
+        graded
+  | Error _ -> pending := List.init count Fun.id);
+  (match retry with
+  | Some remeasure ->
+      let attempt = ref 1 in
+      while !pending <> [] && !attempt <= gate.retry_budget do
+        (match graded_windows ?classifier ?segmenter prof gate ~count (remeasure !attempt) with
+        | Ok graded ->
+            pending :=
+              List.filter
+                (fun i ->
+                  let verdict, posterior_all, grade = graded.(i) in
+                  if grade = Unknown then true
+                  else begin
+                    results.(i) <-
+                      { actual = noises.(i); verdict; posterior_all; grade; recovery = Retried !attempt };
+                    false
+                  end)
+                !pending
+        | Error _ -> ());
+        incr attempt
+      done
+  | None -> ());
+  results

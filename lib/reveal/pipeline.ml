@@ -1,0 +1,105 @@
+type profile = {
+  attack : Sca.Attack.t;
+  window_length : int;
+  segment : Sca.Segment.config;
+  values : int array;
+  sigma : float;
+  sign_fit_floor : float;
+  value_fit_floor : float;
+}
+
+type error =
+  | Window_count of { expected : int; found : int }
+  | Segmentation of Sca.Segment.segment_error
+  | Corrupt_record of string
+  | Io of string
+
+let error_to_string = function
+  | Window_count { expected; found } ->
+      (* the historical message of the strict attack path — tests and
+         scripts match on it *)
+      Printf.sprintf "Campaign: segmentation found %d windows for %d coefficients" found expected
+  | Segmentation e -> Sca.Segment.error_to_string e
+  | Corrupt_record msg -> Printf.sprintf "corrupt record: %s" msg
+  | Io msg -> msg
+
+(* --- classifier stage ----------------------------------------------------- *)
+
+type classifier = Classifier : (module Sca.Classifier.S with type t = 'c) * 'c -> classifier
+
+let template_classifier attack = Classifier ((module Sca.Classifier.Template), attack)
+let classifier_of_profile prof = template_classifier prof.attack
+let classifier_name (Classifier ((module C), _)) = C.name
+
+(* --- segmenter stage ------------------------------------------------------ *)
+
+(* The firmware samples a trailing dummy coefficient, so a run over n
+   coefficients produces n+1 bursts and we keep the first n windows. *)
+let raw_windows segment ~count samples =
+  let wins = Sca.Segment.windows segment samples in
+  if Array.length wins <> count + 1 then Error (Window_count { expected = count; found = Array.length wins })
+  else Ok (Array.sub wins 0 count)
+
+type segmented = { vectors : float array array; quality : Sca.Segment.quality array }
+
+module type SEGMENTER = sig
+  val name : string
+  val segment : profile -> count:int -> float array -> (segmented, error) result
+end
+
+type segmenter = (module SEGMENTER)
+
+module Strict_segmenter = struct
+  let name = "strict"
+
+  let segment prof ~count samples =
+    match raw_windows prof.segment ~count samples with
+    | Error _ as e -> e
+    | Ok wins ->
+        Ok
+          {
+            vectors = Sca.Segment.vectorize samples wins ~length:prof.window_length;
+            quality = Array.make count Sca.Segment.Clean;
+          }
+end
+
+module Resilient_segmenter = struct
+  let name = "resilient"
+
+  let segment prof ~count samples =
+    match Sca.Segment.segment prof.segment ~expected:(count + 1) samples with
+    | Error e -> Error (Segmentation e)
+    | Ok seg ->
+        let wins = Array.sub seg.Sca.Segment.wins 0 count in
+        let quality = Array.sub seg.Sca.Segment.quality 0 count in
+        Ok { vectors = Sca.Segment.vectorize samples wins ~length:prof.window_length; quality }
+end
+
+let strict_segmenter : segmenter = (module Strict_segmenter)
+let resilient_segmenter : segmenter = (module Resilient_segmenter)
+let segmenter_name (module S : SEGMENTER) = S.name
+let run_segmenter (module S : SEGMENTER) prof ~count samples = S.segment prof ~count samples
+
+(* --- source stage --------------------------------------------------------- *)
+
+type acquired = {
+  samples : float array;
+  noises : int array;
+  remeasure : (int -> float array) option;
+}
+
+type item = { index : int; acquire : unit -> acquired }
+
+module type SOURCE = sig
+  type t
+
+  val name : string
+  val next : t -> [ `Item of item | `Skip of string | `End ]
+  val close : t -> unit
+end
+
+type source = Source : (module SOURCE with type t = 's) * 's -> source
+
+let source_name (Source ((module S), _)) = S.name
+let next_item (Source ((module S), s)) = S.next s
+let close_source (Source ((module S), s)) = S.close s

@@ -1,0 +1,145 @@
+(* Versioned binary codec in the traceio format family: magic + u16
+   version + one CRC-framed payload.  Version 1 was the Marshal-based
+   cache; version 2 introduced this explicit encoding; version 3 added
+   the calibrated goodness-of-fit floors, so stale caches are
+   detected by their magic/version instead of crashing Marshal. *)
+
+let put_template b (t : Sca.Template.t) =
+  Traceio.Codec.put_ints b t.Sca.Template.labels;
+  Traceio.Binio.put_varint b (Int64.of_int (Array.length t.Sca.Template.means));
+  Array.iter (Traceio.Codec.put_floats b) t.Sca.Template.means;
+  let cov = Mathkit.Matrix.to_arrays t.Sca.Template.inv_cov in
+  Traceio.Binio.put_varint b (Int64.of_int (Array.length cov));
+  Array.iter (Traceio.Codec.put_floats b) cov;
+  Traceio.Binio.put_f64 b t.Sca.Template.log_det;
+  Traceio.Codec.put_ints b t.Sca.Template.pois
+
+let get_template ~path c =
+  let labels = Traceio.Codec.get_ints c in
+  let rows = Traceio.Binio.get_varint_int c in
+  if rows <> Array.length labels then
+    Traceio.Error.corruptf "%s: template has %d mean vectors for %d labels" path rows (Array.length labels);
+  let means = Array.init rows (fun _ -> Traceio.Codec.get_floats c) in
+  let d = Traceio.Binio.get_varint_int c in
+  let cov = Array.init d (fun _ -> Traceio.Codec.get_floats c) in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> d then
+        Traceio.Error.corruptf "%s: covariance row %d has %d columns in a %dx%d matrix" path i (Array.length row) d d)
+    cov;
+  let log_det = Traceio.Binio.get_f64 c in
+  let pois = Traceio.Codec.get_ints c in
+  { Sca.Template.labels; means; inv_cov = Mathkit.Matrix.of_arrays cov; log_det; pois }
+
+let put_threshold b = function
+  | Sca.Segment.Auto -> Traceio.Binio.put_u8 b 0
+  | Sca.Segment.Percentile p ->
+      Traceio.Binio.put_u8 b 1;
+      Traceio.Binio.put_f64 b p
+  | Sca.Segment.Absolute a ->
+      Traceio.Binio.put_u8 b 2;
+      Traceio.Binio.put_f64 b a
+
+let get_threshold ~path c =
+  match Traceio.Binio.get_u8 c with
+  | 0 -> Sca.Segment.Auto
+  | 1 -> Sca.Segment.Percentile (Traceio.Binio.get_f64 c)
+  | 2 -> Sca.Segment.Absolute (Traceio.Binio.get_f64 c)
+  | t -> Traceio.Error.corruptf "%s: unknown segmentation-threshold tag %d" path t
+
+let profile_payload (prof : Pipeline.profile) =
+  let b = Buffer.create 65536 in
+  put_threshold b prof.segment.Sca.Segment.threshold;
+  Traceio.Binio.put_varint b (Int64.of_int prof.segment.Sca.Segment.smooth_radius);
+  Traceio.Binio.put_varint b (Int64.of_int prof.segment.Sca.Segment.merge_gap);
+  Traceio.Binio.put_varint b (Int64.of_int prof.segment.Sca.Segment.min_burst);
+  Traceio.Binio.put_varint b (Int64.of_int prof.window_length);
+  Traceio.Codec.put_ints b prof.values;
+  Traceio.Binio.put_f64 b prof.sigma;
+  Traceio.Binio.put_f64 b prof.sign_fit_floor;
+  Traceio.Binio.put_f64 b prof.value_fit_floor;
+  let a = prof.attack in
+  put_template b a.Sca.Attack.sign_template;
+  put_template b a.Sca.Attack.neg_template;
+  put_template b a.Sca.Attack.pos_template;
+  Traceio.Codec.put_floats b a.Sca.Attack.neg_priors;
+  Traceio.Codec.put_floats b a.Sca.Attack.pos_priors;
+  Traceio.Codec.put_floats b a.Sca.Attack.prior_of_sign;
+  Traceio.Codec.put_ints b a.Sca.Attack.pois_sign;
+  Traceio.Codec.put_ints b a.Sca.Attack.pois_neg;
+  Traceio.Codec.put_ints b a.Sca.Attack.pois_pos;
+  Buffer.contents b
+
+let profile_of_payload ~path payload =
+  let c = Traceio.Binio.cursor ~name:path payload in
+  let threshold = get_threshold ~path c in
+  let smooth_radius = Traceio.Binio.get_varint_int c in
+  let merge_gap = Traceio.Binio.get_varint_int c in
+  let min_burst = Traceio.Binio.get_varint_int c in
+  let segment = { Sca.Segment.threshold; smooth_radius; merge_gap; min_burst } in
+  let window_length = Traceio.Binio.get_varint_int c in
+  let values = Traceio.Codec.get_ints c in
+  let sigma = Traceio.Binio.get_f64 c in
+  let sign_fit_floor = Traceio.Binio.get_f64 c in
+  let value_fit_floor = Traceio.Binio.get_f64 c in
+  let sign_template = get_template ~path c in
+  let neg_template = get_template ~path c in
+  let pos_template = get_template ~path c in
+  let neg_priors = Traceio.Codec.get_floats c in
+  let pos_priors = Traceio.Codec.get_floats c in
+  let prior_of_sign = Traceio.Codec.get_floats c in
+  let pois_sign = Traceio.Codec.get_ints c in
+  let pois_neg = Traceio.Codec.get_ints c in
+  let pois_pos = Traceio.Codec.get_ints c in
+  Traceio.Binio.expect_end c;
+  let attack =
+    {
+      Sca.Attack.sign_template;
+      neg_template;
+      pos_template;
+      neg_priors;
+      pos_priors;
+      prior_of_sign;
+      pois_sign;
+      pois_neg;
+      pois_pos;
+    }
+  in
+  { Pipeline.attack; window_length; segment; values; sigma; sign_fit_floor; value_fit_floor }
+
+let save path prof =
+  let oc = Traceio.Error.open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+    (fun () ->
+      Traceio.Error.wrap_io path (fun () ->
+          output_string oc Constants.profile_magic;
+          output_string oc (String.init 2 (fun i -> Char.chr ((Constants.profile_version lsr (8 * i)) land 0xFF))));
+      Traceio.Frame.write ~path oc (profile_payload prof))
+
+let load path =
+  let ic = Traceio.Error.open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> try close_in ic with Sys_error _ -> ())
+    (fun () ->
+      try
+        let m = Traceio.Error.wrap_io path (fun () -> really_input_string ic (String.length Constants.profile_magic)) in
+        if m = Constants.legacy_profile_magic_prefix then
+          invalid_arg
+            (Printf.sprintf
+               "Campaign.load_profile: %s is a stale v1 (Marshal) profile cache — delete it and re-run profiling"
+               path);
+        if m <> Constants.profile_magic then
+          invalid_arg (Printf.sprintf "Campaign.load_profile: %s is not a profile cache (bad magic)" path);
+        let v = Traceio.Error.wrap_io path (fun () -> really_input_string ic 2) in
+        let v = Char.code v.[0] lor (Char.code v.[1] lsl 8) in
+        if v <> Constants.profile_version then
+          invalid_arg
+            (Printf.sprintf
+               "Campaign.load_profile: %s has profile-cache version %d, this build reads version %d — re-run \
+                profiling"
+               path v Constants.profile_version);
+        match Traceio.Frame.read ~path ic with
+        | None -> invalid_arg (Printf.sprintf "Campaign.load_profile: %s: truncated profile cache" path)
+        | Some payload -> profile_of_payload ~path payload
+      with Traceio.Error.Corrupt msg -> invalid_arg (Printf.sprintf "Campaign.load_profile: corrupt cache: %s" msg))

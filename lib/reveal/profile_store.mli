@@ -1,0 +1,25 @@
+(** Profile cache serialization (format v3).
+
+    Persists a built {!Pipeline.profile} (templates, POIs, calibrated
+    segmentation and fit floors) so the expensive profiling phase runs
+    once per device.  The format is a versioned binary codec in the
+    {!Traceio} format family — {!Constants.profile_magic}, a little-
+    endian u16 version ({!Constants.profile_version}), one CRC-framed
+    payload.  Stale or damaged caches are rejected on load with an
+    actionable message instead of being misinterpreted. *)
+
+val save : string -> Pipeline.profile -> unit
+(** @raise Traceio.Error.Io when the path cannot be written (message
+    carries the path). *)
+
+val load : string -> Pipeline.profile
+(** @raise Invalid_argument with a clear message on a stale (v1 /
+    Marshal-era), version-mismatched, truncated or corrupt cache.
+    @raise Traceio.Error.Io when the file cannot be read. *)
+
+(**/**)
+
+(* The raw payload codec, exposed for round-trip property tests. *)
+
+val profile_payload : Pipeline.profile -> string
+val profile_of_payload : path:string -> string -> Pipeline.profile

@@ -1,0 +1,113 @@
+(* Hand-rolled JSON — the repo deliberately has no JSON dependency.
+   Emission only (the CLI never parses JSON), compact form, with the
+   float rendering pinned to "%.12g" so output is stable across runs
+   and platforms. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_float buf f =
+  (* JSON has no NaN/inf literal *)
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then Buffer.add_string buf "null"
+  else begin
+    let s = Printf.sprintf "%.12g" f in
+    Buffer.add_string buf s;
+    (* "1" would re-read as an int; keep the float-ness explicit *)
+    if String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') s then Buffer.add_string buf ".0"
+  end
+
+let rec add_json buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_float buf f
+  | String s -> escape_string buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_json buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          add_json buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 1024 in
+  add_json buf j;
+  Buffer.contents buf
+
+let print j =
+  print_string (to_string j);
+  print_newline ()
+
+(* --- documents ------------------------------------------------------------ *)
+
+type doc = { text : string; json : json }
+
+(* --- column combinators --------------------------------------------------- *)
+
+(* One declaration drives both renderers: [heading]/[cell] reproduce
+   the historical fixed-width text (headings carry their own leading
+   spaces so the concatenation is byte-exact), [key]/[value] the JSON
+   row objects. *)
+type 'a column = {
+  heading : string;
+  cell : 'a -> string;
+  key : string;
+  value : 'a -> json;
+}
+
+let column ~heading ~key ~cell ~value = { heading; cell; key; value }
+
+let fcol ~heading ~key ~fmt get = { heading; cell = (fun r -> Printf.sprintf fmt (get r)); key; value = (fun r -> Float (get r)) }
+let icol ~heading ~key ~fmt get = { heading; cell = (fun r -> Printf.sprintf fmt (get r)); key; value = (fun r -> Int (get r)) }
+let scol ~heading ~key ~fmt get = { heading; cell = (fun r -> Printf.sprintf fmt (get r)); key; value = (fun r -> String (get r)) }
+
+let row_json columns r = Obj (List.map (fun c -> (c.key, c.value r)) columns)
+
+let table ~title ?header ?(footer = "") columns rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf title;
+  (match header with
+  | Some h -> Buffer.add_string buf h
+  | None ->
+      List.iter (fun c -> Buffer.add_string buf c.heading) columns;
+      Buffer.add_char buf '\n');
+  List.iter
+    (fun r ->
+      List.iter (fun c -> Buffer.add_string buf (c.cell r)) columns;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf footer;
+  { text = Buffer.contents buf; json = List (List.map (row_json columns) rows) }

@@ -1,0 +1,45 @@
+type security_report = {
+  bikz_no_hints : float;
+  bikz_with_hints : float;
+  bits_no_hints : float;
+  bits_with_hints : float;
+  perfect_hints : int;
+  approximate_hints : int;
+}
+
+let lwe_instance = Constants.lwe_instance
+
+(* When the campaign attacked fewer coefficients than the instance has
+   (scaled-down configs), the per-coefficient statistics are recycled -
+   the per-coordinate hint quality is i.i.d., so this is an unbiased
+   extrapolation of the security estimate. *)
+let hints_of_results results count mk =
+  if Array.length results = 0 then failwith "Experiment: no attacked coefficients";
+  let len = Array.length results in
+  List.init count (fun i -> mk i results.(i mod len))
+
+let security_of_hints hint_list =
+  let dbdd = Hints.Dbdd.create lwe_instance in
+  let bikz_no_hints = Hints.Dbdd.estimate_bikz dbdd in
+  Hints.Hint.apply_all dbdd hint_list;
+  let bikz_with_hints = Hints.Dbdd.estimate_bikz dbdd in
+  let perfect = Hints.Dbdd.integrated dbdd in
+  {
+    bikz_no_hints;
+    bikz_with_hints;
+    bits_no_hints = Hints.Bkz_model.security_bits bikz_no_hints;
+    bits_with_hints = Hints.Bkz_model.security_bits bikz_with_hints;
+    perfect_hints = perfect;
+    approximate_hints = List.length hint_list - perfect;
+  }
+
+let json_of_security s =
+  Report.Obj
+    [
+      ("bikz_no_hints", Report.Float s.bikz_no_hints);
+      ("bikz_with_hints", Report.Float s.bikz_with_hints);
+      ("bits_no_hints", Report.Float s.bits_no_hints);
+      ("bits_with_hints", Report.Float s.bits_with_hints);
+      ("perfect_hints", Report.Int s.perfect_hints);
+      ("approximate_hints", Report.Int s.approximate_hints);
+    ]

@@ -1,0 +1,114 @@
+(* Concrete Pipeline.SOURCE instances.  The live source pre-draws one
+   (scope, sampler) seed pair per trace from the campaign generators —
+   at construction time, in trace order — so the randomness a campaign
+   consumes is independent of batching, domain count, or how far the
+   driver actually pulls. *)
+
+let live_item ~retry device index (scope_seed, sampler_seed) =
+  {
+    Pipeline.index;
+    acquire =
+      (fun () ->
+        let scope_rng = Mathkit.Prng.create ~seed:scope_seed () in
+        let sampler_rng = Mathkit.Prng.create ~seed:sampler_seed () in
+        let run = Device.run_gaussian device ~scope_rng ~sampler_rng in
+        let remeasure =
+          if not retry then None
+          else begin
+            (* The retry stream is carved from a separate generator, so
+               a campaign that needs no retries consumes its randomness
+               exactly like one with retries disabled. *)
+            let retry_master = Mathkit.Prng.create ~seed:(Int64.logxor scope_seed Constants.retry_seed_salt) () in
+            Some
+              (fun _attempt ->
+                let rng = Mathkit.Prng.split retry_master in
+                let draws = Array.map (fun v -> Device.profiling_draw device rng ~value:v) run.Device.noises in
+                (Device.run device ~scope_rng:rng ~draws).Device.trace.Power.Ptrace.samples)
+          end
+        in
+        { Pipeline.samples = run.Device.trace.Power.Ptrace.samples; noises = run.Device.noises; remeasure });
+  }
+
+let device_live ?(retry = false) device ~traces ~scope_rng ~sampler_rng =
+  let seeds = Array.init traces (fun _ -> (Mathkit.Prng.bits64 scope_rng, Mathkit.Prng.bits64 sampler_rng)) in
+  let pos = ref 0 in
+  let module M = struct
+    type t = unit
+
+    let name = "device-live"
+
+    let next () =
+      if !pos >= traces then `End
+      else begin
+        let i = !pos in
+        incr pos;
+        `Item (live_item ~retry device i seeds.(i))
+      end
+
+    let close () = ()
+  end in
+  Pipeline.Source ((module M), ())
+
+let item_of_record index (r : Traceio.Archive.record) =
+  {
+    Pipeline.index;
+    acquire =
+      (fun () ->
+        {
+          Pipeline.samples = r.Traceio.Archive.trace.Power.Ptrace.samples;
+          noises = r.Traceio.Archive.noises;
+          remeasure = None;
+        });
+  }
+
+let of_trace_source stream =
+  let pos = ref 0 in
+  let module M = struct
+    type t = unit
+
+    let name = Traceio.Source.name stream
+
+    let next () =
+      match Traceio.Source.next stream with
+      | `End_of_archive -> `End
+      | `Skipped reason -> `Skip reason
+      | `Record r ->
+          let i = !pos in
+          incr pos;
+          `Item (item_of_record i r)
+
+    let close () = Traceio.Source.close stream
+  end in
+  Pipeline.Source ((module M), ())
+
+let archive_replay ?strict path = of_trace_source (Traceio.Source.of_archive ?strict path)
+
+let of_runs ~name runs =
+  let pos = ref 0 in
+  let module M = struct
+    type t = unit
+
+    let name = name
+
+    let next () =
+      if !pos >= Array.length runs then `End
+      else begin
+        let i = !pos in
+        let run : Device.run = runs.(i) in
+        incr pos;
+        `Item
+          {
+            Pipeline.index = i;
+            acquire =
+              (fun () ->
+                {
+                  Pipeline.samples = run.Device.trace.Power.Ptrace.samples;
+                  noises = run.Device.noises;
+                  remeasure = None;
+                });
+          }
+      end
+
+    let close () = ()
+  end in
+  Pipeline.Source ((module M), ())

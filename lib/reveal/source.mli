@@ -1,0 +1,42 @@
+(** Concrete trace sources behind {!Pipeline.SOURCE}.
+
+    Three instances cover every campaign the repo runs: a live device
+    ({!device_live}), an archive replay ({!archive_replay}, over
+    {!Traceio.Source}), and an in-memory run list ({!of_runs},
+    synthetic campaigns and tests).  The drivers in {!Campaign} are
+    written against the source interface only — adding an acquisition
+    backend (a remote scope, a different file format) means writing
+    one of these, nothing else. *)
+
+val device_live :
+  ?retry:bool ->
+  Device.t ->
+  traces:int ->
+  scope_rng:Mathkit.Prng.t ->
+  sampler_rng:Mathkit.Prng.t ->
+  Pipeline.source
+(** [traces] honest single-trace captures.  Seeds are pre-drawn from
+    the two generators at construction, one pair per trace in trace
+    order, and each item re-derives its own generators — acquisition
+    can therefore run on any worker domain without perturbing the
+    campaign's randomness.  With [~retry:true] every item carries a
+    [remeasure] closure that re-acquires the same coefficients (same
+    noise values, honest timing, fresh scope/fault realisation) from a
+    per-trace retry stream ({!Constants.retry_seed_salt}), so a
+    campaign that needs no retries consumes randomness identically to
+    one with [~retry:false]. *)
+
+val archive_replay : ?strict:bool -> string -> Pipeline.source
+(** Stream a recorded campaign.  Tolerant by default: a record failing
+    its CRC yields [`Skip] and the stream resumes at the next frame
+    boundary; with [~strict:true] the same condition raises
+    {!Traceio.Error.Corrupt} instead.  Records decode inside [next]
+    (the reader is sequential), so the acquire thunks are cheap.
+    @raise Traceio.Error.Io when the file cannot be opened. *)
+
+val of_runs : name:string -> Device.run array -> Pipeline.source
+(** An in-memory source over already-captured runs. *)
+
+val of_trace_source : Traceio.Source.t -> Pipeline.source
+(** Adapt any {!Traceio.Source} record stream (indices assigned in
+    stream order). *)

@@ -1,0 +1,21 @@
+module type S = sig
+  type t
+
+  val name : string
+  val classify : t -> float array -> Attack.verdict
+  val posterior_all : t -> float array -> (int * float) array
+  val sign_confidence : t -> float array -> float
+  val sign_fit : t -> float array -> float
+  val value_fit : t -> sign:int -> float array -> float
+end
+
+module Template : S with type t = Attack.t = struct
+  type t = Attack.t
+
+  let name = "template"
+  let classify = Attack.classify
+  let posterior_all = Attack.posterior_all
+  let sign_confidence = Attack.sign_confidence
+  let sign_fit = Attack.sign_fit
+  let value_fit = Attack.value_fit
+end

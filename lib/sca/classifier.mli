@@ -1,0 +1,36 @@
+(** The narrow per-window classifier interface of the attack pipeline.
+
+    Everything the grading and hint stages need from a trained
+    classifier fits in this signature: a hard verdict, the full value
+    posterior, and the three absolute goodness-of-fit scores the
+    confidence gate compares against its calibrated floors.  The
+    combined template attack ({!Attack}) is the first instance; an ML
+    classifier (GALACTICS-style) or a per-variant specialisation only
+    has to implement [S] to slot into the same pipeline. *)
+
+module type S = sig
+  type t
+  (** Trained classifier state. *)
+
+  val name : string
+
+  val classify : t -> float array -> Attack.verdict
+  (** Hard decision for one window vector. *)
+
+  val posterior_all : t -> float array -> (int * float) array
+  (** Joint posterior over every candidate value. *)
+
+  val sign_confidence : t -> float array -> float
+  (** Peak of the flat-prior sign posterior (how unambiguous the
+      branch-region match is). *)
+
+  val sign_fit : t -> float array -> float
+  (** Best-class log density under the sign model — absolute
+      goodness-of-fit, gate input. *)
+
+  val value_fit : t -> sign:int -> float array -> float
+  (** Best-class log density under [sign]'s value model. *)
+end
+
+module Template : S with type t = Attack.t
+(** The combined template attack behind the narrow interface. *)

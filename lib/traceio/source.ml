@@ -1,0 +1,42 @@
+type event = [ `Record of Archive.record | `Skipped of string | `End_of_archive ]
+
+type t = {
+  name : string;
+  next : unit -> event;
+  close : unit -> unit;
+}
+
+let name t = t.name
+let next t = t.next ()
+let close t = t.close ()
+
+let of_reader ?(strict = false) ~name reader =
+  let next () =
+    if strict then match Archive.next reader with Some r -> `Record r | None -> `End_of_archive
+    else Archive.try_next reader
+  in
+  { name; next; close = (fun () -> Archive.close_reader reader) }
+
+let of_archive ?strict path =
+  of_reader ?strict ~name:path (Archive.open_reader path)
+
+let of_records ~name records =
+  let pos = ref 0 in
+  let next () =
+    if !pos >= Array.length records then `End_of_archive
+    else begin
+      let r = records.(!pos) in
+      incr pos;
+      `Record r
+    end
+  in
+  { name; next; close = ignore }
+
+let fold t f acc =
+  let rec loop acc skipped =
+    match t.next () with
+    | `End_of_archive -> (acc, skipped)
+    | `Skipped _ -> loop acc (skipped + 1)
+    | `Record r -> loop (f acc r) skipped
+  in
+  Fun.protect ~finally:t.close (fun () -> loop acc 0)

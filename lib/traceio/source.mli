@@ -1,0 +1,40 @@
+(** Pull-based record streams — the storage-side source adapter.
+
+    An archive on disk, an already-decoded record array, or any future
+    acquisition backend presents the same three operations: pull the
+    next event, know what it is called, release it.  The attack
+    pipeline's archive-replay source is a thin wrapper over this
+    adapter, so corruption policy (skip-and-count vs fail-fast) is
+    decided once, here, instead of per consumer. *)
+
+type event = [ `Record of Archive.record | `Skipped of string | `End_of_archive ]
+(** One pull: a decoded record, a mid-stream corrupt record that was
+    skipped (tolerant mode only; carries the reason), or the end. *)
+
+type t
+
+val name : t -> string
+(** Where the stream comes from (the path, for archives). *)
+
+val next : t -> event
+
+val close : t -> unit
+(** Idempotent; releases the underlying reader, if any. *)
+
+val of_archive : ?strict:bool -> string -> t
+(** Stream an archive file.  Tolerant by default: a record failing its
+    CRC (or refusing to decode) yields [`Skipped] and the stream
+    resumes at the next frame boundary.  With [~strict:true] the same
+    condition raises {!Error.Corrupt} instead.
+    @raise Error.Io when the file cannot be opened. *)
+
+val of_reader : ?strict:bool -> name:string -> Archive.reader -> t
+(** Same, over an already-open reader (closing the source closes the
+    reader). *)
+
+val of_records : name:string -> Archive.record array -> t
+(** An in-memory stream — synthetic campaigns and tests. *)
+
+val fold : t -> ('a -> Archive.record -> 'a) -> 'a -> ('a * int)
+(** Drain the stream; returns the accumulator and the number of
+    skipped records.  Closes the source, also on exceptions. *)

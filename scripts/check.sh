@@ -40,4 +40,58 @@ dune exec bin/reveal_cli.exe -- fault-sweep --seed 7 -n 64 --per-value 100 --tra
 grep -q "sweep invariants hold" "$tmp/sweep.out"
 grep -q "bit-identical to the clean pipeline" "$tmp/sweep.out"
 
+echo "== smoke: --json emits one parseable value of the right shape per subcommand =="
+# every subcommand's --json output must be machine-parseable; python3
+# (when present) validates the syntax, grep pins the schema shape
+json_ok() {
+  # $1 = file, rest = required top-level keys
+  f=$1; shift
+  if command -v python3 > /dev/null 2>&1; then
+    python3 -m json.tool "$f" > /dev/null
+  fi
+  for k in "$@"; do
+    grep -q "\"$k\":" "$f"
+  done
+}
+
+dune exec bin/reveal_cli.exe -- disasm --variant v32 -n 4 --json > "$tmp/disasm.json"
+json_ok "$tmp/disasm.json" variant n instructions listing
+
+dune exec bin/reveal_cli.exe -- trace --seed 7 -n 8 --json > "$tmp/trace.json"
+json_ok "$tmp/trace.json" noises samples peaks
+
+dune exec bin/reveal_cli.exe -- attack --seed 7 -n 64 --per-value 40 --json > "$tmp/attack.json"
+json_ok "$tmp/attack.json" n sign_correct value_correct
+
+dune exec bin/reveal_cli.exe -- replay-attack "$tmp/smoke.rvt" --per-value 40 --json > "$tmp/replay.json"
+json_ok "$tmp/replay.json" archive replayed sign_correct value_rate
+
+dune exec bin/reveal_cli.exe -- inspect "$tmp/smoke.rvt" --json > "$tmp/inspect.json"
+json_ok "$tmp/inspect.json" path variant traces checksums_verified
+
+dune exec bin/reveal_cli.exe -- lint --variant v36 -n 8 --json > "$tmp/lint.json"
+json_ok "$tmp/lint.json" variant findings violations ok
+
+dune exec bin/reveal_cli.exe -- estimate --perfect 100 --json > "$tmp/estimate.json"
+json_ok "$tmp/estimate.json" q n hints bikz_no_hints bikz_with_hints
+
+dune exec bin/reveal_cli.exe -- fault-sweep --seed 7 -n 64 --per-value 100 --traces 4 \
+  --intensities 0,1 --json > "$tmp/sweep.json"
+json_ok "$tmp/sweep.json" rows intensity bikz
+
+echo "== smoke: report subcommand lists and renders artefacts, text and JSON =="
+dune exec bin/reveal_cli.exe -- report --list | grep -q "zero-consistency"
+# the golden configuration: report text must reproduce the committed goldens
+dune exec bin/reveal_cli.exe -- report table1 --seed 54398 -n 64 --per-value 80 --traces 2 \
+  | cmp - test/golden/table1.txt
+dune exec bin/reveal_cli.exe -- report table4 --seed 54398 -n 64 --per-value 80 --traces 2 \
+  | cmp - test/golden/table4.txt
+dune exec bin/reveal_cli.exe -- report signs --seed 7 -n 64 --per-value 40 --json > "$tmp/report.json"
+json_ok "$tmp/report.json" correct total accuracy_percent
+# unknown artefacts are a usage error
+if dune exec bin/reveal_cli.exe -- report no-such-artefact > /dev/null 2>&1; then
+  echo "report: expected a usage-error exit for an unknown artefact" >&2
+  exit 1
+fi
+
 echo "== all checks passed =="

@@ -11,5 +11,8 @@ let () =
       ("traceio", Test_traceio.suite);
       ("ctcheck", Test_ctcheck.suite);
       ("pipeline", Test_pipeline.suite);
+      ("grading", Test_grading.suite);
+      ("profile_store", Test_profile_store.suite);
+      ("report", Test_report.suite);
       ("cli", Test_cli.suite);
     ]

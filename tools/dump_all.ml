@@ -1,0 +1,30 @@
+let config = { Reveal.Experiment.seed = 0xD47EL; device_n = 64; per_value = 80; attack_traces = 2 }
+let () =
+  let dir = Sys.argv.(1) in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let save name text =
+    let oc = open_out_bin (Filename.concat dir name) in
+    output_string oc text; close_out oc
+  in
+  let open Reveal.Experiment in
+  let env = prepare config in
+  save "fig3.txt" (render_fig3 (fig3 config));
+  save "table1.txt" (render_table1 env);
+  save "table2.txt" (render_table2 (table2 env));
+  save "table3.txt" (render_table3 (table3 env));
+  save "table4.txt" (render_table4 (table4 env));
+  save "signs.txt" (render_signs (signs env));
+  save "recovery.txt" (render_recovery (recovery config));
+  save "toylattice.txt" (render_toylattice (toylattice config));
+  save "defenses.txt" (render_defenses (defenses config));
+  save "tvla.txt" (render_tvla (tvla config));
+  save "averaging.txt" (render_averaging (averaging config));
+  save "ablate_leakage.txt" (render_ablation ~title:"leakage model" (ablate_leakage config));
+  save "ablate_noise.txt" (render_ablation ~title:"measurement noise" (ablate_noise config));
+  save "ablate_poi.txt" (render_ablation ~title:"POI count" (ablate_poi config));
+  save "features.txt" (render_features (ablate_features config));
+  save "ablate_timing.txt" (render_ablation ~title:"CPU timing model" (ablate_timing config));
+  let rows = fault_sweep ~intensities:[| 0.0; 0.6 |] config in
+  save "fault_sweep.txt" (render_fault_sweep rows);
+  save "zero.txt" (render_zero_consistency (fault_zero_consistency config));
+  print_endline "dumped"

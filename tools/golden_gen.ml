@@ -1,0 +1,24 @@
+(* Regenerate the golden report fixtures under test/golden/.
+
+   The golden test (test/test_report.ml) asserts that the fixed-seed
+   table1/table4 text reports are bit-identical across refactors of
+   the report/experiment layers.  Run this ONLY when an intentional
+   change to the numbers or the wording lands, and review the diff:
+
+     dune exec tools/golden_gen.exe -- test/golden *)
+
+let config =
+  { Reveal.Experiment.seed = 0xD47EL; device_n = 64; per_value = 80; attack_traces = 2 }
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden" in
+  let env = Reveal.Experiment.prepare config in
+  let save name text =
+    let path = Filename.concat dir name in
+    let oc = open_out_bin path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "wrote %s (%d bytes)\n" path (String.length text)
+  in
+  save "table1.txt" (Reveal.Experiment.render_table1 env);
+  save "table4.txt" (Reveal.Experiment.render_table4 (Reveal.Experiment.table4 env))
