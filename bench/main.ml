@@ -163,6 +163,49 @@ let run_ctcheck _cfg =
       ("cdt", Riscv.Sampler_prog.Cdt_table);
     ]
 
+let run_obs _cfg =
+  section "obs: per-stage pipeline timings and instrumentation overhead";
+  ensure_out_dir ();
+  let archive = Filename.concat out_dir "obs_campaign.rvt" in
+  let traces = 6 and n = 64 in
+  let device = Reveal.Device.create ~n () in
+  let g = Mathkit.Prng.create ~seed:7L () in
+  Reveal.Device.record device ~path:archive ~seed:7L ~traces ~scope_rng:g ~sampler_rng:g;
+  let prof = Reveal.Campaign.profile ~per_value:60 device (Mathkit.Prng.create ~seed:7L ()) in
+  (* instrumented replay: every stage span and metric into a JSONL trace *)
+  let trace_path = Filename.concat out_dir "obs_run.jsonl" in
+  let obs = Obs.Ctx.create ~sink:(Obs.Sink.file trace_path) () in
+  ignore (Reveal.Campaign.attack_archive ~obs prof archive);
+  Obs.Ctx.close obs;
+  Printf.printf "(obs trace written to %s)\n" trace_path;
+  (match Obs.Summary.load trace_path with
+  | Error e -> Printf.printf "WARNING: unreadable obs trace: %s\n" e
+  | Ok s ->
+      print_string (Obs.Summary.render s);
+      let json_path = Filename.concat out_dir "obs_stages.json" in
+      let oc = open_out json_path in
+      output_string oc (Obs.Json.to_string (Obs.Summary.to_json s));
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "(per-stage timings written to %s)\n" json_path);
+  (* the disabled context must cost nothing: replay the same campaign
+     with and without instrumentation and report the wall-clock delta *)
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let replay obs () = Reveal.Campaign.attack_archive ?obs prof archive in
+  ignore (time (replay None));
+  (* warm-up *)
+  let t_plain = time (replay None) in
+  let sink, _ = Obs.Sink.memory () in
+  let obs2 = Obs.Ctx.create ~sink () in
+  let t_obs = time (replay (Some obs2)) in
+  Obs.Ctx.close obs2;
+  Printf.printf "replay wall-clock: disabled %.3f s, instrumented %.3f s (%+.1f%% when enabled)\n" t_plain t_obs
+    (100.0 *. (t_obs -. t_plain) /. t_plain)
+
 (* --- Bechamel micro-benchmarks: one per table/figure kernel ------------- *)
 
 let perf_tests () =
@@ -297,6 +340,7 @@ let usage () =
     \  fault-sweep     measurement-fault intensity sweep (recovery / bikz curves)\n\
     \  traceio         trace-archive write/read throughput\n\
     \  ctcheck         constant-time lint of every firmware variant\n\
+    \  obs             per-stage pipeline timings + instrumentation overhead\n\
     \  perf            Bechamel micro-benchmarks"
 
 let () =
@@ -342,5 +386,6 @@ let () =
   | [ "fault-sweep" ] -> run_fault_sweep cfg
   | [ "traceio" ] -> run_traceio cfg
   | [ "ctcheck" ] -> run_ctcheck cfg
+  | [ "obs" ] -> run_obs cfg
   | [ "perf" ] -> run_perf ()
   | _ -> usage ()

@@ -48,9 +48,49 @@ let json_arg =
 
 let rng_of_seed seed = Mathkit.Prng.create ~seed:(Int64.of_int seed) ()
 
+(* --- observability ----------------------------------------------------- *)
+
+let obs_out_arg =
+  let doc = "Write a structured observability trace (JSON Lines: spans, events, final metrics) to $(docv); summarize it with $(b,reveal obs summarize)." in
+  Arg.(value & opt (some string) None & info [ "obs-out" ] ~docv:"FILE" ~doc)
+
+let obs_clock_arg =
+  let doc = "Observability clock: $(b,wall) (monotonic seconds) or $(b,logical) (deterministic ticks, for reproducible traces)." in
+  Arg.(
+    value
+    & opt (Arg.enum [ ("wall", Obs.Clock.Wall); ("logical", Obs.Clock.Logical) ]) Obs.Clock.Wall
+    & info [ "obs-clock" ] ~docv:"CLOCK" ~doc)
+
+let obs_args = Term.(const (fun out clock -> (out, clock)) $ obs_out_arg $ obs_clock_arg)
+
+(* Every subcommand routes through this wrapper: without --obs-out the
+   disabled context makes every probe a no-op; with it the whole body
+   runs inside a [cli.<name>] span and the final metrics record is
+   flushed even when the body calls [exit] (close is idempotent, so
+   the at_exit and the Fun.protect flush coexist). *)
+let with_obs name (out, clock_kind) f =
+  match out with
+  | None -> f Obs.Ctx.disabled
+  | Some path ->
+      let sink =
+        try Obs.Sink.file path
+        with Failure msg ->
+          prerr_endline ("reveal: " ^ msg);
+          exit 3
+      in
+      let clock =
+        match clock_kind with Obs.Clock.Wall -> Obs.Clock.wall () | Obs.Clock.Logical -> Obs.Clock.logical ()
+      in
+      let obs = Obs.Ctx.create ~clock ~sink () in
+      at_exit (fun () -> Obs.Ctx.close obs);
+      Fun.protect
+        ~finally:(fun () -> Obs.Ctx.close obs)
+        (fun () -> Obs.Ctx.span obs ("cli." ^ name) (fun () -> f obs))
+
 (* --- disasm ------------------------------------------------------------ *)
 
-let disasm variant n json =
+let disasm variant n json obsa =
+  with_obs "disasm" obsa @@ fun _obs ->
   let prog = Riscv.Sampler_prog.build ~variant ~n ~k:1 () in
   if json then
     Reveal.Report.(
@@ -69,11 +109,12 @@ let disasm variant n json =
 
 let disasm_cmd =
   let doc = "Print the RV32IM assembly listing of the sampler firmware." in
-  Cmd.v (Cmd.info "disasm" ~doc) Term.(const disasm $ variant_arg $ n_arg 4 $ json_arg)
+  Cmd.v (Cmd.info "disasm" ~doc) Term.(const disasm $ variant_arg $ n_arg 4 $ json_arg $ obs_args)
 
 (* --- trace -------------------------------------------------------------- *)
 
-let trace seed variant n csv json =
+let trace seed variant n csv json obsa =
+  with_obs "trace" obsa @@ fun _obs ->
   let rng = rng_of_seed seed in
   let device = Reveal.Device.create ~variant ~n () in
   let run =
@@ -112,15 +153,16 @@ let trace seed variant n csv json =
 let trace_cmd =
   let doc = "Capture one power trace of the sampler and plot or dump it." in
   let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write the trace as CSV.") in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const trace $ seed_arg $ variant_arg $ n_arg 4 $ csv $ json_arg)
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const trace $ seed_arg $ variant_arg $ n_arg 4 $ csv $ json_arg $ obs_args)
 
 (* --- profile ----------------------------------------------------------------- *)
 
-let profile_cmd_impl seed n per_value out json =
+let profile_cmd_impl seed n per_value out json obsa =
+  with_obs "profile" obsa @@ fun obs ->
   let rng = rng_of_seed seed in
   let device = Reveal.Device.create ~n () in
   if not json then Printf.printf "profiling (%d windows per candidate value, n = %d)...\n%!" per_value n;
-  let prof = Reveal.Campaign.profile ~per_value device rng in
+  let prof = Reveal.Campaign.profile ~per_value ~obs device rng in
   Reveal.Campaign.save_profile out prof;
   if json then
     Reveal.Report.(
@@ -139,7 +181,8 @@ let profile_cmd =
   let doc = "Build attack templates on a clone device and cache them to disk." in
   let out = Arg.(value & opt string "reveal_profile.bin" & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Cache file.") in
   let per_value = Arg.(value & opt int 400 & info [ "per-value" ] ~docv:"K" ~doc:"Profiling windows per value.") in
-  Cmd.v (Cmd.info "profile" ~doc) Term.(const profile_cmd_impl $ seed_arg $ n_arg 128 $ per_value $ out $ json_arg)
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const profile_cmd_impl $ seed_arg $ n_arg 128 $ per_value $ out $ json_arg $ obs_args)
 
 (* --- attack --------------------------------------------------------------- *)
 
@@ -170,7 +213,8 @@ let coefficient_json i (r : Reveal.Campaign.coefficient_result) =
         ("sign", Int r.Reveal.Campaign.verdict.Sca.Attack.sign);
       ])
 
-let attack seed n per_value cached verbose json =
+let attack seed n per_value cached verbose json obsa =
+  with_obs "attack" obsa @@ fun obs ->
   traceio_guard @@ fun () ->
   let rng = rng_of_seed seed in
   let device = Reveal.Device.create ~n () in
@@ -181,7 +225,7 @@ let attack seed n per_value cached verbose json =
         Reveal.Campaign.load_profile path
     | None ->
         if not json then Printf.printf "profiling (%d windows per candidate value)...\n%!" per_value;
-        Reveal.Campaign.profile ~per_value device rng
+        Reveal.Campaign.profile ~per_value ~obs device rng
   in
   let scope_rng = Mathkit.Prng.split rng and sampler_rng = Mathkit.Prng.split rng in
   let run = Reveal.Device.run_gaussian device ~scope_rng ~sampler_rng in
@@ -212,19 +256,21 @@ let attack_cmd =
   let per_value = Arg.(value & opt int 300 & info [ "per-value" ] ~docv:"K" ~doc:"Profiling windows per value.") in
   let cached = Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc:"Use a cached profile (see the profile command).") in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every coefficient.") in
-  Cmd.v (Cmd.info "attack" ~doc) Term.(const attack $ seed_arg $ n_arg 128 $ per_value $ cached $ verbose $ json_arg)
+  Cmd.v (Cmd.info "attack" ~doc)
+    Term.(const attack $ seed_arg $ n_arg 128 $ per_value $ cached $ verbose $ json_arg $ obs_args)
 
 (* --- record ------------------------------------------------------------- *)
 
 (* The rng derivation (create, split scope, split sampler) matches the
    attack command exactly, so `record --seed S --traces 1` captures the
    very trace `attack --seed S --profile …` attacks live. *)
-let record seed variant n traces out json =
+let record seed variant n traces out json obsa =
+  with_obs "record" obsa @@ fun obs ->
   traceio_guard (fun () ->
       let rng = rng_of_seed seed in
       let device = Reveal.Device.create ~variant ~n () in
       let scope_rng = Mathkit.Prng.split rng and sampler_rng = Mathkit.Prng.split rng in
-      Reveal.Device.record device ~path:out ~seed:(Int64.of_int seed) ~traces ~scope_rng ~sampler_rng;
+      Reveal.Device.record ~obs device ~path:out ~seed:(Int64.of_int seed) ~traces ~scope_rng ~sampler_rng;
       if json then
         Reveal.Report.(
           print
@@ -244,11 +290,13 @@ let record_cmd =
   let doc = "Capture a campaign of honest sampler traces into a binary archive." in
   let traces = Arg.(value & opt int 16 & info [ "traces" ] ~docv:"T" ~doc:"Number of traces to record.") in
   let out = Arg.(value & opt string "campaign.rvt" & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Archive file.") in
-  Cmd.v (Cmd.info "record" ~doc) Term.(const record $ seed_arg $ variant_arg $ n_arg 128 $ traces $ out $ json_arg)
+  Cmd.v (Cmd.info "record" ~doc)
+    Term.(const record $ seed_arg $ variant_arg $ n_arg 128 $ traces $ out $ json_arg $ obs_args)
 
 (* --- replay-attack ------------------------------------------------------- *)
 
-let replay_attack archive cached per_value profile_seed strict min_values verbose json =
+let replay_attack archive cached per_value profile_seed strict min_values verbose json obsa =
+  with_obs "replay-attack" obsa @@ fun obs ->
   traceio_guard (fun () ->
       let header = Traceio.Archive.with_reader archive Traceio.Archive.header in
       if not json then
@@ -265,9 +313,19 @@ let replay_attack archive cached per_value profile_seed strict min_values verbos
             (* profile on a clone device matching the archive's header *)
             let device = Reveal.Device.of_header header in
             if not json then Printf.printf "profiling clone device (%d windows per candidate value)...\n%!" per_value;
-            Reveal.Campaign.profile ~per_value device (rng_of_seed profile_seed)
+            Reveal.Campaign.profile ~per_value ~obs device (rng_of_seed profile_seed)
       in
-      let stats, results = Reveal.Campaign.attack_archive ~strict prof archive in
+      let stats, results = Reveal.Campaign.attack_archive ~strict ~obs prof archive in
+      (* With an enabled obs context, carry the campaign all the way to
+         the sink so the trace records the final graded-hint and bikz
+         metrics too. *)
+      if Obs.Ctx.enabled obs && Array.length results > 0 then begin
+        let hints =
+          Reveal.Sink.hints_of_results results (Array.length results) (fun i r ->
+              Reveal.Campaign.hint_of_result ~sigma:prof.Reveal.Campaign.sigma ~coordinate:i r)
+        in
+        ignore (Reveal.Sink.security_of_hints ~obs hints)
+      end;
       if verbose && not json then
         Array.iteri
           (fun i r ->
@@ -333,14 +391,17 @@ let replay_attack_cmd =
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every coefficient.") in
   Cmd.v (Cmd.info "replay-attack" ~doc)
-    Term.(const replay_attack $ archive $ cached $ per_value $ profile_seed $ strict $ min_values $ verbose $ json_arg)
+    Term.(
+      const replay_attack $ archive $ cached $ per_value $ profile_seed $ strict $ min_values $ verbose $ json_arg
+      $ obs_args)
 
 (* --- inspect -------------------------------------------------------------- *)
 
-let inspect path show_records json =
+let inspect path show_records json obsa =
+  with_obs "inspect" obsa @@ fun obs ->
   traceio_guard (fun () ->
       let size = Traceio.Archive.file_size path in
-      Traceio.Archive.with_reader path (fun reader ->
+      Traceio.Archive.with_reader ~obs path (fun reader ->
           let h = Traceio.Archive.header reader in
           if not json then begin
             Printf.printf "%s: reveal trace archive (format v1), %d bytes\n" path size;
@@ -413,11 +474,12 @@ let inspect_cmd =
   let doc = "Validate every checksum of a trace archive and print its contents." in
   let archive = Arg.(required & pos 0 (some string) None & info [] ~docv:"ARCHIVE" ~doc:"Trace archive.") in
   let records = Arg.(value & flag & info [ "records" ] ~doc:"Print a line per record.") in
-  Cmd.v (Cmd.info "inspect" ~doc) Term.(const inspect $ archive $ records $ json_arg)
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const inspect $ archive $ records $ json_arg $ obs_args)
 
 (* --- fault-sweep ------------------------------------------------------------- *)
 
-let fault_sweep seed n per_value traces intensities check json =
+let fault_sweep seed n per_value traces intensities check json obsa =
+  with_obs "fault-sweep" obsa @@ fun _obs ->
   traceio_guard (fun () ->
       let config =
         { Reveal.Experiment.seed = Int64.of_int seed; device_n = n; per_value; attack_traces = traces }
@@ -492,11 +554,12 @@ let fault_sweep_cmd =
              intensity reproduces the clean pipeline exactly; exit 1 on violation.")
   in
   Cmd.v (Cmd.info "fault-sweep" ~doc)
-    Term.(const fault_sweep $ seed_arg $ n_arg 128 $ per_value $ traces $ intensities $ check $ json_arg)
+    Term.(const fault_sweep $ seed_arg $ n_arg 128 $ per_value $ traces $ intensities $ check $ json_arg $ obs_args)
 
 (* --- lint ----------------------------------------------------------------- *)
 
-let lint variant n k no_confirm check verbose json =
+let lint variant n k no_confirm check verbose json obsa =
+  with_obs "lint" obsa @@ fun _obs ->
   traceio_guard (fun () ->
       if n <= 0 || k <= 0 then invalid_arg "lint: n and k must be positive";
       let report = Ctcheck.Lint.analyze_variant ~n ~k ~confirm:(not no_confirm) variant in
@@ -556,11 +619,13 @@ let lint_cmd =
       & info [ "check" ] ~doc:"Compare the findings against the variant's expected verdict table; exit 1 on drift.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Append the annotated listing.") in
-  Cmd.v (Cmd.info "lint" ~doc ~man) Term.(const lint $ variant_arg $ n_arg 4 $ k $ no_confirm $ check $ verbose $ json_arg)
+  Cmd.v (Cmd.info "lint" ~doc ~man)
+    Term.(const lint $ variant_arg $ n_arg 4 $ k $ no_confirm $ check $ verbose $ json_arg $ obs_args)
 
 (* --- estimate --------------------------------------------------------------- *)
 
-let estimate perfect sign_only json =
+let estimate perfect sign_only json obsa =
+  with_obs "estimate" obsa @@ fun _obs ->
   let lwe = Hints.Lwe.seal_128_1024 in
   let d = Hints.Dbdd.create lwe in
   let bikz0 = Hints.Dbdd.estimate_bikz d in
@@ -621,11 +686,12 @@ let estimate_cmd =
   let doc = "DBDD security estimate for SEAL-128 under side-channel hints." in
   let perfect = Arg.(value & opt int 1024 & info [ "perfect" ] ~docv:"K" ~doc:"Number of perfect error hints.") in
   let sign_only = Arg.(value & flag & info [ "sign-only" ] ~doc:"Use branch-vulnerability hints only (Table IV).") in
-  Cmd.v (Cmd.info "estimate" ~doc) Term.(const estimate $ perfect $ sign_only $ json_arg)
+  Cmd.v (Cmd.info "estimate" ~doc) Term.(const estimate $ perfect $ sign_only $ json_arg $ obs_args)
 
 (* --- report ---------------------------------------------------------------- *)
 
-let report name list_only seed n per_value traces json =
+let report name list_only seed n per_value traces json obsa =
+  with_obs "report" obsa @@ fun _obs ->
   if list_only then List.iter print_endline Reveal.Experiment.artefact_names
   else
     match name with
@@ -661,7 +727,36 @@ let report_cmd =
   let per_value = Arg.(value & opt int 80 & info [ "per-value" ] ~docv:"K" ~doc:"Profiling windows per value.") in
   let traces = Arg.(value & opt int 2 & info [ "traces" ] ~docv:"T" ~doc:"Attack traces for campaign artefacts.") in
   Cmd.v (Cmd.info "report" ~doc ~man)
-    Term.(const report $ artefact_arg $ list_only $ seed_arg $ n_arg 64 $ per_value $ traces $ json_arg)
+    Term.(const report $ artefact_arg $ list_only $ seed_arg $ n_arg 64 $ per_value $ traces $ json_arg $ obs_args)
+
+(* --- obs ------------------------------------------------------------------- *)
+
+let obs_summarize path json =
+  match Obs.Summary.load path with
+  | Error msg ->
+      prerr_endline ("reveal: " ^ msg);
+      exit 3
+  | Ok s -> if json then Reveal.Report.print (Obs.Summary.to_json s) else print_string (Obs.Summary.render s)
+
+let obs_cmd =
+  let doc = "Work with observability traces (files written by --obs-out)." in
+  let summarize =
+    let doc = "Aggregate an observability trace into per-span timings, counters, gauges and histograms." in
+    let man =
+      [
+        `S Manpage.s_description;
+        `P
+          "Reads a JSON Lines trace produced by any subcommand's $(b,--obs-out) and prints one table per section: \
+           span wall-clock totals (count / total / mean / max), counter totals, gauge values, histogram buckets and \
+           severity-tagged events. With $(b,--json) the same aggregation is emitted as one JSON object.";
+      ]
+    in
+    let file =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"Trace file written by --obs-out.")
+    in
+    Cmd.v (Cmd.info "summarize" ~doc ~man) Term.(const obs_summarize $ file $ json_arg)
+  in
+  Cmd.group (Cmd.info "obs" ~doc) [ summarize ]
 
 let () =
   let doc = "RevEAL: single-trace side-channel attack on the SEAL BFV encryptor (reproduction)" in
@@ -689,4 +784,5 @@ let () =
             lint_cmd;
             estimate_cmd;
             report_cmd;
+            obs_cmd;
           ]))

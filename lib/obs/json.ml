@@ -1,0 +1,271 @@
+(* Hand-rolled JSON — the repo deliberately has no JSON dependency.
+   The emitter moved here verbatim from Reveal.Report (which now
+   re-exports it) so the observability layer can live below the report
+   layer; the parser is new, added for [obs summarize] and the codec
+   round-trip tests.  Emission is compact, with the float rendering
+   pinned to "%.12g" so output is stable across runs and platforms. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_float buf f =
+  (* JSON has no NaN/inf literal *)
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then Buffer.add_string buf "null"
+  else begin
+    let s = Printf.sprintf "%.12g" f in
+    Buffer.add_string buf s;
+    (* "1" would re-read as an int; keep the float-ness explicit *)
+    if String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') s then Buffer.add_string buf ".0"
+  end
+
+let rec add_json buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_float buf f
+  | String s -> escape_string buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_json buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          add_json buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 1024 in
+  add_json buf j;
+  Buffer.contents buf
+
+let print j =
+  print_string (to_string j);
+  print_newline ()
+
+(* --- parsing --------------------------------------------------------------- *)
+
+(* Recursive-descent parser over the whole input string.  Numbers with
+   a '.', 'e' or 'E' become [Float], everything else [Int] (falling
+   back to [Float] on 63-bit overflow); escapes cover exactly what the
+   emitter produces, plus "\/", "\b", "\f" and full "\uXXXX" (encoded
+   back to UTF-8) for interoperability with other producers. *)
+
+exception Parse_error of int * string
+
+let parse_fail pos msg = raise (Parse_error (pos, msg))
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | Some x -> parse_fail !pos (Printf.sprintf "expected '%c', found '%c'" c x)
+    | None -> parse_fail !pos (Printf.sprintf "expected '%c', found end of input" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else parse_fail !pos (Printf.sprintf "invalid literal (expected %s)" word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then parse_fail !pos "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | c -> parse_fail !pos (Printf.sprintf "invalid hex digit '%c' in \\u escape" c)
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then parse_fail !pos "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (if !pos >= n then parse_fail !pos "truncated escape";
+           match s.[!pos] with
+           | '"' -> Buffer.add_char buf '"'; advance ()
+           | '\\' -> Buffer.add_char buf '\\'; advance ()
+           | '/' -> Buffer.add_char buf '/'; advance ()
+           | 'n' -> Buffer.add_char buf '\n'; advance ()
+           | 'r' -> Buffer.add_char buf '\r'; advance ()
+           | 't' -> Buffer.add_char buf '\t'; advance ()
+           | 'b' -> Buffer.add_char buf '\b'; advance ()
+           | 'f' -> Buffer.add_char buf '\012'; advance ()
+           | 'u' ->
+               advance ();
+               add_utf8 buf (hex4 ())
+           | c -> parse_fail !pos (Printf.sprintf "invalid escape '\\%c'" c));
+          loop ()
+      | c -> Buffer.add_char buf c; advance (); loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    let continue = ref true in
+    while !continue && !pos < n do
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' -> advance ()
+      | '.' | 'e' | 'E' ->
+          is_float := true;
+          advance ()
+      | _ -> continue := false
+    done;
+    let text = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> parse_fail start (Printf.sprintf "invalid number %S" text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+          (* out of 63-bit range but still a valid JSON number *)
+          match float_of_string_opt text with
+          | Some f -> Float f
+          | None -> parse_fail start (Printf.sprintf "invalid number %S" text))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> parse_fail !pos "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some ('0' .. '9' | '-') -> parse_number ()
+    | Some c -> parse_fail !pos (Printf.sprintf "unexpected character '%c'" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then parse_fail !pos "trailing garbage after value";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (p, msg) -> Error (Printf.sprintf "offset %d: %s" p msg)
+
+(* --- accessors -------------------------------------------------------------- *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None

@@ -1,0 +1,67 @@
+(** Typed metrics registry: counters, gauges and fixed-bucket
+    histograms, keyed by name.
+
+    Stages get-or-create instruments once per run (registry access
+    takes a lock) and then update them on the hot path lock-free
+    (counters/gauges are atomics) or under a per-instrument mutex
+    (histograms).  {!snapshot} renders the whole registry as one JSON
+    object with names sorted, so the final "metrics" line of a trace
+    is deterministic. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {1 Counters} — monotonically increasing integers. *)
+
+val counter : t -> string -> counter
+(** Get or create by name.  The first creation wins; later calls with
+    the same name return the same instrument. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+val counter_name : counter -> string
+
+(** {1 Gauges} — last-write-wins floats. *)
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+val gauge_name : gauge -> string
+
+(** {1 Histograms} — fixed buckets, cumulative-free representation. *)
+
+val default_buckets : float array
+(** Decades from 10µs to 100s — sized for span durations in seconds. *)
+
+val histogram : ?buckets:float array -> t -> string -> histogram
+(** [buckets] are the ascending upper bounds (one bucket per bound
+    plus an implicit overflow slot); must be strictly increasing or
+    [Invalid_argument] is raised.  As with {!counter}, first creation
+    wins — the bucket layout of later calls is ignored. *)
+
+val observe : histogram -> float -> unit
+(** A value equal to a bound counts in that bound's bucket; values
+    above the last bound count as overflow. *)
+
+type histogram_snapshot = {
+  name : string;
+  count : int;
+  sum : float;
+  min : float option;  (** [None] when no observations *)
+  max : float option;
+  bounds : float array;
+  counts : int array;
+  overflow : int;
+}
+
+val histogram_snapshot : histogram -> histogram_snapshot
+val histogram_name : histogram -> string
+
+val snapshot : t -> Json.t
+(** [{"counters":{...},"gauges":{...},"histograms":{...}}], each
+    sub-object sorted by instrument name. *)

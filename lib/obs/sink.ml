@@ -1,0 +1,54 @@
+(* Pluggable event sinks.  [Null] is the default everywhere: it is a
+   shared immutable constructor, so "obs disabled" costs one pattern
+   match and allocates nothing on the hot path.  The JSONL sinks
+   serialize under a mutex — emitters may run on multiple domains. *)
+
+type t =
+  | Null
+  | Emit of { emit : Json.t -> unit; close : unit -> unit }
+
+let null = Null
+let is_null = function Null -> true | Emit _ -> false
+
+let emit t j = match t with Null -> () | Emit s -> s.emit j
+let close t = match t with Null -> () | Emit s -> s.close ()
+
+let jsonl_sink ~close_channel oc =
+  let lock = Mutex.create () in
+  let emit j =
+    let line = Json.to_string j in
+    Mutex.lock lock;
+    output_string oc line;
+    output_char oc '\n';
+    Mutex.unlock lock
+  in
+  let close () =
+    Mutex.lock lock;
+    (if close_channel then close_out oc else flush oc);
+    Mutex.unlock lock
+  in
+  Emit { emit; close }
+
+let jsonl oc = jsonl_sink ~close_channel:false oc
+
+let file path =
+  match open_out path with
+  | oc -> jsonl_sink ~close_channel:true oc
+  | exception Sys_error msg ->
+      failwith (Printf.sprintf "Obs.Sink.file: cannot write %s: %s" path msg)
+
+let memory () =
+  let lock = Mutex.create () in
+  let events = ref [] in
+  let emit j =
+    Mutex.lock lock;
+    events := j :: !events;
+    Mutex.unlock lock
+  in
+  let contents () =
+    Mutex.lock lock;
+    let l = List.rev !events in
+    Mutex.unlock lock;
+    l
+  in
+  (Emit { emit; close = (fun () -> ()) }, contents)

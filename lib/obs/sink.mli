@@ -1,0 +1,30 @@
+(** Pluggable destinations for observability events.
+
+    {!null} is the default sink: a shared immutable value, so the
+    disabled path costs one pattern match and never allocates.  The
+    writing sinks serialize each event as one compact JSON line; they
+    lock internally, so one sink may receive events from several
+    domains. *)
+
+type t
+
+val null : t
+(** Drops everything; allocation-free. *)
+
+val is_null : t -> bool
+
+val jsonl : out_channel -> t
+(** One JSON line per event to an existing channel.  {!close} flushes
+    but does not close the channel — the caller owns it (e.g. stderr). *)
+
+val file : string -> t
+(** Opens [path] for writing; {!close} closes it.  Raises [Failure
+    "Obs.Sink.file: cannot write <path>: ..."] when the path cannot be
+    opened — errors name the path, never a bare [Sys_error]. *)
+
+val memory : unit -> t * (unit -> Json.t list)
+(** In-memory sink for tests: returns the sink and a function reading
+    the events emitted so far, in order. *)
+
+val emit : t -> Json.t -> unit
+val close : t -> unit

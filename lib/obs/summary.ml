@@ -1,0 +1,294 @@
+(* Aggregation of a JSON Lines trace back into a human-readable tree:
+   span wall-clock totals grouped by name, event tallies by
+   name+level, and the final metrics snapshot re-parsed into typed
+   rows.  This is the engine behind [reveal_cli obs summarize] and the
+   golden obs-summary test, so rendering is deterministic: every
+   section is sorted by name. *)
+
+type span_row = { span_name : string; span_count : int; span_total : float; span_max : float }
+type event_row = { event_name : string; event_level : string; event_count : int }
+
+type hist_row = {
+  hist_name : string;
+  hist_count : int;
+  hist_sum : float;
+  hist_min : float option;
+  hist_max : float option;
+  hist_buckets : (float * int) list;  (* (upper bound, count), ascending *)
+  hist_overflow : int;
+}
+
+type t = {
+  clock : string option;
+  records : int;
+  spans : span_row list;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : hist_row list;
+  events : event_row list;
+}
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Malformed msg)) fmt
+
+let get_string record key = Option.bind (Json.member key record) Json.to_string_opt
+let get_float record key = Option.bind (Json.member key record) Json.to_float_opt
+let get_int record key = Option.bind (Json.member key record) Json.to_int_opt
+
+let hist_of_json name j =
+  let req_int key =
+    match get_int j key with
+    | Some v -> v
+    | None -> fail "histogram %s: missing %S" name key
+  in
+  let req_float key =
+    match get_float j key with
+    | Some v -> v
+    | None -> fail "histogram %s: missing %S" name key
+  in
+  let opt_float key = get_float j key in
+  let buckets =
+    match Json.member "buckets" j with
+    | Some (Json.List items) ->
+        List.map
+          (fun item ->
+            match (get_float item "le", get_int item "count") with
+            | Some le, Some c -> (le, c)
+            | _ -> fail "histogram %s: malformed bucket" name)
+          items
+    | _ -> fail "histogram %s: missing buckets" name
+  in
+  {
+    hist_name = name;
+    hist_count = req_int "count";
+    hist_sum = req_float "sum";
+    hist_min = opt_float "min";
+    hist_max = opt_float "max";
+    hist_buckets = buckets;
+    hist_overflow = req_int "overflow";
+  }
+
+let of_records records =
+  let spans : (string, int ref * float ref * float ref) Hashtbl.t = Hashtbl.create 16 in
+  let events : (string * string, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let clock = ref None in
+  let metrics = ref None in
+  let idx = ref 0 in
+  match
+    List.iter
+      (fun record ->
+        incr idx;
+        match Json.member "ev" record with
+        | None -> fail "record %d: missing \"ev\" field" !idx
+        | Some (Json.String "start") -> clock := get_string record "clock"
+        | Some (Json.String "span_begin") -> ()
+        | Some (Json.String "span_end") -> (
+            match (get_string record "name", get_float record "dur") with
+            | Some name, Some dur ->
+                let count, total, mx =
+                  match Hashtbl.find_opt spans name with
+                  | Some cell -> cell
+                  | None ->
+                      let cell = (ref 0, ref 0.0, ref neg_infinity) in
+                      Hashtbl.add spans name cell;
+                      cell
+                in
+                incr count;
+                total := !total +. dur;
+                if dur > !mx then mx := dur
+            | _ -> fail "record %d: span_end needs \"name\" and \"dur\"" !idx)
+        | Some (Json.String "event") -> (
+            match get_string record "name" with
+            | Some name ->
+                let level = Option.value ~default:"info" (get_string record "level") in
+                let cell =
+                  match Hashtbl.find_opt events (name, level) with
+                  | Some c -> c
+                  | None ->
+                      let c = ref 0 in
+                      Hashtbl.add events (name, level) c;
+                      c
+                in
+                incr cell
+            | None -> fail "record %d: event needs \"name\"" !idx)
+        | Some (Json.String "metrics") -> metrics := Some record
+        | Some (Json.String other) -> fail "record %d: unknown event type %S" !idx other
+        | Some _ -> fail "record %d: \"ev\" is not a string" !idx)
+      records
+  with
+  | exception Malformed msg -> Error msg
+  | () -> (
+      let span_rows =
+        Hashtbl.fold
+          (fun name (count, total, mx) acc ->
+            { span_name = name; span_count = !count; span_total = !total; span_max = !mx } :: acc)
+          spans []
+        |> List.sort (fun a b -> compare a.span_name b.span_name)
+      in
+      let event_rows =
+        Hashtbl.fold
+          (fun (name, level) count acc ->
+            { event_name = name; event_level = level; event_count = !count } :: acc)
+          events []
+        |> List.sort (fun a b ->
+               compare (a.event_name, a.event_level) (b.event_name, b.event_level))
+      in
+      let assoc_of key conv =
+        match !metrics with
+        | None -> []
+        | Some m -> (
+            match Json.member key m with
+            | Some (Json.Obj fields) -> List.filter_map conv fields
+            | _ -> [])
+      in
+      match
+        let counters =
+          assoc_of "counters" (fun (k, v) -> Option.map (fun i -> (k, i)) (Json.to_int_opt v))
+          |> List.sort compare
+        in
+        let gauges =
+          assoc_of "gauges" (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.to_float_opt v))
+          |> List.sort compare
+        in
+        let histograms =
+          assoc_of "histograms" (fun (k, v) -> Some (hist_of_json k v))
+          |> List.sort (fun a b -> compare a.hist_name b.hist_name)
+        in
+        { clock = !clock; records = !idx; spans = span_rows; counters; gauges; histograms; events = event_rows }
+      with
+      | t -> Ok t
+      | exception Malformed msg -> Error msg)
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error (Printf.sprintf "Obs.Summary.load: cannot read %s: %s" path msg)
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let records = ref [] in
+          let lineno = ref 0 in
+          let rec read_all () =
+            match input_line ic with
+            | exception End_of_file -> Ok ()
+            | line ->
+                incr lineno;
+                if String.trim line = "" then read_all ()
+                else (
+                  match Json.parse line with
+                  | Ok j ->
+                      records := j :: !records;
+                      read_all ()
+                  | Error msg -> Error (Printf.sprintf "%s:%d: %s" path !lineno msg))
+          in
+          match read_all () with
+          | Error _ as e -> e
+          | Ok () -> (
+              match of_records (List.rev !records) with
+              | Ok _ as ok -> ok
+              | Error msg -> Error (Printf.sprintf "%s: %s" path msg)))
+
+(* --- rendering -------------------------------------------------------------- *)
+
+let name_width floor names =
+  List.fold_left (fun acc n -> max acc (String.length n)) floor names
+
+let fopt = function Some v -> Printf.sprintf "%.6g" v | None -> "-"
+
+let render t =
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf "obs summary: %d records, %s clock\n" t.records
+    (Option.value ~default:"unknown" t.clock);
+  if t.spans <> [] then begin
+    let w = name_width 4 (List.map (fun s -> s.span_name) t.spans) in
+    Printf.bprintf buf "spans\n  %-*s  %6s  %12s  %12s  %12s\n" w "name" "count" "total" "mean" "max";
+    List.iter
+      (fun s ->
+        Printf.bprintf buf "  %-*s  %6d  %12.6f  %12.6f  %12.6f\n" w s.span_name s.span_count
+          s.span_total
+          (s.span_total /. float_of_int s.span_count)
+          s.span_max)
+      t.spans
+  end;
+  if t.counters <> [] then begin
+    let w = name_width 4 (List.map fst t.counters) in
+    Buffer.add_string buf "counters\n";
+    List.iter (fun (k, v) -> Printf.bprintf buf "  %-*s  %10d\n" w k v) t.counters
+  end;
+  if t.gauges <> [] then begin
+    let w = name_width 4 (List.map fst t.gauges) in
+    Buffer.add_string buf "gauges\n";
+    List.iter (fun (k, v) -> Printf.bprintf buf "  %-*s  %10.6g\n" w k v) t.gauges
+  end;
+  if t.histograms <> [] then begin
+    Buffer.add_string buf "histograms\n";
+    List.iter
+      (fun h ->
+        Printf.bprintf buf "  %s: count %d  sum %.6g  min %s  max %s\n" h.hist_name h.hist_count
+          h.hist_sum (fopt h.hist_min) (fopt h.hist_max);
+        List.iter (fun (le, c) -> Printf.bprintf buf "    <= %-10.6g  %6d\n" le c) h.hist_buckets;
+        Printf.bprintf buf "    overflow       %6d\n" h.hist_overflow)
+      t.histograms
+  end;
+  if t.events <> [] then begin
+    Buffer.add_string buf "events\n";
+    List.iter
+      (fun e -> Printf.bprintf buf "  [%s] %s x%d\n" e.event_level e.event_name e.event_count)
+      t.events
+  end;
+  Buffer.contents buf
+
+let to_json t =
+  let fopt_json = function Some v -> Json.Float v | None -> Json.Null in
+  Json.Obj
+    [
+      ("records", Json.Int t.records);
+      ("clock", (match t.clock with Some c -> Json.String c | None -> Json.Null));
+      ( "spans",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("name", Json.String s.span_name);
+                   ("count", Json.Int s.span_count);
+                   ("total", Json.Float s.span_total);
+                   ("mean", Json.Float (s.span_total /. float_of_int s.span_count));
+                   ("max", Json.Float s.span_max);
+                 ])
+             t.spans) );
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.counters));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) t.gauges));
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun h ->
+               ( h.hist_name,
+                 Json.Obj
+                   [
+                     ("count", Json.Int h.hist_count);
+                     ("sum", Json.Float h.hist_sum);
+                     ("min", fopt_json h.hist_min);
+                     ("max", fopt_json h.hist_max);
+                     ( "buckets",
+                       Json.List
+                         (List.map
+                            (fun (le, c) ->
+                              Json.Obj [ ("le", Json.Float le); ("count", Json.Int c) ])
+                            h.hist_buckets) );
+                     ("overflow", Json.Int h.hist_overflow);
+                   ] ))
+             t.histograms) );
+      ( "events",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("name", Json.String e.event_name);
+                   ("level", Json.String e.event_level);
+                   ("count", Json.Int e.event_count);
+                 ])
+             t.events) );
+    ]

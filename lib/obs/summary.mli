@@ -1,0 +1,45 @@
+(** Aggregation of a JSON Lines obs trace into a metrics tree.
+
+    Backs [reveal_cli obs summarize]: span durations are grouped by
+    name (count / total / mean / max), point events tallied by
+    name+level, and the trace's final ["metrics"] record re-parsed
+    into typed counter/gauge/histogram rows.  Every section is sorted
+    by name, so {!render} output is deterministic — under the logical
+    clock, byte-reproducible (the golden obs-summary test pins this). *)
+
+type span_row = { span_name : string; span_count : int; span_total : float; span_max : float }
+type event_row = { event_name : string; event_level : string; event_count : int }
+
+type hist_row = {
+  hist_name : string;
+  hist_count : int;
+  hist_sum : float;
+  hist_min : float option;
+  hist_max : float option;
+  hist_buckets : (float * int) list;  (** (upper bound, count), ascending *)
+  hist_overflow : int;
+}
+
+type t = {
+  clock : string option;  (** from the ["start"] record, when present *)
+  records : int;
+  spans : span_row list;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : hist_row list;
+  events : event_row list;
+}
+
+val of_records : Json.t list -> (t, string) result
+(** Aggregate parsed trace records.  Unknown ["ev"] values and
+    structurally broken records are errors naming the record index. *)
+
+val load : string -> (t, string) result
+(** Read a JSONL file (blank lines skipped).  Errors name the path
+    and, for parse failures, the 1-based line number. *)
+
+val render : t -> string
+(** The text tree [obs summarize] prints. *)
+
+val to_json : t -> Json.t
+(** The [--json] rendering: same data, machine shape. *)

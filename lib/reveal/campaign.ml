@@ -69,8 +69,8 @@ let attack_signs_only prof (run : Device.run) =
         (fun i window -> (compare run.Device.noises.(i) 0, Sca.Attack.classify_sign_only prof.attack window))
         seg.Pipeline.vectors
 
-let attack_samples_resilient ?gate ?retry prof ~samples ~noises =
-  Grading.attack_resilient ?gate ?retry prof ~samples ~noises
+let attack_samples_resilient ?gate ?retry ?obs prof ~samples ~noises =
+  Grading.attack_resilient ?gate ?retry ?obs prof ~samples ~noises
 
 (* --- aggregate statistics ------------------------------------------------- *)
 
@@ -140,58 +140,84 @@ let tally_finish ?(corrupt_skipped = 0) t =
 
 type mode = Classic | Resilient of gate
 
-let attack_acquired mode prof (a : Pipeline.acquired) =
+let attack_acquired ~obs mode prof (a : Pipeline.acquired) =
   match mode with
   | Classic -> (
-      match Grading.attack_strict prof ~samples:a.Pipeline.samples ~noises:a.Pipeline.noises with
+      match Grading.attack_strict ~obs prof ~samples:a.Pipeline.samples ~noises:a.Pipeline.noises with
       | Ok results -> results
       | Error e -> failwith (Pipeline.error_to_string e))
   | Resilient gate ->
-      Grading.attack_resilient ~gate ?retry:a.Pipeline.remeasure prof ~samples:a.Pipeline.samples
-        ~noises:a.Pipeline.noises
+      Grading.attack_resilient ~gate ?retry:a.Pipeline.remeasure ~obs prof
+        ~samples:a.Pipeline.samples ~noises:a.Pipeline.noises
+
+(* Final campaign aggregates exported as gauges, so an obs trace is a
+   complete run record on its own: the summarize path reads these
+   without re-running the tally. *)
+let export_stats obs stats results =
+  let m = Obs.Ctx.metrics obs in
+  let set name v = Obs.Metrics.set (Obs.Metrics.gauge m name) (float_of_int v) in
+  let confident, tentative, sign_only, unknown = Grading.grade_counts results in
+  set "result.grade_confident" confident;
+  set "result.grade_tentative" tentative;
+  set "result.grade_sign_only" sign_only;
+  set "result.grade_unknown" unknown;
+  set "result.sign_correct" stats.sign_correct;
+  set "result.sign_total" stats.sign_total;
+  set "result.value_correct" stats.value_correct;
+  set "result.value_total" stats.value_total;
+  set "result.skipped_out_of_range" stats.skipped_out_of_range;
+  set "result.corrupt_skipped" stats.corrupt_skipped
 
 (* Pull up to [batch] items, attack them in parallel, tally in item
    order; a `Skip (corrupt record a tolerant source dropped) counts
    toward the batch budget and the corrupt counter, exactly as the
    record it replaced would have. *)
-let run_source ?domains ?(batch = Constants.default_batch) ?(mode = Resilient Grading.default_gate) prof source =
+let run_source ?(obs = Obs.Ctx.disabled) ?domains ?(batch = Constants.default_batch)
+    ?(mode = Resilient Grading.default_gate) prof source =
   if batch <= 0 then invalid_arg "Campaign.run_source: batch must be positive";
   let tally = tally_create prof in
   let corrupt = ref 0 in
-  Fun.protect
-    ~finally:(fun () -> Pipeline.close_source source)
-    (fun () ->
-      let finished = ref false in
-      while not !finished do
-        let rec take acc k =
-          if k = 0 then acc
-          else
-            match Pipeline.next_item source with
-            | `End ->
-                finished := true;
-                acc
-            | `Skip _ ->
-                incr corrupt;
-                take acc (k - 1)
-            | `Item it -> take (it :: acc) (k - 1)
-        in
-        let items = Array.of_list (List.rev (take [] batch)) in
-        if Array.length items > 0 then begin
-          let per_item =
-            Mathkit.Parallel.map_array ?domains
-              (fun (it : Pipeline.item) -> attack_acquired mode prof (it.Pipeline.acquire ()))
-              items
-          in
-          Array.iter (tally_add tally) per_item
-        end
-      done);
-  tally_finish ~corrupt_skipped:!corrupt tally
+  let source = Pipeline.instrument_source obs source in
+  let c_batches = if Obs.Ctx.enabled obs then Some (Obs.Ctx.counter obs "campaign.batches") else None in
+  Obs.Ctx.span obs "campaign.run" (fun () ->
+      Fun.protect
+        ~finally:(fun () -> Pipeline.close_source source)
+        (fun () ->
+          let finished = ref false in
+          while not !finished do
+            let rec take acc k =
+              if k = 0 then acc
+              else
+                match Pipeline.next_item source with
+                | `End ->
+                    finished := true;
+                    acc
+                | `Skip _ ->
+                    incr corrupt;
+                    take acc (k - 1)
+                | `Item it -> take (it :: acc) (k - 1)
+            in
+            let items = Array.of_list (List.rev (take [] batch)) in
+            if Array.length items > 0 then begin
+              (match c_batches with Some c -> Obs.Metrics.incr c | None -> ());
+              let per_item =
+                Obs.Ctx.span obs "campaign.batch" (fun () ->
+                    Mathkit.Parallel.map_array ?domains
+                      (fun (it : Pipeline.item) -> attack_acquired ~obs mode prof (it.Pipeline.acquire ()))
+                      items)
+              in
+              Obs.Ctx.span obs "stage.tally" (fun () -> Array.iter (tally_add tally) per_item)
+            end
+          done));
+  let stats, results = tally_finish ~corrupt_skipped:!corrupt tally in
+  if Obs.Ctx.enabled obs then export_stats obs stats results;
+  (stats, results)
 
 (* --- campaign entry points ------------------------------------------------ *)
 
-let run_attacks ?domains prof device ~traces ~scope_rng ~sampler_rng =
+let run_attacks ?obs ?domains prof device ~traces ~scope_rng ~sampler_rng =
   let source = Source.device_live device ~traces ~scope_rng ~sampler_rng in
-  run_source ?domains ~batch:(max 1 traces) ~mode:Classic prof source
+  run_source ?obs ?domains ~batch:(max 1 traces) ~mode:Classic prof source
 
 (* Live campaign with the full fault-tolerance stack: resilient
    segmentation, confidence gating, and a bounded re-measurement
@@ -201,9 +227,10 @@ let run_attacks ?domains prof device ~traces ~scope_rng ~sampler_rng =
    The retry stream is carved from a separate generator, so a campaign
    that needs no retries consumes its randomness exactly like
    [run_attacks] and yields bit-identical verdicts. *)
-let run_attacks_resilient ?domains ?(gate = Grading.default_gate) prof device ~traces ~scope_rng ~sampler_rng =
+let run_attacks_resilient ?obs ?domains ?(gate = Grading.default_gate) prof device ~traces ~scope_rng
+    ~sampler_rng =
   let source = Source.device_live ~retry:true device ~traces ~scope_rng ~sampler_rng in
-  run_source ?domains ~batch:(max 1 traces) ~mode:(Resilient gate) prof source
+  run_source ?obs ?domains ~batch:(max 1 traces) ~mode:(Resilient gate) prof source
 
 (* Re-attack a recorded campaign: records stream through in batches
    ([batch] traces resident at a time), classification parallelised
@@ -212,7 +239,8 @@ let run_attacks_resilient ?domains ?(gate = Grading.default_gate) prof device ~t
    and the replay continues at the next frame boundary; [~strict:true]
    restores fail-fast.  Replay has no device to re-measure on, so
    Unknown-graded coefficients come back [Unrecoverable]. *)
-let attack_archive ?domains ?(batch = Constants.default_batch) ?(gate = Grading.default_gate) ?(strict = false) prof
-    path =
+let attack_archive ?obs ?domains ?(batch = Constants.default_batch) ?(gate = Grading.default_gate)
+    ?(strict = false) prof path =
   if batch <= 0 then invalid_arg "Campaign.attack_archive: batch must be positive";
-  run_source ?domains ~batch ~mode:(Resilient gate) prof (Source.archive_replay ~strict path)
+  run_source ?obs ?domains ~batch ~mode:(Resilient gate) prof
+    (Source.archive_replay ~strict ?obs path)

@@ -34,6 +34,7 @@ val profile :
   ?values:int array ->
   ?per_value:int ->
   ?domains:int ->
+  ?obs:Obs.Ctx.t ->
   ?poi_count:int ->
   ?sign_poi_count:int ->
   Device.t ->
@@ -63,24 +64,32 @@ val load_profile : string -> profile
     profile is bit-identical to the live one. *)
 
 val record_profiling :
-  ?values:int array -> ?per_value:int -> ?seed:int64 -> Device.t -> Mathkit.Prng.t -> path:string -> unit
+  ?values:int array ->
+  ?per_value:int ->
+  ?seed:int64 ->
+  ?obs:Obs.Ctx.t ->
+  Device.t ->
+  Mathkit.Prng.t ->
+  path:string ->
+  unit
 (** {!Profiling.record_profiling}.
     @raise Invalid_argument under the same conditions as {!profile}. *)
 
 val profiling_windows_of_archive :
-  ?domains:int -> ?batch:int -> string -> Sca.Segment.config * int * (int * float array array) list
+  ?domains:int -> ?batch:int -> ?obs:Obs.Ctx.t -> string -> Sca.Segment.config * int * (int * float array array) list
 (** {!Profiling.profiling_windows_of_archive}.
     @raise Traceio.Error.Corrupt when the archive is damaged or is not
     a profiling archive. *)
 
 val profile_of_archive :
-  ?domains:int -> ?batch:int -> ?poi_count:int -> ?sign_poi_count:int -> string -> profile
+  ?domains:int -> ?batch:int -> ?obs:Obs.Ctx.t -> ?poi_count:int -> ?sign_poi_count:int -> string -> profile
 (** {!profile}, but from a recorded profiling archive. *)
 
 val profiling_windows :
   ?values:int array ->
   ?per_value:int ->
   ?domains:int ->
+  ?obs:Obs.Ctx.t ->
   Device.t ->
   Mathkit.Prng.t ->
   Sca.Segment.config * int * (int * float array array) list
@@ -151,6 +160,7 @@ val attack_signs_only : profile -> Device.run -> (int * int) array
 val attack_samples_resilient :
   ?gate:gate ->
   ?retry:(int -> float array) ->
+  ?obs:Obs.Ctx.t ->
   profile ->
   samples:float array ->
   noises:int array ->
@@ -178,7 +188,14 @@ type mode =
   | Classic  (** strict segmentation, no gating or retries; failures raise *)
   | Resilient of gate  (** the fault-tolerance stack *)
 
-val run_source : ?domains:int -> ?batch:int -> ?mode:mode -> profile -> Pipeline.source -> stats * coefficient_result array
+val run_source :
+  ?obs:Obs.Ctx.t ->
+  ?domains:int ->
+  ?batch:int ->
+  ?mode:mode ->
+  profile ->
+  Pipeline.source ->
+  stats * coefficient_result array
 (** The one generic driver every campaign below is a wrapper around:
     pull up to [batch] items (default {!Constants.default_batch}) from
     the source, attack them in parallel over [domains] worker domains,
@@ -186,9 +203,20 @@ val run_source : ?domains:int -> ?batch:int -> ?mode:mode -> profile -> Pipeline
     record counts toward the batch budget and [stats.corrupt_skipped].
     The source is closed on exit, also on exceptions.  [mode] defaults
     to [Resilient default_gate].
+
+    With an enabled [obs] context the whole run is one [campaign.run]
+    span containing a [campaign.batch] span per batch (fan-out) and a
+    [stage.tally] span per fold; the source is wrapped with
+    {!Pipeline.instrument_source}, each per-trace attack carries its
+    stage spans and window metrics (see {!Grading.attack_resilient}),
+    and the final aggregates are exported as [result.*] gauges so the
+    trace is a self-contained run record.  Span timings are only
+    meaningful per-domain; counters and histograms aggregate correctly
+    across domains.
     @raise Invalid_argument when [batch <= 0]. *)
 
 val run_attacks :
+  ?obs:Obs.Ctx.t ->
   ?domains:int ->
   profile ->
   Device.t ->
@@ -201,6 +229,7 @@ val run_attacks :
     per-coefficient results (for hint building). *)
 
 val run_attacks_resilient :
+  ?obs:Obs.Ctx.t ->
   ?domains:int ->
   ?gate:gate ->
   profile ->
@@ -218,7 +247,14 @@ val run_attacks_resilient :
     verdicts. *)
 
 val attack_archive :
-  ?domains:int -> ?batch:int -> ?gate:gate -> ?strict:bool -> profile -> string -> stats * coefficient_result array
+  ?obs:Obs.Ctx.t ->
+  ?domains:int ->
+  ?batch:int ->
+  ?gate:gate ->
+  ?strict:bool ->
+  profile ->
+  string ->
+  stats * coefficient_result array
 (** Re-attack a recorded campaign (see {!Device.record}) offline:
     {!Source.archive_replay} through [Resilient] mode — the same
     aggregates as {!run_attacks}, and bit-identical results for the

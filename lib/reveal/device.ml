@@ -128,29 +128,30 @@ let profiling_draw t rng ~value =
 
 (* --- record / replay ----------------------------------------------------- *)
 
-let open_recorder ?meta t ~path ~seed =
-  Traceio.Archive.open_writer ?meta ~variant:t.variant ~n:t.n ~seed
+let open_recorder ?meta ?obs t ~path ~seed =
+  Traceio.Archive.open_writer ?meta ?obs ~variant:t.variant ~n:t.n ~seed
     ~samples_per_cycle:t.synth.Power.Synth.samples_per_cycle ~noise_sigma:t.synth.Power.Synth.noise_sigma path
 
 let record_run writer run = Traceio.Archive.append writer ~noises:run.noises run.trace
 
-let record t ~path ~seed ~traces ~scope_rng ~sampler_rng =
+let record ?(obs = Obs.Ctx.disabled) t ~path ~seed ~traces ~scope_rng ~sampler_rng =
   if traces < 0 then invalid_arg "Device.record: traces must be non-negative";
-  let writer = open_recorder t ~path ~seed in
+  let writer = open_recorder ~obs t ~path ~seed in
   Fun.protect
     ~finally:(fun () -> Traceio.Archive.close_writer writer)
     (fun () ->
-      for _ = 1 to traces do
-        let run =
-          match t.variant with
-          | Riscv.Sampler_prog.Shuffled ->
-              let perm = Array.init t.n (fun i -> i) in
-              Mathkit.Prng.shuffle sampler_rng perm;
-              run_shuffled t ~scope_rng ~sampler_rng ~perm
-          | _ -> run_gaussian t ~scope_rng ~sampler_rng
-        in
-        record_run writer run
-      done)
+      Obs.Ctx.span obs "device.record" (fun () ->
+          for _ = 1 to traces do
+            let run =
+              match t.variant with
+              | Riscv.Sampler_prog.Shuffled ->
+                  let perm = Array.init t.n (fun i -> i) in
+                  Mathkit.Prng.shuffle sampler_rng perm;
+                  run_shuffled t ~scope_rng ~sampler_rng ~perm
+              | _ -> run_gaussian t ~scope_rng ~sampler_rng
+            in
+            record_run writer run
+          done))
 
 let check_compatible t (h : Traceio.Archive.header) ~path =
   let mismatch what a b =

@@ -69,19 +69,31 @@ val profiling_draw : t -> Mathkit.Prng.t -> value:int -> int * int
     ground-truth labels), so offline analyses reproduce online results
     exactly. *)
 
-val open_recorder : ?meta:(string * string) list -> t -> path:string -> seed:int64 -> Traceio.Archive.writer
+val open_recorder :
+  ?meta:(string * string) list -> ?obs:Obs.Ctx.t -> t -> path:string -> seed:int64 -> Traceio.Archive.writer
 (** An archive writer stamped with this device's parameters (variant,
-    n, samples per cycle, scope noise) and the campaign [seed]. *)
+    n, samples per cycle, scope noise) and the campaign [seed].  With
+    an enabled [obs] context the writer counts every appended record
+    ([traceio.records_written], [traceio.payload_bytes_written]). *)
 
 val record_run : Traceio.Archive.writer -> run -> unit
 (** Append one run (its trace and ground-truth noises). *)
 
 val record :
-  t -> path:string -> seed:int64 -> traces:int -> scope_rng:Mathkit.Prng.t -> sampler_rng:Mathkit.Prng.t -> unit
+  ?obs:Obs.Ctx.t ->
+  t ->
+  path:string ->
+  seed:int64 ->
+  traces:int ->
+  scope_rng:Mathkit.Prng.t ->
+  sampler_rng:Mathkit.Prng.t ->
+  unit
 (** Capture [traces] honest runs ([run_gaussian]; the Shuffled variant
     draws a fresh secret permutation per run) into an archive.  [seed]
     is provenance metadata only — the randomness comes from the two
-    generators, exactly as in the live campaign entry points. *)
+    generators, exactly as in the live campaign entry points.  With an
+    enabled [obs] context the capture loop runs inside a
+    [device.record] span and the writer counts records and bytes. *)
 
 type replay
 (** A streaming cursor over an archived campaign. *)

@@ -56,6 +56,34 @@ let small_campaign ?(variant = Riscv.Sampler_prog.Vulnerable) ?synth ?cycle_mode
     (prof, results)
   end
 
+(* A complete instrumented campaign under the deterministic logical
+   clock: profile, attack resiliently, integrate hints — every stage
+   span and metric lands in a memory sink whose rendered summary is
+   byte-reproducible (single worker domain, fixed seed).  Pinned as a
+   golden and shown in the README. *)
+let obs_golden_config = { seed = 0xD47EL; device_n = 64; per_value = 40; attack_traces = 2 }
+
+let obs_summary_demo config =
+  let sink, drain = Obs.Sink.memory () in
+  let obs = Obs.Ctx.create ~clock:(Obs.Clock.logical ()) ~sink () in
+  let rng = Mathkit.Prng.create ~seed:config.seed () in
+  let device = Device.create ~n:config.device_n () in
+  let prof = Campaign.profile ~per_value:config.per_value ~domains:1 ~obs device rng in
+  let scope_rng = Mathkit.Prng.split rng and sampler_rng = Mathkit.Prng.split rng in
+  let _stats, results =
+    Campaign.run_attacks_resilient ~obs ~domains:1 prof device ~traces:config.attack_traces ~scope_rng
+      ~sampler_rng
+  in
+  let hints =
+    Sink.hints_of_results results (Array.length results) (fun i r ->
+        Campaign.hint_of_result ~sigma:prof.Campaign.sigma ~coordinate:i r)
+  in
+  let (_ : Sink.security_report) = Sink.security_of_hints ~obs hints in
+  Obs.Ctx.close obs;
+  match Obs.Summary.of_records (drain ()) with
+  | Ok s -> Obs.Summary.render s
+  | Error e -> failwith ("Experiment.obs_summary_demo: " ^ e)
+
 let accuracies results =
   let sign_ok = ref 0 and value_ok = ref 0 and total = ref 0 in
   Array.iter

@@ -23,6 +23,17 @@ val paper_scale : config
     profiling samplings), 25 traces (25 600 attacked coefficients).
     Minutes, not seconds. *)
 
+val obs_golden_config : config
+(** Tiny campaign for the observability golden: n = 64, 40
+    windows/value, 2 traces — seconds, and byte-reproducible under the
+    logical clock. *)
+
+val obs_summary_demo : config -> string
+(** Run a fully instrumented campaign (profile, resilient attack, hint
+    integration) with a deterministic logical clock and a single worker
+    domain, and return the rendered {!Obs.Summary} — the transcript
+    pinned in [test/golden/obs_summary.txt] and shown in the README. *)
+
 type env
 (** Shared profiling/attack state reused by the table experiments. *)
 

@@ -24,6 +24,74 @@ let default_gate =
     retry_budget = Constants.gate_retry_budget;
   }
 
+(* --- instrumentation ------------------------------------------------------- *)
+
+(* Per-trace observability handles, resolved once per attack call (the
+   registry lookup locks) and then bumped per window.  [None] on the
+   uninstrumented path keeps the hot loop to one match. *)
+type instruments = {
+  c_quality_clean : Obs.Metrics.counter;
+  c_quality_resynced : Obs.Metrics.counter;
+  c_quality_suspect : Obs.Metrics.counter;
+  c_confident : Obs.Metrics.counter;
+  c_tentative : Obs.Metrics.counter;
+  c_sign_only : Obs.Metrics.counter;
+  c_unknown : Obs.Metrics.counter;
+  h_sign_fit : Obs.Metrics.histogram;
+  h_value_fit : Obs.Metrics.histogram;
+  h_confidence : Obs.Metrics.histogram;
+  c_retry_attempts : Obs.Metrics.counter;
+  c_retry_rescued : Obs.Metrics.counter;
+  h_retry_depth : Obs.Metrics.histogram;
+}
+
+(* fit scores are best-class log densities: near zero for in-band
+   windows, falling off a quadratic cliff when faulted *)
+let fit_buckets = [| -1e4; -3e3; -1e3; -300.; -100.; -30.; -10.; 0.; 10.; 100. |]
+let confidence_buckets = [| 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 1.0 |]
+let retry_depth_buckets = [| 1.; 2.; 3.; 4.; 5. |]
+
+let instruments obs =
+  if not (Obs.Ctx.enabled obs) then None
+  else
+    Some
+      {
+        c_quality_clean = Obs.Ctx.counter obs "segment.windows_clean";
+        c_quality_resynced = Obs.Ctx.counter obs "segment.windows_resynced";
+        c_quality_suspect = Obs.Ctx.counter obs "segment.windows_suspect";
+        c_confident = Obs.Ctx.counter obs "grade.confident";
+        c_tentative = Obs.Ctx.counter obs "grade.tentative";
+        c_sign_only = Obs.Ctx.counter obs "grade.sign_only";
+        c_unknown = Obs.Ctx.counter obs "grade.unknown";
+        h_sign_fit = Obs.Ctx.histogram ~buckets:fit_buckets obs "classifier.sign_fit";
+        h_value_fit = Obs.Ctx.histogram ~buckets:fit_buckets obs "classifier.value_fit";
+        h_confidence = Obs.Ctx.histogram ~buckets:confidence_buckets obs "classifier.confidence";
+        c_retry_attempts = Obs.Ctx.counter obs "retry.attempts";
+        c_retry_rescued = Obs.Ctx.counter obs "retry.rescued";
+        h_retry_depth = Obs.Ctx.histogram ~buckets:retry_depth_buckets obs "retry.depth";
+      }
+
+let count_quality insts quality =
+  match insts with
+  | None -> ()
+  | Some i ->
+      Obs.Metrics.incr
+        (match quality with
+        | Sca.Segment.Clean -> i.c_quality_clean
+        | Sca.Segment.Resynced -> i.c_quality_resynced
+        | Sca.Segment.Suspect -> i.c_quality_suspect)
+
+let count_grade insts grade =
+  match insts with
+  | None -> ()
+  | Some i ->
+      Obs.Metrics.incr
+        (match grade with
+        | Confident -> i.c_confident
+        | Tentative -> i.c_tentative
+        | SignOnly -> i.c_sign_only
+        | Unknown -> i.c_unknown)
+
 (* Grading is goodness-of-fit first, posterior confidence second.  A
    posterior normalises the absolute likelihood away, so a corrupted
    window often looks MORE confident than an honest one (one garbage
@@ -33,7 +101,7 @@ let default_gate =
    quadratic cliff.  Only windows that fit are allowed to carry value
    information; only then does the joint confidence (sign-match peak
    times value-posterior peak, both flat-prior) pick the rung. *)
-let classify_graded ?classifier prof gate ~quality window =
+let classify_graded_i ?classifier ~insts prof gate ~quality window =
   let (Pipeline.Classifier ((module C), cls)) =
     match classifier with Some c -> c | None -> Pipeline.classifier_of_profile prof
   in
@@ -46,27 +114,42 @@ let classify_graded ?classifier prof gate ~quality window =
      threshold — the Tentative perfect-hint demotion provably cannot
      change a clean-trace hint. *)
   let conf = Array.fold_left (fun acc (_, p) -> Float.max acc p) 0.0 posterior_all in
+  let sign_fit = C.sign_fit cls window in
   let grade =
-    if C.sign_fit cls window < prof.Pipeline.sign_fit_floor then
+    if sign_fit < prof.Pipeline.sign_fit_floor then
       (* not even the branch region looks like any class: the window is
          noise and nothing in it can be trusted *)
       Unknown
-    else if C.value_fit cls ~sign:verdict.Sca.Attack.sign window < prof.Pipeline.value_fit_floor then
-      if sign_conf >= gate.sign_only_threshold then SignOnly else Unknown
-    else if conf >= gate.confident_threshold && quality <> Sca.Segment.Resynced then
-      (* a window that segmentation had to repair can never be Confident:
-         a confidently-wrong verdict would enter the lattice as a perfect
-         hint and poison the whole estimate.  Suspect (a length outlier)
-         does not bar Confident: burst length varies legitimately with
-         the coefficient value, so rare large-magnitude values trip the
-         MAD check on perfectly clean traces — corruption is what the
-         fit floors detect. *)
-      Confident
-    else if conf >= gate.tentative_threshold then Tentative
-    else if sign_conf >= gate.sign_only_threshold then SignOnly
-    else Unknown
+    else begin
+      let value_fit = C.value_fit cls ~sign:verdict.Sca.Attack.sign window in
+      (match insts with Some i -> Obs.Metrics.observe i.h_value_fit value_fit | None -> ());
+      if value_fit < prof.Pipeline.value_fit_floor then
+        if sign_conf >= gate.sign_only_threshold then SignOnly else Unknown
+      else if conf >= gate.confident_threshold && quality <> Sca.Segment.Resynced then
+        (* a window that segmentation had to repair can never be Confident:
+           a confidently-wrong verdict would enter the lattice as a perfect
+           hint and poison the whole estimate.  Suspect (a length outlier)
+           does not bar Confident: burst length varies legitimately with
+           the coefficient value, so rare large-magnitude values trip the
+           MAD check on perfectly clean traces — corruption is what the
+           fit floors detect. *)
+        Confident
+      else if conf >= gate.tentative_threshold then Tentative
+      else if sign_conf >= gate.sign_only_threshold then SignOnly
+      else Unknown
+    end
   in
+  (match insts with
+  | None -> ()
+  | Some i ->
+      Obs.Metrics.observe i.h_sign_fit sign_fit;
+      Obs.Metrics.observe i.h_confidence conf);
+  count_quality insts quality;
+  count_grade insts grade;
   (verdict, posterior_all, grade)
+
+let classify_graded ?classifier prof gate ~quality window =
+  classify_graded_i ?classifier ~insts:None prof gate ~quality window
 
 let grade_counts results =
   let c = ref 0 and t = ref 0 and s = ref 0 and u = ref 0 in
@@ -103,32 +186,46 @@ let null_verdict = { Sca.Attack.sign = 0; value = 0; posterior = [| (0, 1.0) |] 
 
 (* --- strict (classic) attack ---------------------------------------------- *)
 
-let attack_strict ?classifier prof ~samples ~noises =
+let attack_strict ?classifier ?(obs = Obs.Ctx.disabled) prof ~samples ~noises =
+  let insts = instruments obs in
   let count = Array.length noises in
-  match Pipeline.run_segmenter Pipeline.strict_segmenter prof ~count samples with
+  match
+    Obs.Ctx.span obs "stage.segment" (fun () ->
+        Pipeline.run_segmenter Pipeline.strict_segmenter prof ~count samples)
+  with
   | Error _ as e -> e
   | Ok seg ->
       Ok
-        (Array.mapi
-           (fun i window ->
-             let verdict, posterior_all, grade =
-               classify_graded ?classifier prof default_gate ~quality:seg.Pipeline.quality.(i) window
-             in
-             { actual = noises.(i); verdict; posterior_all; grade; recovery = Clean })
-           seg.Pipeline.vectors)
+        (Obs.Ctx.span obs "stage.classify" (fun () ->
+             Array.mapi
+               (fun i window ->
+                 let verdict, posterior_all, grade =
+                   classify_graded_i ?classifier ~insts prof default_gate
+                     ~quality:seg.Pipeline.quality.(i) window
+                 in
+                 { actual = noises.(i); verdict; posterior_all; grade; recovery = Clean })
+               seg.Pipeline.vectors))
 
 (* --- fault-tolerant attack ------------------------------------------------- *)
 
 (* Resilient segmentation of one trace: exactly count+1 windows (the
    firmware's trailing dummy included) or a typed error, with the
    per-window quality feeding the grade gate. *)
-let graded_windows ?classifier ?(segmenter = Pipeline.resilient_segmenter) prof gate ~count samples =
-  match Pipeline.run_segmenter segmenter prof ~count samples with
+let graded_windows ?classifier ?(segmenter = Pipeline.resilient_segmenter) ~obs ~insts prof gate
+    ~count samples =
+  match
+    Obs.Ctx.span obs "stage.segment" (fun () -> Pipeline.run_segmenter segmenter prof ~count samples)
+  with
   | Error e -> Error e
   | Ok { Pipeline.vectors; quality } ->
-      Ok (Array.init count (fun i -> classify_graded ?classifier prof gate ~quality:quality.(i) vectors.(i)))
+      Ok
+        (Obs.Ctx.span obs "stage.classify" (fun () ->
+             Array.init count (fun i ->
+                 classify_graded_i ?classifier ~insts prof gate ~quality:quality.(i) vectors.(i))))
 
-let attack_resilient ?(gate = default_gate) ?classifier ?segmenter ?retry prof ~samples ~noises =
+let attack_resilient ?(gate = default_gate) ?classifier ?segmenter ?retry ?(obs = Obs.Ctx.disabled)
+    prof ~samples ~noises =
+  let insts = instruments obs in
   let count = Array.length noises in
   let results =
     Array.init count (fun i ->
@@ -141,7 +238,7 @@ let attack_resilient ?(gate = default_gate) ?classifier ?segmenter ?retry prof ~
         })
   in
   let pending = ref [] in
-  (match graded_windows ?classifier ?segmenter prof gate ~count samples with
+  (match graded_windows ?classifier ?segmenter ~obs ~insts prof gate ~count samples with
   | Ok graded ->
       Array.iteri
         (fun i (verdict, posterior_all, grade) ->
@@ -160,16 +257,29 @@ let attack_resilient ?(gate = default_gate) ?classifier ?segmenter ?retry prof ~
   | Some remeasure ->
       let attempt = ref 1 in
       while !pending <> [] && !attempt <= gate.retry_budget do
-        (match graded_windows ?classifier ?segmenter prof gate ~count (remeasure !attempt) with
+        (match insts with
+        | Some ins -> Obs.Metrics.incr ins.c_retry_attempts
+        | None -> ());
+        if Obs.Ctx.enabled obs then
+          Obs.Ctx.event
+            ~attrs:
+              [ ("attempt", Obs.Json.Int !attempt); ("pending", Obs.Json.Int (List.length !pending)) ]
+            obs "retry.attempt";
+        (match graded_windows ?classifier ?segmenter ~obs ~insts prof gate ~count (remeasure !attempt) with
         | Ok graded ->
             pending :=
               List.filter
-                (fun i ->
-                  let verdict, posterior_all, grade = graded.(i) in
+                (fun idx ->
+                  let verdict, posterior_all, grade = graded.(idx) in
                   if grade = Unknown then true
                   else begin
-                    results.(i) <-
-                      { actual = noises.(i); verdict; posterior_all; grade; recovery = Retried !attempt };
+                    results.(idx) <-
+                      { actual = noises.(idx); verdict; posterior_all; grade; recovery = Retried !attempt };
+                    (match insts with
+                    | Some ins ->
+                        Obs.Metrics.incr ins.c_retry_rescued;
+                        Obs.Metrics.observe ins.h_retry_depth (float_of_int !attempt)
+                    | None -> ());
                     false
                   end)
                 !pending

@@ -75,18 +75,24 @@ val null_verdict : Sca.Attack.verdict
 
 val attack_strict :
   ?classifier:Pipeline.classifier ->
+  ?obs:Obs.Ctx.t ->
   Pipeline.profile ->
   samples:float array ->
   noises:int array ->
   (coefficient_result array, Pipeline.error) result
 (** The classic pipeline on one trace: strict segmentation, default
-    gate, no retries; every result is [Clean]. *)
+    gate, no retries; every result is [Clean].  With an enabled [obs]
+    context the segmentation and classification run inside
+    [stage.segment] / [stage.classify] spans, and per-window quality,
+    grade, and fit-score/confidence distributions land in the metrics
+    registry ([segment.windows_*], [grade.*], [classifier.*]). *)
 
 val attack_resilient :
   ?gate:gate ->
   ?classifier:Pipeline.classifier ->
   ?segmenter:Pipeline.segmenter ->
   ?retry:(int -> float array) ->
+  ?obs:Obs.Ctx.t ->
   Pipeline.profile ->
   samples:float array ->
   noises:int array ->
@@ -99,4 +105,8 @@ val attack_resilient :
     attempts (or with no [retry]) are marked [Unrecoverable].  A trace
     whose segmentation fails outright grades every coefficient Unknown
     and is retried whole.  On a clean trace the verdicts are
-    bit-identical to {!attack_strict}. *)
+    bit-identical to {!attack_strict}.  With an enabled [obs] context,
+    every segmentation/classification pass (retries included) is
+    spanned and counted as in {!attack_strict}, each retry pass emits
+    a [retry.attempt] event, and the ladder updates [retry.attempts],
+    [retry.rescued] and the [retry.depth] histogram. *)

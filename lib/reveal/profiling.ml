@@ -78,19 +78,28 @@ let finalize_bags values bags =
   (window_length, classes)
 
 let profiling_windows ?(values = Constants.default_values) ?(per_value = Constants.default_per_value) ?domains
-    device rng =
+    ?(obs = Obs.Ctx.disabled) device rng =
   let copies, runs = profiling_shape ~values ~per_value device in
-  let threshold = calibrate_threshold device rng in
+  let threshold = Obs.Ctx.span obs "profiling.calibrate" (fun () -> calibrate_threshold device rng) in
   let segment = segment_of_threshold threshold in
   let seeds = Array.init runs (fun _ -> Mathkit.Prng.bits64 rng) in
   let one_run seed =
     let run = profiling_run device ~values ~copies seed in
     labelled_windows segment ~samples:run.Device.trace.Power.Ptrace.samples ~noises:run.Device.noises
   in
-  let per_run = Mathkit.Parallel.map_array ?domains one_run seeds in
+  let per_run =
+    Obs.Ctx.span obs "profiling.acquire" (fun () -> Mathkit.Parallel.map_array ?domains one_run seeds)
+  in
   let bags = make_bags values in
   Array.iter (add_labelled bags) per_run;
   let window_length, classes = finalize_bags values bags in
+  if Obs.Ctx.enabled obs then begin
+    Obs.Metrics.incr ~by:runs (Obs.Ctx.counter obs "profiling.runs");
+    Obs.Metrics.incr
+      ~by:(List.fold_left (fun acc (_, rows) -> acc + Array.length rows) 0 classes)
+      (Obs.Ctx.counter obs "profiling.windows");
+    Obs.Metrics.set (Obs.Ctx.gauge obs "profiling.window_length") (float_of_int window_length)
+  end;
   (segment, window_length, classes)
 
 (* Floor below the profiling population: mirror the lower half of the
@@ -123,16 +132,28 @@ let profile_of_windows ~poi_count ~sign_poi_count (segment, window_length, class
   let value_fit_floor = fit_floor (Array.of_list !value_fits) in
   { Pipeline.attack; window_length; segment; values; sigma; sign_fit_floor; value_fit_floor }
 
-let profile ?values ?per_value ?domains ?(poi_count = Constants.default_poi_count)
+(* Shared by the live and archive paths: fit templates inside a
+   [profiling.build] span and export the calibrated floors as gauges. *)
+let build_profile ~obs ~poi_count ~sign_poi_count windows =
+  let prof =
+    Obs.Ctx.span obs "profiling.build" (fun () -> profile_of_windows ~poi_count ~sign_poi_count windows)
+  in
+  if Obs.Ctx.enabled obs then begin
+    Obs.Metrics.set (Obs.Ctx.gauge obs "profiling.sign_fit_floor") prof.Pipeline.sign_fit_floor;
+    Obs.Metrics.set (Obs.Ctx.gauge obs "profiling.value_fit_floor") prof.Pipeline.value_fit_floor
+  end;
+  prof
+
+let profile ?values ?per_value ?domains ?(obs = Obs.Ctx.disabled) ?(poi_count = Constants.default_poi_count)
     ?(sign_poi_count = Constants.default_sign_poi_count) device rng =
-  profile_of_windows ~poi_count ~sign_poi_count (profiling_windows ?values ?per_value ?domains device rng)
+  build_profile ~obs ~poi_count ~sign_poi_count (profiling_windows ?values ?per_value ?domains ~obs device rng)
 
 (* --- profiling campaigns on disk ----------------------------------------- *)
 
 let record_profiling ?(values = Constants.default_values) ?(per_value = Constants.default_per_value) ?(seed = 0L)
-    device rng ~path =
+    ?(obs = Obs.Ctx.disabled) device rng ~path =
   let copies, runs = profiling_shape ~values ~per_value device in
-  let threshold = calibrate_threshold device rng in
+  let threshold = Obs.Ctx.span obs "profiling.calibrate" (fun () -> calibrate_threshold device rng) in
   let seeds = Array.init runs (fun _ -> Mathkit.Prng.bits64 rng) in
   let meta =
     [
@@ -142,10 +163,12 @@ let record_profiling ?(values = Constants.default_values) ?(per_value = Constant
       (Constants.meta_per_value_key, string_of_int per_value);
     ]
   in
-  let writer = Device.open_recorder ~meta device ~path ~seed in
+  let writer = Device.open_recorder ~obs ~meta device ~path ~seed in
   Fun.protect
     ~finally:(fun () -> Traceio.Archive.close_writer writer)
-    (fun () -> Array.iter (fun seed -> Device.record_run writer (profiling_run device ~values ~copies seed)) seeds)
+    (fun () ->
+      Obs.Ctx.span obs "profiling.record" (fun () ->
+          Array.iter (fun seed -> Device.record_run writer (profiling_run device ~values ~copies seed)) seeds))
 
 let profiling_meta_of_header ~path (h : Traceio.Archive.header) =
   let require key =
@@ -178,9 +201,10 @@ let profiling_meta_of_header ~path (h : Traceio.Archive.header) =
    of records resident at a time, segmentation parallelised over the
    batch.  Memory is bounded by [batch] traces plus the (much smaller)
    accumulated windows, never the whole trace set. *)
-let profiling_windows_of_archive ?domains ?(batch = Constants.default_batch) path =
+let profiling_windows_of_archive ?domains ?(batch = Constants.default_batch) ?(obs = Obs.Ctx.disabled) path =
   if batch <= 0 then invalid_arg "Campaign.profiling_windows_of_archive: batch must be positive";
-  Traceio.Archive.with_reader path (fun reader ->
+  Obs.Ctx.span obs "profiling.stream" @@ fun () ->
+  Traceio.Archive.with_reader ~obs path (fun reader ->
       let h = Traceio.Archive.header reader in
       let threshold, values = profiling_meta_of_header ~path h in
       let segment = segment_of_threshold threshold in
@@ -203,6 +227,6 @@ let profiling_windows_of_archive ?domains ?(batch = Constants.default_batch) pat
       let window_length, classes = finalize_bags values bags in
       (segment, window_length, classes))
 
-let profile_of_archive ?domains ?batch ?(poi_count = Constants.default_poi_count)
+let profile_of_archive ?domains ?batch ?(obs = Obs.Ctx.disabled) ?(poi_count = Constants.default_poi_count)
     ?(sign_poi_count = Constants.default_sign_poi_count) path =
-  profile_of_windows ~poi_count ~sign_poi_count (profiling_windows_of_archive ?domains ?batch path)
+  build_profile ~obs ~poi_count ~sign_poi_count (profiling_windows_of_archive ?domains ?batch ~obs path)

@@ -14,6 +14,7 @@ val profile :
   ?values:int array ->
   ?per_value:int ->
   ?domains:int ->
+  ?obs:Obs.Ctx.t ->
   ?poi_count:int ->
   ?sign_poi_count:int ->
   Device.t ->
@@ -25,6 +26,10 @@ val profile :
     {!Constants.default_per_value} windows per candidate value; runs
     are distributed over [domains] worker domains (results are
     independent of the domain count — every run carries its own seed).
+    With an enabled [obs] context the phases run inside
+    [profiling.calibrate] / [profiling.acquire] / [profiling.build]
+    spans, the run and window totals land in [profiling.*] counters,
+    and the calibrated fit floors are exported as gauges.
     @raise Invalid_argument when the device is too small to host every
     candidate value twice per run. *)
 
@@ -32,6 +37,7 @@ val profiling_windows :
   ?values:int array ->
   ?per_value:int ->
   ?domains:int ->
+  ?obs:Obs.Ctx.t ->
   Device.t ->
   Mathkit.Prng.t ->
   Sca.Segment.config * int * (int * float array array) list
@@ -45,23 +51,35 @@ val profile_of_windows :
 (** Fit templates and fit floors on already-collected windows. *)
 
 val record_profiling :
-  ?values:int array -> ?per_value:int -> ?seed:int64 -> Device.t -> Mathkit.Prng.t -> path:string -> unit
+  ?values:int array ->
+  ?per_value:int ->
+  ?seed:int64 ->
+  ?obs:Obs.Ctx.t ->
+  Device.t ->
+  Mathkit.Prng.t ->
+  path:string ->
+  unit
 (** Capture the profiling campaign of {!profile} into an archive, one
     run resident at a time; the segmentation calibration travels in
     the archive metadata.  [seed] is stamped into the header for
-    provenance.
+    provenance.  With an enabled [obs] context the capture runs inside
+    [profiling.calibrate] / [profiling.record] spans and the writer
+    counts records and bytes.
     @raise Invalid_argument under the same conditions as {!profile}. *)
 
 val profiling_windows_of_archive :
-  ?domains:int -> ?batch:int -> string -> Sca.Segment.config * int * (int * float array array) list
+  ?domains:int -> ?batch:int -> ?obs:Obs.Ctx.t -> string -> Sca.Segment.config * int * (int * float array array) list
 (** Stream the labelled windows back out of a profiling archive:
     records are ingested in batches of [batch] (default
     {!Constants.default_batch}) traces — the peak resident set — and
-    segmented in parallel over [domains] worker domains.
+    segmented in parallel over [domains] worker domains.  With an
+    enabled [obs] context the stream runs inside a [profiling.stream]
+    span and the reader counts records, bytes and CRC skips.
     @raise Traceio.Error.Corrupt when the archive is damaged or is not
     a profiling archive. *)
 
-val profile_of_archive : ?domains:int -> ?batch:int -> ?poi_count:int -> ?sign_poi_count:int -> string -> Pipeline.profile
+val profile_of_archive :
+  ?domains:int -> ?batch:int -> ?obs:Obs.Ctx.t -> ?poi_count:int -> ?sign_poi_count:int -> string -> Pipeline.profile
 (** {!profile}, but from a recorded profiling archive. *)
 
 (**/**)

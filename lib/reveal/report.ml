@@ -1,9 +1,10 @@
 (* Hand-rolled JSON — the repo deliberately has no JSON dependency.
-   Emission only (the CLI never parses JSON), compact form, with the
-   float rendering pinned to "%.12g" so output is stable across runs
-   and platforms. *)
+   The codec itself lives in Obs.Json (the observability layer sits
+   below the report layer and needs it first); the type is re-exported
+   here by equation so every existing [Report.Obj ...] constructor
+   keeps working and emission stays byte-identical. *)
 
-type json =
+type json = Obs.Json.t =
   | Null
   | Bool of bool
   | Int of int
@@ -12,64 +13,8 @@ type json =
   | List of json list
   | Obj of (string * json) list
 
-let escape_string buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"'
-
-let add_float buf f =
-  (* JSON has no NaN/inf literal *)
-  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then Buffer.add_string buf "null"
-  else begin
-    let s = Printf.sprintf "%.12g" f in
-    Buffer.add_string buf s;
-    (* "1" would re-read as an int; keep the float-ness explicit *)
-    if String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') s then Buffer.add_string buf ".0"
-  end
-
-let rec add_json buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f -> add_float buf f
-  | String s -> escape_string buf s
-  | List items ->
-      Buffer.add_char buf '[';
-      List.iteri
-        (fun i item ->
-          if i > 0 then Buffer.add_char buf ',';
-          add_json buf item)
-        items;
-      Buffer.add_char buf ']'
-  | Obj fields ->
-      Buffer.add_char buf '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char buf ',';
-          escape_string buf k;
-          Buffer.add_char buf ':';
-          add_json buf v)
-        fields;
-      Buffer.add_char buf '}'
-
-let to_string j =
-  let buf = Buffer.create 1024 in
-  add_json buf j;
-  Buffer.contents buf
-
-let print j =
-  print_string (to_string j);
-  print_newline ()
+let to_string = Obs.Json.to_string
+let print = Obs.Json.print
 
 (* --- documents ------------------------------------------------------------ *)
 

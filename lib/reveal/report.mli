@@ -6,9 +6,11 @@
     same rows as the historical byte-exact text AND as a JSON array,
     so the two can never drift.  The {!json} type is hand-rolled
     emission (the repo has no JSON dependency, deliberately): compact
-    form, floats pinned to ["%.12g"], NaN/infinity as [null]. *)
+    form, floats pinned to ["%.12g"], NaN/infinity as [null].  It is
+    [Obs.Json.t] re-exported by equation — the codec lives in the obs
+    layer so traces and reports share one implementation. *)
 
-type json =
+type json = Obs.Json.t =
   | Null
   | Bool of bool
   | Int of int

@@ -25,7 +25,12 @@ val hints_of_results :
     i.i.d., so this is an unbiased extrapolation).
     @raise Failure when [results] is empty. *)
 
-val security_of_hints : Hints.Hint.t list -> security_report
-(** Fresh DBDD instance, estimate, apply all hints, estimate again. *)
+val security_of_hints : ?obs:Obs.Ctx.t -> Hints.Hint.t list -> security_report
+(** Fresh DBDD instance, estimate, apply all hints, estimate again.
+    With an enabled [obs] context the integration runs inside a
+    [sink.integrate] span, the per-kind hint totals land in
+    [sink.hints_*] counters, and the before/after block sizes in
+    [sink.bikz_no_hints] / [sink.bikz_with_hints] gauges — the final
+    rungs of a campaign's run record. *)
 
 val json_of_security : security_report -> Report.json

@@ -81,7 +81,7 @@ let of_trace_source stream =
   end in
   Pipeline.Source ((module M), ())
 
-let archive_replay ?strict path = of_trace_source (Traceio.Source.of_archive ?strict path)
+let archive_replay ?strict ?obs path = of_trace_source (Traceio.Source.of_archive ?strict ?obs path)
 
 let of_runs ~name runs =
   let pos = ref 0 in

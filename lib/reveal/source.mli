@@ -26,12 +26,14 @@ val device_live :
     campaign that needs no retries consumes randomness identically to
     one with [~retry:false]. *)
 
-val archive_replay : ?strict:bool -> string -> Pipeline.source
+val archive_replay : ?strict:bool -> ?obs:Obs.Ctx.t -> string -> Pipeline.source
 (** Stream a recorded campaign.  Tolerant by default: a record failing
     its CRC yields [`Skip] and the stream resumes at the next frame
     boundary; with [~strict:true] the same condition raises
     {!Traceio.Error.Corrupt} instead.  Records decode inside [next]
     (the reader is sequential), so the acquire thunks are cheap.
+    [obs] forwards to the underlying archive reader, whose read/skip
+    counters land in the context's metrics registry.
     @raise Traceio.Error.Io when the file cannot be opened. *)
 
 val of_runs : name:string -> Device.run array -> Pipeline.source

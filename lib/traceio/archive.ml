@@ -85,15 +85,30 @@ let header_of_payload ~path payload =
 
 (* --- writing ------------------------------------------------------------ *)
 
+(* metrics handles resolved once at open time (registry access locks);
+   [None] when the archive was opened without an enabled obs context *)
+type writer_stats = { ws_records : Obs.Metrics.counter; ws_bytes : Obs.Metrics.counter }
+
 type writer = {
   w_path : string;
   oc : out_channel;
   w_header : header;  (* trace_count field unused while open *)
   mutable count : int;
   mutable w_closed : bool;
+  w_stats : writer_stats option;
 }
 
-let open_writer ?(meta = []) ~variant ~n ~seed ~samples_per_cycle ~noise_sigma path =
+let writer_stats_of obs =
+  if Obs.Ctx.enabled obs then
+    Some
+      {
+        ws_records = Obs.Ctx.counter obs "traceio.records_written";
+        ws_bytes = Obs.Ctx.counter obs "traceio.payload_bytes_written";
+      }
+  else None
+
+let open_writer ?(obs = Obs.Ctx.disabled) ?(meta = []) ~variant ~n ~seed ~samples_per_cycle
+    ~noise_sigma path =
   if n <= 0 then invalid_arg "Archive.open_writer: n must be positive";
   if samples_per_cycle <= 0 then invalid_arg "Archive.open_writer: samples_per_cycle must be positive";
   let h = { variant; n; seed; samples_per_cycle; noise_sigma; trace_count = 0; meta } in
@@ -102,7 +117,7 @@ let open_writer ?(meta = []) ~variant ~n ~seed ~samples_per_cycle ~noise_sigma p
       output_string oc magic;
       output_string oc (String.init 2 (fun i -> Char.chr ((version lsr (8 * i)) land 0xFF))));
   Frame.write ~path oc (header_payload h ~count:count_unknown);
-  { w_path = path; oc; w_header = h; count = 0; w_closed = false }
+  { w_path = path; oc; w_header = h; count = 0; w_closed = false; w_stats = writer_stats_of obs }
 
 let writer_count w = w.count
 let writer_path w = w.w_path
@@ -125,8 +140,14 @@ let append w ~noises trace =
     invalid_arg
       (Printf.sprintf "Archive.append: trace sampled at %d/cycle, archive at %d/cycle"
          trace.Power.Ptrace.samples_per_cycle w.w_header.samples_per_cycle);
-  Frame.write ~path:w.w_path w.oc (record_payload ~index:w.count ~noises trace);
-  w.count <- w.count + 1
+  let payload = record_payload ~index:w.count ~noises trace in
+  Frame.write ~path:w.w_path w.oc payload;
+  w.count <- w.count + 1;
+  match w.w_stats with
+  | None -> ()
+  | Some s ->
+      Obs.Metrics.incr s.ws_records;
+      Obs.Metrics.incr ~by:(String.length payload) s.ws_bytes
 
 let close_writer w =
   if not w.w_closed then begin
@@ -141,15 +162,50 @@ let close_writer w =
 
 (* --- reading ------------------------------------------------------------ *)
 
+type reader_stats = {
+  rs_obs : Obs.Ctx.t;  (* for the per-skip warning event *)
+  rs_records : Obs.Metrics.counter;
+  rs_skipped : Obs.Metrics.counter;
+  rs_bytes : Obs.Metrics.counter;
+}
+
 type reader = {
   r_path : string;
   ic : in_channel;
   header : header;
   mutable next_index : int;
   mutable r_closed : bool;
+  r_stats : reader_stats option;
 }
 
-let open_reader path =
+let reader_stats_of obs =
+  if Obs.Ctx.enabled obs then
+    Some
+      {
+        rs_obs = obs;
+        rs_records = Obs.Ctx.counter obs "traceio.records_read";
+        rs_skipped = Obs.Ctx.counter obs "traceio.records_skipped";
+        rs_bytes = Obs.Ctx.counter obs "traceio.payload_bytes_read";
+      }
+  else None
+
+let count_read r payload =
+  match r.r_stats with
+  | None -> ()
+  | Some s ->
+      Obs.Metrics.incr s.rs_records;
+      Obs.Metrics.incr ~by:(String.length payload) s.rs_bytes
+
+let count_skip r msg =
+  match r.r_stats with
+  | None -> ()
+  | Some s ->
+      Obs.Metrics.incr s.rs_skipped;
+      Obs.Ctx.event ~level:Obs.Ctx.Warn
+        ~attrs:[ ("path", Obs.Json.String r.r_path); ("reason", Obs.Json.String msg) ]
+        s.rs_obs "traceio.skip"
+
+let open_reader ?(obs = Obs.Ctx.disabled) path =
   let ic = Error.open_in_bin path in
   let fail_with exn = (try close_in ic with Sys_error _ -> ()); raise exn in
   try
@@ -167,7 +223,7 @@ let open_reader path =
     in
     if header.trace_count = count_unknown then
       Error.corruptf "%s: archive was never finalised (writer not closed) — record count unknown" path;
-    { r_path = path; ic; header; next_index = 0; r_closed = false }
+    { r_path = path; ic; header; next_index = 0; r_closed = false; r_stats = reader_stats_of obs }
   with exn -> fail_with exn
 
 let header r = r.header
@@ -215,6 +271,7 @@ let next r =
         Error.corruptf "%s: trailing data after the %d records the header declares" r.r_path r.header.trace_count;
       let rec_ = record_of_payload ~path:r.r_path ~header:r.header ~expect_index:r.next_index payload in
       r.next_index <- r.next_index + 1;
+      count_read r payload;
       Some rec_
 
 (* Tolerant cursor: a record whose frame fails its CRC — or whose
@@ -235,6 +292,7 @@ let try_next r =
       if r.next_index >= r.header.trace_count then
         Error.corruptf "%s: trailing data after the %d records the header declares" r.r_path r.header.trace_count;
       r.next_index <- r.next_index + 1;
+      count_skip r msg;
       `Skipped msg
   | `Payload payload -> (
       if r.next_index >= r.header.trace_count then
@@ -242,9 +300,11 @@ let try_next r =
       match record_of_payload ~path:r.r_path ~header:r.header ~expect_index:r.next_index payload with
       | rec_ ->
           r.next_index <- r.next_index + 1;
+          count_read r payload;
           `Record rec_
       | exception Error.Corrupt msg ->
           r.next_index <- r.next_index + 1;
+          count_skip r msg;
           `Skipped msg)
 
 let next_batch r ~max =
@@ -252,8 +312,8 @@ let next_batch r ~max =
   let rec take acc k = if k = 0 then acc else match next r with None -> acc | Some x -> take (x :: acc) (k - 1) in
   Array.of_list (List.rev (take [] max))
 
-let with_reader path f =
-  let r = open_reader path in
+let with_reader ?obs path f =
+  let r = open_reader ?obs path in
   Fun.protect ~finally:(fun () -> close_reader r) (fun () -> f r)
 
 let iter path f =

@@ -56,6 +56,7 @@ val meta_find : header -> string -> string option
 type writer
 
 val open_writer :
+  ?obs:Obs.Ctx.t ->
   ?meta:(string * string) list ->
   variant:Riscv.Sampler_prog.variant ->
   n:int ->
@@ -64,7 +65,10 @@ val open_writer :
   noise_sigma:float ->
   string ->
   writer
-(** @raise Error.Io when the path cannot be created. *)
+(** With an enabled [obs] context the writer counts
+    [traceio.records_written] / [traceio.payload_bytes_written] in the
+    context's metrics registry.
+    @raise Error.Io when the path cannot be created. *)
 
 val append : writer -> noises:int array -> Power.Ptrace.t -> unit
 (** @raise Invalid_argument when the record does not match the header
@@ -85,8 +89,14 @@ val close_writer : writer -> unit
 
 type reader
 
-val open_reader : string -> reader
-(** Validates magic, version and the header checksum.
+val open_reader : ?obs:Obs.Ctx.t -> string -> reader
+(** Validates magic, version and the header checksum.  With an enabled
+    [obs] context the reader counts [traceio.records_read],
+    [traceio.payload_bytes_read] and — crucially for replay campaigns —
+    [traceio.records_skipped] in the context's metrics registry, so
+    skip totals survive beyond any one caller's local tally; each skip
+    also emits a warn-level [traceio.skip] event carrying the
+    diagnostic.
     @raise Error.Corrupt on any mismatch, including an unfinalised
     archive. *)
 
@@ -112,7 +122,7 @@ val try_next : reader -> [ `Record of record | `Skipped of string | `End_of_arch
 
 val close_reader : reader -> unit
 
-val with_reader : string -> (reader -> 'a) -> 'a
+val with_reader : ?obs:Obs.Ctx.t -> string -> (reader -> 'a) -> 'a
 val iter : string -> (record -> unit) -> unit
 val fold : string -> ('a -> record -> 'a) -> 'a -> 'a
 

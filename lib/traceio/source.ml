@@ -17,8 +17,8 @@ let of_reader ?(strict = false) ~name reader =
   in
   { name; next; close = (fun () -> Archive.close_reader reader) }
 
-let of_archive ?strict path =
-  of_reader ?strict ~name:path (Archive.open_reader path)
+let of_archive ?strict ?obs path =
+  of_reader ?strict ~name:path (Archive.open_reader ?obs path)
 
 let of_records ~name records =
   let pos = ref 0 in

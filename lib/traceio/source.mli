@@ -21,11 +21,15 @@ val next : t -> event
 val close : t -> unit
 (** Idempotent; releases the underlying reader, if any. *)
 
-val of_archive : ?strict:bool -> string -> t
+val of_archive : ?strict:bool -> ?obs:Obs.Ctx.t -> string -> t
 (** Stream an archive file.  Tolerant by default: a record failing its
     CRC (or refusing to decode) yields [`Skipped] and the stream
     resumes at the next frame boundary.  With [~strict:true] the same
-    condition raises {!Error.Corrupt} instead.
+    condition raises {!Error.Corrupt} instead.  [obs] is forwarded to
+    {!Archive.open_reader}, so read/skip totals land in its metrics
+    registry rather than in per-caller local counts ({!fold}'s skip
+    return stays as a convenience, but the registry is the durable
+    record).
     @raise Error.Io when the file cannot be opened. *)
 
 val of_reader : ?strict:bool -> name:string -> Archive.reader -> t

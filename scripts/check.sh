@@ -84,6 +84,10 @@ dune exec bin/reveal_cli.exe -- report --list | grep -q "zero-consistency"
 # the golden configuration: report text must reproduce the committed goldens
 dune exec bin/reveal_cli.exe -- report table1 --seed 54398 -n 64 --per-value 80 --traces 2 \
   | cmp - test/golden/table1.txt
+dune exec bin/reveal_cli.exe -- report table2 --seed 54398 -n 64 --per-value 80 --traces 2 \
+  | cmp - test/golden/table2.txt
+dune exec bin/reveal_cli.exe -- report table3 --seed 54398 -n 64 --per-value 80 --traces 2 \
+  | cmp - test/golden/table3.txt
 dune exec bin/reveal_cli.exe -- report table4 --seed 54398 -n 64 --per-value 80 --traces 2 \
   | cmp - test/golden/table4.txt
 dune exec bin/reveal_cli.exe -- report signs --seed 7 -n 64 --per-value 40 --json > "$tmp/report.json"
@@ -91,6 +95,30 @@ json_ok "$tmp/report.json" correct total accuracy_percent
 # unknown artefacts are a usage error
 if dune exec bin/reveal_cli.exe -- report no-such-artefact > /dev/null 2>&1; then
   echo "report: expected a usage-error exit for an unknown artefact" >&2
+  exit 1
+fi
+
+echo "== smoke: obs tracing covers every pipeline stage =="
+# replay with an observability trace attached: every line must parse as
+# JSON, and the summary must account for each stage of the attack
+dune exec bin/reveal_cli.exe -- replay-attack "$tmp/smoke.rvt" --per-value 40 \
+  --obs-out "$tmp/run.jsonl" > /dev/null
+test -s "$tmp/run.jsonl"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -c 'import json,sys
+for n,line in enumerate(open(sys.argv[1]),1):
+    json.loads(line)' "$tmp/run.jsonl"
+fi
+dune exec bin/reveal_cli.exe -- obs summarize "$tmp/run.jsonl" > "$tmp/obs.out"
+for span in cli.replay-attack profiling.calibrate profiling.acquire profiling.build \
+    campaign.run stage.acquire stage.segment stage.classify stage.tally sink.integrate; do
+  grep -q "$span" "$tmp/obs.out"
+done
+dune exec bin/reveal_cli.exe -- obs summarize "$tmp/run.jsonl" --json > "$tmp/obs.json"
+json_ok "$tmp/obs.json" clock spans counters histograms
+# a corrupt trace is an I/O error (exit 3), not a crash
+if dune exec bin/reveal_cli.exe -- obs summarize /nonexistent.jsonl > /dev/null 2>&1; then
+  echo "obs summarize: expected an I/O-error exit for a missing trace" >&2
   exit 1
 fi
 

@@ -1,0 +1,301 @@
+(* Obs layer: JSON codec round-trips, the zero-cost disabled path,
+   metrics semantics (histogram bucket boundaries in particular), the
+   event codec through a memory sink, and the golden obs summary —
+   the logical clock makes a whole instrumented campaign's summary
+   byte-reproducible. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  data
+
+let ok_exn = function Ok v -> v | Error e -> Alcotest.failf "unexpected parse error: %s" e
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+(* --- JSON parser: deterministic cases ------------------------------------- *)
+
+let test_parse_scalars () =
+  let check msg expected input = Alcotest.(check string) msg expected (Obs.Json.to_string (ok_exn (Obs.Json.parse input))) in
+  check "null" "null" "null";
+  check "true" "true" " true ";
+  check "int" "-42" "-42";
+  check "float keeps a decimal point" "1.5" "1.5";
+  check "exponent parses as float" "1e+30" "1e30";
+  check "integral float keeps .0" "2.0" "2.0";
+  check "string escapes" "\"a\\nb\"" "\"a\\nb\"";
+  check "unicode escape decodes to UTF-8" "\"\\u0001\"" "\"\\u0001\"";
+  check "nested containers" "{\"a\":[1,2.5,null],\"b\":{}}" "{ \"a\" : [ 1 , 2.5 , null ] , \"b\" : {} }"
+
+let test_parse_errors () =
+  let fails msg input =
+    match Obs.Json.parse input with
+    | Ok _ -> Alcotest.failf "%s: expected a parse error" msg
+    | Error e ->
+        Alcotest.(check bool) (msg ^ ": error names an offset") true
+          (String.length e >= 7 && String.sub e 0 7 = "offset ")
+  in
+  fails "empty input" "";
+  fails "trailing garbage" "1 2";
+  fails "unterminated string" "\"abc";
+  fails "unterminated object" "{\"a\":1";
+  fails "bare word" "nulL";
+  fails "missing colon" "{\"a\" 1}"
+
+let test_accessors () =
+  let j = ok_exn (Obs.Json.parse "{\"i\":3,\"f\":1.5,\"s\":\"x\"}") in
+  Alcotest.(check (option int)) "member+to_int" (Some 3) Option.(bind (Obs.Json.member "i" j) Obs.Json.to_int_opt);
+  Alcotest.(check (option (float 0.0))) "int widens to float" (Some 3.0)
+    Option.(bind (Obs.Json.member "i" j) Obs.Json.to_float_opt);
+  Alcotest.(check (option (float 0.0))) "float" (Some 1.5) Option.(bind (Obs.Json.member "f" j) Obs.Json.to_float_opt);
+  Alcotest.(check (option string)) "string" (Some "x") Option.(bind (Obs.Json.member "s" j) Obs.Json.to_string_opt);
+  Alcotest.(check bool) "missing key" true (Obs.Json.member "zz" j = None);
+  Alcotest.(check bool) "member of non-object" true (Obs.Json.member "a" (Obs.Json.Int 1) = None)
+
+(* --- JSON codec: property round-trip -------------------------------------- *)
+
+(* Floats normalized through %.12g round-trip exactly: a 12-significant-
+   digit decimal is ~3 orders of magnitude coarser than a double ulp, so
+   decimal -> nearest double -> %.12g is the identity on such decimals. *)
+let roundtrip_float f =
+  let f = if Float.is_finite f then f else 0.0 in
+  float_of_string (Printf.sprintf "%.12g" f)
+
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Obs.Json.Null;
+        map (fun b -> Obs.Json.Bool b) bool;
+        map (fun i -> Obs.Json.Int i) int;
+        map (fun f -> Obs.Json.Float (roundtrip_float f)) float;
+        map (fun s -> Obs.Json.String s) (string_size ~gen:printable (int_bound 12));
+      ]
+  in
+  let key = string_size ~gen:(char_range 'a' 'z') (int_range 1 6) in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           frequency
+             [
+               (2, scalar);
+               (1, map (fun l -> Obs.Json.List l) (list_size (int_bound 4) (self (n / 2))));
+               (1, map (fun kvs -> Obs.Json.Obj kvs) (list_size (int_bound 4) (pair key (self (n / 2)))));
+             ])
+
+let codec_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"emit |> parse |> emit is the identity"
+    (QCheck.make json_gen ~print:Obs.Json.to_string)
+    (fun j ->
+      let s = Obs.Json.to_string j in
+      match Obs.Json.parse s with
+      | Error e -> QCheck.Test.fail_reportf "emitted %s failed to parse: %s" s e
+      | Ok j2 -> String.equal s (Obs.Json.to_string j2))
+
+(* --- clocks ---------------------------------------------------------------- *)
+
+let test_clocks () =
+  let l = Obs.Clock.logical () in
+  let t1 = Obs.Clock.now l in
+  let t2 = Obs.Clock.now l in
+  let t3 = Obs.Clock.now l in
+  Alcotest.(check (list (float 0.0))) "logical ticks 1,2,3" [ 1.0; 2.0; 3.0 ] [ t1; t2; t3 ];
+  Alcotest.(check string) "logical kind name" "logical" (Obs.Clock.kind_name l);
+  let w = Obs.Clock.wall () in
+  let a = Obs.Clock.now w in
+  let b = Obs.Clock.now w in
+  Alcotest.(check bool) "wall readings never decrease" true (b >= a && a >= 0.0);
+  Alcotest.(check string) "wall kind name" "wall" (Obs.Clock.kind_name w)
+
+(* --- metrics --------------------------------------------------------------- *)
+
+let test_counters_and_gauges () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "a.count" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:4 c;
+  Alcotest.(check int) "counter accumulates" 5 (Obs.Metrics.counter_value c);
+  Alcotest.(check bool) "get-or-create returns the same counter" true (Obs.Metrics.counter m "a.count" == c);
+  let g = Obs.Metrics.gauge m "a.gauge" in
+  Obs.Metrics.set g 2.0;
+  Obs.Metrics.set g 7.5;
+  Alcotest.(check (float 0.0)) "gauge is last-write-wins" 7.5 (Obs.Metrics.gauge_value g)
+
+let test_histogram_boundaries () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram ~buckets:[| 1.0; 2.0; 5.0 |] m "h" in
+  (* a value on a bound counts in that bound's bucket *)
+  List.iter (Obs.Metrics.observe h) [ 1.0; 1.5; 2.0; 5.0; 5.0001; 0.0 ];
+  let s = Obs.Metrics.histogram_snapshot h in
+  Alcotest.(check int) "count" 6 s.Obs.Metrics.count;
+  Alcotest.(check (array (float 0.0))) "bounds preserved" [| 1.0; 2.0; 5.0 |] s.Obs.Metrics.bounds;
+  Alcotest.(check (array int)) "bucket counts (boundary values inclusive)" [| 2; 2; 1 |] s.Obs.Metrics.counts;
+  Alcotest.(check int) "above the last bound is overflow" 1 s.Obs.Metrics.overflow;
+  Alcotest.(check (option (float 0.0))) "min" (Some 0.0) s.Obs.Metrics.min;
+  Alcotest.(check (option (float 0.0))) "max" (Some 5.0001) s.Obs.Metrics.max;
+  let empty = Obs.Metrics.histogram ~buckets:[| 1.0 |] m "empty" in
+  let se = Obs.Metrics.histogram_snapshot empty in
+  Alcotest.(check bool) "no observations -> no min/max" true (se.Obs.Metrics.min = None && se.Obs.Metrics.max = None);
+  Alcotest.check_raises "buckets must be strictly increasing"
+    (Invalid_argument "Obs.Metrics.histogram bad: buckets must be strictly increasing") (fun () ->
+      ignore (Obs.Metrics.histogram ~buckets:[| 1.0; 1.0 |] m "bad"));
+  Alcotest.(check bool) "first bucket layout wins" true
+    (Obs.Metrics.histogram ~buckets:[| 9.0 |] m "h" == h)
+
+let test_snapshot_shape () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr (Obs.Metrics.counter m "b");
+  Obs.Metrics.incr (Obs.Metrics.counter m "a");
+  Obs.Metrics.set (Obs.Metrics.gauge m "g") 1.5;
+  let j = Obs.Metrics.snapshot m in
+  Alcotest.(check string) "snapshot shape, names sorted" "{\"counters\":{\"a\":1,\"b\":1},\"gauges\":{\"g\":1.5},\"histograms\":{}}"
+    (Obs.Json.to_string j)
+
+(* --- disabled path is a no-op ---------------------------------------------- *)
+
+let test_disabled_noop () =
+  let calls = ref 0 in
+  let r =
+    Obs.Ctx.span Obs.Ctx.disabled "x" (fun () ->
+        incr calls;
+        17)
+  in
+  Alcotest.(check int) "span runs the thunk exactly once" 1 !calls;
+  Alcotest.(check int) "span returns the thunk's value" 17 r;
+  Alcotest.check_raises "span re-raises" Exit (fun () -> Obs.Ctx.span Obs.Ctx.disabled "x" (fun () -> raise Exit));
+  Obs.Ctx.event ~level:Obs.Ctx.Error Obs.Ctx.disabled "nothing";
+  Obs.Ctx.close Obs.Ctx.disabled;
+  Alcotest.(check bool) "disabled is disabled" false (Obs.Ctx.enabled Obs.Ctx.disabled);
+  Alcotest.(check bool) "null sink is null" true (Obs.Sink.is_null Obs.Sink.null);
+  Obs.Sink.emit Obs.Sink.null (Obs.Json.Int 1);
+  Obs.Sink.close Obs.Sink.null;
+  (* instrumenting a source with the disabled context is the identity *)
+  let src = Reveal.Source.of_runs ~name:"empty" [||] in
+  Alcotest.(check bool) "instrument_source disabled is physically the identity" true
+    (Reveal.Pipeline.instrument_source Obs.Ctx.disabled src == src);
+  Reveal.Pipeline.close_source src
+
+(* --- event codec through a context ----------------------------------------- *)
+
+let run_demo_trace () =
+  let sink, drain = Obs.Sink.memory () in
+  let obs = Obs.Ctx.create ~clock:(Obs.Clock.logical ()) ~sink () in
+  let v =
+    Obs.Ctx.span obs "outer" (fun () ->
+        Obs.Ctx.event ~level:Obs.Ctx.Warn ~attrs:[ ("reason", Obs.Json.String "demo") ] obs "warned";
+        Obs.Ctx.span obs "inner" (fun () -> 3))
+  in
+  Alcotest.(check int) "span nest returns inner value" 3 v;
+  Obs.Metrics.incr ~by:2 (Obs.Ctx.counter obs "seen");
+  (try Obs.Ctx.span obs "boom" (fun () -> raise Exit) with Exit -> ());
+  Obs.Ctx.close obs;
+  Obs.Ctx.close obs;
+  (* idempotent *)
+  drain ()
+
+let test_event_stream () =
+  let records = run_demo_trace () in
+  let evs =
+    List.filter_map (fun r -> Option.bind (Obs.Json.member "ev" r) Obs.Json.to_string_opt) records
+  in
+  Alcotest.(check (list string)) "record sequence"
+    [ "start"; "span_begin"; "event"; "span_begin"; "span_end"; "span_end"; "span_begin"; "span_end"; "metrics" ]
+    evs;
+  let errored =
+    List.exists
+      (fun r ->
+        Option.bind (Obs.Json.member "name" r) Obs.Json.to_string_opt = Some "boom"
+        && Obs.Json.member "error" r = Some (Obs.Json.Bool true))
+      records
+  in
+  Alcotest.(check bool) "failing span is flagged" true errored
+
+let test_event_codec_roundtrip () =
+  (* every record survives the JSONL text round-trip structurally *)
+  let records = run_demo_trace () in
+  List.iteri
+    (fun i r ->
+      let line = Obs.Json.to_string r in
+      match Obs.Json.parse line with
+      | Error e -> Alcotest.failf "record %d: %s does not re-parse: %s" i line e
+      | Ok r2 -> Alcotest.(check string) (Printf.sprintf "record %d round-trips" i) line (Obs.Json.to_string r2))
+    records
+
+let test_summary_of_records () =
+  let s = ok_exn (Obs.Summary.of_records (run_demo_trace ())) in
+  Alcotest.(check (option string)) "clock recorded" (Some "logical") s.Obs.Summary.clock;
+  let span name = List.find (fun r -> r.Obs.Summary.span_name = name) s.Obs.Summary.spans in
+  Alcotest.(check int) "outer span counted" 1 (span "outer").Obs.Summary.span_count;
+  Alcotest.(check int) "errored span still counted" 1 (span "boom").Obs.Summary.span_count;
+  Alcotest.(check (list (pair string int))) "counters" [ ("seen", 2) ] s.Obs.Summary.counters;
+  Alcotest.(check bool) "event tallied at warn" true
+    (List.exists
+       (fun e -> e.Obs.Summary.event_name = "warned" && e.Obs.Summary.event_level = "warn" && e.Obs.Summary.event_count = 1)
+       s.Obs.Summary.events)
+
+let test_summary_load_errors () =
+  (match Obs.Summary.load "/nonexistent/obs.jsonl" with
+  | Ok _ -> Alcotest.fail "expected an error for a missing file"
+  | Error e -> Alcotest.(check bool) "missing file error names the path" true (contains e "/nonexistent/obs.jsonl"));
+  let path = Filename.temp_file "obs" ".jsonl" in
+  let oc = open_out path in
+  output_string oc "{\"v\":1,\"ev\":\"start\",\"clock\":\"wall\",\"t\":0.0}\nnot json\n";
+  close_out oc;
+  (match Obs.Summary.load path with
+  | Ok _ -> Alcotest.fail "expected an error for a malformed line"
+  | Error e -> Alcotest.(check bool) "parse error names the line" true (contains e ":2:"));
+  Sys.remove path
+
+(* --- golden summary --------------------------------------------------------- *)
+
+let demo_summary = lazy (Reveal.Experiment.obs_summary_demo Reveal.Experiment.obs_golden_config)
+
+let test_golden_summary () =
+  Alcotest.(check string) "logical-clock obs summary is bit-identical to the golden"
+    (read_file "golden/obs_summary.txt") (Lazy.force demo_summary)
+
+let test_summary_covers_stages () =
+  let text = Lazy.force demo_summary in
+  List.iter
+    (fun name -> Alcotest.(check bool) (name ^ " span present") true (contains text name))
+    [
+      "profiling.calibrate";
+      "profiling.acquire";
+      "profiling.build";
+      "campaign.run";
+      "campaign.batch";
+      "stage.acquire";
+      "stage.segment";
+      "stage.classify";
+      "stage.tally";
+      "sink.integrate";
+      "grade.confident";
+      "classifier.confidence";
+      "sink.bikz_with_hints";
+    ]
+
+let suite =
+  [
+    ("json parse: scalars and containers", `Quick, test_parse_scalars);
+    ("json parse: errors carry offsets", `Quick, test_parse_errors);
+    ("json accessors", `Quick, test_accessors);
+    QCheck_alcotest.to_alcotest codec_roundtrip;
+    ("clocks: logical ticks, wall monotone", `Quick, test_clocks);
+    ("metrics: counters and gauges", `Quick, test_counters_and_gauges);
+    ("metrics: histogram bucket boundaries", `Quick, test_histogram_boundaries);
+    ("metrics: snapshot shape", `Quick, test_snapshot_shape);
+    ("disabled context is a no-op", `Quick, test_disabled_noop);
+    ("event stream shape", `Quick, test_event_stream);
+    ("event codec round-trip", `Quick, test_event_codec_roundtrip);
+    ("summary aggregation", `Quick, test_summary_of_records);
+    ("summary load errors", `Quick, test_summary_load_errors);
+    ("golden: obs summary (logical clock)", `Quick, test_golden_summary);
+    ("summary covers every stage", `Quick, test_summary_covers_stages);
+  ]

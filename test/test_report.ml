@@ -94,6 +94,16 @@ let test_golden_table1 () =
     (read_file "golden/table1.txt")
     (Reveal.Experiment.render_table1 (Lazy.force golden_env))
 
+let test_golden_table2 () =
+  Alcotest.(check string) "table2 text is bit-identical to the golden"
+    (read_file "golden/table2.txt")
+    (Reveal.Experiment.render_table2 (Reveal.Experiment.table2 (Lazy.force golden_env)))
+
+let test_golden_table3 () =
+  Alcotest.(check string) "table3 text is bit-identical to the golden"
+    (read_file "golden/table3.txt")
+    (Reveal.Experiment.render_table3 (Reveal.Experiment.table3 (Lazy.force golden_env)))
+
 let test_golden_table4 () =
   Alcotest.(check string) "table4 text is bit-identical to the pre-refactor golden"
     (read_file "golden/table4.txt")
@@ -130,6 +140,8 @@ let suite =
     ("table combinator", `Quick, test_table_combinator);
     ("row_json", `Quick, test_row_json);
     ("golden: table1", `Quick, test_golden_table1);
+    ("golden: table2", `Quick, test_golden_table2);
+    ("golden: table3", `Quick, test_golden_table3);
     ("golden: table4", `Quick, test_golden_table4);
     ("doc text matches render_*", `Quick, test_doc_text_matches_render);
     ("artefact registry", `Quick, test_artefact_registry);

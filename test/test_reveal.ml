@@ -14,5 +14,6 @@ let () =
       ("grading", Test_grading.suite);
       ("profile_store", Test_profile_store.suite);
       ("report", Test_report.suite);
+      ("obs", Test_obs.suite);
       ("cli", Test_cli.suite);
     ]

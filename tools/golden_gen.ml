@@ -1,9 +1,11 @@
 (* Regenerate the golden report fixtures under test/golden/.
 
-   The golden test (test/test_report.ml) asserts that the fixed-seed
-   table1/table4 text reports are bit-identical across refactors of
-   the report/experiment layers.  Run this ONLY when an intentional
-   change to the numbers or the wording lands, and review the diff:
+   The golden tests (test/test_report.ml, test/test_obs.ml) assert
+   that the fixed-seed table1/table2/table3/table4 text reports and
+   the logical-clock obs summary are bit-identical across refactors of
+   the report/experiment/obs layers.  Run this ONLY when an
+   intentional change to the numbers or the wording lands, and review
+   the diff:
 
      dune exec tools/golden_gen.exe -- test/golden *)
 
@@ -21,4 +23,7 @@ let () =
     Printf.printf "wrote %s (%d bytes)\n" path (String.length text)
   in
   save "table1.txt" (Reveal.Experiment.render_table1 env);
-  save "table4.txt" (Reveal.Experiment.render_table4 (Reveal.Experiment.table4 env))
+  save "table2.txt" (Reveal.Experiment.render_table2 (Reveal.Experiment.table2 env));
+  save "table3.txt" (Reveal.Experiment.render_table3 (Reveal.Experiment.table3 env));
+  save "table4.txt" (Reveal.Experiment.render_table4 (Reveal.Experiment.table4 env));
+  save "obs_summary.txt" (Reveal.Experiment.obs_summary_demo Reveal.Experiment.obs_golden_config)
