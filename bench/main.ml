@@ -296,13 +296,147 @@ let perf_tests () =
            let basis = Lattice.Embed.kannan_basis inst in
            Lattice.Lll.reduce basis))
   in
-  [ fig3_kernel; table1_kernel; table2_kernel; table3_kernel; table4_kernel; ctcheck_kernel; ntt_kernel; bfv_kernel; lll_kernel ]
+  (* fabric kernels: the two codecs every sharded campaign pays per
+     trace — the shard-result container and the wire framing *)
+  let shard_result =
+    let mk i =
+      {
+        Reveal.Campaign.actual = (i mod 9) - 4;
+        verdict =
+          {
+            Sca.Attack.sign = (if i mod 2 = 0 then 1 else -1);
+            value = (i mod 9) - 4;
+            posterior = Array.init 8 (fun j -> (j - 4, 1.0 /. float_of_int (j + 2)));
+          };
+        posterior_all = Array.init 29 (fun j -> (j - 14, 1.0 /. float_of_int (j + 2)));
+        grade = (if i mod 3 = 0 then Reveal.Campaign.Confident else Reveal.Campaign.Tentative);
+        recovery = Reveal.Campaign.Clean;
+      }
+    in
+    { Fabric.Shard.shard = 0; range = { Fabric.Shard.lo = 0; hi = 1 }; corrupt_skipped = 0; results = Array.init 64 mk }
+  in
+  let shard_kernel =
+    Test.make ~name:"fabric: shard-result codec round-trip (64 coeffs)"
+      (Staged.stage (fun () ->
+           ignore (Fabric.Shard.result_of_payload ~path:"bench" (Fabric.Shard.result_payload shard_result))))
+  in
+  let wire_header =
+    {
+      Traceio.Archive.variant = Riscv.Sampler_prog.Vulnerable;
+      n = 64;
+      seed = 1L;
+      samples_per_cycle = Power.Synth.default.Power.Synth.samples_per_cycle;
+      noise_sigma = Power.Synth.default.Power.Synth.noise_sigma;
+      trace_count = Traceio.Archive.count_unknown;
+      meta = [];
+    }
+  in
+  let wire_sink = open_out "/dev/null" in
+  let wire_sender = Traceio.Wire.create_sender ~peer:"bench" ~header:wire_header wire_sink in
+  let wire_kernel =
+    Test.make ~name:"fabric: wire-frame one 64-coeff record"
+      (Staged.stage (fun () -> Traceio.Wire.send wire_sender ~noises:run.Reveal.Device.noises run.Reveal.Device.trace))
+  in
+  [
+    fig3_kernel;
+    table1_kernel;
+    table2_kernel;
+    table3_kernel;
+    table4_kernel;
+    ctcheck_kernel;
+    ntt_kernel;
+    bfv_kernel;
+    lll_kernel;
+    shard_kernel;
+    wire_kernel;
+  ]
+
+(* --- perf snapshots ------------------------------------------------------ *)
+
+let snapshot_path = Filename.concat out_dir "BENCH_perf.json"
+let snapshot_prev_path = Filename.concat out_dir "BENCH_perf.prev.json"
+
+(* (kernel name, ns/run) rows of an existing snapshot; [] when absent
+   or unreadable — a missing baseline is not an error. *)
+let load_snapshot path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let open Obs.Json in
+      (match parse (String.trim s) with
+      | Ok j -> (
+          match member "results" j with
+          | Some (List items) ->
+              List.filter_map
+                (fun item ->
+                  match
+                    (Option.bind (member "name" item) to_string_opt, Option.bind (member "ns_per_run" item) to_float_opt)
+                  with
+                  | Some name, Some ns -> Some (name, ns)
+                  | _ -> None)
+                items
+          | _ -> [])
+      | Error _ -> [])
+
+let write_snapshot quota rows =
+  ensure_out_dir ();
+  let prev = load_snapshot snapshot_path in
+  if prev <> [] then begin
+    (* rotate: the fresh snapshot always has a predecessor to diff against *)
+    (try Sys.remove snapshot_prev_path with Sys_error _ -> ());
+    Sys.rename snapshot_path snapshot_prev_path
+  end;
+  let open Obs.Json in
+  let json =
+    Obj
+      [
+        ("quota_s", Float quota);
+        ( "results",
+          List (List.map (fun (name, ns) -> Obj [ ("name", String name); ("ns_per_run", Float ns) ]) rows) );
+      ]
+  in
+  let oc = open_out snapshot_path in
+  output_string oc (to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "(snapshot written to %s)\n" snapshot_path;
+  if prev <> [] then begin
+    Printf.printf "vs previous snapshot (%s):\n" snapshot_prev_path;
+    let moved = ref 0 in
+    List.iter
+      (fun (name, ns) ->
+        match List.assoc_opt name prev with
+        | Some old when old > 0.0 ->
+            let ratio = ns /. old in
+            if ratio >= 1.5 then begin
+              incr moved;
+              Printf.printf "  WARNING: %s regressed %.2fx (%.1f -> %.1f ns/run)\n" name ratio old ns
+            end
+            else if ratio <= 1.0 /. 1.5 then begin
+              incr moved;
+              Printf.printf "  %s improved %.2fx (%.1f -> %.1f ns/run)\n" name (1.0 /. ratio) old ns
+            end
+        | _ ->
+            incr moved;
+            Printf.printf "  (new kernel: %s)\n" name)
+      rows;
+    if !moved = 0 then Printf.printf "  (all kernels within 1.5x of the previous run)\n";
+    Printf.printf "(regression warnings are advisory: micro-benchmarks are noisy on shared hardware)\n"
+  end
 
 let run_perf () =
   section "Bechamel micro-benchmarks (one per table/figure kernel)";
   let open Bechamel in
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let quota =
+    match Option.bind (Sys.getenv_opt "REVEAL_PERF_QUOTA") float_of_string_opt with
+    | Some q when q > 0.0 -> q
+    | _ -> 0.5
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) () in
+  let rows = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -312,10 +446,13 @@ let run_perf () =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "  %-48s %12.1f ns/run\n%!" name est
+          | Some [ est ] ->
+              rows := (name, est) :: !rows;
+              Printf.printf "  %-48s %12.1f ns/run\n%!" name est
           | _ -> Printf.printf "  %-48s (no estimate)\n%!" name)
         ols)
-    (perf_tests ())
+    (perf_tests ());
+  write_snapshot quota (List.sort compare (List.rev !rows))
 
 let usage () =
   print_endline

@@ -12,12 +12,16 @@
      lint          constant-time lint of the sampler firmware
      estimate      DBDD security estimates for SEAL parameter sets with hint counts
      report        render any experiment artefact of the paper (text or JSON)
+     worker        attack one shard of a campaign, write a shard result file
+     shard         run a campaign sharded over N worker processes, merge deterministically
+     obs           summarize / merge observability traces
 
    Every subcommand accepts --json: one JSON object (or array) on
    stdout, progress chatter suppressed, same exit codes.
 
-   Exit codes: 0 success; 1 attack/check failure; 2 usage error;
-   3 I/O error or corrupt input. *)
+   Exit codes: 0 success; 1 attack/check failure (including a shard
+   that exhausted its retry budget); 2 usage error; 3 I/O error or
+   corrupt input. *)
 
 open Cmdliner
 
@@ -729,10 +733,310 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc ~man)
     Term.(const report $ artefact_arg $ list_only $ seed_arg $ n_arg 64 $ per_value $ traces $ json_arg $ obs_args)
 
+(* --- worker / shard: the distributed campaign fabric -------------------- *)
+
+(* Both the in-process (workers = 1) path and every worker process
+   derive their acquisition randomness the same way — a fresh
+   generator from the campaign seed, split into scope and sampler
+   streams — and [device_live_range] draws the full campaign's seed
+   table whatever slice it serves.  Partitioning therefore cannot
+   reach the per-trace randomness, which is the first half of the
+   determinism argument (DESIGN.md section 13); [Fabric.Shard.merge]
+   is the second. *)
+let shard_source device ~seed ~traces ~lo ~hi =
+  let rng = rng_of_seed seed in
+  let scope_rng = Mathkit.Prng.split rng and sampler_rng = Mathkit.Prng.split rng in
+  Reveal.Source.device_live_range ~retry:true device ~traces ~lo ~hi ~scope_rng ~sampler_rng
+
+let worker_impl seed n traces lo hi shard_id profile_path out sabotage obsa =
+  with_obs "worker" obsa @@ fun obs ->
+  traceio_guard (fun () ->
+      if traces <= 0 then invalid_arg "worker: traces must be positive";
+      if lo < 0 || hi < lo || hi > traces then
+        invalid_arg (Printf.sprintf "worker: shard range [%d,%d) does not fit a %d-trace campaign" lo hi traces);
+      let prof = Reveal.Campaign.load_profile profile_path in
+      let device = Reveal.Device.create ~n () in
+      let source = shard_source device ~seed ~traces ~lo ~hi in
+      let stats, results = Reveal.Campaign.run_source ~obs prof source in
+      Fabric.Shard.save out
+        {
+          Fabric.Shard.shard = shard_id;
+          range = { Fabric.Shard.lo; hi };
+          corrupt_skipped = stats.Reveal.Campaign.corrupt_skipped;
+          results;
+        };
+      if sabotage then begin
+        (* test aid: leave a truncated result behind and die the way a
+           crashed worker would, so the orchestrator's retry path can
+           be exercised from the command line *)
+        let size = (Unix.stat out).Unix.st_size in
+        Unix.truncate out (max 1 (size / 2));
+        Unix.kill (Unix.getpid ()) Sys.sigkill
+      end;
+      Printf.printf "worker: shard %d wrote %d results ([%d,%d) of %d traces) to %s\n" shard_id
+        (Array.length results) lo hi traces out)
+
+let worker_cmd =
+  let doc = "Attack one shard of a campaign and write a shard result file (used by shard)." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "The worker half of $(b,reveal shard): loads a cached profile, re-derives the full campaign seed table from \
+         $(b,--seed), attacks only the trace slice [$(b,--shard-lo),$(b,--shard-hi)) and writes a CRC-framed \
+         $(b,Fabric.Shard) result file to $(b,--out). Invoked by the orchestrator with stdout and stderr captured \
+         to a per-attempt log; it is also a plain subcommand, so a shard can be re-run by hand for debugging.";
+    ]
+  in
+  let traces = Arg.(required & opt (some int) None & info [ "traces" ] ~docv:"T" ~doc:"Total campaign trace count.") in
+  let lo = Arg.(required & opt (some int) None & info [ "shard-lo" ] ~docv:"LO" ~doc:"First trace index of the shard.") in
+  let hi =
+    Arg.(required & opt (some int) None & info [ "shard-hi" ] ~docv:"HI" ~doc:"One past the last trace index of the shard.")
+  in
+  let shard_id = Arg.(value & opt int 0 & info [ "shard-id" ] ~docv:"I" ~doc:"Shard position in the plan.") in
+  let profile_path =
+    Arg.(required & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc:"Cached profile (see profile).")
+  in
+  let out = Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Shard result file.") in
+  let sabotage =
+    Arg.(
+      value & flag
+      & info [ "sabotage" ]
+          ~doc:"Test aid: after writing a deliberately truncated result file, kill this process with SIGKILL.")
+  in
+  Cmd.v (Cmd.info "worker" ~doc ~man)
+    Term.(
+      const worker_impl $ seed_arg $ n_arg 128 $ traces $ lo $ hi $ shard_id $ profile_path $ out $ sabotage
+      $ obs_args)
+
+let shard_impl seed n per_value traces workers retries work_dir keep sabotage obs_dir json obsa =
+  with_obs "shard" obsa @@ fun obs ->
+  traceio_guard (fun () ->
+      if traces <= 0 then invalid_arg "shard: traces must be positive";
+      if workers <= 0 then invalid_arg "shard: workers must be positive";
+      if retries < 0 then invalid_arg "shard: retries must be non-negative";
+      (* Progress goes to stderr: stdout carries only campaign-level
+         results, byte-identical whatever the worker count. *)
+      let chatter fmt = Printf.ksprintf (fun s -> prerr_endline ("shard: " ^ s)) fmt in
+      let owned, wd =
+        match work_dir with
+        | Some d ->
+            (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+            (false, d)
+        | None -> (true, Fabric.Orchestrator.fresh_work_dir ())
+      in
+      (match obs_dir with
+      | Some d -> ( try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+      | None -> ());
+      (* On the failure paths below [exit] skips this finaliser, so a
+         failed run keeps its work dir (and the per-attempt logs the
+         failure records point at) for diagnosis. *)
+      Fun.protect ~finally:(fun () -> if owned && not keep then Fabric.Orchestrator.remove_dir wd)
+      @@ fun () ->
+      chatter "profiling (%d windows per candidate value, n = %d)" per_value n;
+      let device = Reveal.Device.create ~n () in
+      let built = Reveal.Campaign.profile ~per_value ~obs device (rng_of_seed seed) in
+      let profile_path = Filename.concat wd "profile.bin" in
+      Reveal.Campaign.save_profile profile_path built;
+      (* Attack with the decoded cache in both paths, so the template
+         floats in play are byte-identical whether a worker loaded the
+         file or we never left this process. *)
+      let prof = Reveal.Campaign.load_profile profile_path in
+      let stats, results =
+        if workers = 1 then begin
+          if obs_dir <> None then chatter "note: --obs-dir collects worker traces; with 1 worker none are spawned";
+          chatter "single worker: running the campaign in-process";
+          Reveal.Campaign.run_source ~obs prof (shard_source device ~seed ~traces ~lo:0 ~hi:traces)
+        end
+        else begin
+          let plan = Fabric.Shard.plan ~traces ~workers in
+          let command ~shard ~attempt ~range ~out ~log:_ =
+            Array.of_list
+              ([
+                 Sys.executable_name;
+                 "worker";
+                 "--seed";
+                 string_of_int seed;
+                 "-n";
+                 string_of_int n;
+                 "--traces";
+                 string_of_int traces;
+                 "--shard-id";
+                 string_of_int shard;
+                 "--shard-lo";
+                 string_of_int range.Fabric.Shard.lo;
+                 "--shard-hi";
+                 string_of_int range.Fabric.Shard.hi;
+                 "--profile";
+                 profile_path;
+                 "--out";
+                 out;
+               ]
+              @ (match obs_dir with
+                | Some dir ->
+                    [ "--obs-out"; Filename.concat dir (Printf.sprintf "shard-%d.jsonl" shard); "--obs-clock"; "logical" ]
+                | None -> [])
+              @ if sabotage = Some shard && attempt = 0 then [ "--sabotage" ] else [])
+          in
+          let config = { Fabric.Orchestrator.max_inflight = workers; retries; work_dir = wd; command } in
+          chatter "dispatching %d workers over %d traces (work dir %s)" workers traces wd;
+          match Fabric.Orchestrator.run config ~plan with
+          | Error failures ->
+              List.iter
+                (fun f -> prerr_endline ("reveal: " ^ Fabric.Orchestrator.describe_failure f))
+                failures;
+              Printf.eprintf "reveal: shard: a shard exhausted its retry budget; work dir kept at %s\n" wd;
+              exit 1
+          | Ok report -> (
+              List.iter
+                (fun f -> chatter "recovered: %s" (Fabric.Orchestrator.describe_failure f))
+                report.Fabric.Orchestrator.failures;
+              if report.Fabric.Orchestrator.retried > 0 then
+                chatter "%d shard(s) needed more than one attempt" report.Fabric.Orchestrator.retried;
+              match Fabric.Shard.merge prof (Array.to_list report.Fabric.Orchestrator.results) with
+              | Error msg ->
+                  Printf.eprintf "reveal: shard: merge failed: %s; work dir kept at %s\n" msg wd;
+                  exit 1
+              | Ok pair -> pair)
+        end
+      in
+      if Array.length results <> traces * n then begin
+        Printf.eprintf "reveal: shard: merged %d results, expected %d (%d traces x %d coefficients)\n"
+          (Array.length results) (traces * n) traces n;
+        exit 1
+      end;
+      (* Fold the workers' obs traces into one summary next to them. *)
+      (match obs_dir with
+      | Some dir when workers > 1 -> (
+          let files =
+            Sys.readdir dir |> Array.to_list
+            |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+            |> List.sort compare
+            |> List.map (Filename.concat dir)
+          in
+          match Obs.Summary.merge_files files with
+          | Error msg -> Printf.eprintf "reveal: shard: obs merge: %s\n" msg
+          | Ok s ->
+              let out = Filename.concat dir "summary.json" in
+              let oc = open_out out in
+              output_string oc (Reveal.Report.to_string (Obs.Summary.to_json s));
+              output_char oc '\n';
+              close_out oc;
+              chatter "merged %d worker obs traces into %s" (List.length files) out)
+      | _ -> ());
+      let confident, tentative, sign_only, unknown = Reveal.Campaign.grade_counts results in
+      let hints =
+        Reveal.Sink.hints_of_results results (Array.length results) (fun i r ->
+            Reveal.Campaign.hint_of_result ~sigma:prof.Reveal.Campaign.sigma ~coordinate:i r)
+      in
+      let perfect, approximate, none = Hints.Hint.kind_counts hints in
+      if json then
+        Reveal.Report.(
+          print
+            (Obj
+               [
+                 ("n", Int n);
+                 ("traces", Int traces);
+                 ("seed", Int seed);
+                 ("sign_correct", Int stats.Reveal.Campaign.sign_correct);
+                 ("sign_total", Int stats.Reveal.Campaign.sign_total);
+                 ("value_correct", Int stats.Reveal.Campaign.value_correct);
+                 ("value_total", Int stats.Reveal.Campaign.value_total);
+                 ("out_of_range", Int stats.Reveal.Campaign.skipped_out_of_range);
+                 ("corrupt_skipped", Int stats.Reveal.Campaign.corrupt_skipped);
+                 ( "grades",
+                   Obj
+                     [
+                       ("confident", Int confident);
+                       ("tentative", Int tentative);
+                       ("sign_only", Int sign_only);
+                       ("unknown", Int unknown);
+                     ] );
+                 ( "hints",
+                   Obj [ ("perfect", Int perfect); ("approximate", Int approximate); ("none", Int none) ] );
+               ]))
+      else begin
+        Printf.printf "sharded campaign: %d traces x %d coefficients (seed %d)\n" traces n seed;
+        Printf.printf "signs %d/%d, values %d/%d (%d out of template range)\n" stats.Reveal.Campaign.sign_correct
+          stats.Reveal.Campaign.sign_total stats.Reveal.Campaign.value_correct stats.Reveal.Campaign.value_total
+          stats.Reveal.Campaign.skipped_out_of_range;
+        Printf.printf "grades: confident %d, tentative %d, sign-only %d, unknown %d\n" confident tentative sign_only
+          unknown;
+        Printf.printf "hints: perfect %d, approximate %d, none %d\n" perfect approximate none
+      end)
+
+let shard_cmd =
+  let doc = "Run a campaign sharded over N worker processes and merge deterministically." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Profiles once, caches the templates in the work dir, partitions the campaign's trace index space into \
+         $(b,--workers) contiguous shards and runs one $(b,reveal worker) process per shard (stdout and stderr \
+         captured to per-attempt logs). Shard results come back in CRC-framed files, are validated, and merge in \
+         trace order; the printed campaign results are bit-identical to $(b,--workers 1), which runs the same \
+         campaign in-process.";
+      `P
+        "A worker that crashes, exits nonzero or leaves a corrupt result file is retried up to $(b,--retries) extra \
+         attempts; only when a shard exhausts its budget does the command fail (exit 1), keeping the work dir and \
+         its logs for diagnosis.";
+    ]
+  in
+  let per_value = Arg.(value & opt int 300 & info [ "per-value" ] ~docv:"K" ~doc:"Profiling windows per value.") in
+  let traces = Arg.(value & opt int 4 & info [ "traces" ] ~docv:"T" ~doc:"Campaign trace count.") in
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"W" ~doc:"Worker processes; 1 runs in-process, no fork.")
+  in
+  let retries =
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"R" ~doc:"Extra attempts per shard after the first.")
+  in
+  let work_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "work-dir" ] ~docv:"DIR"
+          ~doc:"Work directory for profile cache, shard results and logs (default: private temp dir, removed on success).")
+  in
+  let keep = Arg.(value & flag & info [ "keep" ] ~doc:"Keep the auto-created work dir after a successful run.") in
+  let sabotage =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sabotage" ] ~docv:"SHARD"
+          ~doc:"Test aid: make shard $(docv)'s first attempt write a truncated result and die, exercising the retry path.")
+  in
+  let obs_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-dir" ] ~docv:"DIR"
+          ~doc:"Collect per-worker observability traces (logical clock) in $(docv) and fold them into summary.json.")
+  in
+  Cmd.v (Cmd.info "shard" ~doc ~man)
+    Term.(
+      const shard_impl $ seed_arg $ n_arg 128 $ per_value $ traces $ workers $ retries $ work_dir $ keep $ sabotage
+      $ obs_dir $ json_arg $ obs_args)
+
 (* --- obs ------------------------------------------------------------------- *)
 
-let obs_summarize path json =
-  match Obs.Summary.load path with
+let sample_events_arg =
+  let doc =
+    "Keep only every $(docv)-th point event while aggregating, weighting kept ones by $(docv) — bounded-memory \
+     summaries of event-heavy traces. Spans, counters, gauges and histograms are always exact."
+  in
+  Arg.(value & opt int 1 & info [ "sample-events" ] ~docv:"K" ~doc)
+
+let obs_summarize path sample_events json =
+  traceio_guard @@ fun () ->
+  match Obs.Summary.load ~sample_events path with
+  | Error msg ->
+      prerr_endline ("reveal: " ^ msg);
+      exit 3
+  | Ok s -> if json then Reveal.Report.print (Obs.Summary.to_json s) else print_string (Obs.Summary.render s)
+
+let obs_merge paths sample_events json =
+  traceio_guard @@ fun () ->
+  match Obs.Summary.merge_files ~sample_events paths with
   | Error msg ->
       prerr_endline ("reveal: " ^ msg);
       exit 3
@@ -754,21 +1058,62 @@ let obs_cmd =
     let file =
       Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"Trace file written by --obs-out.")
     in
-    Cmd.v (Cmd.info "summarize" ~doc ~man) Term.(const obs_summarize $ file $ json_arg)
+    Cmd.v (Cmd.info "summarize" ~doc ~man) Term.(const obs_summarize $ file $ sample_events_arg $ json_arg)
   in
-  Cmd.group (Cmd.info "obs" ~doc) [ summarize ]
+  let merge =
+    let doc = "Merge several observability traces into one aggregate summary." in
+    let man =
+      [
+        `S Manpage.s_description;
+        `P
+          "Aggregates each trace like $(b,summarize), then combines the summaries: span counts/totals and counter, \
+           event, gauge and histogram-bucket totals sum; span and histogram maxima take the max. This is the fold \
+           $(b,reveal shard --obs-dir) applies to its workers' traces; running it by hand answers what a whole \
+           sharded campaign did across all processes.";
+      ]
+    in
+    let files =
+      Arg.(non_empty & pos_all string [] & info [] ~docv:"TRACE" ~doc:"Trace files written by --obs-out.")
+    in
+    Cmd.v (Cmd.info "merge" ~doc ~man) Term.(const obs_merge $ files $ sample_events_arg $ json_arg)
+  in
+  Cmd.group (Cmd.info "obs" ~doc) [ summarize; merge ]
 
 let () =
   let doc = "RevEAL: single-trace side-channel attack on the SEAL BFV encryptor (reproduction)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Every stage of the paper's pipeline is a subcommand:";
+      `I ("$(b,disasm)", "print the RV32IM listing of a sampler firmware variant.");
+      `I ("$(b,trace)", "capture one sampler power trace (ASCII plot / CSV).");
+      `I ("$(b,profile)", "build attack templates and cache them to disk.");
+      `I ("$(b,attack)", "run the single-trace attack once and print per-coefficient results.");
+      `I ("$(b,record)", "capture a campaign of honest traces into a binary archive.");
+      `I ("$(b,replay-attack)", "re-run the single-trace attack offline, from an archive.");
+      `I ("$(b,inspect)", "validate an archive and print its header / record summary.");
+      `I ("$(b,fault-sweep)", "sweep measurement-fault intensity, report graceful degradation.");
+      `I ("$(b,lint)", "constant-time lint of the sampler firmware.");
+      `I ("$(b,estimate)", "DBDD security estimates for SEAL parameter sets with hint counts.");
+      `I ("$(b,report)", "render any experiment artefact of the paper (text or JSON).");
+      `I ("$(b,shard)", "run a campaign sharded over N worker processes, merged deterministically.");
+      `I ("$(b,worker)", "attack one shard of a campaign and write a shard result file.");
+      `I ("$(b,obs)", "summarize or merge observability traces written by --obs-out.");
+      `P "Every subcommand accepts $(b,--json) for one machine-readable JSON value on stdout.";
+    ]
+  in
   let exits =
     [
       Cmd.Exit.info 0 ~doc:"on success.";
-      Cmd.Exit.info 1 ~doc:"when the attack or a requested check fails (recovery below threshold, sweep invariant violated).";
+      Cmd.Exit.info 1
+        ~doc:
+          "when the attack or a requested check fails (recovery below threshold, sweep invariant violated, a shard \
+           exhausted its retry budget).";
       Cmd.Exit.info 2 ~doc:"on usage errors and impossible configurations.";
-      Cmd.Exit.info 3 ~doc:"on I/O errors and corrupt archives or profile caches.";
+      Cmd.Exit.info 3 ~doc:"on I/O errors and corrupt archives, profile caches or shard result files.";
     ]
   in
-  let info = Cmd.info "reveal" ~version:"1.0.0" ~doc ~exits in
+  let info = Cmd.info "reveal" ~version:"1.0.0" ~doc ~man ~exits in
   exit
     (Cmd.eval ~term_err:2
        (Cmd.group info
@@ -784,5 +1129,7 @@ let () =
             lint_cmd;
             estimate_cmd;
             report_cmd;
+            worker_cmd;
+            shard_cmd;
             obs_cmd;
           ]))

@@ -1,0 +1,170 @@
+(* Process-pool scheduling for sharded campaigns.  Everything that
+   could differ between runs — which worker finishes first, which
+   attempt of a shard succeeded — is kept out of the data path: results
+   land in per-shard slots and merge in shard order. *)
+
+type status = Exited of int | Signaled of int
+
+type failure = {
+  f_shard : int;
+  f_attempt : int;
+  f_status : status;
+  f_log : string;
+  f_reason : string;
+}
+
+(* OCaml signal numbers are internal (negative); name the common ones. *)
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigpipe then "SIGPIPE"
+  else Printf.sprintf "signal %d" s
+
+let describe_failure f =
+  let status =
+    match f.f_status with
+    | Exited c -> Printf.sprintf "exit %d" c
+    | Signaled s -> signal_name s
+  in
+  Printf.sprintf "shard %d attempt %d failed (%s): %s [log: %s]" f.f_shard f.f_attempt status f.f_reason f.f_log
+
+type config = {
+  max_inflight : int;
+  retries : int;
+  work_dir : string;
+  command : shard:int -> attempt:int -> range:Shard.range -> out:string -> log:string -> string array;
+}
+
+type report = {
+  results : Shard.result array;
+  failures : failure list;
+  retried : int;
+}
+
+type job = { j_shard : int; j_range : Shard.range; mutable j_attempt : int }
+
+let out_path config shard = Filename.concat config.work_dir (Printf.sprintf "shard-%d.bin" shard)
+
+let log_path config shard attempt =
+  Filename.concat config.work_dir (Printf.sprintf "shard-%d-attempt-%d.log" shard attempt)
+
+let spawn config job =
+  let out = out_path config job.j_shard in
+  (try Sys.remove out with Sys_error _ -> ());
+  let log = log_path config job.j_shard job.j_attempt in
+  let argv = config.command ~shard:job.j_shard ~attempt:job.j_attempt ~range:job.j_range ~out ~log in
+  Traceio.Error.wrap_io log (fun () ->
+      let logfd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.close logfd;
+          Unix.close devnull)
+        (fun () -> Unix.create_process argv.(0) argv devnull logfd logfd))
+
+(* A finished worker's shard result, validated against what the job
+   asked for — a worker writing the wrong slice is as much a failure
+   as a crash. *)
+let collect config job =
+  let out = out_path config job.j_shard in
+  match Shard.load out with
+  | r ->
+      if r.Shard.shard <> job.j_shard || r.Shard.range <> job.j_range then
+        Error
+          (Printf.sprintf "result file describes shard %d [%d,%d), expected shard %d [%d,%d)" r.Shard.shard
+             r.Shard.range.Shard.lo r.Shard.range.Shard.hi job.j_shard job.j_range.Shard.lo job.j_range.Shard.hi)
+      else Ok r
+  | exception Traceio.Error.Corrupt msg -> Error msg
+  | exception Traceio.Error.Io msg -> Error msg
+
+let run config ~plan =
+  if config.max_inflight <= 0 then invalid_arg "Orchestrator.run: max_inflight must be positive";
+  if config.retries < 0 then invalid_arg "Orchestrator.run: retries must be non-negative";
+  let slots : Shard.result option array = Array.make (Array.length plan) None in
+  let queue = Queue.create () in
+  Array.iteri
+    (fun i (range : Shard.range) ->
+      if range.Shard.hi > range.Shard.lo then Queue.add { j_shard = i; j_range = range; j_attempt = 0 } queue
+      else slots.(i) <- Some { Shard.shard = i; range; corrupt_skipped = 0; results = [||] })
+    plan;
+  let running : (int, job) Hashtbl.t = Hashtbl.create 8 in
+  let failures = ref [] in
+  let retried = ref [] in
+  let fatal = ref false in
+  let fail job st reason =
+    let f =
+      {
+        f_shard = job.j_shard;
+        f_attempt = job.j_attempt;
+        f_status = st;
+        f_log = log_path config job.j_shard job.j_attempt;
+        f_reason = reason;
+      }
+    in
+    failures := f :: !failures;
+    if job.j_attempt < config.retries then begin
+      if not (List.mem job.j_shard !retried) then retried := job.j_shard :: !retried;
+      job.j_attempt <- job.j_attempt + 1;
+      Queue.add job queue
+    end
+    else fatal := true
+  in
+  let reap_one () =
+    match Unix.wait () with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | pid, st -> (
+        match Hashtbl.find_opt running pid with
+        | None -> () (* not ours; nothing in this process spawns others *)
+        | Some job -> (
+            Hashtbl.remove running pid;
+            match st with
+            | Unix.WEXITED 0 -> (
+                match collect config job with
+                | Ok r -> slots.(job.j_shard) <- Some r
+                | Error reason -> fail job (Exited 0) reason)
+            | Unix.WEXITED c -> fail job (Exited c) "worker exited nonzero"
+            | Unix.WSIGNALED s -> fail job (Signaled s) "worker killed by signal"
+            | Unix.WSTOPPED _ -> Hashtbl.add running pid job (* not traced; keep waiting *)))
+  in
+  while (not !fatal) && (Queue.length queue > 0 || Hashtbl.length running > 0) do
+    while (not !fatal) && Hashtbl.length running < config.max_inflight && Queue.length queue > 0 do
+      let job = Queue.pop queue in
+      let pid = spawn config job in
+      Hashtbl.add running pid job
+    done;
+    if Hashtbl.length running > 0 then reap_one ()
+  done;
+  if !fatal then begin
+    (* a shard is out of attempts: tear the rest of the fleet down *)
+    Hashtbl.iter (fun pid _ -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()) running;
+    Hashtbl.iter
+      (fun pid _ -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      running;
+    Error (List.rev !failures)
+  end
+  else
+    Ok
+      {
+        results = Array.map (function Some r -> r | None -> assert false) slots;
+        failures = List.rev !failures;
+        retried = List.length !retried;
+      }
+
+(* --- work dirs ---------------------------------------------------------- *)
+
+let fresh_work_dir ?(prefix = "reveal_fabric") () =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let rec remove_dir path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun entry -> remove_dir (Filename.concat path entry)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())

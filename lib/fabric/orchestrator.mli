@@ -1,0 +1,55 @@
+(** The shard orchestrator: fork/exec one worker process per shard,
+    bounded in-flight, retry crashed shards, collect result files.
+
+    The orchestrator owns scheduling only — which worker runs when has
+    no way to reach the output, because every worker derives its slice
+    of the campaign from the shared seed and {!Shard.merge} orders by
+    shard id.  A worker that exits nonzero, dies on a signal, or
+    leaves a missing/corrupt result file produces a typed {!failure}
+    record and its shard is re-run, up to [retries] extra attempts;
+    only when a shard exhausts its budget does the run fail (remaining
+    workers are killed and reaped). *)
+
+type status = Exited of int | Signaled of int
+
+type failure = {
+  f_shard : int;
+  f_attempt : int;  (** 0-based *)
+  f_status : status;
+  f_log : string;  (** the attempt's captured stdout+stderr *)
+  f_reason : string;
+}
+
+val describe_failure : failure -> string
+
+type config = {
+  max_inflight : int;  (** concurrent worker processes *)
+  retries : int;  (** extra attempts per shard after the first *)
+  work_dir : string;  (** result files and per-attempt logs live here *)
+  command : shard:int -> attempt:int -> range:Shard.range -> out:string -> log:string -> string array;
+      (** argv for one attempt; [out] is where the worker must write
+          its {!Shard.result} file, [log] is informational (where this
+          attempt's output is being captured) *)
+}
+
+type report = {
+  results : Shard.result array;  (** one per plan entry, in shard order *)
+  failures : failure list;  (** every failed attempt, including recovered ones, oldest first *)
+  retried : int;  (** shards that needed more than one attempt *)
+}
+
+val run : config -> plan:Shard.range array -> (report, failure list) Stdlib.result
+(** Execute the plan.  Empty ranges are satisfied without spawning a
+    process.  [Error] carries every failure, the fatal one last.
+    Workers run with stdin from [/dev/null] and stdout+stderr captured
+    to [work_dir/shard-N-attempt-K.log].
+    @raise Invalid_argument when [max_inflight <= 0] or [retries < 0].
+    @raise Traceio.Error.Io when the work dir or a log cannot be
+    written. *)
+
+val fresh_work_dir : ?prefix:string -> unit -> string
+(** Create a private directory under the system temp dir. *)
+
+val remove_dir : string -> unit
+(** Recursively delete a work dir (best effort; symlinks not
+    followed). *)

@@ -1,0 +1,25 @@
+let records ?obs conn ~header recs =
+  let s = Traceio.Wire.create_sender ?obs ~peer:conn.Transport.peer ~header conn.Transport.oc in
+  Array.iter (fun (r : Traceio.Archive.record) -> Traceio.Wire.send s ~noises:r.noises r.trace) recs;
+  Traceio.Wire.finish s;
+  Traceio.Wire.sender_count s
+
+let archive ?obs conn ~path =
+  Traceio.Archive.with_reader ?obs path (fun reader ->
+      let header = Traceio.Archive.header reader in
+      let s = Traceio.Wire.create_sender ?obs ~peer:conn.Transport.peer ~header conn.Transport.oc in
+      let rec loop () =
+        match Traceio.Archive.try_next reader with
+        | `End_of_archive -> ()
+        | `Skipped _ -> loop ()
+        | `Record (r : Traceio.Archive.record) ->
+            Traceio.Wire.send s ~noises:r.noises r.trace;
+            loop ()
+      in
+      loop ();
+      Traceio.Wire.finish s;
+      Traceio.Wire.sender_count s)
+
+let archive_once ?obs listener ~path =
+  let conn = Transport.accept listener in
+  Fun.protect ~finally:(fun () -> Transport.close_connection conn) (fun () -> archive ?obs conn ~path)

@@ -1,0 +1,20 @@
+(** The producing side of a remote trace source: push records down a
+    connection with {!Traceio.Wire}.  The consuming side is
+    {!Reveal.Source.remote}. *)
+
+val records : ?obs:Obs.Ctx.t -> Transport.connection -> header:Traceio.Archive.header -> Traceio.Archive.record array -> int
+(** Stream an in-memory record set (header's [trace_count] is sent
+    as-is; records are re-indexed in send order).  Returns the count
+    streamed.  The connection stays open — close it after. *)
+
+val archive : ?obs:Obs.Ctx.t -> Transport.connection -> path:string -> int
+(** Stream an on-disk archive, tolerantly: records that fail their CRC
+    on disk are dropped (counted in the [obs] registry by the reader)
+    and the survivors are re-indexed densely on the wire.  Returns the
+    count streamed.
+    @raise Traceio.Error.Corrupt when the archive is structurally
+    damaged. *)
+
+val archive_once : ?obs:Obs.Ctx.t -> Transport.listener -> path:string -> int
+(** Accept one client, {!archive} to it, close the connection.  The
+    loopback serving loop of a one-shot worker feed. *)

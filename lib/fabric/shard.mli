@@ -1,0 +1,51 @@
+(** Campaign partitioning and the per-shard result container.
+
+    A shard is a half-open slice [\[lo,hi)] of the campaign's trace
+    index space.  Because {!Reveal.Source.device_live_range} draws the
+    full campaign seed table whatever slice it serves, per-trace
+    results are identical however the campaign is partitioned, and
+    {!merge} — concatenate slices in trace order, re-tally — is
+    bit-identical to the single-process run (DESIGN.md section 13).
+
+    Results cross the process boundary in a CRC-framed container
+    (magic ["REVEALSH"], u16 version, one {!Traceio.Frame}), with the
+    same corruption discipline as the profile cache: any truncation or
+    bit flip loads loudly as {!Traceio.Error.Corrupt}, never as
+    plausible numbers.  Floats travel as IEEE-754 bit patterns, so a
+    decoded result is bit-identical to the worker's. *)
+
+type range = { lo : int; hi : int }
+
+val plan : traces:int -> workers:int -> range array
+(** Contiguous cover of [\[0,traces)] by [workers] ranges, in order,
+    sizes differing by at most one (the first [traces mod workers]
+    shards get the extra trace).  Deterministic in its arguments.
+    Ranges may be empty when [workers > traces].
+    @raise Invalid_argument when [workers <= 0] or [traces < 0]. *)
+
+type result = {
+  shard : int;  (** position in the plan *)
+  range : range;
+  corrupt_skipped : int;  (** source records the worker's replay dropped *)
+  results : Reveal.Campaign.coefficient_result array;  (** traces [lo..hi-1], in trace order *)
+}
+
+val result_payload : result -> string
+val result_of_payload : path:string -> string -> result
+(** @raise Traceio.Error.Corrupt when the payload does not decode. *)
+
+val save : string -> result -> unit
+val load : string -> result
+(** @raise Traceio.Error.Corrupt on bad magic/version/checksum,
+    truncation or trailing data; {!Traceio.Error.Io} when unreadable. *)
+
+val merge :
+  Reveal.Campaign.profile ->
+  result list ->
+  (Reveal.Campaign.stats * Reveal.Campaign.coefficient_result array, string) Stdlib.result
+(** Deterministic merge: sort by shard id, check the ranges tile an
+    initial segment [\[0,hi)] without gap, overlap or duplicate,
+    concatenate the result slices in trace order and rebuild the
+    aggregates with {!Reveal.Campaign.stats_of_results} (corrupt
+    counts summed).  Scheduling order of the workers cannot influence
+    the output. *)

@@ -69,125 +69,244 @@ let hist_of_json name j =
     hist_overflow = req_int "overflow";
   }
 
-let of_records records =
-  let spans : (string, int ref * float ref * float ref) Hashtbl.t = Hashtbl.create 16 in
-  let events : (string * string, int ref) Hashtbl.t = Hashtbl.create 16 in
-  let clock = ref None in
-  let metrics = ref None in
-  let idx = ref 0 in
-  match
-    List.iter
-      (fun record ->
-        incr idx;
-        match Json.member "ev" record with
-        | None -> fail "record %d: missing \"ev\" field" !idx
-        | Some (Json.String "start") -> clock := get_string record "clock"
-        | Some (Json.String "span_begin") -> ()
-        | Some (Json.String "span_end") -> (
-            match (get_string record "name", get_float record "dur") with
-            | Some name, Some dur ->
-                let count, total, mx =
-                  match Hashtbl.find_opt spans name with
-                  | Some cell -> cell
-                  | None ->
-                      let cell = (ref 0, ref 0.0, ref neg_infinity) in
-                      Hashtbl.add spans name cell;
-                      cell
-                in
-                incr count;
-                total := !total +. dur;
-                if dur > !mx then mx := dur
-            | _ -> fail "record %d: span_end needs \"name\" and \"dur\"" !idx)
-        | Some (Json.String "event") -> (
-            match get_string record "name" with
-            | Some name ->
-                let level = Option.value ~default:"info" (get_string record "level") in
-                let cell =
-                  match Hashtbl.find_opt events (name, level) with
-                  | Some c -> c
-                  | None ->
-                      let c = ref 0 in
-                      Hashtbl.add events (name, level) c;
-                      c
-                in
-                incr cell
-            | None -> fail "record %d: event needs \"name\"" !idx)
-        | Some (Json.String "metrics") -> metrics := Some record
-        | Some (Json.String other) -> fail "record %d: unknown event type %S" !idx other
-        | Some _ -> fail "record %d: \"ev\" is not a string" !idx)
-      records
-  with
-  | exception Malformed msg -> Error msg
-  | () -> (
-      let span_rows =
-        Hashtbl.fold
-          (fun name (count, total, mx) acc ->
-            { span_name = name; span_count = !count; span_total = !total; span_max = !mx } :: acc)
-          spans []
-        |> List.sort (fun a b -> compare a.span_name b.span_name)
-      in
-      let event_rows =
-        Hashtbl.fold
-          (fun (name, level) count acc ->
-            { event_name = name; event_level = level; event_count = !count } :: acc)
-          events []
-        |> List.sort (fun a b ->
-               compare (a.event_name, a.event_level) (b.event_name, b.event_level))
-      in
-      let assoc_of key conv =
-        match !metrics with
-        | None -> []
-        | Some m -> (
-            match Json.member key m with
-            | Some (Json.Obj fields) -> List.filter_map conv fields
-            | _ -> [])
-      in
-      match
-        let counters =
-          assoc_of "counters" (fun (k, v) -> Option.map (fun i -> (k, i)) (Json.to_int_opt v))
-          |> List.sort compare
-        in
-        let gauges =
-          assoc_of "gauges" (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.to_float_opt v))
-          |> List.sort compare
-        in
-        let histograms =
-          assoc_of "histograms" (fun (k, v) -> Some (hist_of_json k v))
-          |> List.sort (fun a b -> compare a.hist_name b.hist_name)
-        in
-        { clock = !clock; records = !idx; spans = span_rows; counters; gauges; histograms; events = event_rows }
-      with
-      | t -> Ok t
-      | exception Malformed msg -> Error msg)
+(* Incremental aggregation state: one record is folded in at a time,
+   so paper-scale traces stream through {!load} in bounded memory
+   instead of accumulating a parsed record list. *)
+type state = {
+  st_spans : (string, int ref * float ref * float ref) Hashtbl.t;
+  st_events : (string * string, int ref) Hashtbl.t;
+  mutable st_clock : string option;
+  mutable st_metrics : Json.t option;
+  mutable st_records : int;
+}
 
-let load path =
+let state_create () =
+  { st_spans = Hashtbl.create 16; st_events = Hashtbl.create 16; st_clock = None; st_metrics = None; st_records = 0 }
+
+(* Count a record that was deliberately not parsed (event sampling). *)
+let state_skip st = st.st_records <- st.st_records + 1
+
+let state_add ?(weight = 1) st record =
+  st.st_records <- st.st_records + 1;
+  let idx = st.st_records in
+  match Json.member "ev" record with
+  | None -> fail "record %d: missing \"ev\" field" idx
+  | Some (Json.String "start") -> st.st_clock <- get_string record "clock"
+  | Some (Json.String "span_begin") -> ()
+  | Some (Json.String "span_end") -> (
+      match (get_string record "name", get_float record "dur") with
+      | Some name, Some dur ->
+          let count, total, mx =
+            match Hashtbl.find_opt st.st_spans name with
+            | Some cell -> cell
+            | None ->
+                let cell = (ref 0, ref 0.0, ref neg_infinity) in
+                Hashtbl.add st.st_spans name cell;
+                cell
+          in
+          incr count;
+          total := !total +. dur;
+          if dur > !mx then mx := dur
+      | _ -> fail "record %d: span_end needs \"name\" and \"dur\"" idx)
+  | Some (Json.String "event") -> (
+      match get_string record "name" with
+      | Some name ->
+          let level = Option.value ~default:"info" (get_string record "level") in
+          let cell =
+            match Hashtbl.find_opt st.st_events (name, level) with
+            | Some c -> c
+            | None ->
+                let c = ref 0 in
+                Hashtbl.add st.st_events (name, level) c;
+                c
+          in
+          cell := !cell + weight
+      | None -> fail "record %d: event needs \"name\"" idx)
+  | Some (Json.String "metrics") -> st.st_metrics <- Some record
+  | Some (Json.String other) -> fail "record %d: unknown event type %S" idx other
+  | Some _ -> fail "record %d: \"ev\" is not a string" idx
+
+let state_finish st =
+  let span_rows =
+    Hashtbl.fold
+      (fun name (count, total, mx) acc ->
+        { span_name = name; span_count = !count; span_total = !total; span_max = !mx } :: acc)
+      st.st_spans []
+    |> List.sort (fun a b -> compare a.span_name b.span_name)
+  in
+  let event_rows =
+    Hashtbl.fold
+      (fun (name, level) count acc -> { event_name = name; event_level = level; event_count = !count } :: acc)
+      st.st_events []
+    |> List.sort (fun a b -> compare (a.event_name, a.event_level) (b.event_name, b.event_level))
+  in
+  let assoc_of key conv =
+    match st.st_metrics with
+    | None -> []
+    | Some m -> (
+        match Json.member key m with
+        | Some (Json.Obj fields) -> List.filter_map conv fields
+        | _ -> [])
+  in
+  let counters =
+    assoc_of "counters" (fun (k, v) -> Option.map (fun i -> (k, i)) (Json.to_int_opt v)) |> List.sort compare
+  in
+  let gauges =
+    assoc_of "gauges" (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.to_float_opt v)) |> List.sort compare
+  in
+  let histograms =
+    assoc_of "histograms" (fun (k, v) -> Some (hist_of_json k v))
+    |> List.sort (fun a b -> compare a.hist_name b.hist_name)
+  in
+  {
+    clock = st.st_clock;
+    records = st.st_records;
+    spans = span_rows;
+    counters;
+    gauges;
+    histograms;
+    events = event_rows;
+  }
+
+let of_records records =
+  let st = state_create () in
+  match
+    List.iter (state_add st) records;
+    state_finish st
+  with
+  | t -> Ok t
+  | exception Malformed msg -> Error msg
+
+(* Cheap pre-parse test for point-event lines: the writer emits
+   compact JSON, so an event record always contains this literal
+   (string values would carry escaped quotes instead). *)
+let event_marker = "\"ev\":\"event\""
+
+let is_event_line line =
+  let n = String.length line and m = String.length event_marker in
+  let rec at i = i + m <= n && (String.sub line i m = event_marker || at (i + 1)) in
+  at 0
+
+let load ?(sample_events = 1) path =
+  if sample_events < 1 then invalid_arg "Obs.Summary.load: sample_events must be >= 1";
   match open_in path with
   | exception Sys_error msg -> Error (Printf.sprintf "Obs.Summary.load: cannot read %s: %s" path msg)
   | ic ->
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
-          let records = ref [] in
+          let st = state_create () in
           let lineno = ref 0 in
+          let seen_events = ref 0 in
           let rec read_all () =
             match input_line ic with
             | exception End_of_file -> Ok ()
             | line ->
                 incr lineno;
                 if String.trim line = "" then read_all ()
+                else if
+                  sample_events > 1 && is_event_line line
+                  && begin
+                       incr seen_events;
+                       (!seen_events - 1) mod sample_events <> 0
+                     end
+                then begin
+                  (* sampled out: counted, not parsed; the kept events
+                     carry weight [sample_events] to compensate *)
+                  state_skip st;
+                  read_all ()
+                end
                 else (
                   match Json.parse line with
-                  | Ok j ->
-                      records := j :: !records;
-                      read_all ()
+                  | Ok j -> (
+                      let weight = if sample_events > 1 && is_event_line line then sample_events else 1 in
+                      match state_add ~weight st j with
+                      | () -> read_all ()
+                      | exception Malformed msg -> Error (Printf.sprintf "%s: %s" path msg))
                   | Error msg -> Error (Printf.sprintf "%s:%d: %s" path !lineno msg))
           in
           match read_all () with
           | Error _ as e -> e
           | Ok () -> (
-              match of_records (List.rev !records) with
-              | Ok _ as ok -> ok
-              | Error msg -> Error (Printf.sprintf "%s: %s" path msg)))
+              match state_finish st with
+              | t -> Ok t
+              | exception Malformed msg -> Error (Printf.sprintf "%s: %s" path msg)))
+
+(* --- merging --------------------------------------------------------------- *)
+
+(* Union of two lists sorted by a key, combining equal-key entries —
+   all section lists are already sorted, so merged summaries stay
+   deterministic without re-sorting. *)
+let rec merge_sorted cmp combine l1 l2 =
+  match (l1, l2) with
+  | [], l | l, [] -> l
+  | x :: xs, y :: ys ->
+      let c = cmp x y in
+      if c < 0 then x :: merge_sorted cmp combine xs l2
+      else if c > 0 then y :: merge_sorted cmp combine l1 ys
+      else combine x y :: merge_sorted cmp combine xs ys
+
+let opt2 f a b = match (a, b) with None, x | x, None -> x | Some a, Some b -> Some (f a b)
+
+let merge_hist a b =
+  {
+    hist_name = a.hist_name;
+    hist_count = a.hist_count + b.hist_count;
+    hist_sum = a.hist_sum +. b.hist_sum;
+    hist_min = opt2 min a.hist_min b.hist_min;
+    hist_max = opt2 max a.hist_max b.hist_max;
+    hist_buckets =
+      merge_sorted
+        (fun (le1, _) (le2, _) -> compare le1 le2)
+        (fun (le, c1) (_, c2) -> (le, c1 + c2))
+        a.hist_buckets b.hist_buckets;
+    hist_overflow = a.hist_overflow + b.hist_overflow;
+  }
+
+let merge a b =
+  {
+    clock =
+      (match (a.clock, b.clock) with
+      | None, c | c, None -> c
+      | Some x, Some y -> if x = y then Some x else Some "mixed");
+    records = a.records + b.records;
+    spans =
+      merge_sorted
+        (fun s1 s2 -> compare s1.span_name s2.span_name)
+        (fun s1 s2 ->
+          {
+            span_name = s1.span_name;
+            span_count = s1.span_count + s2.span_count;
+            span_total = s1.span_total +. s2.span_total;
+            span_max = max s1.span_max s2.span_max;
+          })
+        a.spans b.spans;
+    counters =
+      merge_sorted (fun (k1, _) (k2, _) -> compare k1 k2) (fun (k, v1) (_, v2) -> (k, v1 + v2)) a.counters b.counters;
+    gauges =
+      merge_sorted
+        (fun (k1, _) (k2, _) -> compare k1 k2)
+        (fun (k, v1) (_, v2) -> (k, v1 +. v2))
+        a.gauges b.gauges;
+    histograms = merge_sorted (fun h1 h2 -> compare h1.hist_name h2.hist_name) merge_hist a.histograms b.histograms;
+    events =
+      merge_sorted
+        (fun e1 e2 -> compare (e1.event_name, e1.event_level) (e2.event_name, e2.event_level))
+        (fun e1 e2 -> { e1 with event_count = e1.event_count + e2.event_count })
+        a.events b.events;
+  }
+
+let merge_files ?sample_events paths =
+  let rec fold acc = function
+    | [] -> Ok acc
+    | path :: rest -> (
+        match load ?sample_events path with
+        | Ok t -> fold (merge acc t) rest
+        | Error _ as e -> e)
+  in
+  match paths with
+  | [] -> Error "Obs.Summary.merge_files: no traces given"
+  | first :: rest -> ( match load ?sample_events first with Ok t -> fold t rest | Error _ as e -> e)
 
 (* --- rendering -------------------------------------------------------------- *)
 

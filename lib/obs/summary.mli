@@ -34,9 +34,32 @@ val of_records : Json.t list -> (t, string) result
 (** Aggregate parsed trace records.  Unknown ["ev"] values and
     structurally broken records are errors naming the record index. *)
 
-val load : string -> (t, string) result
-(** Read a JSONL file (blank lines skipped).  Errors name the path
-    and, for parse failures, the 1-based line number. *)
+val load : ?sample_events:int -> string -> (t, string) result
+(** Stream a JSONL file through the aggregation (blank lines skipped,
+    one record resident at a time — paper-scale traces stay bounded).
+    Errors name the path and, for parse failures, the 1-based line
+    number.
+
+    [sample_events] (default 1 = exact) keeps only every k-th point
+    event and weights it by k: skipped event lines are counted in
+    [records] but never JSON-parsed, so a trace dominated by per-trace
+    warn events summarizes in ~1/k the time.  Event counts become
+    estimates (count x k of the sampled stream); spans, counters,
+    gauges and histograms are unaffected.
+    @raise Invalid_argument when [sample_events < 1]. *)
+
+val merge : t -> t -> t
+(** Fold two summaries into one — the orchestrator's view of a
+    sharded campaign from its workers' traces.  Span counts/totals
+    add and maxima take the max; counters, event tallies, histogram
+    buckets and [records] add; gauges add (campaign aggregates like
+    [result.sign_correct] sum to the whole-campaign value — read
+    per-run gauges from the per-worker summaries instead).  Clocks
+    that disagree merge to ["mixed"]. *)
+
+val merge_files : ?sample_events:int -> string list -> (t, string) result
+(** {!load} each path and {!merge} the results, left to right.  An
+    empty list is an error. *)
 
 val render : t -> string
 (** The text tree [obs summarize] prints. *)

@@ -136,6 +136,17 @@ let tally_finish ?(corrupt_skipped = 0) t =
     },
     Array.of_list (List.rev t.t_all) )
 
+(* The tally is a fold over results in item order with commutative
+   counters, so the aggregates are a pure function of the result array
+   (plus the corrupt count).  This is the deterministic-merge half of
+   the distributed fabric: concatenate per-shard result slices in
+   trace order, re-tally, and the stats match the single-process run
+   bit for bit. *)
+let stats_of_results ?(corrupt_skipped = 0) prof results =
+  let t = tally_create prof in
+  tally_add t results;
+  fst (tally_finish ~corrupt_skipped t)
+
 (* --- the driver ----------------------------------------------------------- *)
 
 type mode = Classic | Resilient of gate

@@ -184,6 +184,14 @@ type stats = {
           replay only; always 0 for live campaigns) *)
 }
 
+val stats_of_results : ?corrupt_skipped:int -> profile -> coefficient_result array -> stats
+(** Rebuild the aggregates from a result array alone.  The campaign
+    tally is a fold of commutative counters over results in item
+    order, so this reproduces the driver's own stats exactly — and it
+    is the deterministic-merge half of the distributed fabric:
+    concatenating per-shard result slices in trace order and
+    re-tallying here is bit-identical to the single-process run. *)
+
 type mode =
   | Classic  (** strict segmentation, no gating or retries; failures raise *)
   | Resilient of gate  (** the fault-tolerance stack *)

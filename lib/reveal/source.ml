@@ -29,16 +29,23 @@ let live_item ~retry device index (scope_seed, sampler_seed) =
         { Pipeline.samples = run.Device.trace.Power.Ptrace.samples; noises = run.Device.noises; remeasure });
   }
 
-let device_live ?(retry = false) device ~traces ~scope_rng ~sampler_rng =
+(* The full campaign's seed table is always drawn, whatever slice is
+   served: shard [lo,hi) of an N-trace campaign sees exactly the seeds
+   trace lo..hi-1 would see in the single-process run, which is what
+   makes the sharded merge bit-identical. *)
+let device_live_range ?(retry = false) device ~traces ~lo ~hi ~scope_rng ~sampler_rng =
+  if traces < 0 then invalid_arg "Source.device_live_range: negative trace count";
+  if lo < 0 || hi < lo || hi > traces then
+    invalid_arg (Printf.sprintf "Source.device_live_range: bad range [%d,%d) of %d traces" lo hi traces);
   let seeds = Array.init traces (fun _ -> (Mathkit.Prng.bits64 scope_rng, Mathkit.Prng.bits64 sampler_rng)) in
-  let pos = ref 0 in
+  let pos = ref lo in
   let module M = struct
     type t = unit
 
-    let name = "device-live"
+    let name = Printf.sprintf "device-live[%d,%d)" lo hi
 
     let next () =
-      if !pos >= traces then `End
+      if !pos >= hi then `End
       else begin
         let i = !pos in
         incr pos;
@@ -48,6 +55,9 @@ let device_live ?(retry = false) device ~traces ~scope_rng ~sampler_rng =
     let close () = ()
   end in
   Pipeline.Source ((module M), ())
+
+let device_live ?retry device ~traces ~scope_rng ~sampler_rng =
+  device_live_range ?retry device ~traces ~lo:0 ~hi:traces ~scope_rng ~sampler_rng
 
 let item_of_record index (r : Traceio.Archive.record) =
   {
@@ -82,6 +92,8 @@ let of_trace_source stream =
   Pipeline.Source ((module M), ())
 
 let archive_replay ?strict ?obs path = of_trace_source (Traceio.Source.of_archive ?strict ?obs path)
+
+let remote ?strict ?obs ?close ~peer ic = of_trace_source (Traceio.Wire.source ?strict ?obs ?close ~peer ic)
 
 let of_runs ~name runs =
   let pos = ref 0 in

@@ -26,6 +26,23 @@ val device_live :
     campaign that needs no retries consumes randomness identically to
     one with [~retry:false]. *)
 
+val device_live_range :
+  ?retry:bool ->
+  Device.t ->
+  traces:int ->
+  lo:int ->
+  hi:int ->
+  scope_rng:Mathkit.Prng.t ->
+  sampler_rng:Mathkit.Prng.t ->
+  Pipeline.source
+(** {!device_live} restricted to the half-open slice [\[lo,hi)] of a
+    [traces]-long campaign — the shard worker's source.  The full
+    campaign's seed table is drawn regardless of the slice, so trace
+    [i] acquires identically whether it is served by the whole
+    campaign, this shard, or any other partition; items keep their
+    global indices.  [device_live] is the [\[0,traces)] instance.
+    @raise Invalid_argument unless [0 <= lo <= hi <= traces]. *)
+
 val archive_replay : ?strict:bool -> ?obs:Obs.Ctx.t -> string -> Pipeline.source
 (** Stream a recorded campaign.  Tolerant by default: a record failing
     its CRC yields [`Skip] and the stream resumes at the next frame
@@ -35,6 +52,15 @@ val archive_replay : ?strict:bool -> ?obs:Obs.Ctx.t -> string -> Pipeline.source
     [obs] forwards to the underlying archive reader, whose read/skip
     counters land in the context's metrics registry.
     @raise Traceio.Error.Io when the file cannot be opened. *)
+
+val remote :
+  ?strict:bool -> ?obs:Obs.Ctx.t -> ?close:(unit -> unit) -> peer:string -> in_channel -> Pipeline.source
+(** Stream records from a serving peer over {!Traceio.Wire} — the
+    distributed fabric's acquisition backend.  Same tolerant/strict
+    corruption discipline as {!archive_replay}; the header is read
+    before this returns.  [close] runs when the pipeline closes the
+    source — pass the socket teardown.  [peer] labels errors.
+    @raise Traceio.Error.Corrupt on a bad preamble or header. *)
 
 val of_runs : name:string -> Device.run array -> Pipeline.source
 (** An in-memory source over already-captured runs. *)

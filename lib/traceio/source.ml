@@ -32,6 +32,8 @@ let of_records ~name records =
   in
   { name; next; close = ignore }
 
+let make ~name ~next ~close = { name; next; close }
+
 let fold t f acc =
   let rec loop acc skipped =
     match t.next () with

@@ -39,6 +39,11 @@ val of_reader : ?strict:bool -> name:string -> Archive.reader -> t
 val of_records : name:string -> Archive.record array -> t
 (** An in-memory stream — synthetic campaigns and tests. *)
 
+val make : name:string -> next:(unit -> event) -> close:(unit -> unit) -> t
+(** Wrap an arbitrary acquisition backend (e.g. {!Wire.source}'s
+    socket receiver).  [next] must keep returning [`End_of_archive]
+    once it has; [close] must be idempotent. *)
+
 val fold : t -> ('a -> Archive.record -> 'a) -> 'a -> ('a * int)
 (** Drain the stream; returns the accumulator and the number of
     skipped records.  Closes the source, also on exceptions. *)

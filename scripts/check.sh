@@ -90,6 +90,10 @@ dune exec bin/reveal_cli.exe -- report table3 --seed 54398 -n 64 --per-value 80 
   | cmp - test/golden/table3.txt
 dune exec bin/reveal_cli.exe -- report table4 --seed 54398 -n 64 --per-value 80 --traces 2 \
   | cmp - test/golden/table4.txt
+dune exec bin/reveal_cli.exe -- report signs --seed 54398 -n 64 --per-value 80 --traces 2 \
+  | cmp - test/golden/signs.txt
+dune exec bin/reveal_cli.exe -- report fig3 --seed 54398 -n 64 --per-value 80 --traces 2 \
+  | cmp - test/golden/fig3.txt
 dune exec bin/reveal_cli.exe -- report signs --seed 7 -n 64 --per-value 40 --json > "$tmp/report.json"
 json_ok "$tmp/report.json" correct total accuracy_percent
 # unknown artefacts are a usage error
@@ -121,5 +125,46 @@ if dune exec bin/reveal_cli.exe -- obs summarize /nonexistent.jsonl > /dev/null 
   echo "obs summarize: expected an I/O-error exit for a missing trace" >&2
   exit 1
 fi
+
+echo "== smoke: sharded campaign merges bit-identically to a single process =="
+# the fabric's determinism contract: same seed, any worker count, same
+# bytes — text and JSON, and a killed worker's shard retried in between
+shard_args="--seed 54398 -n 64 --per-value 40 --traces 4"
+dune exec bin/reveal_cli.exe -- shard $shard_args --workers 1 > "$tmp/shard-1.out" 2> /dev/null
+dune exec bin/reveal_cli.exe -- shard $shard_args --workers 2 > "$tmp/shard-2.out" 2> /dev/null
+cmp "$tmp/shard-1.out" "$tmp/shard-2.out"
+dune exec bin/reveal_cli.exe -- shard $shard_args --workers 1 --json > "$tmp/shard-1.json" 2> /dev/null
+dune exec bin/reveal_cli.exe -- shard $shard_args --workers 2 --json > "$tmp/shard-2.json" 2> /dev/null
+cmp "$tmp/shard-1.json" "$tmp/shard-2.json"
+json_ok "$tmp/shard-2.json" n traces seed sign_correct value_correct grades hints
+# kill shard 0's first attempt mid-write: the retry must recover and the
+# merged output must still be byte-identical
+dune exec bin/reveal_cli.exe -- shard $shard_args --workers 2 --sabotage 0 \
+  > "$tmp/shard-sab.out" 2> "$tmp/shard-sab.err"
+cmp "$tmp/shard-1.out" "$tmp/shard-sab.out"
+grep -q "recovered" "$tmp/shard-sab.err"
+# per-worker obs traces merge into one campaign summary
+dune exec bin/reveal_cli.exe -- shard $shard_args --workers 2 --obs-dir "$tmp/shard-obs" \
+  > /dev/null 2> /dev/null
+test -s "$tmp/shard-obs/shard-0.jsonl"
+test -s "$tmp/shard-obs/shard-1.jsonl"
+json_ok "$tmp/shard-obs/summary.json" clock spans counters histograms
+dune exec bin/reveal_cli.exe -- obs merge "$tmp/shard-obs/shard-0.jsonl" "$tmp/shard-obs/shard-1.jsonl" \
+  --json > "$tmp/shard-obs-merge.json"
+json_ok "$tmp/shard-obs-merge.json" clock spans counters histograms
+# a worker that always dies exhausts its retry budget: attack-failure exit (1)
+if dune exec bin/reveal_cli.exe -- shard $shard_args --workers 2 --sabotage 0 --retries 0 \
+  > /dev/null 2> /dev/null; then
+  echo "shard: expected a retry-exhaustion exit when the only attempt is killed" >&2
+  exit 1
+fi
+
+echo "== bench: perf snapshot written, regressions diffed against the previous run =="
+# the bench harness writes bench_out/BENCH_perf.json and warns (never
+# fails) when a kernel regressed vs the rotated previous snapshot
+REVEAL_PERF_QUOTA=0.05 dune exec bench/main.exe -- perf > "$tmp/perf.out"
+grep -q "snapshot written" "$tmp/perf.out"
+test -s bench_out/BENCH_perf.json
+json_ok bench_out/BENCH_perf.json quota_s results
 
 echo "== all checks passed =="

@@ -1,0 +1,581 @@
+(* Distributed campaign fabric: wire protocol corruption discipline,
+   shard planning/merging determinism, and the orchestrator's retry
+   machinery — including the end-to-end bit-identity guarantee: a
+   campaign sharded over real worker processes merges to exactly the
+   bytes the single-process run produces. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  data
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let with_temp_file f =
+  let path = Filename.temp_file "reveal_fabric" ".bin" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let rejected f =
+  match f () with
+  | _ -> false
+  | exception Invalid_argument _ -> true
+  | exception Traceio.Error.Corrupt _ -> true
+  | exception Traceio.Error.Io _ -> true
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  at 0
+
+(* --- shard planning --------------------------------------------------------- *)
+
+let test_plan_directed () =
+  let ranges = Fabric.Shard.plan ~traces:7 ~workers:3 in
+  Alcotest.(check (list (pair int int)))
+    "7 over 3: first shard takes the extra"
+    [ (0, 3); (3, 5); (5, 7) ]
+    (Array.to_list (Array.map (fun r -> (r.Fabric.Shard.lo, r.Fabric.Shard.hi)) ranges));
+  let empties = Fabric.Shard.plan ~traces:2 ~workers:4 in
+  Alcotest.(check int) "more workers than traces: empty tail ranges" 4 (Array.length empties);
+  Alcotest.(check (list (pair int int)))
+    "empty ranges still tile"
+    [ (0, 1); (1, 2); (2, 2); (2, 2) ]
+    (Array.to_list (Array.map (fun r -> (r.Fabric.Shard.lo, r.Fabric.Shard.hi)) empties));
+  Alcotest.check_raises "zero workers rejected" (Invalid_argument "Shard.plan: workers must be positive") (fun () ->
+      ignore (Fabric.Shard.plan ~traces:4 ~workers:0));
+  Alcotest.check_raises "negative traces rejected" (Invalid_argument "Shard.plan: negative trace count") (fun () ->
+      ignore (Fabric.Shard.plan ~traces:(-1) ~workers:2))
+
+let qcheck_plan =
+  QCheck.Test.make ~count:300 ~name:"plan: contiguous cover of [0,traces), sizes within 1"
+    QCheck.(pair (int_range 0 200) (int_range 1 32))
+    (fun (traces, workers) ->
+      let plan = Fabric.Shard.plan ~traces ~workers in
+      let tiles =
+        Array.fold_left
+          (fun acc r ->
+            match acc with
+            | Some pos when r.Fabric.Shard.lo = pos && r.Fabric.Shard.hi >= r.Fabric.Shard.lo ->
+                Some r.Fabric.Shard.hi
+            | _ -> None)
+          (Some 0) plan
+      in
+      let sizes = Array.map (fun r -> r.Fabric.Shard.hi - r.Fabric.Shard.lo) plan in
+      let mn = Array.fold_left min max_int sizes and mx = Array.fold_left max 0 sizes in
+      Array.length plan = workers && tiles = Some traces && mx - mn <= 1)
+
+(* --- shard result codec ------------------------------------------------------ *)
+
+let mk_result i =
+  {
+    Reveal.Campaign.actual = (i mod 9) - 4;
+    verdict =
+      {
+        Sca.Attack.sign = (if i mod 2 = 0 then 1 else -1);
+        value = (i mod 9) - 4;
+        posterior = Array.init 8 (fun j -> (j - 4, 1.0 /. float_of_int (i + j + 2)));
+      };
+    posterior_all = Array.init 29 (fun j -> (j - 14, 1.0 /. float_of_int (i + j + 2)));
+    grade =
+      (match i mod 4 with
+      | 0 -> Reveal.Campaign.Confident
+      | 1 -> Reveal.Campaign.Tentative
+      | 2 -> Reveal.Campaign.SignOnly
+      | _ -> Reveal.Campaign.Unknown);
+    recovery =
+      (match i mod 3 with
+      | 0 -> Reveal.Campaign.Clean
+      | 1 -> Reveal.Campaign.Retried (i mod 5)
+      | _ -> Reveal.Campaign.Unrecoverable);
+  }
+
+let sample_result =
+  lazy
+    {
+      Fabric.Shard.shard = 2;
+      range = { Fabric.Shard.lo = 6; hi = 9 };
+      corrupt_skipped = 1;
+      results = Array.init 48 mk_result;
+    }
+
+let test_shard_codec_roundtrip () =
+  let r = Lazy.force sample_result in
+  let payload = Fabric.Shard.result_payload r in
+  let decoded = Fabric.Shard.result_of_payload ~path:"<mem>" payload in
+  Alcotest.(check string) "decode/encode is the identity on the payload" payload
+    (Fabric.Shard.result_payload decoded);
+  Alcotest.(check int) "shard id survives" r.Fabric.Shard.shard decoded.Fabric.Shard.shard;
+  Alcotest.(check bool) "range survives" true (decoded.Fabric.Shard.range = r.Fabric.Shard.range);
+  Alcotest.(check bool) "results are structurally identical" true (decoded.Fabric.Shard.results = r.Fabric.Shard.results);
+  with_temp_file (fun path ->
+      Fabric.Shard.save path r;
+      let loaded = Fabric.Shard.load path in
+      Alcotest.(check string) "save/load preserves the payload bytes" payload (Fabric.Shard.result_payload loaded))
+
+let qcheck_shard_codec =
+  let payload = lazy (Fabric.Shard.result_payload (Lazy.force sample_result)) in
+  let file_image =
+    lazy
+      (with_temp_file (fun path ->
+           Fabric.Shard.save path (Lazy.force sample_result);
+           read_file path))
+  in
+  [
+    QCheck.Test.make ~count:50 ~name:"shard result: truncated payload rejected"
+      QCheck.(float_range 0.0 1.0)
+      (fun frac ->
+        let payload = Lazy.force payload in
+        let keep = int_of_float (frac *. float_of_int (String.length payload - 1)) in
+        rejected (fun () -> Fabric.Shard.result_of_payload ~path:"<mem>" (String.sub payload 0 keep)));
+    QCheck.Test.make ~count:50 ~name:"shard result: single bit flip in file rejected"
+      QCheck.(float_range 0.0 1.0)
+      (fun frac ->
+        let image = Lazy.force file_image in
+        let bit = int_of_float (frac *. float_of_int ((String.length image * 8) - 1)) in
+        let mutated = Bytes.of_string image in
+        Bytes.set mutated (bit / 8) (Char.chr (Char.code image.[bit / 8] lxor (1 lsl (bit mod 8))));
+        with_temp_file (fun path ->
+            write_file path (Bytes.to_string mutated);
+            rejected (fun () -> Fabric.Shard.load path)));
+  ]
+
+(* --- shard merge ------------------------------------------------------------- *)
+
+let campaign_profile =
+  lazy
+    (let rng = Mathkit.Prng.create ~seed:54398L () in
+     let device = Reveal.Device.create ~n:64 () in
+     Reveal.Campaign.profile ~per_value:20 device rng)
+
+let test_merge_checks () =
+  let prof = Lazy.force campaign_profile in
+  let slice shard lo hi =
+    { Fabric.Shard.shard; range = { Fabric.Shard.lo; hi }; corrupt_skipped = 0; results = Array.init (hi - lo) mk_result }
+  in
+  let expect_error msg parts =
+    match Fabric.Shard.merge prof parts with
+    | Ok _ -> Alcotest.failf "merge accepted %s" msg
+    | Error e -> Alcotest.(check bool) (msg ^ " produces a typed error") true (e <> "")
+  in
+  expect_error "a duplicate shard" [ slice 0 0 2; slice 0 0 2 ];
+  expect_error "a missing shard" [ slice 0 0 2; slice 2 4 6 ];
+  expect_error "a gap" [ slice 0 0 2; slice 1 3 5 ];
+  (match Fabric.Shard.merge prof [ slice 1 2 4; slice 0 0 2 ] with
+  | Error e -> Alcotest.failf "well-formed out-of-order merge rejected: %s" e
+  | Ok (_, merged) -> Alcotest.(check int) "out-of-order slices merge in trace order" 4 (Array.length merged));
+  match Fabric.Shard.merge prof [] with
+  | Ok (stats, merged) ->
+      Alcotest.(check int) "empty merge is the empty campaign" 0 (Array.length merged);
+      Alcotest.(check int) "no corrupt skips" 0 stats.Reveal.Campaign.corrupt_skipped
+  | Error e -> Alcotest.failf "empty merge should degenerate cleanly: %s" e
+
+(* --- wire protocol ----------------------------------------------------------- *)
+
+(* A small recorded campaign to stream: real traces, real codec. *)
+let wire_fixture =
+  lazy
+    (let path = Filename.temp_file "reveal_wire" ".rvt" in
+     let device = Reveal.Device.create ~n:8 () in
+     let g = Mathkit.Prng.create ~seed:11L () in
+     Reveal.Device.record device ~path ~seed:11L ~traces:3 ~scope_rng:g ~sampler_rng:g;
+     let header = Traceio.Archive.with_reader path Traceio.Archive.header in
+     let records = List.rev (Traceio.Archive.fold path (fun acc r -> r :: acc) []) in
+     at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+     (header, records))
+
+let record_payload (r : Traceio.Archive.record) =
+  Traceio.Archive.record_payload ~index:r.Traceio.Archive.index ~noises:r.Traceio.Archive.noises
+    r.Traceio.Archive.trace
+
+let wire_image () =
+  let header, records = Lazy.force wire_fixture in
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      let sender = Traceio.Wire.create_sender ~peer:"test" ~header oc in
+      List.iter (fun r -> Traceio.Wire.send sender ~noises:r.Traceio.Archive.noises r.Traceio.Archive.trace) records;
+      Traceio.Wire.finish sender;
+      close_out oc;
+      read_file path)
+
+let drain_receiver r =
+  let rec loop acc skips =
+    match Traceio.Wire.recv r with
+    | `Record rec_ -> loop (rec_ :: acc) skips
+    | `Skipped _ -> loop acc (skips + 1)
+    | `End_of_stream -> (List.rev acc, skips)
+  in
+  loop [] 0
+
+let receive_image ?strict image =
+  with_temp_file (fun path ->
+      write_file path image;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let r = Traceio.Wire.open_receiver ?strict ~peer:"test" ic in
+          let recs, skips = drain_receiver r in
+          (Traceio.Wire.receiver_header r, recs, skips)))
+
+let test_wire_roundtrip () =
+  let header, records = Lazy.force wire_fixture in
+  let h, received, skips = receive_image (wire_image ()) in
+  Alcotest.(check int) "header n survives the wire" header.Traceio.Archive.n h.Traceio.Archive.n;
+  Alcotest.(check int) "no skips on a clean stream" 0 skips;
+  Alcotest.(check int) "every record arrives" (List.length records) (List.length received);
+  List.iter2
+    (fun a b -> Alcotest.(check string) "record payload is bit-identical" (record_payload a) (record_payload b))
+    records received;
+  (* recv after the end frame keeps answering End_of_stream *)
+  with_temp_file (fun path ->
+      write_file path (wire_image ());
+      let ic = open_in_bin path in
+      let r = Traceio.Wire.open_receiver ~peer:"test" ic in
+      ignore (drain_receiver r);
+      (match Traceio.Wire.recv r with
+      | `End_of_stream -> ()
+      | _ -> Alcotest.fail "recv past the end frame must stay End_of_stream");
+      close_in ic)
+
+(* Locate the first record frame: magic(8) + version(2), then the
+   header frame [len | payload | crc]. *)
+let first_record_frame_offset image =
+  let u32 at = Char.code image.[at] lor (Char.code image.[at + 1] lsl 8) lor (Char.code image.[at + 2] lsl 16) lor (Char.code image.[at + 3] lsl 24) in
+  let preamble = 10 in
+  preamble + 4 + u32 preamble + 4
+
+let flip_byte image at =
+  let b = Bytes.of_string image in
+  Bytes.set b at (Char.chr (Char.code image.[at] lxor 0x01));
+  Bytes.to_string b
+
+let test_wire_corrupt_record_skipped () =
+  let _, records = Lazy.force wire_fixture in
+  let image = wire_image () in
+  (* flip a payload byte inside record frame 0 (skip its length field) *)
+  let mutated = flip_byte image (first_record_frame_offset image + 4 + 8) in
+  let _, received, skips = receive_image mutated in
+  Alcotest.(check int) "one slot skipped" 1 skips;
+  Alcotest.(check int) "the other records still arrive" (List.length records - 1) (List.length received);
+  List.iter2
+    (fun a b -> Alcotest.(check string) "survivors are bit-identical" (record_payload a) (record_payload b))
+    (List.tl records) received;
+  Alcotest.(check bool) "strict mode raises instead" true
+    (rejected (fun () -> receive_image ~strict:true mutated))
+
+let test_wire_truncation_raises () =
+  let image = wire_image () in
+  (* cut the end frame off: EOF without 'E' must be loud, not a clean end *)
+  let cut = String.sub image 0 (String.length image - 13) in
+  (match receive_image cut with
+  | _ -> Alcotest.fail "truncated stream accepted as complete"
+  | exception Traceio.Error.Corrupt msg ->
+      Alcotest.(check bool) "error names the mid-stream close" true (contains msg "closed mid-stream"));
+  (* damage to the preamble is structural *)
+  Alcotest.(check bool) "bad magic rejected" true (rejected (fun () -> receive_image (flip_byte image 0)));
+  Alcotest.(check bool) "bad version rejected" true (rejected (fun () -> receive_image (flip_byte image 8)))
+
+let qcheck_wire =
+  let image = lazy (wire_image ()) in
+  let records = lazy (snd (Lazy.force wire_fixture)) in
+  QCheck.Test.make ~count:60 ~name:"wire: single bit flip is never silently accepted"
+    QCheck.(float_range 0.0 1.0)
+    (fun frac ->
+      let image = Lazy.force image in
+      let originals = Lazy.force records in
+      let bit = int_of_float (frac *. float_of_int ((String.length image * 8) - 1)) in
+      let mutated = Bytes.of_string image in
+      Bytes.set mutated (bit / 8) (Char.chr (Char.code image.[bit / 8] lxor (1 lsl (bit mod 8))));
+      match receive_image (Bytes.to_string mutated) with
+      | exception Traceio.Error.Corrupt _ -> true
+      | exception Traceio.Error.Io _ -> true
+      | _, received, skips ->
+          (* accepted: then something must have been skipped, or the
+             stream must still be byte-identical (impossible for a
+             CRC-protected image, so demand a skip) *)
+          skips > 0
+          || List.length received <> List.length originals
+          || not (List.for_all2 (fun a b -> record_payload a = record_payload b) originals received))
+
+let qcheck_frame_roundtrip =
+  QCheck.Test.make ~count:50 ~name:"wire: frame round-trips arbitrary payloads"
+    QCheck.(string_of_size Gen.(0 -- 2000))
+    (fun payload ->
+      with_temp_file (fun path ->
+          let oc = open_out_bin path in
+          Traceio.Frame.write ~path oc payload;
+          close_out oc;
+          let ic = open_in_bin path in
+          let r = Traceio.Frame.read ~path ic in
+          close_in ic;
+          r = Some payload))
+
+(* --- wire over a real socket -------------------------------------------------- *)
+
+(* The serving peer runs on its own domain: Unix.fork is off-limits
+   here (OCaml forbids it once any domain was ever spawned, and the
+   campaign layers use Mathkit.Parallel), and a separate domain
+   exercises the same full-duplex socket discipline. *)
+let serve_on_domain f =
+  let d = Domain.spawn (fun () -> match f () with () -> None | exception e -> Some e) in
+  fun () -> match Domain.join d with None -> () | Some e -> raise e
+
+let test_wire_over_socketpair () =
+  let header, records = Lazy.force wire_fixture in
+  let recv_fd, send_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let join =
+    serve_on_domain (fun () ->
+        let oc = Unix.out_channel_of_descr send_fd in
+        let sender = Traceio.Wire.create_sender ~peer:"server" ~header oc in
+        List.iter
+          (fun r -> Traceio.Wire.send sender ~noises:r.Traceio.Archive.noises r.Traceio.Archive.trace)
+          records;
+        Traceio.Wire.finish sender;
+        close_out oc)
+  in
+  let ic = Unix.in_channel_of_descr recv_fd in
+  let closed = ref false in
+  let src = Traceio.Wire.source ~peer:"socketpair" ~close:(fun () -> closed := true) ic in
+  let rec loop acc =
+    match Traceio.Source.next src with
+    | `Record r -> loop (r :: acc)
+    | `Skipped _ -> loop acc
+    | `End_of_archive -> List.rev acc
+  in
+  let received = loop [] in
+  Traceio.Source.close src;
+  close_in_noerr ic;
+  join ();
+  Alcotest.(check int) "all records crossed the socket" (List.length records) (List.length received);
+  List.iter2
+    (fun a b -> Alcotest.(check string) "socket records bit-identical" (record_payload a) (record_payload b))
+    records received;
+  Alcotest.(check bool) "close callback ran" true !closed
+
+(* A remote campaign over a Unix-socket transport equals the archive
+   replay of the same records: Source.remote is a drop-in acquisition
+   backend. *)
+let test_remote_campaign_matches_replay () =
+  let sock = Filename.temp_file "reveal_fabric" ".sock" in
+  Sys.remove sock;
+  let archive = Filename.temp_file "reveal_fabric" ".rvt" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove archive with Sys_error _ -> ());
+      try Sys.remove sock with Sys_error _ -> ())
+    (fun () ->
+      let device = Reveal.Device.create ~n:64 () in
+      let g = Mathkit.Prng.create ~seed:5L () in
+      Reveal.Device.record device ~path:archive ~seed:5L ~traces:2 ~scope_rng:g ~sampler_rng:g;
+      let prof = Lazy.force campaign_profile in
+      let baseline = Reveal.Campaign.attack_archive prof archive in
+      let listener = Fabric.Transport.listen (Fabric.Transport.Unix_socket sock) in
+      let join = serve_on_domain (fun () -> ignore (Fabric.Serve.archive_once listener ~path:archive)) in
+      let conn = Fabric.Transport.connect (Fabric.Transport.Unix_socket sock) in
+      let source =
+        Reveal.Source.remote ~peer:conn.Fabric.Transport.peer
+          ~close:(fun () -> Fabric.Transport.close_connection conn)
+          conn.Fabric.Transport.ic
+      in
+      let remote = Reveal.Campaign.run_source prof source in
+      join ();
+      Fabric.Transport.close_listener listener;
+      Alcotest.(check bool) "remote campaign stats equal archive replay" true (fst baseline = fst remote);
+      Alcotest.(check bool) "remote campaign results bit-identical" true (snd baseline = snd remote))
+
+(* --- orchestrator ------------------------------------------------------------- *)
+
+let with_work_dir f =
+  let wd = Fabric.Orchestrator.fresh_work_dir () in
+  Fun.protect ~finally:(fun () -> Fabric.Orchestrator.remove_dir wd) (fun () -> f wd)
+
+let test_orchestrator_failure_typing () =
+  with_work_dir @@ fun wd ->
+  let command ~shard:_ ~attempt:_ ~range:_ ~out:_ ~log:_ = [| "/bin/sh"; "-c"; "exit 3" |] in
+  let config = { Fabric.Orchestrator.max_inflight = 2; retries = 1; work_dir = wd; command } in
+  (match Fabric.Orchestrator.run config ~plan:[| { Fabric.Shard.lo = 0; hi = 1 } |] with
+  | Ok _ -> Alcotest.fail "a worker that always exits 3 cannot succeed"
+  | Error failures ->
+      Alcotest.(check int) "first attempt plus one retry" 2 (List.length failures);
+      List.iteri
+        (fun i f ->
+          Alcotest.(check int) "attempts are numbered" i f.Fabric.Orchestrator.f_attempt;
+          Alcotest.(check bool) "status is the typed exit code" true (f.Fabric.Orchestrator.f_status = Fabric.Orchestrator.Exited 3);
+          Alcotest.(check bool) "log path recorded" true (contains f.Fabric.Orchestrator.f_log wd))
+        failures);
+  (* exit 0 without writing the result file is also a typed failure *)
+  let config = { config with Fabric.Orchestrator.retries = 0; command = (fun ~shard:_ ~attempt:_ ~range:_ ~out:_ ~log:_ -> [| "/bin/sh"; "-c"; "exit 0" |]) } in
+  match Fabric.Orchestrator.run config ~plan:[| { Fabric.Shard.lo = 0; hi = 1 } |] with
+  | Ok _ -> Alcotest.fail "a worker that writes no result cannot succeed"
+  | Error [ f ] ->
+      Alcotest.(check bool) "clean exit, missing file" true (f.Fabric.Orchestrator.f_status = Fabric.Orchestrator.Exited 0);
+      Alcotest.(check bool) "reason is non-empty" true (f.Fabric.Orchestrator.f_reason <> "")
+  | Error l -> Alcotest.failf "expected exactly one failure, got %d" (List.length l)
+
+let test_orchestrator_empty_ranges () =
+  with_work_dir @@ fun wd ->
+  (* empty shards are satisfied without ever spawning the (failing) command *)
+  let command ~shard:_ ~attempt:_ ~range:_ ~out:_ ~log:_ = [| "/bin/sh"; "-c"; "exit 3" |] in
+  let config = { Fabric.Orchestrator.max_inflight = 1; retries = 0; work_dir = wd; command } in
+  match Fabric.Orchestrator.run config ~plan:[| { Fabric.Shard.lo = 0; hi = 0 }; { Fabric.Shard.lo = 0; hi = 0 } |] with
+  | Error _ -> Alcotest.fail "empty ranges must not spawn workers"
+  | Ok report ->
+      Alcotest.(check int) "one result per plan entry" 2 (Array.length report.Fabric.Orchestrator.results);
+      Array.iter
+        (fun r -> Alcotest.(check int) "empty result slices" 0 (Array.length r.Fabric.Shard.results))
+        report.Fabric.Orchestrator.results;
+      Alcotest.(check int) "nothing retried" 0 report.Fabric.Orchestrator.retried
+
+(* --- end-to-end: real workers, bit-identical merge --------------------------- *)
+
+let exe = Filename.concat (Filename.concat ".." "bin") "reveal_cli.exe"
+
+let golden_seed = 54398
+let golden_n = 64
+let golden_traces = 2
+
+(* The single-process baseline, attacked with the *decoded* profile
+   cache — exactly what the workers load. *)
+let baseline =
+  lazy
+    (with_temp_file (fun ppath ->
+         Reveal.Campaign.save_profile ppath (Lazy.force campaign_profile);
+         let prof = Reveal.Campaign.load_profile ppath in
+         let device = Reveal.Device.create ~n:golden_n () in
+         let rng = Mathkit.Prng.create ~seed:(Int64.of_int golden_seed) () in
+         let scope_rng = Mathkit.Prng.split rng and sampler_rng = Mathkit.Prng.split rng in
+         let source =
+           Reveal.Source.device_live_range ~retry:true device ~traces:golden_traces ~lo:0 ~hi:golden_traces ~scope_rng
+             ~sampler_rng
+         in
+         (prof, Reveal.Campaign.run_source prof source)))
+
+let merged_payload results =
+  Fabric.Shard.result_payload
+    { Fabric.Shard.shard = 0; range = { Fabric.Shard.lo = 0; hi = golden_traces }; corrupt_skipped = 0; results }
+
+let run_workers ~sabotage wd ppath =
+  let plan = Fabric.Shard.plan ~traces:golden_traces ~workers:2 in
+  let command ~shard ~attempt ~range ~out ~log:_ =
+    Array.of_list
+      ([
+         exe;
+         "worker";
+         "--seed";
+         string_of_int golden_seed;
+         "-n";
+         string_of_int golden_n;
+         "--traces";
+         string_of_int golden_traces;
+         "--shard-id";
+         string_of_int shard;
+         "--shard-lo";
+         string_of_int range.Fabric.Shard.lo;
+         "--shard-hi";
+         string_of_int range.Fabric.Shard.hi;
+         "--profile";
+         ppath;
+         "--out";
+         out;
+       ]
+      @ if sabotage && shard = 0 && attempt = 0 then [ "--sabotage" ] else [])
+  in
+  let config = { Fabric.Orchestrator.max_inflight = 2; retries = 1; work_dir = wd; command } in
+  Fabric.Orchestrator.run config ~plan
+
+let require_exe () = if not (Sys.file_exists exe) then Alcotest.skip ()
+
+let test_sharded_run_bit_identical () =
+  require_exe ();
+  let prof, (base_stats, base_results) = Lazy.force baseline in
+  with_work_dir @@ fun wd ->
+  let ppath = Filename.concat wd "profile.bin" in
+  Reveal.Campaign.save_profile ppath prof;
+  match run_workers ~sabotage:false wd ppath with
+  | Error failures ->
+      Alcotest.failf "clean 2-worker run failed: %s"
+        (String.concat "; " (List.map Fabric.Orchestrator.describe_failure failures))
+  | Ok report -> (
+      Alcotest.(check int) "no retries on the clean run" 0 report.Fabric.Orchestrator.retried;
+      match Fabric.Shard.merge prof (Array.to_list report.Fabric.Orchestrator.results) with
+      | Error e -> Alcotest.failf "merge failed: %s" e
+      | Ok (stats, results) ->
+          Alcotest.(check bool) "merged stats bit-identical to single process" true (stats = base_stats);
+          Alcotest.(check string) "merged results byte-identical to single process" (merged_payload base_results)
+            (merged_payload results))
+
+let test_killed_worker_retried_still_identical () =
+  require_exe ();
+  let prof, (base_stats, base_results) = Lazy.force baseline in
+  with_work_dir @@ fun wd ->
+  let ppath = Filename.concat wd "profile.bin" in
+  Reveal.Campaign.save_profile ppath prof;
+  match run_workers ~sabotage:true wd ppath with
+  | Error failures ->
+      Alcotest.failf "sabotaged run should recover via retry: %s"
+        (String.concat "; " (List.map Fabric.Orchestrator.describe_failure failures))
+  | Ok report -> (
+      Alcotest.(check int) "the killed shard was retried" 1 report.Fabric.Orchestrator.retried;
+      Alcotest.(check bool) "the kill left a typed failure record" true
+        (List.exists
+           (fun f ->
+             f.Fabric.Orchestrator.f_shard = 0
+             && match f.Fabric.Orchestrator.f_status with Fabric.Orchestrator.Signaled _ -> true | _ -> false)
+           report.Fabric.Orchestrator.failures);
+      match Fabric.Shard.merge prof (Array.to_list report.Fabric.Orchestrator.results) with
+      | Error e -> Alcotest.failf "merge failed after retry: %s" e
+      | Ok (stats, results) ->
+          Alcotest.(check bool) "stats still bit-identical after the retry" true (stats = base_stats);
+          Alcotest.(check string) "results still byte-identical after the retry" (merged_payload base_results)
+            (merged_payload results))
+
+(* --- transport --------------------------------------------------------------- *)
+
+let test_transport_parse () =
+  (match Fabric.Transport.parse "unix:/tmp/fab.sock" with
+  | Ok (Fabric.Transport.Unix_socket p) -> Alcotest.(check string) "unix path" "/tmp/fab.sock" p
+  | _ -> Alcotest.fail "unix endpoint did not parse");
+  (match Fabric.Transport.parse "tcp:localhost:9000" with
+  | Ok (Fabric.Transport.Tcp (h, p)) ->
+      Alcotest.(check string) "tcp host" "localhost" h;
+      Alcotest.(check int) "tcp port" 9000 p
+  | _ -> Alcotest.fail "tcp endpoint did not parse");
+  List.iter
+    (fun s ->
+      match Fabric.Transport.parse s with
+      | Ok _ -> Alcotest.failf "%S should not parse" s
+      | Error e -> Alcotest.(check bool) (s ^ " error is non-empty") true (e <> ""))
+    [ ""; "bogus"; "tcp:nohost"; "tcp:host:0"; "tcp:host:70000"; "tcp:host:abc"; "unix:" ];
+  List.iter
+    (fun ep ->
+      Alcotest.(check bool) "to_string round-trips through parse" true
+        (Fabric.Transport.parse (Fabric.Transport.to_string ep) = Ok ep))
+    [ Fabric.Transport.Unix_socket "/tmp/x.sock"; Fabric.Transport.Tcp ("example.org", 443) ]
+
+let suite =
+  [
+    ("shard plan: directed cases", `Quick, test_plan_directed);
+    QCheck_alcotest.to_alcotest qcheck_plan;
+    ("shard result codec round-trip", `Quick, test_shard_codec_roundtrip);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_shard_codec
+  @ [
+      ("shard merge: typed errors and ordering", `Quick, test_merge_checks);
+      ("wire: clean stream round-trips", `Quick, test_wire_roundtrip);
+      ("wire: corrupt record skipped (strict raises)", `Quick, test_wire_corrupt_record_skipped);
+      ("wire: truncation and preamble damage are loud", `Quick, test_wire_truncation_raises);
+      QCheck_alcotest.to_alcotest qcheck_wire;
+      QCheck_alcotest.to_alcotest qcheck_frame_roundtrip;
+      ("wire: records over a socketpair", `Quick, test_wire_over_socketpair);
+      ("remote campaign equals archive replay", `Quick, test_remote_campaign_matches_replay);
+      ("orchestrator: typed failures and retry budget", `Quick, test_orchestrator_failure_typing);
+      ("orchestrator: empty ranges spawn nothing", `Quick, test_orchestrator_empty_ranges);
+      ("sharded campaign is bit-identical to single process", `Quick, test_sharded_run_bit_identical);
+      ("killed worker retried, merge still identical", `Quick, test_killed_worker_retried_still_identical);
+      ("transport endpoint parsing", `Quick, test_transport_parse);
+    ]

@@ -253,6 +253,100 @@ let test_summary_load_errors () =
   | Error e -> Alcotest.(check bool) "parse error names the line" true (contains e ":2:"));
   Sys.remove path
 
+(* --- merging and event sampling -------------------------------------------- *)
+
+let write_lines path lines =
+  let oc = open_out path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc
+
+let with_trace_file records f =
+  let path = Filename.temp_file "obs_merge" ".jsonl" in
+  write_lines path (List.map Obs.Json.to_string records);
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_summary_merge () =
+  let s = ok_exn (Obs.Summary.of_records (run_demo_trace ())) in
+  let m = Obs.Summary.merge s s in
+  Alcotest.(check int) "records sum" (2 * s.Obs.Summary.records) m.Obs.Summary.records;
+  Alcotest.(check (list (pair string int))) "counters sum by key" [ ("seen", 4) ] m.Obs.Summary.counters;
+  let span name l = List.find (fun r -> r.Obs.Summary.span_name = name) l in
+  Alcotest.(check int) "span counts sum" 2 (span "outer" m.Obs.Summary.spans).Obs.Summary.span_count;
+  Alcotest.(check bool) "span max is max, not sum" true
+    ((span "outer" m.Obs.Summary.spans).Obs.Summary.span_max = (span "outer" s.Obs.Summary.spans).Obs.Summary.span_max);
+  Alcotest.(check (option string)) "same clocks stay named" (Some "logical") m.Obs.Summary.clock;
+  let wall =
+    ok_exn
+      (Obs.Summary.of_records [ Obs.Json.Obj [ ("v", Obs.Json.Int 1); ("ev", Obs.Json.String "start"); ("clock", Obs.Json.String "wall") ] ])
+  in
+  Alcotest.(check (option string)) "clock conflict reported as mixed" (Some "mixed")
+    (Obs.Summary.merge s wall).Obs.Summary.clock
+
+let test_summary_merge_files () =
+  let records = run_demo_trace () in
+  with_trace_file records @@ fun a ->
+  with_trace_file records @@ fun b ->
+  let m = ok_exn (Obs.Summary.merge_files [ a; b ]) in
+  Alcotest.(check (list (pair string int))) "two workers' counters fold" [ ("seen", 4) ] m.Obs.Summary.counters;
+  (match Obs.Summary.merge_files [] with
+  | Ok _ -> Alcotest.fail "merge_files [] must be an error"
+  | Error e -> Alcotest.(check bool) "empty merge error is typed" true (contains e "no traces"));
+  match Obs.Summary.merge_files [ a; "/nonexistent/obs.jsonl" ] with
+  | Ok _ -> Alcotest.fail "missing file must fail the merge"
+  | Error e -> Alcotest.(check bool) "missing file named" true (contains e "/nonexistent/obs.jsonl")
+
+let test_summary_merge_histograms () =
+  let metrics buckets count sum =
+    Printf.sprintf
+      "{\"v\":1,\"ev\":\"metrics\",\"histograms\":{\"h\":{\"count\":%d,\"sum\":%f,\"min\":0.5,\"max\":2.0,\"overflow\":1,\"buckets\":[%s]}}}"
+      count sum
+      (String.concat "," (List.map (fun (le, c) -> Printf.sprintf "{\"le\":%f,\"count\":%d}" le c) buckets))
+  in
+  let start = "{\"v\":1,\"ev\":\"start\",\"clock\":\"logical\"}" in
+  let pa = Filename.temp_file "obs_hist" ".jsonl" and pb = Filename.temp_file "obs_hist" ".jsonl" in
+  write_lines pa [ start; metrics [ (1.0, 2); (2.0, 3) ] 5 4.0 ];
+  write_lines pb [ start; metrics [ (2.0, 1); (4.0, 6) ] 7 9.0 ];
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove pa;
+      Sys.remove pb)
+    (fun () ->
+      let m = ok_exn (Obs.Summary.merge_files [ pa; pb ]) in
+      match m.Obs.Summary.histograms with
+      | [ h ] ->
+          Alcotest.(check int) "hist counts sum" 12 h.Obs.Summary.hist_count;
+          Alcotest.(check (float 1e-9)) "hist sums add" 13.0 h.Obs.Summary.hist_sum;
+          Alcotest.(check int) "overflow sums" 2 h.Obs.Summary.hist_overflow;
+          Alcotest.(check (list (pair (float 1e-9) int))) "buckets union by bound"
+            [ (1.0, 2); (2.0, 4); (4.0, 6) ] h.Obs.Summary.hist_buckets
+      | l -> Alcotest.failf "expected one merged histogram, got %d" (List.length l))
+
+let test_summary_event_sampling () =
+  let sink, drain = Obs.Sink.memory () in
+  let obs = Obs.Ctx.create ~clock:(Obs.Clock.logical ()) ~sink () in
+  Obs.Ctx.span obs "work" (fun () ->
+      for _ = 1 to 9 do
+        Obs.Ctx.event obs "tick"
+      done);
+  Obs.Ctx.close obs;
+  with_trace_file (drain ()) @@ fun path ->
+  let exact = ok_exn (Obs.Summary.load path) in
+  let sampled = ok_exn (Obs.Summary.load ~sample_events:3 path) in
+  Alcotest.(check int) "sampled-out lines still counted as records" exact.Obs.Summary.records
+    sampled.Obs.Summary.records;
+  let count s = (List.find (fun e -> e.Obs.Summary.event_name = "tick") s.Obs.Summary.events).Obs.Summary.event_count in
+  Alcotest.(check int) "kept events carry the sampling weight" (count exact) (count sampled);
+  let span_count s = (List.find (fun r -> r.Obs.Summary.span_name = "work") s.Obs.Summary.spans).Obs.Summary.span_count in
+  Alcotest.(check int) "spans are never sampled" (span_count exact) (span_count sampled);
+  Alcotest.(check bool) "sample_events must be positive" true
+    (match Obs.Summary.load ~sample_events:0 path with
+    | (exception Invalid_argument _) -> true
+    | _ -> false)
+
 (* --- golden summary --------------------------------------------------------- *)
 
 let demo_summary = lazy (Reveal.Experiment.obs_summary_demo Reveal.Experiment.obs_golden_config)
@@ -296,6 +390,10 @@ let suite =
     ("event codec round-trip", `Quick, test_event_codec_roundtrip);
     ("summary aggregation", `Quick, test_summary_of_records);
     ("summary load errors", `Quick, test_summary_load_errors);
+    ("summary merge combines sections", `Quick, test_summary_merge);
+    ("summary merge_files", `Quick, test_summary_merge_files);
+    ("summary merge: histogram buckets union", `Quick, test_summary_merge_histograms);
+    ("summary event sampling", `Quick, test_summary_event_sampling);
     ("golden: obs summary (logical clock)", `Quick, test_golden_summary);
     ("summary covers every stage", `Quick, test_summary_covers_stages);
   ]

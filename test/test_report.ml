@@ -109,6 +109,16 @@ let test_golden_table4 () =
     (read_file "golden/table4.txt")
     (Reveal.Experiment.render_table4 (Reveal.Experiment.table4 (Lazy.force golden_env)))
 
+let test_golden_signs () =
+  Alcotest.(check string) "signs text is bit-identical to the golden"
+    (read_file "golden/signs.txt")
+    (Reveal.Experiment.render_signs (Reveal.Experiment.signs (Lazy.force golden_env)))
+
+let test_golden_fig3 () =
+  Alcotest.(check string) "fig3 text is bit-identical to the golden"
+    (read_file "golden/fig3.txt")
+    (Reveal.Experiment.render_fig3 (Reveal.Experiment.fig3 golden_config))
+
 let test_doc_text_matches_render () =
   (* the two renderers of one doc can never drift: doc.text is the
      render_* output and every artefact builder returns both *)
@@ -143,6 +153,8 @@ let suite =
     ("golden: table2", `Quick, test_golden_table2);
     ("golden: table3", `Quick, test_golden_table3);
     ("golden: table4", `Quick, test_golden_table4);
+    ("golden: signs", `Quick, test_golden_signs);
+    ("golden: fig3", `Quick, test_golden_fig3);
     ("doc text matches render_*", `Quick, test_doc_text_matches_render);
     ("artefact registry", `Quick, test_artefact_registry);
   ]

@@ -15,5 +15,6 @@ let () =
       ("profile_store", Test_profile_store.suite);
       ("report", Test_report.suite);
       ("obs", Test_obs.suite);
+      ("fabric", Test_fabric.suite);
       ("cli", Test_cli.suite);
     ]
