@@ -404,7 +404,7 @@ let write_snapshot quota rows =
   Printf.printf "(snapshot written to %s)\n" snapshot_path;
   if prev <> [] then begin
     Printf.printf "vs previous snapshot (%s):\n" snapshot_prev_path;
-    let moved = ref 0 in
+    let moved = ref 0 and regressed = ref [] in
     List.iter
       (fun (name, ns) ->
         match List.assoc_opt name prev with
@@ -412,6 +412,7 @@ let write_snapshot quota rows =
             let ratio = ns /. old in
             if ratio >= 1.5 then begin
               incr moved;
+              regressed := (name, ratio) :: !regressed;
               Printf.printf "  WARNING: %s regressed %.2fx (%.1f -> %.1f ns/run)\n" name ratio old ns
             end
             else if ratio <= 1.0 /. 1.5 then begin
@@ -423,7 +424,17 @@ let write_snapshot quota rows =
             Printf.printf "  (new kernel: %s)\n" name)
       rows;
     if !moved = 0 then Printf.printf "  (all kernels within 1.5x of the previous run)\n";
-    Printf.printf "(regression warnings are advisory: micro-benchmarks are noisy on shared hardware)\n"
+    (* Advisory by default — micro-benchmarks are noisy on shared
+       hardware — but REVEAL_PERF_STRICT=1 turns a regression into a
+       hard failure, for pinned CI runners where the baseline is
+       trustworthy. *)
+    match Sys.getenv_opt "REVEAL_PERF_STRICT" with
+    | Some ("1" | "true" | "yes") when !regressed <> [] ->
+        Printf.printf "REVEAL_PERF_STRICT: %d kernel(s) regressed beyond 1.5x:\n" (List.length !regressed);
+        List.iter (fun (name, ratio) -> Printf.printf "  %s (%.2fx)\n" name ratio) (List.rev !regressed);
+        exit 1
+    | Some ("1" | "true" | "yes") -> Printf.printf "(REVEAL_PERF_STRICT: no kernel regressed beyond 1.5x)\n"
+    | _ -> Printf.printf "(regression warnings are advisory: micro-benchmarks are noisy on shared hardware)\n"
   end
 
 let run_perf () =

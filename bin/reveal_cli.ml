@@ -15,6 +15,9 @@
      worker        attack one shard of a campaign, write a shard result file
      shard         run a campaign sharded over N worker processes, merge deterministically
      obs           summarize / merge observability traces
+     trial         run one randomized-campaign trial scenario, print its typed verdict
+     fuzz          run a randomized trial campaign, surface novel deduped failures
+     reduce        shrink a failing trial archive to a minimal reproducer
 
    Every subcommand accepts --json: one JSON object (or array) on
    stdout, progress chatter suppressed, same exit codes.
@@ -809,12 +812,15 @@ let worker_cmd =
       const worker_impl $ seed_arg $ n_arg 128 $ traces $ lo $ hi $ shard_id $ profile_path $ out $ sabotage
       $ obs_args)
 
-let shard_impl seed n per_value traces workers retries work_dir keep sabotage obs_dir json obsa =
+let shard_impl seed n per_value traces workers retries timeout work_dir keep sabotage obs_dir json obsa =
   with_obs "shard" obsa @@ fun obs ->
   traceio_guard (fun () ->
       if traces <= 0 then invalid_arg "shard: traces must be positive";
       if workers <= 0 then invalid_arg "shard: workers must be positive";
       if retries < 0 then invalid_arg "shard: retries must be non-negative";
+      (match timeout with
+      | Some t when t <= 0.0 -> invalid_arg "shard: timeout must be positive"
+      | _ -> ());
       (* Progress goes to stderr: stdout carries only campaign-level
          results, byte-identical whatever the worker count. *)
       let chatter fmt = Printf.ksprintf (fun s -> prerr_endline ("shard: " ^ s)) fmt in
@@ -878,7 +884,9 @@ let shard_impl seed n per_value traces workers retries work_dir keep sabotage ob
                 | None -> [])
               @ if sabotage = Some shard && attempt = 0 then [ "--sabotage" ] else [])
           in
-          let config = { Fabric.Orchestrator.max_inflight = workers; retries; work_dir = wd; command } in
+          let config =
+            { Fabric.Orchestrator.max_inflight = workers; retries; timeout_s = timeout; work_dir = wd; command }
+          in
           chatter "dispatching %d workers over %d traces (work dir %s)" workers traces wd;
           match Fabric.Orchestrator.run config ~plan with
           | Error failures ->
@@ -990,6 +998,15 @@ let shard_cmd =
   let retries =
     Arg.(value & opt int 1 & info [ "retries" ] ~docv:"R" ~doc:"Extra attempts per shard after the first.")
   in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "shard-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget per worker attempt; a worker that outlives it is killed and charged a timeout \
+             failure against its retry budget (default: no limit).")
+  in
   let work_dir =
     Arg.(
       value
@@ -1014,8 +1031,8 @@ let shard_cmd =
   in
   Cmd.v (Cmd.info "shard" ~doc ~man)
     Term.(
-      const shard_impl $ seed_arg $ n_arg 128 $ per_value $ traces $ workers $ retries $ work_dir $ keep $ sabotage
-      $ obs_dir $ json_arg $ obs_args)
+      const shard_impl $ seed_arg $ n_arg 128 $ per_value $ traces $ workers $ retries $ timeout $ work_dir $ keep
+      $ sabotage $ obs_dir $ json_arg $ obs_args)
 
 (* --- obs ------------------------------------------------------------------- *)
 
@@ -1079,6 +1096,400 @@ let obs_cmd =
   in
   Cmd.group (Cmd.info "obs" ~doc) [ summarize; merge ]
 
+(* --- trial / fuzz / reduce (triage) ---------------------------------------- *)
+
+let segmenter_arg =
+  let doc = "Segmenter mode: $(b,strict) (classic pipeline, failures raise) or $(b,resilient) (fault-tolerance stack)." in
+  Arg.(
+    value
+    & opt (Arg.enum [ ("strict", Triage.Plan.Strict); ("resilient", Triage.Plan.Resilient) ]) Triage.Plan.Resilient
+    & info [ "segmenter" ] ~docv:"MODE" ~doc)
+
+let gate_arg =
+  let doc =
+    "Gate profile: $(b,default) (the shipped thresholds), $(b,aggressive) (thresholds floored, fit floors disabled — \
+     accepts garbage confidently) or $(b,paranoid) (thresholds raised, deeper retries)."
+  in
+  Arg.(
+    value
+    & opt
+        (Arg.enum
+           [
+             ("default", Triage.Plan.Default); ("aggressive", Triage.Plan.Aggressive); ("paranoid", Triage.Plan.Paranoid);
+           ])
+        Triage.Plan.Default
+    & info [ "gate" ] ~docv:"PROFILE" ~doc)
+
+let intensity_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "intensity" ] ~docv:"I" ~doc:"Measurement-fault intensity (0 = clean, 1 = full reference load).")
+
+let trial_of_flags seed variant intensity segmenter gate traces per_value =
+  if intensity < 0.0 then invalid_arg "trial: intensity must be non-negative";
+  if traces <= 0 then invalid_arg "trial: traces must be positive";
+  if per_value <= 0 then invalid_arg "trial: per-value must be positive";
+  {
+    Triage.Plan.id = 0;
+    variant;
+    intensity;
+    seed;
+    segmenter;
+    gate;
+    traces;
+    n = Triage.Plan.trial_n;
+    per_value;
+  }
+
+let trial_impl seed variant intensity segmenter gate traces per_value archive archive_out out json obsa =
+  with_obs "trial" obsa @@ fun _obs ->
+  traceio_guard (fun () ->
+      if archive <> None && archive_out <> None then
+        invalid_arg "trial: --archive and --archive-out are mutually exclusive";
+      let t = trial_of_flags seed variant intensity segmenter gate traces per_value in
+      let measure () =
+        match (archive, archive_out) with
+        | Some path, _ -> Triage.Runner.run ~archive:path t
+        | None, Some path -> Triage.Runner.record_and_measure t ~archive:path
+        | None, None -> Triage.Runner.run t
+      in
+      let result_json verdict m =
+        Reveal.Report.(
+          Obj
+            ([
+               ("trial", Triage.Plan.to_json t);
+               ("verdict", Triage.Verdict.to_json verdict);
+               ("signature", String (Triage.Signature.of_verdict t verdict));
+             ]
+            @ match m with Some m -> [ ("measurements", Triage.Verdict.measurements_to_json m) ] | None -> []))
+      in
+      match out with
+      | Some path ->
+          (* worker mode: any classified verdict — crashes included — is a
+             successful trial run, and the verdict travels in the result
+             file.  Catching here maps a pipeline exception to the same
+             crash family an in-process replay would produce, so worker
+             and minimizer signatures agree; only a genuine malfunction
+             (e.g. a Unix error) may exit nonzero. *)
+          let verdict, m =
+            match measure () with
+            | m -> (Triage.Verdict.classify m, Some m)
+            | exception (Unix.Unix_error _ as e) -> raise e
+            | exception e -> (Triage.Verdict.crash_of_exn e, None)
+          in
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc (Reveal.Report.to_string (result_json verdict m) ^ "\n"))
+      | None ->
+          let m = measure () in
+          let verdict = Triage.Verdict.classify m in
+          let signature = Triage.Signature.of_verdict t verdict in
+          if json then Reveal.Report.print (result_json verdict (Some m))
+          else begin
+            Printf.printf "trial: %s\n" (Triage.Plan.describe t);
+            Printf.printf "verdict: %s\n" (Triage.Verdict.to_string verdict);
+            Printf.printf "signature: %s\n" signature;
+            Printf.printf
+              "grades: confident=%d tentative=%d sign-only=%d unknown=%d; values %d/%d, signs %d/%d%s\n"
+              m.Triage.Verdict.m_confident m.Triage.Verdict.m_tentative m.Triage.Verdict.m_sign_only
+              m.Triage.Verdict.m_unknown m.Triage.Verdict.m_value_correct m.Triage.Verdict.m_value_total
+              m.Triage.Verdict.m_sign_correct m.Triage.Verdict.m_sign_total
+              (if m.Triage.Verdict.m_corrupt_skipped > 0 then
+                 Printf.sprintf " (%d corrupt record(s) skipped)" m.Triage.Verdict.m_corrupt_skipped
+               else "")
+          end;
+          if Triage.Verdict.is_failure verdict then exit 1)
+
+let trial_cmd =
+  let doc = "Run one randomized-campaign trial scenario and print its typed verdict." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "A trial records a faulted campaign archive (variant, intensity, seed, traces), replays the attack over it \
+         in the requested segmenter/gate configuration, checks the pipeline's internal invariants, and classifies \
+         the outcome: $(b,bit-exact), $(b,degraded-hints), $(b,misgrade), or $(b,invariant-violation). This is both \
+         the worker the fuzzer spawns ($(b,--out)) and the repro contract: every failure $(b,reveal fuzz) reports \
+         prints one $(b,trial) line that reproduces it, optionally against a minimized archive ($(b,--archive)).";
+      `P "Exits 1 when the verdict is a failure (misgrade, invariant violation) — except in $(b,--out) worker mode, \
+          where any classified verdict is a successful trial run.";
+    ]
+  in
+  let traces = Arg.(value & opt int 2 & info [ "traces" ] ~docv:"T" ~doc:"Campaign trace count.") in
+  let per_value = Arg.(value & opt int 24 & info [ "per-value" ] ~docv:"K" ~doc:"Profiling windows per value.") in
+  let archive =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "archive" ] ~docv:"FILE"
+          ~doc:"Replay this archive instead of recording one (the reduce repro path).")
+  in
+  let archive_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "archive-out" ] ~docv:"FILE" ~doc:"Keep the recorded campaign archive at $(docv).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Worker mode: write the JSON verdict record to $(docv) and exit 0 for any classified verdict.")
+  in
+  Cmd.v (Cmd.info "trial" ~doc ~man)
+    Term.(
+      const trial_impl $ seed_arg $ variant_arg $ intensity_arg $ segmenter_arg $ gate_arg $ traces $ per_value
+      $ archive $ archive_out $ out $ json_arg $ obs_args)
+
+let fuzz_impl master_seed trials workers timeout work_dir known_path update_known no_minimize json obsa =
+  with_obs "fuzz" obsa @@ fun _obs ->
+  traceio_guard (fun () ->
+      if trials <= 0 then invalid_arg "fuzz: trials must be positive";
+      if workers <= 0 then invalid_arg "fuzz: workers must be positive";
+      (match timeout with
+      | Some t when t <= 0.0 -> invalid_arg "fuzz: timeout must be positive"
+      | _ -> ());
+      let chatter fmt = Printf.ksprintf (fun s -> if not json then prerr_endline ("fuzz: " ^ s)) fmt in
+      let owned, wd =
+        match work_dir with
+        | Some d -> (false, d)
+        | None -> (true, Fabric.Orchestrator.fresh_work_dir ~prefix:"reveal_fuzz" ())
+      in
+      (* load_opt: a known file that does not exist yet is an empty
+         store, so --known X --update-known bootstraps the file *)
+      let known = match known_path with Some p -> Triage.Signature.load_opt p | None -> Triage.Signature.empty in
+      let plan = Triage.Plan.plan ~master_seed ~trials in
+      chatter "%d trials from master seed %d, %d workers (work dir %s)" trials master_seed workers wd;
+      let batch =
+        Triage.Fuzz.run ~minimize:(not no_minimize) ~exe:Sys.executable_name ~work_dir:wd ~workers
+          ~timeout_s:timeout ~known plan
+      in
+      let novel =
+        Array.to_list (Array.of_seq (Seq.filter (fun o -> o.Triage.Fuzz.o_status = Triage.Fuzz.Novel)
+                                        (Array.to_seq batch.Triage.Fuzz.b_outcomes)))
+      in
+      (match (update_known, known_path) with
+      | true, Some p when novel <> [] ->
+          Triage.Signature.append p (List.map (fun o -> o.Triage.Fuzz.o_signature) novel);
+          chatter "%d novel signature(s) appended to %s" (List.length novel) p
+      | true, None -> invalid_arg "fuzz: --update-known needs --known FILE"
+      | _ -> ());
+      if json then begin
+        let outcome_json o =
+          Reveal.Report.(
+            Obj
+              ([
+                 ("trial", Triage.Plan.to_json o.Triage.Fuzz.o_trial);
+                 ("verdict", Triage.Verdict.to_json o.Triage.Fuzz.o_verdict);
+                 ("signature", String o.Triage.Fuzz.o_signature);
+                 ("repro", String o.Triage.Fuzz.o_repro);
+               ]
+              @ (match o.Triage.Fuzz.o_archive with Some a -> [ ("archive", String a) ] | None -> [])
+              @
+              match o.Triage.Fuzz.o_minimized with
+              | Some (path, report) ->
+                  [
+                    ("minimized", String path);
+                    ("reduction", Triage.Minimize.to_json report);
+                    ( "reduce_repro",
+                      String (Triage.Plan.repro_command ~archive:path ~exe:Sys.executable_name o.Triage.Fuzz.o_trial)
+                    );
+                  ]
+              | None -> []))
+        in
+        Reveal.Report.(
+          print
+            (Obj
+               [
+                 ("master_seed", Int master_seed);
+                 ("trials", Int trials);
+                 ("workers", Int workers);
+                 ("work_dir", String wd);
+                 ( "summary",
+                   Obj (List.map (fun (k, c) -> (k, Int c)) batch.Triage.Fuzz.b_summary) );
+                 ("novel", Int batch.Triage.Fuzz.b_novel);
+                 ("known", Int batch.Triage.Fuzz.b_known);
+                 ("duplicate", Int batch.Triage.Fuzz.b_duplicate);
+                 ("novel_failures", List (List.map outcome_json novel));
+               ]))
+      end
+      else begin
+        Array.iter
+          (fun o ->
+            Printf.printf "trial %4d: %s -> %s%s\n" o.Triage.Fuzz.o_trial.Triage.Plan.id
+              (Triage.Plan.describe o.Triage.Fuzz.o_trial)
+              (Triage.Verdict.to_string o.Triage.Fuzz.o_verdict)
+              (match o.Triage.Fuzz.o_status with
+              | Triage.Fuzz.Passed -> ""
+              | Triage.Fuzz.Novel -> " [novel]"
+              | Triage.Fuzz.Known -> " [known]"
+              | Triage.Fuzz.Duplicate -> " [duplicate]"))
+          batch.Triage.Fuzz.b_outcomes;
+        Printf.printf "summary: %s\n"
+          (String.concat " " (List.map (fun (k, c) -> Printf.sprintf "%s=%d" k c) batch.Triage.Fuzz.b_summary));
+        Printf.printf "failures: %d novel, %d known, %d duplicate\n" batch.Triage.Fuzz.b_novel
+          batch.Triage.Fuzz.b_known batch.Triage.Fuzz.b_duplicate;
+        List.iter
+          (fun o ->
+            Printf.printf "\nnovel failure: %s\n" o.Triage.Fuzz.o_signature;
+            Printf.printf "  trial %d: %s\n" o.Triage.Fuzz.o_trial.Triage.Plan.id
+              (Triage.Plan.describe o.Triage.Fuzz.o_trial);
+            Printf.printf "  repro: %s\n" o.Triage.Fuzz.o_repro;
+            (match o.Triage.Fuzz.o_archive with
+            | Some a -> Printf.printf "  archive: %s\n" a
+            | None -> ());
+            match o.Triage.Fuzz.o_minimized with
+            | Some (path, report) ->
+                Printf.printf "  minimized: %s (%s)\n" path (Triage.Minimize.describe report);
+                Printf.printf "  reduce repro: %s\n"
+                  (Triage.Plan.repro_command ~archive:path ~exe:Sys.executable_name o.Triage.Fuzz.o_trial)
+            | None -> ())
+          novel
+      end;
+      if batch.Triage.Fuzz.b_novel > 0 then begin
+        if owned then chatter "novel failures found; work dir kept at %s" wd;
+        exit 1
+      end
+      else if owned then Fabric.Orchestrator.remove_dir wd)
+
+let fuzz_cmd =
+  let doc = "Run a randomized trial campaign; surface novel, deduplicated, pre-minimized failures." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Expands one master seed into a deterministic table of trial scenarios (fault intensity x sampler variant x \
+         campaign seed x segmenter x gate profile), runs each as a $(b,reveal trial) worker process under a bounded \
+         pool, and classifies every outcome into a typed verdict. Failing verdicts are fingerprinted into stable \
+         signatures, deduplicated against $(b,--known) and within the batch, and each novel failure is reported with \
+         a one-line repro command and — when it reproduces in-process — an automatically minimized archive.";
+      `P
+        "Two runs with the same master seed, trial count and $(b,--work-dir) produce byte-identical trial tables and \
+         verdict summaries. Exits 1 when novel failures were found, 0 when everything passed or was known.";
+    ]
+  in
+  let master_seed =
+    Arg.(value & opt int 42 & info [ "master-seed" ] ~docv:"SEED" ~doc:"Master seed the trial table expands from.")
+  in
+  let trials = Arg.(value & opt int 100 & info [ "trials" ] ~docv:"N" ~doc:"Number of trials to run.") in
+  let workers = Arg.(value & opt int 4 & info [ "workers" ] ~docv:"W" ~doc:"Concurrent trial worker processes.") in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) (Some 120.0)
+      & info [ "trial-timeout" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget per trial; a hung trial is killed and becomes a timeout verdict.")
+  in
+  let work_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "work-dir" ] ~docv:"DIR"
+          ~doc:
+            "Per-trial artefact directory (archives, result files, logs, minimized corpora). Default: private temp \
+             dir, removed when no novel failure is found. Pass the same $(docv) to two runs for byte-identical \
+             output.")
+  in
+  let known =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "known" ] ~docv:"FILE" ~doc:"Known-signatures file; matching failures are suppressed as [known].")
+  in
+  let update_known =
+    Arg.(value & flag & info [ "update-known" ] ~doc:"Append novel signatures to the $(b,--known) file.")
+  in
+  let no_minimize = Arg.(value & flag & info [ "no-minimize" ] ~doc:"Skip auto-minimization of novel failures.") in
+  Cmd.v (Cmd.info "fuzz" ~doc ~man)
+    Term.(
+      const fuzz_impl $ master_seed $ trials $ workers $ timeout $ work_dir $ known $ update_known $ no_minimize
+      $ json_arg $ obs_args)
+
+let reduce_impl seed variant intensity segmenter gate traces per_value archive expect out json obsa =
+  with_obs "reduce" obsa @@ fun _obs ->
+  traceio_guard (fun () ->
+      if expect = Some "timeout" then
+        invalid_arg "reduce: timeout verdicts do not reproduce in-process and cannot be reduced";
+      let t = trial_of_flags seed variant intensity segmenter gate traces per_value in
+      let dst = match out with Some p -> p | None -> Filename.remove_extension archive ^ ".min.rvt" in
+      let prof = Triage.Runner.profile_for t in
+      let expected = Triage.Runner.replay_verdict t prof ~archive in
+      (match expect with
+      | Some k when k <> Triage.Verdict.kind expected ->
+          Printf.eprintf "reveal: reduce: archive replays as %s, expected %s\n"
+            (Triage.Verdict.to_string expected) k;
+          exit 1
+      | _ -> ());
+      if not (Triage.Verdict.is_failure expected) then begin
+        Printf.eprintf "reveal: reduce: archive replays as %s — nothing to reduce\n"
+          (Triage.Verdict.to_string expected);
+        exit 1
+      end;
+      let check path = Triage.Verdict.same_failure (Triage.Runner.replay_verdict t prof ~archive:path) expected in
+      let wd = Fabric.Orchestrator.fresh_work_dir ~prefix:"reveal_reduce" () in
+      Fun.protect ~finally:(fun () -> Fabric.Orchestrator.remove_dir wd) @@ fun () ->
+      match Triage.Minimize.reduce ~check ~work_dir:wd ~src:archive ~dst with
+      | Error msg ->
+          Printf.eprintf "reveal: reduce: %s\n" msg;
+          exit 1
+      | Ok report ->
+          let repro = Triage.Plan.repro_command ~archive:dst ~exe:Sys.executable_name t in
+          if json then
+            Reveal.Report.(
+              print
+                (Obj
+                   [
+                     ("archive", String archive);
+                     ("minimized", String dst);
+                     ("verdict", Triage.Verdict.to_json expected);
+                     ("reduction", Triage.Minimize.to_json report);
+                     ("reduce_repro", String repro);
+                   ]))
+          else begin
+            Printf.printf "verdict: %s\n" (Triage.Verdict.to_string expected);
+            Printf.printf "minimized %s -> %s: %s\n" archive dst (Triage.Minimize.describe report);
+            Printf.printf "reduce repro: %s\n" repro
+          end)
+
+let reduce_cmd =
+  let doc = "Shrink a failing trial archive to a minimal reproducer (deterministic bisection over replay)." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Replays the trial scenario (same flags as $(b,reveal trial)) over the archive to establish the failing \
+         verdict, then minimizes in two passes: the smallest record subset (ddmin-style chunk removal), then the \
+         smallest per-record sample span (stepped greedy cuts). Every candidate is re-verified by a full replay, so \
+         the emitted archive reproduces the verdict by construction; the printed $(b,reduce repro:) line replays it.";
+      `P "Exits 1 when the archive does not reproduce a failing verdict (or disagrees with $(b,--expect)).";
+    ]
+  in
+  let archive =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ARCHIVE" ~doc:"Failing trial archive (.rvt).")
+  in
+  let traces = Arg.(value & opt int 2 & info [ "traces" ] ~docv:"T" ~doc:"Campaign trace count of the scenario.") in
+  let per_value = Arg.(value & opt int 24 & info [ "per-value" ] ~docv:"K" ~doc:"Profiling windows per value.") in
+  let expect =
+    Arg.(
+      value
+      & opt (some (Arg.enum (List.map (fun k -> (k, k)) Triage.Fuzz.kinds_in_order))) None
+      & info [ "expect" ] ~docv:"KIND"
+          ~doc:"Fail unless the archive replays to this verdict kind ($(b,timeout) is a usage error).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Minimized archive path (default: ARCHIVE with a .min.rvt suffix).")
+  in
+  Cmd.v (Cmd.info "reduce" ~doc ~man)
+    Term.(
+      const reduce_impl $ seed_arg $ variant_arg $ intensity_arg $ segmenter_arg $ gate_arg $ traces $ per_value
+      $ archive $ expect $ out $ json_arg $ obs_args)
+
 let () =
   let doc = "RevEAL: single-trace side-channel attack on the SEAL BFV encryptor (reproduction)" in
   let man =
@@ -1099,6 +1510,9 @@ let () =
       `I ("$(b,shard)", "run a campaign sharded over N worker processes, merged deterministically.");
       `I ("$(b,worker)", "attack one shard of a campaign and write a shard result file.");
       `I ("$(b,obs)", "summarize or merge observability traces written by --obs-out.");
+      `I ("$(b,trial)", "run one randomized-campaign trial scenario and print its typed verdict.");
+      `I ("$(b,fuzz)", "run a randomized trial campaign; surface novel, deduplicated, pre-minimized failures.");
+      `I ("$(b,reduce)", "shrink a failing trial archive to a minimal reproducer.");
       `P "Every subcommand accepts $(b,--json) for one machine-readable JSON value on stdout.";
     ]
   in
@@ -1132,4 +1546,7 @@ let () =
             worker_cmd;
             shard_cmd;
             obs_cmd;
+            trial_cmd;
+            fuzz_cmd;
+            reduce_cmd;
           ]))

@@ -1,9 +1,11 @@
-(* Process-pool scheduling for sharded campaigns.  Everything that
-   could differ between runs — which worker finishes first, which
-   attempt of a shard succeeded — is kept out of the data path: results
-   land in per-shard slots and merge in shard order. *)
+(* Process-pool scheduling for sharded campaigns and fuzz batches.
+   Everything that could differ between runs — which worker finishes
+   first, which attempt of a job succeeded — is kept out of the data
+   path: results land in per-job slots and consumers read them in job
+   order.  The pool core is generic ([run_pool]); the shard campaign
+   ([run]) is its oldest client, the triage fuzzer the newest. *)
 
-type status = Exited of int | Signaled of int
+type status = Exited of int | Signaled of int | Timed_out of float
 
 type failure = {
   f_shard : int;
@@ -23,17 +25,173 @@ let signal_name s =
   else if s = Sys.sigpipe then "SIGPIPE"
   else Printf.sprintf "signal %d" s
 
+let status_to_string = function
+  | Exited c -> Printf.sprintf "exit %d" c
+  | Signaled s -> signal_name s
+  | Timed_out t -> Printf.sprintf "timeout after %.1fs" t
+
 let describe_failure f =
-  let status =
-    match f.f_status with
-    | Exited c -> Printf.sprintf "exit %d" c
-    | Signaled s -> signal_name s
+  Printf.sprintf "shard %d attempt %d failed (%s): %s [log: %s]" f.f_shard f.f_attempt
+    (status_to_string f.f_status) f.f_reason f.f_log
+
+(* --- the generic pool ---------------------------------------------------- *)
+
+type 'a jobs = {
+  job_count : int;
+  command : job:int -> attempt:int -> out:string -> log:string -> string array;
+  out_path : job:int -> string;
+  log_path : job:int -> attempt:int -> string;
+  collect : job:int -> out:string -> ('a, string) result;
+}
+
+type pool = {
+  max_inflight : int;
+  retries : int;
+  timeout_s : float option;
+  fail_fast : bool;
+}
+
+type 'a pool_report = {
+  outcomes : ('a, failure list) result array;
+  pool_failures : failure list;
+  pool_retried : int;
+  aborted : bool;
+}
+
+type job = { j_id : int; mutable j_attempt : int; mutable j_failures : failure list (* newest first *) }
+
+let spawn jobs job =
+  let out = jobs.out_path ~job:job.j_id in
+  (try Sys.remove out with Sys_error _ -> ());
+  let log = jobs.log_path ~job:job.j_id ~attempt:job.j_attempt in
+  let argv = jobs.command ~job:job.j_id ~attempt:job.j_attempt ~out ~log in
+  Traceio.Error.wrap_io log (fun () ->
+      let logfd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.close logfd;
+          Unix.close devnull)
+        (fun () -> Unix.create_process argv.(0) argv devnull logfd logfd))
+
+(* The poll interval trades reap latency against wakeups; worker
+   processes live hundreds of milliseconds at least, so 10 ms of
+   scheduling slack never dominates. *)
+let poll_interval_s = 0.01
+
+let run_pool ?(skip = fun (_ : int) -> None) pool jobs =
+  if pool.max_inflight <= 0 then invalid_arg "Orchestrator.run_pool: max_inflight must be positive";
+  if pool.retries < 0 then invalid_arg "Orchestrator.run_pool: retries must be non-negative";
+  (match pool.timeout_s with
+  | Some t when t <= 0.0 -> invalid_arg "Orchestrator.run_pool: timeout must be positive"
+  | _ -> ());
+  let outcomes : ('a, failure list) result array = Array.make jobs.job_count (Error []) in
+  let queue = Queue.create () in
+  for id = 0 to jobs.job_count - 1 do
+    match skip id with
+    | Some v -> outcomes.(id) <- Ok v
+    | None -> Queue.add { j_id = id; j_attempt = 0; j_failures = [] } queue
+  done;
+  (* pid -> (job, absolute deadline if a timeout is armed) *)
+  let running : (int, job * float option) Hashtbl.t = Hashtbl.create 8 in
+  let failures = ref [] in
+  let retried = ref [] in
+  let aborted = ref false in
+  let fail job st reason =
+    let f =
+      {
+        f_shard = job.j_id;
+        f_attempt = job.j_attempt;
+        f_status = st;
+        f_log = jobs.log_path ~job:job.j_id ~attempt:job.j_attempt;
+        f_reason = reason;
+      }
+    in
+    failures := f :: !failures;
+    job.j_failures <- f :: job.j_failures;
+    if job.j_attempt < pool.retries then begin
+      if not (List.mem job.j_id !retried) then retried := job.j_id :: !retried;
+      job.j_attempt <- job.j_attempt + 1;
+      Queue.add job queue
+    end
+    else begin
+      outcomes.(job.j_id) <- Error (List.rev job.j_failures);
+      if pool.fail_fast then aborted := true
+    end
   in
-  Printf.sprintf "shard %d attempt %d failed (%s): %s [log: %s]" f.f_shard f.f_attempt status f.f_reason f.f_log
+  let settle job st reason =
+    match st with
+    | Unix.WEXITED 0 -> (
+        match jobs.collect ~job:job.j_id ~out:(jobs.out_path ~job:job.j_id) with
+        | Ok v -> outcomes.(job.j_id) <- Ok v
+        | Error msg -> fail job (Exited 0) msg
+        | exception Traceio.Error.Corrupt msg -> fail job (Exited 0) msg
+        | exception Traceio.Error.Io msg -> fail job (Exited 0) msg)
+    | Unix.WEXITED c -> fail job (Exited c) reason
+    | Unix.WSIGNALED s -> fail job (Signaled s) reason
+    | Unix.WSTOPPED _ -> () (* not traced: never reported without WUNTRACED *)
+  in
+  (* One reap pass: harvest every worker that already exited, then kill
+     any that blew their deadline.  Returns true when at least one pid
+     was settled (so the scheduler loop only sleeps when truly idle). *)
+  let reap_pass () =
+    let settled = ref false in
+    let pids = Hashtbl.fold (fun pid entry acc -> (pid, entry) :: acc) running [] in
+    List.iter
+      (fun (pid, (job, deadline)) ->
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ -> (
+            match deadline with
+            | Some d when Unix.gettimeofday () > d ->
+                (* hung worker: kill, reap synchronously, charge the
+                   retry budget with a typed timeout failure *)
+                (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+                (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+                Hashtbl.remove running pid;
+                settled := true;
+                let t = match pool.timeout_s with Some t -> t | None -> 0.0 in
+                fail job (Timed_out t) "worker exceeded its wall-clock budget"
+            | _ -> ())
+        | _, st ->
+            Hashtbl.remove running pid;
+            settled := true;
+            settle job st
+              (match st with
+              | Unix.WEXITED _ -> "worker exited nonzero"
+              | _ -> "worker killed by signal")
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      pids;
+    !settled
+  in
+  while (not !aborted) && (Queue.length queue > 0 || Hashtbl.length running > 0) do
+    while (not !aborted) && Hashtbl.length running < pool.max_inflight && Queue.length queue > 0 do
+      let job = Queue.pop queue in
+      let pid = spawn jobs job in
+      let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) pool.timeout_s in
+      Hashtbl.add running pid (job, deadline)
+    done;
+    if Hashtbl.length running > 0 && not (reap_pass ()) then Unix.sleepf poll_interval_s
+  done;
+  if !aborted then begin
+    (* fail-fast tripped: tear the rest of the fleet down *)
+    Hashtbl.iter (fun pid _ -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()) running;
+    Hashtbl.iter
+      (fun pid _ -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      running
+  end;
+  {
+    outcomes;
+    pool_failures = List.rev !failures;
+    pool_retried = List.length !retried;
+    aborted = !aborted;
+  }
+
+(* --- the shard campaign client ------------------------------------------- *)
 
 type config = {
   max_inflight : int;
   retries : int;
+  timeout_s : float option;
   work_dir : string;
   command : shard:int -> attempt:int -> range:Shard.range -> out:string -> log:string -> string array;
 }
@@ -44,38 +202,22 @@ type report = {
   retried : int;
 }
 
-type job = { j_shard : int; j_range : Shard.range; mutable j_attempt : int }
-
 let out_path config shard = Filename.concat config.work_dir (Printf.sprintf "shard-%d.bin" shard)
 
 let log_path config shard attempt =
   Filename.concat config.work_dir (Printf.sprintf "shard-%d-attempt-%d.log" shard attempt)
 
-let spawn config job =
-  let out = out_path config job.j_shard in
-  (try Sys.remove out with Sys_error _ -> ());
-  let log = log_path config job.j_shard job.j_attempt in
-  let argv = config.command ~shard:job.j_shard ~attempt:job.j_attempt ~range:job.j_range ~out ~log in
-  Traceio.Error.wrap_io log (fun () ->
-      let logfd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-      let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
-      Fun.protect
-        ~finally:(fun () ->
-          Unix.close logfd;
-          Unix.close devnull)
-        (fun () -> Unix.create_process argv.(0) argv devnull logfd logfd))
-
 (* A finished worker's shard result, validated against what the job
    asked for — a worker writing the wrong slice is as much a failure
    as a crash. *)
-let collect config job =
-  let out = out_path config job.j_shard in
+let collect_shard plan ~job ~out =
+  let range = plan.(job) in
   match Shard.load out with
   | r ->
-      if r.Shard.shard <> job.j_shard || r.Shard.range <> job.j_range then
+      if r.Shard.shard <> job || r.Shard.range <> range then
         Error
           (Printf.sprintf "result file describes shard %d [%d,%d), expected shard %d [%d,%d)" r.Shard.shard
-             r.Shard.range.Shard.lo r.Shard.range.Shard.hi job.j_shard job.j_range.Shard.lo job.j_range.Shard.hi)
+             r.Shard.range.Shard.lo r.Shard.range.Shard.hi job range.Shard.lo range.Shard.hi)
       else Ok r
   | exception Traceio.Error.Corrupt msg -> Error msg
   | exception Traceio.Error.Io msg -> Error msg
@@ -83,74 +225,37 @@ let collect config job =
 let run config ~plan =
   if config.max_inflight <= 0 then invalid_arg "Orchestrator.run: max_inflight must be positive";
   if config.retries < 0 then invalid_arg "Orchestrator.run: retries must be non-negative";
-  let slots : Shard.result option array = Array.make (Array.length plan) None in
-  let queue = Queue.create () in
-  Array.iteri
-    (fun i (range : Shard.range) ->
-      if range.Shard.hi > range.Shard.lo then Queue.add { j_shard = i; j_range = range; j_attempt = 0 } queue
-      else slots.(i) <- Some { Shard.shard = i; range; corrupt_skipped = 0; results = [||] })
-    plan;
-  let running : (int, job) Hashtbl.t = Hashtbl.create 8 in
-  let failures = ref [] in
-  let retried = ref [] in
-  let fatal = ref false in
-  let fail job st reason =
-    let f =
-      {
-        f_shard = job.j_shard;
-        f_attempt = job.j_attempt;
-        f_status = st;
-        f_log = log_path config job.j_shard job.j_attempt;
-        f_reason = reason;
-      }
-    in
-    failures := f :: !failures;
-    if job.j_attempt < config.retries then begin
-      if not (List.mem job.j_shard !retried) then retried := job.j_shard :: !retried;
-      job.j_attempt <- job.j_attempt + 1;
-      Queue.add job queue
-    end
-    else fatal := true
+  let jobs =
+    {
+      job_count = Array.length plan;
+      command =
+        (fun ~job ~attempt ~out ~log -> config.command ~shard:job ~attempt ~range:plan.(job) ~out ~log);
+      out_path = (fun ~job -> out_path config job);
+      log_path = (fun ~job ~attempt -> log_path config job attempt);
+      collect = collect_shard plan;
+    }
   in
-  let reap_one () =
-    match Unix.wait () with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | pid, st -> (
-        match Hashtbl.find_opt running pid with
-        | None -> () (* not ours; nothing in this process spawns others *)
-        | Some job -> (
-            Hashtbl.remove running pid;
-            match st with
-            | Unix.WEXITED 0 -> (
-                match collect config job with
-                | Ok r -> slots.(job.j_shard) <- Some r
-                | Error reason -> fail job (Exited 0) reason)
-            | Unix.WEXITED c -> fail job (Exited c) "worker exited nonzero"
-            | Unix.WSIGNALED s -> fail job (Signaled s) "worker killed by signal"
-            | Unix.WSTOPPED _ -> Hashtbl.add running pid job (* not traced; keep waiting *)))
+  let pool =
+    {
+      max_inflight = config.max_inflight;
+      retries = config.retries;
+      timeout_s = config.timeout_s;
+      fail_fast = true;
+    }
   in
-  while (not !fatal) && (Queue.length queue > 0 || Hashtbl.length running > 0) do
-    while (not !fatal) && Hashtbl.length running < config.max_inflight && Queue.length queue > 0 do
-      let job = Queue.pop queue in
-      let pid = spawn config job in
-      Hashtbl.add running pid job
-    done;
-    if Hashtbl.length running > 0 then reap_one ()
-  done;
-  if !fatal then begin
-    (* a shard is out of attempts: tear the rest of the fleet down *)
-    Hashtbl.iter (fun pid _ -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()) running;
-    Hashtbl.iter
-      (fun pid _ -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
-      running;
-    Error (List.rev !failures)
-  end
+  let skip id =
+    let range = plan.(id) in
+    if range.Shard.hi > range.Shard.lo then None
+    else Some { Shard.shard = id; range; corrupt_skipped = 0; results = [||] }
+  in
+  let r = run_pool ~skip pool jobs in
+  if r.aborted then Error r.pool_failures
   else
     Ok
       {
-        results = Array.map (function Some r -> r | None -> assert false) slots;
-        failures = List.rev !failures;
-        retried = List.length !retried;
+        results = Array.map (function Ok x -> x | Error _ -> assert false) r.outcomes;
+        failures = r.pool_failures;
+        retried = r.pool_retried;
       }
 
 (* --- work dirs ---------------------------------------------------------- *)

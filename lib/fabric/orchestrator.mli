@@ -1,19 +1,26 @@
-(** The shard orchestrator: fork/exec one worker process per shard,
-    bounded in-flight, retry crashed shards, collect result files.
+(** The worker-process orchestrator: fork/exec one process per job,
+    bounded in-flight, retry crashed jobs, collect result files.
 
     The orchestrator owns scheduling only — which worker runs when has
-    no way to reach the output, because every worker derives its slice
-    of the campaign from the shared seed and {!Shard.merge} orders by
-    shard id.  A worker that exits nonzero, dies on a signal, or
-    leaves a missing/corrupt result file produces a typed {!failure}
-    record and its shard is re-run, up to [retries] extra attempts;
-    only when a shard exhausts its budget does the run fail (remaining
-    workers are killed and reaped). *)
+    no way to reach the output, because every consumer reads results
+    in job order from per-job slots.  A worker that exits nonzero,
+    dies on a signal, leaves a missing/corrupt result file, or — with
+    a timeout armed — outlives its wall-clock budget produces a typed
+    {!failure} record and its job is re-run, up to [retries] extra
+    attempts.
 
-type status = Exited of int | Signaled of int
+    Two clients share the pool core: the sharded campaign ({!run},
+    fail-fast — one exhausted shard kills the fleet) and the triage
+    fuzzer ({!run_pool} with [fail_fast = false] — an exhausted trial
+    is a verdict, not a fatality). *)
+
+type status =
+  | Exited of int
+  | Signaled of int
+  | Timed_out of float  (** killed after this many seconds of wall clock *)
 
 type failure = {
-  f_shard : int;
+  f_shard : int;  (** job id (shard position for campaign runs) *)
   f_attempt : int;  (** 0-based *)
   f_status : status;
   f_log : string;  (** the attempt's captured stdout+stderr *)
@@ -21,15 +28,67 @@ type failure = {
 }
 
 val describe_failure : failure -> string
+val status_to_string : status -> string
+
+(** {1 The generic pool} *)
+
+type 'a jobs = {
+  job_count : int;
+  command : job:int -> attempt:int -> out:string -> log:string -> string array;
+      (** argv for one attempt; [out] is where the worker must write
+          its result file, [log] where this attempt's output is being
+          captured (informational) *)
+  out_path : job:int -> string;
+  log_path : job:int -> attempt:int -> string;
+  collect : job:int -> out:string -> ('a, string) result;
+      (** validate and decode a finished worker's result file;
+          [Error]/raised {!Traceio.Error} count as a failed attempt *)
+}
+
+type pool = {
+  max_inflight : int;  (** concurrent worker processes *)
+  retries : int;  (** extra attempts per job after the first *)
+  timeout_s : float option;
+      (** wall-clock budget per attempt; a worker that outlives it is
+          SIGKILLed and charged a {!Timed_out} failure against the
+          job's retry budget, so a hung worker can never stall the
+          pool forever *)
+  fail_fast : bool;
+      (** [true]: the first job to exhaust its budget aborts the pool
+          (remaining workers are killed and reaped).  [false]: every
+          job runs to a resolution and exhausted jobs surface as
+          [Error] slots. *)
+}
+
+type 'a pool_report = {
+  outcomes : ('a, failure list) result array;
+      (** one slot per job, in job order; [Error] carries that job's
+          failed attempts oldest-first (empty for jobs never started
+          because an abort tripped first) *)
+  pool_failures : failure list;  (** every failed attempt, including recovered ones, oldest first *)
+  pool_retried : int;  (** jobs that needed more than one attempt *)
+  aborted : bool;  (** a fail-fast pool stopped before resolving every job *)
+}
+
+val run_pool : ?skip:(int -> 'a option) -> pool -> 'a jobs -> 'a pool_report
+(** Execute the jobs.  [skip id = Some v] satisfies job [id] with [v]
+    without spawning a process (empty shard ranges, cached trials).
+    Workers run with stdin from [/dev/null] and stdout+stderr captured
+    to the attempt's log file.
+    @raise Invalid_argument when [max_inflight <= 0], [retries < 0] or
+    [timeout_s <= 0].
+    @raise Traceio.Error.Io when a log cannot be written. *)
+
+(** {1 The sharded-campaign client} *)
 
 type config = {
   max_inflight : int;  (** concurrent worker processes *)
   retries : int;  (** extra attempts per shard after the first *)
+  timeout_s : float option;  (** per-attempt wall-clock budget (see {!pool.timeout_s}) *)
   work_dir : string;  (** result files and per-attempt logs live here *)
   command : shard:int -> attempt:int -> range:Shard.range -> out:string -> log:string -> string array;
       (** argv for one attempt; [out] is where the worker must write
-          its {!Shard.result} file, [log] is informational (where this
-          attempt's output is being captured) *)
+          its {!Shard.result} file *)
 }
 
 type report = {
@@ -39,13 +98,10 @@ type report = {
 }
 
 val run : config -> plan:Shard.range array -> (report, failure list) Stdlib.result
-(** Execute the plan.  Empty ranges are satisfied without spawning a
-    process.  [Error] carries every failure, the fatal one last.
-    Workers run with stdin from [/dev/null] and stdout+stderr captured
-    to [work_dir/shard-N-attempt-K.log].
-    @raise Invalid_argument when [max_inflight <= 0] or [retries < 0].
-    @raise Traceio.Error.Io when the work dir or a log cannot be
-    written. *)
+(** Execute the plan through a fail-fast {!run_pool}.  Empty ranges
+    are satisfied without spawning a process.  [Error] carries every
+    failure, the fatal one last.
+    @raise Invalid_argument when [max_inflight <= 0] or [retries < 0]. *)
 
 val fresh_work_dir : ?prefix:string -> unit -> string
 (** Create a private directory under the system temp dir. *)

@@ -90,14 +90,36 @@ let close_listener l =
     | Tcp _ -> ()
   end
 
-let connect ep =
-  wrap ep (fun () ->
-      let fd = Unix.socket (domain_of ep) Unix.SOCK_STREAM 0 in
-      (try Unix.connect fd (sockaddr_of ep)
-       with e ->
-         Unix.close fd;
-         raise e);
-      connection_of_fd ~peer:(to_string ep) fd)
+(* A server that has not bound yet looks like ECONNREFUSED (tcp) or a
+   missing socket file (unix); both clear on their own once it comes
+   up, so they are the only refusals worth sleeping on — anything else
+   (unroutable host, permission) will not improve with patience. *)
+let transient_refusal = function
+  | Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ENOENT), _, _) -> true
+  | _ -> false
+
+let connect ?(retries = 0) ?(backoff_s = 0.05) ep =
+  if retries < 0 then invalid_arg "Transport.connect: retries must be non-negative";
+  if backoff_s <= 0.0 then invalid_arg "Transport.connect: backoff must be positive";
+  let raw () =
+    let fd = Unix.socket (domain_of ep) Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (sockaddr_of ep)
+     with e ->
+       Unix.close fd;
+       raise e);
+    connection_of_fd ~peer:(to_string ep) fd
+  in
+  let rec attempt left pause =
+    match raw () with
+    | c -> c
+    | exception (Unix.Unix_error _ as e) when left > 0 && transient_refusal e ->
+        Unix.sleepf pause;
+        (* doubling backoff, capped: total wait stays bounded and the
+           cheap early retries win most serve/connect races outright *)
+        attempt (left - 1) (Float.min (pause *. 2.0) 0.5)
+    | exception e -> wrap ep (fun () -> raise e)
+  in
+  attempt retries backoff_s
 
 (* ic and oc are two views of one fd: close_out closes the fd, the
    close_in after it then fails harmlessly. *)
@@ -106,6 +128,6 @@ let close_connection c =
   (try close_out_noerr c.oc with Sys_error _ -> ());
   close_in_noerr c.ic
 
-let with_connection ep f =
-  let c = connect ep in
+let with_connection ?retries ?backoff_s ep f =
+  let c = connect ?retries ?backoff_s ep in
   Fun.protect ~finally:(fun () -> close_connection c) (fun () -> f c)

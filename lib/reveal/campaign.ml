@@ -37,6 +37,7 @@ type gate = Grading.gate = {
 let default_values = Constants.default_values
 let default_gate = Grading.default_gate
 let grade_counts = Grading.grade_counts
+let confident_mismatches = Grading.confident_mismatches
 let hint_of_result = Grading.hint_of_result
 
 (* --- profiling ------------------------------------------------------------ *)

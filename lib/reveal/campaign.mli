@@ -145,6 +145,11 @@ type coefficient_result = Grading.coefficient_result = {
 val grade_counts : coefficient_result array -> int * int * int * int
 (** (confident, tentative, sign-only, unknown). *)
 
+val confident_mismatches : coefficient_result array -> int
+(** {!Grading.confident_mismatches}: coefficients graded [Confident]
+    with a wrong recovered sign — the triage fuzzer's misgrade
+    signal. *)
+
 val hint_of_result : sigma:float -> coordinate:int -> coefficient_result -> Hints.Hint.t
 (** {!Grading.hint_of_result}: the hint-degradation ladder. *)
 

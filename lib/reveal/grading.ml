@@ -163,6 +163,19 @@ let grade_counts results =
     results;
   (!c, !t, !s, !u)
 
+(* Coefficients the gate vouched for whose recovered sign is wrong —
+   the one outcome the grading ladder exists to prevent.  Sign, not
+   value: the attack's clean-run guarantee is perfect sign recovery
+   (Table IV), while exact values are only partially recoverable even
+   on an honest device, so a confidently-wrong value is expected and a
+   confidently-wrong sign never is.  The triage fuzzer's misgrade
+   verdict is exactly this count being nonzero. *)
+let confident_mismatches results =
+  Array.fold_left
+    (fun acc r ->
+      if r.grade = Confident && r.verdict.Sca.Attack.sign <> compare r.actual 0 then acc + 1 else acc)
+    0 results
+
 let hint_of_result ~sigma ~coordinate r =
   match r.grade with
   | Confident -> Hints.Hint.of_posterior ~coordinate r.posterior_all

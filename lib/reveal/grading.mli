@@ -62,6 +62,15 @@ val classify_graded :
 val grade_counts : coefficient_result array -> int * int * int * int
 (** (confident, tentative, sign-only, unknown). *)
 
+val confident_mismatches : coefficient_result array -> int
+(** Coefficients graded [Confident] whose recovered {e sign} is wrong
+    — the failure mode the gate exists to prevent.  Sign rather than
+    value: clean campaigns recover every sign but only a fraction of
+    exact values, so sign correctness is the property a [Confident]
+    grade actually vouches for.  Zero on every correctly-gated
+    campaign; the triage fuzzer's misgrade verdict is this count being
+    positive. *)
+
 val hint_of_result : sigma:float -> coordinate:int -> coefficient_result -> Hints.Hint.t
 (** The hint-degradation ladder: [Confident] integrates the measured
     posterior exactly as the clean pipeline does (near-point-mass

@@ -326,6 +326,59 @@ let fold path f init =
       let rec loop acc = match next r with None -> acc | Some x -> loop (f acc x) in
       loop init)
 
+(* Surgical copy for the triage minimizer: keep a subset of records
+   and/or crop every kept record to one sample span.  The writer
+   re-indexes kept records densely (its own counter), so the output is
+   a self-consistent archive a strict reader accepts. *)
+let crop_trace ~lo ~hi (t : Power.Ptrace.t) =
+  let len = Array.length t.Power.Ptrace.samples in
+  (* spans are clamped per record: fault drop/dup makes record lengths
+     differ, and a span chosen on one record must stay legal on all *)
+  let lo_r = min lo len in
+  let hi_r = min hi len in
+  let samples = Array.sub t.Power.Ptrace.samples lo_r (hi_r - lo_r) in
+  let ev = ref [] in
+  Array.iteri
+    (fun i s -> if s >= lo_r && s < hi_r then ev := (s - lo_r, t.Power.Ptrace.event_pc.(i)) :: !ev)
+    t.Power.Ptrace.event_start;
+  let pairs = Array.of_list (List.rev !ev) in
+  {
+    t with
+    Power.Ptrace.samples;
+    event_start = Array.map fst pairs;
+    event_pc = Array.map snd pairs;
+  }
+
+let rewrite ?keep ?span ~src ~dst () =
+  (match span with
+  | Some (lo, hi) when lo < 0 || hi < lo -> invalid_arg "Archive.rewrite: span must satisfy 0 <= lo <= hi"
+  | _ -> ());
+  (match keep with
+  | Some l when List.exists (fun i -> i < 0) l -> invalid_arg "Archive.rewrite: negative record index"
+  | _ -> ());
+  with_reader src (fun r ->
+      let h = header r in
+      let w =
+        open_writer ~meta:h.meta ~variant:h.variant ~n:h.n ~seed:h.seed
+          ~samples_per_cycle:h.samples_per_cycle ~noise_sigma:h.noise_sigma dst
+      in
+      Fun.protect ~finally:(fun () -> close_writer w) @@ fun () ->
+      let kept i = match keep with None -> true | Some l -> List.mem i l in
+      let rec loop () =
+        match next r with
+        | None -> ()
+        | Some rec_ ->
+            if kept rec_.index then begin
+              let trace =
+                match span with None -> rec_.trace | Some (lo, hi) -> crop_trace ~lo ~hi rec_.trace
+              in
+              append w ~noises:rec_.noises trace
+            end;
+            loop ()
+      in
+      loop ();
+      w.count)
+
 let file_size path =
   let ic = Error.open_in_bin path in
   Fun.protect ~finally:(fun () -> try close_in ic with Sys_error _ -> ()) (fun () -> in_channel_length ic)

@@ -152,5 +152,18 @@ val with_reader : ?obs:Obs.Ctx.t -> string -> (reader -> 'a) -> 'a
 val iter : string -> (record -> unit) -> unit
 val fold : string -> ('a -> record -> 'a) -> 'a -> 'a
 
+val rewrite : ?keep:int list -> ?span:int * int -> src:string -> dst:string -> unit -> int
+(** Copy [src] to [dst], keeping only the records whose original index
+    is in [keep] (default: all) and cropping every kept record's trace
+    to the sample span [\[lo, hi)] (default: whole trace).  Kept
+    records are re-indexed densely, the header's other fields and meta
+    are copied verbatim, and events are filtered to the span and
+    shifted to its origin.  The span is clamped per record — fault
+    drop/dup makes record lengths differ — so one span is legal across
+    a whole archive.  Returns the number of records written.  This is
+    the primitive the triage minimizer bisects with (DESIGN.md §14).
+    @raise Invalid_argument on a negative index or [lo < 0 || hi < lo].
+    @raise Error.Corrupt when [src] does not verify (strict read). *)
+
 val file_size : string -> int
 (** On-disk byte size (for compression-ratio reporting). *)

@@ -1,0 +1,60 @@
+(** The fuzz campaign driver: plan -> worker pool -> verdicts ->
+    signatures -> dedupe -> auto-minimized novel failures.
+
+    Trials run as separate [exe trial] worker processes under
+    {!Fabric.Orchestrator.run_pool} ([fail_fast = false], no retries —
+    a crashed trial is a finding, not a flake).  A worker that exits
+    cleanly reports its typed verdict through a JSON result file; one
+    that crashes or blows the timeout is classified from the
+    orchestrator's typed failure record alone, so log noise never
+    reaches a signature.
+
+    The batch is deterministic: outcomes are assembled in trial order,
+    and for a fixed (master seed, trial count, work dir, executable)
+    two runs produce byte-identical tables and summaries. *)
+
+type status =
+  | Passed  (** non-failure verdict *)
+  | Novel  (** failure, first sighting — the fuzzer's product *)
+  | Known  (** failure matching the known-signatures store *)
+  | Duplicate  (** failure already surfaced earlier in this batch *)
+
+type outcome = {
+  o_trial : Plan.trial;
+  o_verdict : Verdict.t;
+  o_signature : string;
+  o_status : status;
+  o_archive : string option;  (** the recorded campaign, when the worker got that far *)
+  o_minimized : (string * Minimize.report) option;  (** minimal archive + reduction report *)
+  o_repro : string;  (** the one-line repro command *)
+  o_log : string;  (** captured worker output path *)
+}
+
+type batch = {
+  b_outcomes : outcome array;  (** one per trial, in trial order *)
+  b_summary : (string * int) list;  (** verdict kind -> count, in {!kinds_in_order} *)
+  b_novel : int;
+  b_known : int;
+  b_duplicate : int;
+}
+
+val kinds_in_order : string list
+
+val run :
+  ?minimize:bool ->
+  exe:string ->
+  work_dir:string ->
+  workers:int ->
+  timeout_s:float option ->
+  known:Signature.store ->
+  Plan.trial array ->
+  batch
+(** Execute the trials.  [exe] is the reveal CLI binary (workers are
+    spawned as [exe trial ...] and repro lines quote it).  Per-trial
+    artefacts live in [work_dir/trial-<id>/]: the recorded archive,
+    the worker's result file and log, and — for a minimized novel
+    failure — [min.rvt].  With [minimize] (default true) every novel
+    failure that reproduces in-process is shrunk via
+    {!Minimize.reduce}; timeouts and pre-archive crashes are reported
+    unminimized.
+    @raise Invalid_argument when [workers <= 0]. *)

@@ -1,0 +1,40 @@
+(** Deterministic trace-corpus minimizer (the reducer.sh half of the
+    triage flow).
+
+    Shrinks a failing archive in two passes: first the smallest record
+    subset (ddmin-shaped chunk removal — rescan on success, halve on a
+    full failed scan), then the smallest per-record sample span
+    (stepped greedy cuts from the top, then the bottom, halving the
+    step on rejection).  Plain bisection would be unsound for both
+    passes — reproduction is not monotone in the record set or the
+    span — so every candidate is independently verified by the [check]
+    probe and only accepted candidates survive.
+
+    The walk is a pure function of [(src, check)]: same archive, same
+    probe, same minimal result, byte for byte. *)
+
+type report = {
+  original_records : int;
+  kept : int list;  (** original record indices kept, ascending *)
+  span : (int * int) option;  (** final sample crop, [None] = full traces *)
+  original_bytes : int;
+  reduced_bytes : int;
+  probes : int;  (** candidate archives tested *)
+}
+
+val reduce :
+  check:(string -> bool) ->
+  work_dir:string ->
+  src:string ->
+  dst:string ->
+  (report, string) result
+(** Minimize [src] into [dst].  [check path] must answer "does this
+    candidate archive still reproduce the expected verdict?" — build
+    it from {!Runner.replay_verdict} + {!Verdict.same_failure} with a
+    profile constructed once.  Candidates are staged in [work_dir].
+    [Error] when [src] itself does not reproduce (nothing to
+    minimize), or when the re-verified [dst] fails — which can only
+    mean the probe is not deterministic. *)
+
+val describe : report -> string
+val to_json : report -> Obs.Json.t

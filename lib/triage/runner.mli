@@ -1,0 +1,58 @@
+(** One trial, executed: record a faulted campaign archive, replay the
+    attack over it, measure, classify.
+
+    Trials deliberately attack from a recorded archive rather than the
+    live device, so a trial's outcome is definitionally equal to a
+    deterministic replay of its archive — the property the minimizer's
+    bisection rests on.  (Live retries draw randomness a replay cannot
+    reproduce; in replay an Unknown coefficient is always
+    [Unrecoverable], consistently on both sides.) *)
+
+val gate_of : Plan.gate_profile -> Reveal.Grading.gate
+
+val effective_profile : Plan.gate_profile -> Reveal.Campaign.profile -> Reveal.Campaign.profile
+(** [Aggressive] disables the profile's goodness-of-fit floors (its
+    scenario is a pipeline without its out-of-distribution tripwire);
+    the others return the profile unchanged. *)
+
+val profile_for : Plan.trial -> Reveal.Campaign.profile
+(** Build the trial's templates: fault-free clone device, seeded by
+    the trial seed alone — any process rebuilds them bit-identically
+    from the trial row.  Already passed through
+    {!effective_profile}. *)
+
+val record_archive : Plan.trial -> path:string -> unit
+(** Capture the trial's faulted campaign ([traces] honest runs under
+    {!Power.Fault.of_intensity}[ intensity]) into an archive. *)
+
+val attack :
+  Plan.trial ->
+  Reveal.Campaign.profile ->
+  archive:string ->
+  Reveal.Campaign.stats * Reveal.Campaign.coefficient_result array
+(** Replay the attack over an archive in the trial's mode (strict
+    segmenter = Classic, resilient = gated).  Single-domain: trials
+    parallelise across orchestrator workers, not within. *)
+
+val measure : Plan.trial -> Reveal.Campaign.profile -> archive:string -> Verdict.measurements
+(** {!attack} plus the invariant checks (grade-count accounting,
+    correct-vs-total bounds, result-array length, and — for
+    zero-intensity resilient/default trials — bit-identity with the
+    classic pipeline).  Violated invariants land in
+    [m_violations] as stable identifiers. *)
+
+val run : ?archive:string -> Plan.trial -> Verdict.measurements
+(** The whole trial: profile, record (into [archive] if given, else a
+    temp file removed afterwards), measure.  Raises whatever the
+    pipeline raises — the caller decides whether that is a crash
+    verdict (fuzzer) or a reported error (CLI). *)
+
+val record_and_measure : Plan.trial -> archive:string -> Verdict.measurements
+(** {!run} keeping the archive at [archive] — the worker entry
+    point. *)
+
+val replay_verdict : Plan.trial -> Reveal.Campaign.profile -> archive:string -> Verdict.t
+(** The minimizer's probe: measure + classify, mapping any pipeline
+    exception to its [Crash] family instead of raising (a candidate
+    that crashes the pipeline reproduces a crash finding).  OS-level
+    [Unix_error]s still raise. *)

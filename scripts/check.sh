@@ -159,12 +159,59 @@ if dune exec bin/reveal_cli.exe -- shard $shard_args --workers 2 --sabotage 0 --
   exit 1
 fi
 
+echo "== smoke: triage fuzzer — deterministic batch, known-file suppression =="
+# one master seed expands to one trial table; the first run surfaces
+# novel misgrades (exit 1) and graduates them to the known file, the
+# rerun is quiet (exit 0), and two quiet runs are byte-identical
+fuzz_args="--master-seed 42 --trials 6 --workers 2"
+if dune exec bin/reveal_cli.exe -- fuzz $fuzz_args --work-dir "$tmp/fuzz-a" --no-minimize \
+  --known "$tmp/known.txt" --update-known > "$tmp/fuzz-a.out" 2> /dev/null; then
+  echo "fuzz: expected a novel-failure exit on the first run" >&2
+  exit 1
+fi
+grep -q "novel failure:" "$tmp/fuzz-a.out"
+grep -q "repro: " "$tmp/fuzz-a.out"
+test -s "$tmp/known.txt"
+dune exec bin/reveal_cli.exe -- fuzz $fuzz_args --work-dir "$tmp/fuzz-b" --no-minimize \
+  --known "$tmp/known.txt" > "$tmp/fuzz-b.out" 2> /dev/null
+grep -q "failures: 0 novel" "$tmp/fuzz-b.out"
+dune exec bin/reveal_cli.exe -- fuzz $fuzz_args --work-dir "$tmp/fuzz-c" --no-minimize \
+  --known "$tmp/known.txt" > "$tmp/fuzz-c.out" 2> /dev/null
+cmp "$tmp/fuzz-b.out" "$tmp/fuzz-c.out"
+dune exec bin/reveal_cli.exe -- fuzz $fuzz_args --work-dir "$tmp/fuzz-d" --no-minimize \
+  --known "$tmp/known.txt" --json > "$tmp/fuzz.json" 2> /dev/null
+json_ok "$tmp/fuzz.json" master_seed trials summary novel known
+
+echo "== smoke: reduce — minimized archive reproduces the planted misgrade =="
+# plant a misgrade (aggressive gate, faulted campaign), keep its
+# archive, shrink it, and replay the printed repro line: same verdict,
+# strictly smaller corpus
+plant="--variant v32 --intensity 0.75 --seed 123 --segmenter resilient --gate aggressive --traces 1 --per-value 24"
+dune exec bin/reveal_cli.exe -- trial $plant --archive-out "$tmp/planted.rvt" --out "$tmp/planted.json"
+grep -q '"kind": *"misgrade"' "$tmp/planted.json"
+dune exec bin/reveal_cli.exe -- reduce "$tmp/planted.rvt" $plant --expect misgrade > "$tmp/reduce.out"
+grep -q "reduce repro: " "$tmp/reduce.out"
+test -s "$tmp/planted.min.rvt"
+orig_bytes=$(wc -c < "$tmp/planted.rvt")
+min_bytes=$(wc -c < "$tmp/planted.min.rvt")
+[ "$min_bytes" -lt "$orig_bytes" ]
+repro=$(sed -n 's/^reduce repro: //p' "$tmp/reduce.out")
+if sh -c "$repro" > "$tmp/repro.out"; then
+  echo "reduce: expected the repro line to exit 1 on its failing verdict" >&2
+  exit 1
+fi
+grep -q "verdict: misgrade" "$tmp/repro.out"
+
 echo "== bench: perf snapshot written, regressions diffed against the previous run =="
-# the bench harness writes bench_out/BENCH_perf.json and warns (never
-# fails) when a kernel regressed vs the rotated previous snapshot
+# the bench harness writes bench_out/BENCH_perf.json and warns when a
+# kernel regressed vs the rotated previous snapshot; under
+# REVEAL_PERF_STRICT=1 a regression beyond 1.5x is a hard failure
 REVEAL_PERF_QUOTA=0.05 dune exec bench/main.exe -- perf > "$tmp/perf.out"
 grep -q "snapshot written" "$tmp/perf.out"
 test -s bench_out/BENCH_perf.json
 json_ok bench_out/BENCH_perf.json quota_s results
+# back-to-back runs on the same machine stay within the strict gate
+REVEAL_PERF_QUOTA=0.05 REVEAL_PERF_STRICT=1 dune exec bench/main.exe -- perf > "$tmp/perf-strict.out"
+grep -q "REVEAL_PERF_STRICT" "$tmp/perf-strict.out"
 
 echo "== all checks passed =="

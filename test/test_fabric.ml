@@ -397,7 +397,7 @@ let with_work_dir f =
 let test_orchestrator_failure_typing () =
   with_work_dir @@ fun wd ->
   let command ~shard:_ ~attempt:_ ~range:_ ~out:_ ~log:_ = [| "/bin/sh"; "-c"; "exit 3" |] in
-  let config = { Fabric.Orchestrator.max_inflight = 2; retries = 1; work_dir = wd; command } in
+  let config = { Fabric.Orchestrator.max_inflight = 2; retries = 1; timeout_s = None; work_dir = wd; command } in
   (match Fabric.Orchestrator.run config ~plan:[| { Fabric.Shard.lo = 0; hi = 1 } |] with
   | Ok _ -> Alcotest.fail "a worker that always exits 3 cannot succeed"
   | Error failures ->
@@ -421,7 +421,7 @@ let test_orchestrator_empty_ranges () =
   with_work_dir @@ fun wd ->
   (* empty shards are satisfied without ever spawning the (failing) command *)
   let command ~shard:_ ~attempt:_ ~range:_ ~out:_ ~log:_ = [| "/bin/sh"; "-c"; "exit 3" |] in
-  let config = { Fabric.Orchestrator.max_inflight = 1; retries = 0; work_dir = wd; command } in
+  let config = { Fabric.Orchestrator.max_inflight = 1; retries = 0; timeout_s = None; work_dir = wd; command } in
   match Fabric.Orchestrator.run config ~plan:[| { Fabric.Shard.lo = 0; hi = 0 }; { Fabric.Shard.lo = 0; hi = 0 } |] with
   | Error _ -> Alcotest.fail "empty ranges must not spawn workers"
   | Ok report ->
@@ -430,6 +430,41 @@ let test_orchestrator_empty_ranges () =
         (fun r -> Alcotest.(check int) "empty result slices" 0 (Array.length r.Fabric.Shard.results))
         report.Fabric.Orchestrator.results;
       Alcotest.(check int) "nothing retried" 0 report.Fabric.Orchestrator.retried
+
+let test_pool_timeout () =
+  with_work_dir @@ fun wd ->
+  (* a worker that sleeps past its wall-clock budget is killed, charged
+     a typed Timed_out failure, and the charge consumes retry budget *)
+  let jobs =
+    {
+      Fabric.Orchestrator.job_count = 2;
+      command =
+        (fun ~job ~attempt:_ ~out ~log:_ ->
+          if job = 0 then [| "/bin/sh"; "-c"; "sleep 30" |]
+          else [| "/bin/sh"; "-c"; Printf.sprintf "echo ok > %s" (Filename.quote out) |]);
+      out_path = (fun ~job -> Filename.concat wd (Printf.sprintf "out-%d" job));
+      log_path = (fun ~job ~attempt -> Filename.concat wd (Printf.sprintf "log-%d-%d" job attempt));
+      collect = (fun ~job:_ ~out -> if Sys.file_exists out then Ok () else Error "no result");
+    }
+  in
+  let pool = { Fabric.Orchestrator.max_inflight = 2; retries = 1; timeout_s = Some 0.3; fail_fast = false } in
+  let report = Fabric.Orchestrator.run_pool pool jobs in
+  Alcotest.(check bool) "a no-fail-fast pool never aborts" false report.Fabric.Orchestrator.aborted;
+  (match report.Fabric.Orchestrator.outcomes.(0) with
+  | Ok () -> Alcotest.fail "a sleeping worker cannot succeed"
+  | Error failures ->
+      Alcotest.(check int) "the timeout consumed the retry budget" 2 (List.length failures);
+      List.iter
+        (fun f ->
+          match f.Fabric.Orchestrator.f_status with
+          | Fabric.Orchestrator.Timed_out t ->
+              Alcotest.(check bool) "the charge records at least the budget" true (t >= 0.3)
+          | s -> Alcotest.failf "expected Timed_out, got %s" (Fabric.Orchestrator.status_to_string s))
+        failures);
+  (match report.Fabric.Orchestrator.outcomes.(1) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "the quick job must be unaffected by its neighbour's hang");
+  Alcotest.(check int) "one job needed retries" 1 report.Fabric.Orchestrator.pool_retried
 
 (* --- end-to-end: real workers, bit-identical merge --------------------------- *)
 
@@ -485,7 +520,7 @@ let run_workers ~sabotage wd ppath =
        ]
       @ if sabotage && shard = 0 && attempt = 0 then [ "--sabotage" ] else [])
   in
-  let config = { Fabric.Orchestrator.max_inflight = 2; retries = 1; work_dir = wd; command } in
+  let config = { Fabric.Orchestrator.max_inflight = 2; retries = 1; timeout_s = None; work_dir = wd; command } in
   Fabric.Orchestrator.run config ~plan
 
 let require_exe () = if not (Sys.file_exists exe) then Alcotest.skip ()
@@ -557,6 +592,35 @@ let test_transport_parse () =
         (Fabric.Transport.parse (Fabric.Transport.to_string ep) = Ok ep))
     [ Fabric.Transport.Unix_socket "/tmp/x.sock"; Fabric.Transport.Tcp ("example.org", 443) ]
 
+let test_transport_connect_retry () =
+  with_work_dir @@ fun wd ->
+  let path = Filename.concat wd "late.sock" in
+  let ep = Fabric.Transport.Unix_socket path in
+  (* nobody listening, no retries: the old fail-immediately contract *)
+  (match Fabric.Transport.connect ep with
+  | _ -> Alcotest.fail "connecting to an absent socket must fail"
+  | exception Traceio.Error.Io _ -> ());
+  (match Fabric.Transport.connect ~retries:(-1) ep with
+  | _ -> Alcotest.fail "negative retries must be rejected"
+  | exception Invalid_argument _ -> ());
+  (match Fabric.Transport.connect ~retries:1 ~backoff_s:0.0 ep with
+  | _ -> Alcotest.fail "non-positive backoff must be rejected"
+  | exception Invalid_argument _ -> ());
+  (* a listener that shows up late: the bounded backoff rides out the
+     serve/connect race that used to need sleeps in scripts *)
+  let listener =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.25;
+        let l = Fabric.Transport.listen ep in
+        let c = Fabric.Transport.accept l in
+        Fabric.Transport.close_connection c;
+        Fabric.Transport.close_listener l)
+  in
+  let conn = Fabric.Transport.connect ~retries:10 ~backoff_s:0.05 ep in
+  Alcotest.(check bool) "peer label carries the endpoint" true (contains conn.Fabric.Transport.peer path);
+  Fabric.Transport.close_connection conn;
+  Domain.join listener
+
 let suite =
   [
     ("shard plan: directed cases", `Quick, test_plan_directed);
@@ -575,7 +639,9 @@ let suite =
       ("remote campaign equals archive replay", `Quick, test_remote_campaign_matches_replay);
       ("orchestrator: typed failures and retry budget", `Quick, test_orchestrator_failure_typing);
       ("orchestrator: empty ranges spawn nothing", `Quick, test_orchestrator_empty_ranges);
+      ("orchestrator: hung worker is killed and charged a timeout", `Quick, test_pool_timeout);
       ("sharded campaign is bit-identical to single process", `Quick, test_sharded_run_bit_identical);
       ("killed worker retried, merge still identical", `Quick, test_killed_worker_retried_still_identical);
       ("transport endpoint parsing", `Quick, test_transport_parse);
+      ("transport connect: bounded retry rides out a late listener", `Quick, test_transport_connect_retry);
     ]

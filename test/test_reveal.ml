@@ -16,5 +16,6 @@ let () =
       ("report", Test_report.suite);
       ("obs", Test_obs.suite);
       ("fabric", Test_fabric.suite);
+      ("triage", Test_triage.suite);
       ("cli", Test_cli.suite);
     ]
