@@ -10,6 +10,7 @@
      inspect       validate an archive and print its header / record summary
      fault-sweep   sweep measurement-fault intensity, report graceful degradation
      lint          constant-time lint of the sampler firmware
+     srclint       determinism / domain-safety lint of the pipeline's own OCaml source
      estimate      DBDD security estimates for SEAL parameter sets with hint counts
      report        render any experiment artefact of the paper (text or JSON)
      worker        attack one shard of a campaign, write a shard result file
@@ -579,7 +580,9 @@ let lint variant n k no_confirm check verbose json obsa =
             (Obj
                [
                  ("variant", String (Traceio.Archive.variant_name variant));
-                 ("findings", Int (List.length report.Ctcheck.Lint.findings));
+                 ( "findings",
+                   List (List.map (fun f -> Ctcheck.Render.to_json (Ctcheck.Finding.to_row f)) report.Ctcheck.Lint.findings)
+                 );
                  ("violations", Int (List.length violations));
                  ( "confirmed",
                    Int (List.length (List.filter Ctcheck.Finding.is_confirmed report.Ctcheck.Lint.findings)) );
@@ -628,6 +631,65 @@ let lint_cmd =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Append the annotated listing.") in
   Cmd.v (Cmd.info "lint" ~doc ~man)
     Term.(const lint $ variant_arg $ n_arg 4 $ k $ no_confirm $ check $ verbose $ json_arg $ obs_args)
+
+(* --- srclint ---------------------------------------------------------------- *)
+
+let srclint paths check json obsa =
+  with_obs "srclint" obsa @@ fun _obs ->
+  let paths = if paths = [] then [ "lib"; "bin" ] else paths in
+  match Srclint.Driver.lint_paths paths with
+  | Error msg ->
+      Printf.eprintf "reveal: srclint: %s\n" msg;
+      exit 2
+  | Ok report ->
+      let drift = if check then Srclint.Driver.drift report else [] in
+      let ok = if check then drift = [] else Srclint.Driver.clean report in
+      if json then begin
+        Reveal.Report.print (Srclint.Driver.to_json report ~drift ~ok);
+        if not ok then exit 1
+      end
+      else begin
+        print_string (Srclint.Driver.render report);
+        if check then
+          match drift with
+          | [] -> print_endline "expect table check: OK"
+          | ds ->
+              List.iter (fun d -> Printf.eprintf "reveal: srclint drift: %s\n" d) ds;
+              exit 1
+        else if not ok then exit 1
+      end
+
+let srclint_cmd =
+  let doc = "Determinism and domain-safety lint of the pipeline's own OCaml source." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses every $(b,.ml) file under the given paths with the compiler's own front end and reports four rule \
+         classes, all syntactic and deliberately conservative: $(b,nondet-source) (ambient randomness, wall-clock and \
+         scheduling reads), $(b,hashtbl-order) (hash-order iteration that is not visibly sorted before it can reach \
+         emitted output), $(b,domain-capture) (Domain.spawn closures touching mutable state with no synchronizer in \
+         scope) and $(b,exn-message) (matching or comparing exception message strings instead of exception families).";
+      `P
+        "A finding at a provably-benign site is suppressed with an in-source directive comment \"srclint: allow RULE \
+         reason\" on the line above (or on) the site; the reason is mandatory and an allow that suppresses nothing is \
+         itself reported, so the suppression table cannot rot. Fixture files assert their expected findings with \
+         \"srclint: expect RULE\" directives, checked by $(b,--check).";
+      `P
+        "Exit codes: 0 when clean (or, with $(b,--check), when the findings match the expect table exactly); 1 on \
+         findings or drift; 2 on usage errors and unparseable sources. The pipeline's own tree must stay clean — \
+         scripts/check.sh runs this over lib/ and bin/ on every gate.";
+    ]
+  in
+  let paths_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"PATH" ~doc:"Files or directories to lint (default: lib bin).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ] ~doc:"Compare the findings against the in-source expect directives; exit 1 on drift.")
+  in
+  Cmd.v (Cmd.info "srclint" ~doc ~man) Term.(const srclint $ paths_arg $ check $ json_arg $ obs_args)
 
 (* --- estimate --------------------------------------------------------------- *)
 
@@ -1505,6 +1567,7 @@ let () =
       `I ("$(b,inspect)", "validate an archive and print its header / record summary.");
       `I ("$(b,fault-sweep)", "sweep measurement-fault intensity, report graceful degradation.");
       `I ("$(b,lint)", "constant-time lint of the sampler firmware.");
+      `I ("$(b,srclint)", "determinism / domain-safety lint of the pipeline's own OCaml source.");
       `I ("$(b,estimate)", "DBDD security estimates for SEAL parameter sets with hint counts.");
       `I ("$(b,report)", "render any experiment artefact of the paper (text or JSON).");
       `I ("$(b,shard)", "run a campaign sharded over N worker processes, merged deterministically.");
@@ -1541,6 +1604,7 @@ let () =
             inspect_cmd;
             fault_sweep_cmd;
             lint_cmd;
+            srclint_cmd;
             estimate_cmd;
             report_cmd;
             worker_cmd;

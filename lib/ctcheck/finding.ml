@@ -26,14 +26,18 @@ let kind_rank = function Secret_branch -> 0 | Secret_mem_addr -> 1 | Secret_coun
 let compare a b =
   match Int.compare a.addr b.addr with 0 -> Int.compare (kind_rank a.kind) (kind_rank b.kind) | c -> c
 
-let to_string f =
+let to_row f =
   let tag =
     match f.confirmation with
     | Static_only -> "static-only"
     | Confirmed w -> Printf.sprintf "confirmed %d vs %d" w.secret_lo w.secret_hi
   in
-  Printf.sprintf "0x%08x  %-15s %-12s %-20s %s%s" f.addr (kind_name f.kind)
-    (severity_name (severity f.kind))
-    tag
-    (Riscv.Inst.to_string f.inst)
-    (if f.detail = "" then "" else "  ; " ^ f.detail)
+  {
+    Render.loc = Printf.sprintf "0x%08x" f.addr;
+    rule = kind_name f.kind;
+    severity = severity_name (severity f.kind);
+    tag = Some tag;
+    detail = Riscv.Inst.to_string f.inst ^ (if f.detail = "" then "" else "  ; " ^ f.detail);
+  }
+
+let to_string f = Render.line (to_row f)

@@ -51,6 +51,13 @@ val severity_name : severity -> string
 val compare : t -> t -> int
 (** Orders by address, then kind — the report order. *)
 
+val to_row : t -> Render.row
+(** The shared report row: [loc] is the hex instruction address, [tag]
+    the confirmation status, [detail] the instruction plus any note.
+    Both the text listing and the [--json] finding objects of
+    [reveal lint] render through this (see {!Render}), so the firmware
+    linter and the source linter emit the same schema. *)
+
 val to_string : t -> string
-(** One line: address, kind, severity, confirmation tag, instruction
-    and detail. *)
+(** [Render.line (to_row f)]: address, kind, severity, confirmation
+    tag, instruction and detail. *)

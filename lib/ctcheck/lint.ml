@@ -87,16 +87,18 @@ let imbalance_findings cfg facts =
             (* merge point: common reachable block minimizing the summed
                instruction distance (ties to the lowest address) *)
             let merge =
-              Hashtbl.fold
-                (fun m dt best ->
-                  match Hashtbl.find_opt di_n m with
-                  | None -> best
-                  | Some dn -> (
-                      match best with
-                      | Some (_, s) when s < dt + dn -> best
-                      | Some (bm, s) when s = dt + dn && bm < m -> best
-                      | _ -> Some (m, dt + dn)))
-                di_t None
+              Hashtbl.fold (fun m dt acc -> (m, dt) :: acc) di_t []
+              |> List.sort compare
+              |> List.fold_left
+                   (fun best (m, dt) ->
+                     match Hashtbl.find_opt di_n m with
+                     | None -> best
+                     | Some dn -> (
+                         match best with
+                         | Some (_, s) when s < dt + dn -> best
+                         | Some (bm, s) when s = dt + dn && bm < m -> best
+                         | _ -> Some (m, dt + dn)))
+                   None
             in
             let anchor_block side = try Some (Cfg.block cfg side) with Not_found -> None in
             let mk side detail =

@@ -1,0 +1,16 @@
+type row = { loc : string; rule : string; severity : string; tag : string option; detail : string }
+
+let line r =
+  match r.tag with
+  | Some t -> Printf.sprintf "%s  %-15s %-12s %-20s %s" r.loc r.rule r.severity t r.detail
+  | None -> Printf.sprintf "%s  %-15s %-12s %s" r.loc r.rule r.severity r.detail
+
+let to_json r =
+  Obs.Json.Obj
+    [
+      ("loc", Obs.Json.String r.loc);
+      ("rule", Obs.Json.String r.rule);
+      ("severity", Obs.Json.String r.severity);
+      ("tag", (match r.tag with Some t -> Obs.Json.String t | None -> Obs.Json.Null));
+      ("detail", Obs.Json.String r.detail);
+    ]

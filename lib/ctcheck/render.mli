@@ -1,0 +1,26 @@
+(** The one finding-rendering helper shared by every analyzer in the
+    tree.
+
+    [reveal lint] (firmware constant-time findings, anchored at
+    instruction addresses) and [reveal srclint] (source determinism
+    findings, anchored at file:line) emit the same report schema: one
+    text line per finding with aligned rule / severity columns, and
+    one JSON object per finding with the keys [loc], [rule],
+    [severity], [tag] and [detail].  Analyzers map their typed
+    findings into {!row}s; how a location or confirmation tag is
+    spelled stays the analyzer's business, the shape does not. *)
+
+type row = {
+  loc : string;  (** anchor: ["0x%08x"] for firmware, ["file:line"] for source *)
+  rule : string;  (** rule / finding-kind identifier, kebab-case *)
+  severity : string;  (** e.g. ["VIOLATION"], ["leak-surface"], ["warning"] *)
+  tag : string option;  (** analyzer-specific annotation (e.g. confirmation status) *)
+  detail : string;  (** one-line why *)
+}
+
+val line : row -> string
+(** One aligned text line; the [tag] column is omitted when [None]. *)
+
+val to_json : row -> Obs.Json.t
+(** [{"loc":…,"rule":…,"severity":…,"tag":…,"detail":…}]; [tag] is
+    [null] when absent. *)

@@ -136,12 +136,18 @@ let run_pool ?(skip = fun (_ : int) -> None) pool jobs =
      was settled (so the scheduler loop only sleeps when truly idle). *)
   let reap_pass () =
     let settled = ref false in
-    let pids = Hashtbl.fold (fun pid entry acc -> (pid, entry) :: acc) running [] in
+    (* Reap in pid order, not hash order: which worker's failure trips
+       fail-fast first must not depend on table layout. *)
+    let pids =
+      Hashtbl.fold (fun pid entry acc -> (pid, entry) :: acc) running []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
     List.iter
       (fun (pid, (job, deadline)) ->
         match Unix.waitpid [ Unix.WNOHANG ] pid with
         | 0, _ -> (
             match deadline with
+            (* srclint: allow nondet-source worker deadlines are real wall-clock time by design *)
             | Some d when Unix.gettimeofday () > d ->
                 (* hung worker: kill, reap synchronously, charge the
                    retry budget with a typed timeout failure *)
@@ -167,6 +173,7 @@ let run_pool ?(skip = fun (_ : int) -> None) pool jobs =
     while (not !aborted) && Hashtbl.length running < pool.max_inflight && Queue.length queue > 0 do
       let job = Queue.pop queue in
       let pid = spawn jobs job in
+      (* srclint: allow nondet-source worker deadlines are real wall-clock time by design *)
       let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) pool.timeout_s in
       Hashtbl.add running pid (job, deadline)
     done;
@@ -174,10 +181,9 @@ let run_pool ?(skip = fun (_ : int) -> None) pool jobs =
   done;
   if !aborted then begin
     (* fail-fast tripped: tear the rest of the fleet down *)
-    Hashtbl.iter (fun pid _ -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()) running;
-    Hashtbl.iter
-      (fun pid _ -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
-      running
+    let doomed = Hashtbl.fold (fun pid _ acc -> pid :: acc) running [] |> List.sort Int.compare in
+    List.iter (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()) doomed;
+    List.iter (fun pid -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()) doomed
   end;
   {
     outcomes;

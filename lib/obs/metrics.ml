@@ -152,8 +152,10 @@ let histogram_name h = h.h_name
 
 (* --- snapshot --------------------------------------------------------------- *)
 
-let sorted_values tbl =
-  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+(* Hash order must never reach a snapshot: collect, then sort by the
+   registered name right here, so every caller gets a stable listing. *)
+let sorted_values name_of tbl =
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl [] |> List.sort (fun a b -> compare (name_of a) (name_of b))
 
 let json_of_hist_snapshot s =
   Json.Obj
@@ -174,12 +176,10 @@ let json_of_hist_snapshot s =
 let snapshot t =
   let counters, gauges, hists =
     locked t (fun () ->
-        (sorted_values t.counters, sorted_values t.gauges, sorted_values t.histograms))
+        ( sorted_values (fun c -> c.c_name) t.counters,
+          sorted_values (fun g -> g.g_name) t.gauges,
+          sorted_values (fun h -> h.h_name) t.histograms ))
   in
-  let by_name name_of = fun a b -> compare (name_of a) (name_of b) in
-  let counters = List.sort (by_name (fun c -> c.c_name)) counters in
-  let gauges = List.sort (by_name (fun g -> g.g_name)) gauges in
-  let hists = List.sort (by_name (fun h -> h.h_name)) hists in
   Json.Obj
     [
       ("counters", Json.Obj (List.map (fun c -> (c.c_name, Json.Int (counter_value c))) counters));

@@ -61,11 +61,14 @@ let add_labelled bags labelled =
     labelled
 
 let finalize_bags values bags =
-  let total = Hashtbl.fold (fun _ ws acc -> acc + List.length ws) bags 0 in
+  (* Walk the bags in the caller's value order, not hash order, so any
+     failure (and the class layout) is reproducible run to run. *)
+  let bag v = Option.value ~default:[] (Hashtbl.find_opt bags v) in
+  let total = Array.fold_left (fun acc v -> acc + List.length (bag v)) 0 values in
   if total = 0 then failwith "Campaign.profile: no profiling windows collected";
   (* Common window length: the shortest observed window. *)
   let window_length =
-    Hashtbl.fold (fun _ ws acc -> List.fold_left (fun acc w -> min acc (Array.length w)) acc ws) bags max_int
+    Array.fold_left (fun acc v -> List.fold_left (fun acc w -> min acc (Array.length w)) acc (bag v)) max_int values
   in
   if window_length < Constants.min_window_length then
     failwith "Campaign.profile: windows too short — segmentation is misconfigured";

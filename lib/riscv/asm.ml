@@ -129,7 +129,7 @@ let assemble ?(origin = 0) items =
     items;
   {
     words = Array.of_list (List.rev !words);
-    labels = Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels [];
+    labels = Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels [] |> List.sort compare;
     listing = List.rev !listing;
     origin;
   }

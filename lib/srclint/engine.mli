@@ -1,0 +1,21 @@
+(** The static pass: four syntactic, conservative rule classes over
+    one file's Parsetree (compiler-libs [Parse] + [Ast_iterator] — no
+    external dependency).
+
+    Soundness stance, spelled out in DESIGN.md §15: the pass
+    over-approximates.  A [Hashtbl.fold]/[to_seq] is clean only when
+    a [List.sort*]/[Array.sort*] application visibly consumes it at
+    the call site (directly, via [|>], or via [@@]); [Hashtbl.iter]
+    is never clean; a [Domain.spawn] argument is clean only when the
+    closure's own subtree mentions a synchronizer; module aliases and
+    [open]ed modules are not resolved.  What the syntax cannot prove
+    is a finding — provably-benign sites carry an allow directive
+    with a written reason instead. *)
+
+type raw = { r_line : int; r_rule : Rule.t; r_detail : string }
+(** A pre-suppression finding: 1-based line, rule, one-line why. *)
+
+val analyze_string : file:string -> string -> (raw list, string) result
+(** Parse [src] (named [file] for locations) and run all four rules.
+    Findings are sorted by line then rule and deduplicated; a file
+    that does not parse is an [Error]. *)

@@ -1,0 +1,28 @@
+type kind = Broke of Rule.t | Unused_allow of Rule.t | Bad_directive
+
+type t = { file : string; line : int; kind : kind; detail : string }
+
+let rule_name = function
+  | Broke r -> Rule.name r
+  | Unused_allow _ -> "unused-allow"
+  | Bad_directive -> "bad-directive"
+
+let severity_name = function Broke _ -> "VIOLATION" | Unused_allow _ | Bad_directive -> "warning"
+
+let kind_rank = function Broke r -> (0, Rule.name r) | Unused_allow r -> (1, Rule.name r) | Bad_directive -> (2, "")
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> ( match Int.compare a.line b.line with 0 -> Stdlib.compare (kind_rank a.kind) (kind_rank b.kind) | c -> c)
+  | c -> c
+
+let to_row f =
+  {
+    Ctcheck.Render.loc = Printf.sprintf "%s:%d" f.file f.line;
+    rule = rule_name f.kind;
+    severity = severity_name f.kind;
+    tag = None;
+    detail = f.detail;
+  }
+
+let to_string f = Ctcheck.Render.line (to_row f)

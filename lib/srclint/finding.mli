@@ -1,0 +1,30 @@
+(** Typed srclint findings, anchored at a file and 1-based line.
+
+    Rule breaks are {e VIOLATION} severity; the two meta findings the
+    driver synthesizes — an allow that suppressed nothing, a directive
+    that does not parse — are {e warning} severity.  Either kind makes
+    a report dirty: a stale suppression is drift in the determinism
+    contract's paper trail, not noise. *)
+
+type kind =
+  | Broke of Rule.t  (** a rule fired at this site *)
+  | Unused_allow of Rule.t  (** an allow directive that suppressed no finding *)
+  | Bad_directive  (** a directive comment that does not parse *)
+
+type t = { file : string; line : int; kind : kind; detail : string }
+
+val rule_name : kind -> string
+(** Core rule name, ["unused-allow"] or ["bad-directive"] — the
+    vocabulary [expect] directives use. *)
+
+val severity_name : kind -> string
+
+val compare : t -> t -> int
+(** Report order: file, then line, then kind. *)
+
+val to_row : t -> Ctcheck.Render.row
+(** The shared report row ([loc] = ["file:line"], no tag) — both
+    [reveal srclint]'s listing and its [--json] findings render
+    through {!Ctcheck.Render}, the same helper [reveal lint] uses. *)
+
+val to_string : t -> string

@@ -1,0 +1,24 @@
+type t = Nondet_source | Hashtbl_order | Domain_capture | Exn_message
+
+let all = [ Nondet_source; Hashtbl_order; Domain_capture; Exn_message ]
+
+let name = function
+  | Nondet_source -> "nondet-source"
+  | Hashtbl_order -> "hashtbl-order"
+  | Domain_capture -> "domain-capture"
+  | Exn_message -> "exn-message"
+
+let of_name s = List.find_opt (fun r -> name r = s) all
+
+let why = function
+  | Nondet_source ->
+      "ambient entropy, wall-clock or scheduler state reaches a value — identical inputs could produce different \
+       output"
+  | Hashtbl_order ->
+      "Hashtbl iteration order depends on hashing internals — a fold/iter result must be sorted before it can reach \
+       emitted output"
+  | Domain_capture ->
+      "mutable state captured by a Domain.spawn closure with no synchronization in sight is a data race"
+  | Exn_message ->
+      "exception message strings are not a stable interface — match on the exception family (typed constructor) \
+       instead"

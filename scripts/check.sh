@@ -34,6 +34,15 @@ if dune exec bin/reveal_cli.exe -- lint --variant v32 -n 8 > /dev/null; then
 fi
 dune exec bin/reveal_cli.exe -- lint --variant v36 -n 8 > /dev/null
 
+echo "== smoke: srclint — the pipeline's own source stays deterministic =="
+# the self-applied gate: lib/ and bin/ must lint clean (every surviving
+# suppression carries a written reason), and the planted fixtures must
+# reproduce their goldens byte-for-byte, text and JSON
+dune exec bin/reveal_cli.exe -- srclint lib bin > "$tmp/srclint.out"
+grep -q "verdict: CLEAN" "$tmp/srclint.out"
+(cd test && ../_build/default/bin/reveal_cli.exe srclint fixtures/srclint --check | cmp - golden/srclint.txt)
+(cd test && ../_build/default/bin/reveal_cli.exe srclint fixtures/srclint --check --json | cmp - golden/srclint.json)
+
 echo "== smoke: fault sweep (monotone recovery, bikz never under-reported, zero = clean) =="
 dune exec bin/reveal_cli.exe -- fault-sweep --seed 7 -n 64 --per-value 100 --traces 4 \
   --intensities 0,0.5,1 --check | tee "$tmp/sweep.out"
@@ -71,6 +80,9 @@ json_ok "$tmp/inspect.json" path variant traces checksums_verified
 
 dune exec bin/reveal_cli.exe -- lint --variant v36 -n 8 --json > "$tmp/lint.json"
 json_ok "$tmp/lint.json" variant findings violations ok
+
+dune exec bin/reveal_cli.exe -- srclint lib bin --json > "$tmp/srclint.json"
+json_ok "$tmp/srclint.json" paths files suppressed findings ok
 
 dune exec bin/reveal_cli.exe -- estimate --perfect 100 --json > "$tmp/estimate.json"
 json_ok "$tmp/estimate.json" q n hints bikz_no_hints bikz_with_hints

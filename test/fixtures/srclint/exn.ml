@@ -1,0 +1,27 @@
+(* Planted fragile failure matching for srclint's rule 4: handlers and
+   comparisons keyed on an exception's rendered message rather than
+   its family. *)
+
+(* srclint: expect exn-message *)
+let _handler f = try f () with Failure "boom" -> ()
+
+let _match_exception f =
+  match f () with
+  (* srclint: expect exn-message *)
+  | exception Invalid_argument "nope" -> 0
+  | v -> v
+
+let _compared f =
+  try f ()
+  with e ->
+    (* srclint: expect exn-message *)
+    if Printexc.to_string e = "Failure(\"x\")" then 1 else 2
+
+(* Negatives: match the family, or merely print the message. *)
+let _family f = try f () with Failure _ -> ()
+
+let _printed f =
+  try f ()
+  with e ->
+    print_endline (Printexc.to_string e);
+    0

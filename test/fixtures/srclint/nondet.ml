@@ -1,0 +1,40 @@
+(* Planted nondeterminism sources for srclint's rule 1.  Every
+   violation is announced by an expect directive on the line above;
+   the negative cases at the bottom must stay silent. *)
+
+(* srclint: expect nondet-source *)
+let _seed = Random.self_init ()
+
+(* srclint: expect nondet-source *)
+let _roll = Random.int 6
+
+(* srclint: expect nondet-source *)
+let _now = Unix.gettimeofday ()
+
+(* srclint: expect nondet-source *)
+let _cpu = Sys.time ()
+
+(* srclint: expect nondet-source *)
+let _who = Domain.self ()
+
+(* A provably-benign site carries an allow with a written reason and
+   is suppressed, so no expect here. *)
+(* srclint: allow nondet-source fixture demonstrates a reasoned suppression *)
+let _allowed = Unix.time ()
+
+(* An allow that fires on nothing is itself a warning finding. *)
+(* srclint: expect unused-allow *)
+(* srclint: allow nondet-source this covers a line with no finding *)
+let _pure = 1 + 1
+
+(* Malformed directives: unknown rule, then a missing reason. *)
+(* srclint: expect bad-directive *)
+(* srclint: allow no-such-rule because i said so *)
+let _a = 2
+
+(* srclint: expect bad-directive *)
+(* srclint: allow nondet-source *)
+let _b = 3
+
+(* Negative: explicit-state randomness is deterministic under a seed. *)
+let _ok st = Random.State.int st 6

@@ -1,0 +1,21 @@
+(* Planted Hashtbl iteration-order leaks for srclint's rule 2, plus
+   the sorted shapes the pass must accept. *)
+
+(* srclint: expect hashtbl-order *)
+let _iter tbl = Hashtbl.iter (fun k v -> Printf.printf "%d %d\n" k v) tbl
+
+(* srclint: expect hashtbl-order *)
+let _bare_fold tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+(* srclint: expect hashtbl-order *)
+let _seq tbl = Hashtbl.to_seq tbl
+
+(* Suppressed: the order is irrelevant here (a sum is commutative),
+   and the allow says so. *)
+(* srclint: allow hashtbl-order summing is order-insensitive *)
+let _sum tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0
+
+(* Negatives: a sort visibly consumes the fold at the call site. *)
+let _piped tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+let _direct tbl = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+let _applied tbl = List.sort compare @@ Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

@@ -10,6 +10,7 @@ let () =
       ("lattice", Test_lattice.suite);
       ("traceio", Test_traceio.suite);
       ("ctcheck", Test_ctcheck.suite);
+      ("srclint", Test_srclint.suite);
       ("pipeline", Test_pipeline.suite);
       ("grading", Test_grading.suite);
       ("profile_store", Test_profile_store.suite);
