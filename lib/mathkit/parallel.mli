@@ -12,6 +12,12 @@ val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
     mutable state across items.  Exceptions raised by [f] are
     re-raised in the caller. *)
 
+val map_array_with : ?domains:int -> scratch:(unit -> 's) -> ('s -> 'a -> 'b) -> 'a array -> 'b array
+(** [map_array] with per-domain scratch: every worker domain calls
+    [scratch ()] exactly once and passes the value to [f] for each
+    item it processes.  Use for reusable buffers (Fvec arenas,
+    classifier scratch) that must not be shared across domains. *)
+
 val init : ?domains:int -> int -> (int -> 'a) -> 'a array
 (** Parallel [Array.init]. *)
 

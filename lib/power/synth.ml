@@ -49,3 +49,53 @@ let synthesize ?rng config events =
       done
   | _ -> ());
   { Ptrace.samples; samples_per_cycle = spc; event_start; event_pc }
+
+(* [synthesize] into a caller-owned vector (batch synthesis reuses one
+   buffer across traces).  Sample arithmetic and noise-draw order are
+   identical to [synthesize] — a bit-identity test pins this — but the
+   event tables, which batch scoring never reads, are not built.
+   Returns the number of samples written (a prefix of [out]). *)
+let synthesize_into ?rng config events ~out =
+  if config.samples_per_cycle <= 0 then invalid_arg "Synth: samples_per_cycle must be positive";
+  (match (rng, config.noise_sigma > 0.0) with
+  | None, true -> invalid_arg "Synth.synthesize: noisy synthesis needs an explicit rng"
+  | _ -> ());
+  let spc = config.samples_per_cycle in
+  let total_cycles = Array.fold_left (fun acc e -> acc + e.Riscv.Trace.cycles) 0 events in
+  let n = total_cycles * spc in
+  if Mathkit.Fvec.length out < n then
+    invalid_arg
+      (Printf.sprintf "Synth.synthesize_into: %d samples to write but the output holds only %d" n
+         (Mathkit.Fvec.length out));
+  (* The write loops run over the contiguous [0, n) prefix: validate it
+     once, then write through the raw primitives (a per-sample checked
+     Fvec.set is a cross-module call without flambda). *)
+  let buf = Mathkit.Fvec.buffer out and off = Mathkit.Fvec.offset out and str = Mathkit.Fvec.stride out in
+  Mathkit.Fvec.check_range buf ~off ~stride:str ~len:n "Synth.synthesize_into";
+  let pos = ref 0 in
+  Array.iter
+    (fun e ->
+      let first = Leakage.of_event config.model e in
+      let rest = Leakage.residual config.model e in
+      for c = 0 to e.Riscv.Trace.cycles - 1 do
+        let level = if c = 0 then first else rest in
+        for i = 0 to spc - 1 do
+          (* srclint: allow unsafe-index pos stays under n, the range check_range'd above *)
+          Bigarray.Array1.unsafe_set buf (off + (!pos * str)) (level *. shape ~samples_per_cycle:spc i);
+          incr pos
+        done
+      done)
+    events;
+  (match rng with
+  | Some g when config.noise_sigma > 0.0 ->
+      let polar = Mathkit.Gaussian.polar () in
+      for i = 0 to n - 1 do
+        let j = off + (i * str) in
+        (* srclint: allow unsafe-index i stays in [0,n), the range check_range'd above *)
+        let cur = Bigarray.Array1.unsafe_get buf j in
+        let noisy = cur +. Mathkit.Gaussian.normal polar g ~mu:0.0 ~sigma:config.noise_sigma in
+        (* srclint: allow unsafe-index i stays in [0,n), the range check_range'd above *)
+        Bigarray.Array1.unsafe_set buf j noisy
+      done
+  | _ -> ());
+  n

@@ -52,8 +52,10 @@ let load_profile = Profile_store.load
 
 (* --- per-trace attacks ---------------------------------------------------- *)
 
+(* The public per-trace entry points keep their [float array] shape —
+   the view refactor stops at these edges with an [of_array] each. *)
 let attack_samples prof ~samples ~noises =
-  match Grading.attack_strict prof ~samples ~noises with
+  match Grading.attack_strict prof ~samples:(Mathkit.Fvec.of_array samples) ~noises with
   | Ok results -> results
   | Error e -> failwith (Pipeline.error_to_string e)
 
@@ -61,17 +63,20 @@ let attack_trace prof (run : Device.run) =
   attack_samples prof ~samples:run.Device.trace.Power.Ptrace.samples ~noises:run.Device.noises
 
 let attack_signs_only prof (run : Device.run) =
-  let samples = run.Device.trace.Power.Ptrace.samples in
+  let samples = Mathkit.Fvec.of_array run.Device.trace.Power.Ptrace.samples in
   let count = Array.length run.Device.noises in
   match Pipeline.run_segmenter Pipeline.strict_segmenter prof ~count samples with
   | Error e -> failwith (Pipeline.error_to_string e)
   | Ok seg ->
+      let scratch = Sca.Attack.make_scratch prof.attack in
       Array.mapi
-        (fun i window -> (compare run.Device.noises.(i) 0, Sca.Attack.classify_sign_only prof.attack window))
+        (fun i window ->
+          (compare run.Device.noises.(i) 0, Sca.Attack.classify_sign_only_fv prof.attack scratch window))
         seg.Pipeline.vectors
 
 let attack_samples_resilient ?gate ?retry ?obs prof ~samples ~noises =
-  Grading.attack_resilient ?gate ?retry ?obs prof ~samples ~noises
+  let retry = Option.map (fun f attempt -> Mathkit.Fvec.of_array (f attempt)) retry in
+  Grading.attack_resilient ?gate ?retry ?obs prof ~samples:(Mathkit.Fvec.of_array samples) ~noises
 
 (* --- aggregate statistics ------------------------------------------------- *)
 
@@ -152,14 +157,14 @@ let stats_of_results ?(corrupt_skipped = 0) prof results =
 
 type mode = Classic | Resilient of gate
 
-let attack_acquired ~obs mode prof (a : Pipeline.acquired) =
+let attack_acquired ~obs ~ctx mode prof (a : Pipeline.acquired) =
   match mode with
   | Classic -> (
-      match Grading.attack_strict ~obs prof ~samples:a.Pipeline.samples ~noises:a.Pipeline.noises with
+      match Grading.attack_strict ~ctx ~obs prof ~samples:a.Pipeline.samples ~noises:a.Pipeline.noises with
       | Ok results -> results
       | Error e -> failwith (Pipeline.error_to_string e))
   | Resilient gate ->
-      Grading.attack_resilient ~gate ?retry:a.Pipeline.remeasure ~obs prof
+      Grading.attack_resilient ~gate ~ctx ?retry:a.Pipeline.remeasure ~obs prof
         ~samples:a.Pipeline.samples ~noises:a.Pipeline.noises
 
 (* Final campaign aggregates exported as gauges, so an obs trace is a
@@ -214,8 +219,12 @@ let run_source ?(obs = Obs.Ctx.disabled) ?domains ?(batch = Constants.default_ba
               (match c_batches with Some c -> Obs.Metrics.incr c | None -> ());
               let per_item =
                 Obs.Ctx.span obs "campaign.batch" (fun () ->
-                    Mathkit.Parallel.map_array ?domains
-                      (fun (it : Pipeline.item) -> attack_acquired ~obs mode prof (it.Pipeline.acquire ()))
+                    (* one classifier context per worker domain: templates
+                       are shared, scratch is not *)
+                    Mathkit.Parallel.map_array_with ?domains
+                      ~scratch:(fun () -> Grading.make_ctx prof)
+                      (fun ctx (it : Pipeline.item) ->
+                        attack_acquired ~obs ~ctx mode prof (it.Pipeline.acquire ()))
                       items)
               in
               Obs.Ctx.span obs "stage.tally" (fun () -> Array.iter (tally_add tally) per_item)

@@ -92,6 +92,21 @@ let count_grade insts grade =
         | SignOnly -> i.c_sign_only
         | Unknown -> i.c_unknown)
 
+(* --- classifier context ---------------------------------------------------- *)
+
+(* A classifier packed together with its scratch state.  The scratch
+   existential is hidden here rather than in [Pipeline.classifier] so
+   the stage contract stays a pure value; the grader, which owns the
+   hot loop, resolves a context once per trace (or once per worker
+   domain) and threads it through every window. *)
+type ctx = Ctx : (module Sca.Classifier.S with type t = 'c and type scratch = 's) * 'c * 's -> ctx
+
+let make_ctx ?classifier prof =
+  let (Pipeline.Classifier ((module C), cls)) =
+    match classifier with Some c -> c | None -> Pipeline.classifier_of_profile prof
+  in
+  Ctx ((module C), cls, C.make_scratch cls)
+
 (* Grading is goodness-of-fit first, posterior confidence second.  A
    posterior normalises the absolute likelihood away, so a corrupted
    window often looks MORE confident than an honest one (one garbage
@@ -101,27 +116,30 @@ let count_grade insts grade =
    quadratic cliff.  Only windows that fit are allowed to carry value
    information; only then does the joint confidence (sign-match peak
    times value-posterior peak, both flat-prior) pick the rung. *)
-let classify_graded_i ?classifier ~insts prof gate ~quality window =
-  let (Pipeline.Classifier ((module C), cls)) =
-    match classifier with Some c -> c | None -> Pipeline.classifier_of_profile prof
-  in
-  let sign_conf = C.sign_confidence cls window in
-  let verdict = C.classify cls window in
-  let posterior_all = C.posterior_all cls window in
+let classify_graded_i ~ctx ~insts prof gate ~quality window =
+  let (Ctx ((module C), cls, scratch)) = ctx in
+  (* One fused scoring pass: [grade] returns every quantity the gate
+     consumes, bit-identical to the five single-purpose calls it
+     replaces (the classifier contract) — each template is scored once
+     instead of several times per window. *)
+  let g = C.grade cls scratch window in
+  let sign_conf = g.Sca.Attack.g_sign_confidence in
+  let verdict = g.Sca.Attack.g_verdict in
+  let posterior_all = g.Sca.Attack.g_posterior_all in
   (* Peak of the joint Bayesian posterior.  Crucially, a point-mass
      posterior (the one that would become a perfect hint) always scores
      1.0 here, so on a clean window it always clears the Confident
      threshold — the Tentative perfect-hint demotion provably cannot
      change a clean-trace hint. *)
   let conf = Array.fold_left (fun acc (_, p) -> Float.max acc p) 0.0 posterior_all in
-  let sign_fit = C.sign_fit cls window in
+  let sign_fit = g.Sca.Attack.g_sign_fit in
   let grade =
     if sign_fit < prof.Pipeline.sign_fit_floor then
       (* not even the branch region looks like any class: the window is
          noise and nothing in it can be trusted *)
       Unknown
     else begin
-      let value_fit = C.value_fit cls ~sign:verdict.Sca.Attack.sign window in
+      let value_fit = g.Sca.Attack.g_value_fit in
       (match insts with Some i -> Obs.Metrics.observe i.h_value_fit value_fit | None -> ());
       if value_fit < prof.Pipeline.value_fit_floor then
         if sign_conf >= gate.sign_only_threshold then SignOnly else Unknown
@@ -149,7 +167,7 @@ let classify_graded_i ?classifier ~insts prof gate ~quality window =
   (verdict, posterior_all, grade)
 
 let classify_graded ?classifier prof gate ~quality window =
-  classify_graded_i ?classifier ~insts:None prof gate ~quality window
+  classify_graded_i ~ctx:(make_ctx ?classifier prof) ~insts:None prof gate ~quality window
 
 let grade_counts results =
   let c = ref 0 and t = ref 0 and s = ref 0 and u = ref 0 in
@@ -199,8 +217,9 @@ let null_verdict = { Sca.Attack.sign = 0; value = 0; posterior = [| (0, 1.0) |] 
 
 (* --- strict (classic) attack ---------------------------------------------- *)
 
-let attack_strict ?classifier ?(obs = Obs.Ctx.disabled) prof ~samples ~noises =
+let attack_strict ?classifier ?ctx ?(obs = Obs.Ctx.disabled) prof ~samples ~noises =
   let insts = instruments obs in
+  let ctx = match ctx with Some c -> c | None -> make_ctx ?classifier prof in
   let count = Array.length noises in
   match
     Obs.Ctx.span obs "stage.segment" (fun () ->
@@ -213,7 +232,7 @@ let attack_strict ?classifier ?(obs = Obs.Ctx.disabled) prof ~samples ~noises =
              Array.mapi
                (fun i window ->
                  let verdict, posterior_all, grade =
-                   classify_graded_i ?classifier ~insts prof default_gate
+                   classify_graded_i ~ctx ~insts prof default_gate
                      ~quality:seg.Pipeline.quality.(i) window
                  in
                  { actual = noises.(i); verdict; posterior_all; grade; recovery = Clean })
@@ -224,7 +243,7 @@ let attack_strict ?classifier ?(obs = Obs.Ctx.disabled) prof ~samples ~noises =
 (* Resilient segmentation of one trace: exactly count+1 windows (the
    firmware's trailing dummy included) or a typed error, with the
    per-window quality feeding the grade gate. *)
-let graded_windows ?classifier ?(segmenter = Pipeline.resilient_segmenter) ~obs ~insts prof gate
+let graded_windows ~ctx ?(segmenter = Pipeline.resilient_segmenter) ~obs ~insts prof gate
     ~count samples =
   match
     Obs.Ctx.span obs "stage.segment" (fun () -> Pipeline.run_segmenter segmenter prof ~count samples)
@@ -234,11 +253,12 @@ let graded_windows ?classifier ?(segmenter = Pipeline.resilient_segmenter) ~obs 
       Ok
         (Obs.Ctx.span obs "stage.classify" (fun () ->
              Array.init count (fun i ->
-                 classify_graded_i ?classifier ~insts prof gate ~quality:quality.(i) vectors.(i))))
+                 classify_graded_i ~ctx ~insts prof gate ~quality:quality.(i) vectors.(i))))
 
-let attack_resilient ?(gate = default_gate) ?classifier ?segmenter ?retry ?(obs = Obs.Ctx.disabled)
-    prof ~samples ~noises =
+let attack_resilient ?(gate = default_gate) ?classifier ?ctx ?segmenter ?retry
+    ?(obs = Obs.Ctx.disabled) prof ~samples ~noises =
   let insts = instruments obs in
+  let ctx = match ctx with Some c -> c | None -> make_ctx ?classifier prof in
   let count = Array.length noises in
   let results =
     Array.init count (fun i ->
@@ -251,7 +271,7 @@ let attack_resilient ?(gate = default_gate) ?classifier ?segmenter ?retry ?(obs 
         })
   in
   let pending = ref [] in
-  (match graded_windows ?classifier ?segmenter ~obs ~insts prof gate ~count samples with
+  (match graded_windows ~ctx ?segmenter ~obs ~insts prof gate ~count samples with
   | Ok graded ->
       Array.iteri
         (fun i (verdict, posterior_all, grade) ->
@@ -278,7 +298,7 @@ let attack_resilient ?(gate = default_gate) ?classifier ?segmenter ?retry ?(obs 
             ~attrs:
               [ ("attempt", Obs.Json.Int !attempt); ("pending", Obs.Json.Int (List.length !pending)) ]
             obs "retry.attempt";
-        (match graded_windows ?classifier ?segmenter ~obs ~insts prof gate ~count (remeasure !attempt) with
+        (match graded_windows ~ctx ?segmenter ~obs ~insts prof gate ~count (remeasure !attempt) with
         | Ok graded ->
             pending :=
               List.filter

@@ -47,17 +47,30 @@ val default_gate : gate
     always fit, so the zero-fault pipeline is bit-identical to the
     ungated one. *)
 
+type ctx
+(** A classifier resolved together with its scratch state — the
+    grader's per-worker working set.  One context serves any number of
+    sequential classifications; it must not be shared across domains
+    (each worker builds its own with {!make_ctx}). *)
+
+val make_ctx : ?classifier:Pipeline.classifier -> Pipeline.profile -> ctx
+(** Resolve [classifier] (default: the profile's template classifier)
+    and allocate its scratch once.  The drivers call this once per
+    worker domain so the per-window hot loop is allocation-free. *)
+
 val classify_graded :
   ?classifier:Pipeline.classifier ->
   Pipeline.profile ->
   gate ->
   quality:Sca.Segment.quality ->
-  float array ->
+  Mathkit.Fvec.t ->
   Sca.Attack.verdict * (int * float) array * grade
 (** Classify one window vector and grade it: goodness-of-fit floors
     first (they catch corruption a normalised posterior hides), then
     the joint-confidence thresholds.  [classifier] defaults to the
-    profile's template classifier. *)
+    profile's template classifier.  Builds a fresh {!ctx} per call —
+    batch callers go through {!attack_strict}/{!attack_resilient},
+    which reuse one. *)
 
 val grade_counts : coefficient_result array -> int * int * int * int
 (** (confident, tentative, sign-only, unknown). *)
@@ -84,13 +97,16 @@ val null_verdict : Sca.Attack.verdict
 
 val attack_strict :
   ?classifier:Pipeline.classifier ->
+  ?ctx:ctx ->
   ?obs:Obs.Ctx.t ->
   Pipeline.profile ->
-  samples:float array ->
+  samples:Mathkit.Fvec.t ->
   noises:int array ->
   (coefficient_result array, Pipeline.error) result
 (** The classic pipeline on one trace: strict segmentation, default
-    gate, no retries; every result is [Clean].  With an enabled [obs]
+    gate, no retries; every result is [Clean].  [ctx] reuses a
+    prebuilt classifier context (it wins over [classifier]); without
+    one, a fresh context is resolved per call.  With an enabled [obs]
     context the segmentation and classification run inside
     [stage.segment] / [stage.classify] spans, and per-window quality,
     grade, and fit-score/confidence distributions land in the metrics
@@ -99,16 +115,18 @@ val attack_strict :
 val attack_resilient :
   ?gate:gate ->
   ?classifier:Pipeline.classifier ->
+  ?ctx:ctx ->
   ?segmenter:Pipeline.segmenter ->
-  ?retry:(int -> float array) ->
+  ?retry:(int -> Mathkit.Fvec.t) ->
   ?obs:Obs.Ctx.t ->
   Pipeline.profile ->
-  samples:float array ->
+  samples:Mathkit.Fvec.t ->
   noises:int array ->
   coefficient_result array
 (** Fault-tolerant single-trace attack: resilient segmentation (the
     default [segmenter]), per-window confidence grading, and — when
-    [retry] is provided — a bounded re-measurement loop.
+    [retry] is provided — a bounded re-measurement loop.  [ctx] as in
+    {!attack_strict}.
     [retry attempt] must return a fresh capture of the same
     coefficients; coefficients still Unknown after [gate.retry_budget]
     attempts (or with no [retry]) are marked [Unrecoverable].  A trace

@@ -36,15 +36,15 @@ let classifier_name (Classifier ((module C), _)) = C.name
 (* The firmware samples a trailing dummy coefficient, so a run over n
    coefficients produces n+1 bursts and we keep the first n windows. *)
 let raw_windows segment ~count samples =
-  let wins = Sca.Segment.windows segment samples in
+  let wins = Sca.Segment.windows_fv segment samples in
   if Array.length wins <> count + 1 then Error (Window_count { expected = count; found = Array.length wins })
   else Ok (Array.sub wins 0 count)
 
-type segmented = { vectors : float array array; quality : Sca.Segment.quality array }
+type segmented = { vectors : Mathkit.Fvec.t array; quality : Sca.Segment.quality array }
 
 module type SEGMENTER = sig
   val name : string
-  val segment : profile -> count:int -> float array -> (segmented, error) result
+  val segment : profile -> count:int -> Mathkit.Fvec.t -> (segmented, error) result
 end
 
 type segmenter = (module SEGMENTER)
@@ -58,7 +58,7 @@ module Strict_segmenter = struct
     | Ok wins ->
         Ok
           {
-            vectors = Sca.Segment.vectorize samples wins ~length:prof.window_length;
+            vectors = Sca.Segment.views samples wins ~length:prof.window_length;
             quality = Array.make count Sca.Segment.Clean;
           }
 end
@@ -67,12 +67,12 @@ module Resilient_segmenter = struct
   let name = "resilient"
 
   let segment prof ~count samples =
-    match Sca.Segment.segment prof.segment ~expected:(count + 1) samples with
+    match Sca.Segment.segment_fv prof.segment ~expected:(count + 1) samples with
     | Error e -> Error (Segmentation e)
     | Ok seg ->
         let wins = Array.sub seg.Sca.Segment.wins 0 count in
         let quality = Array.sub seg.Sca.Segment.quality 0 count in
-        Ok { vectors = Sca.Segment.vectorize samples wins ~length:prof.window_length; quality }
+        Ok { vectors = Sca.Segment.views samples wins ~length:prof.window_length; quality }
 end
 
 let strict_segmenter : segmenter = (module Strict_segmenter)
@@ -83,9 +83,9 @@ let run_segmenter (module S : SEGMENTER) prof ~count samples = S.segment prof ~c
 (* --- source stage --------------------------------------------------------- *)
 
 type acquired = {
-  samples : float array;
+  samples : Mathkit.Fvec.t;
   noises : int array;
-  remeasure : (int -> float array) option;
+  remeasure : (int -> Mathkit.Fvec.t) option;
 }
 
 type item = { index : int; acquire : unit -> acquired }

@@ -62,20 +62,24 @@ val classifier_name : classifier -> string
 
 (** {1 Segmenter stage} *)
 
-val raw_windows : Sca.Segment.config -> count:int -> float array -> (Sca.Segment.window array, error) result
+val raw_windows :
+  Sca.Segment.config -> count:int -> Mathkit.Fvec.t -> (Sca.Segment.window array, error) result
 (** The shared strict window extraction: exactly [count] + 1 windows
     (the firmware's trailing dummy) or [Window_count], keeping the
     first [count].  Used by the strict segmenter and by profiling's
     window labelling. *)
 
 type segmented = {
-  vectors : float array array;  (** fixed-dimension window vectors, one per coefficient *)
+  vectors : Mathkit.Fvec.t array;
+      (** fixed-dimension window vectors, one per coefficient — borrowed
+          views of the trace where the window is in bounds
+          ({!Sca.Segment.views}), so they must be treated as read-only *)
   quality : Sca.Segment.quality array;
 }
 
 module type SEGMENTER = sig
   val name : string
-  val segment : profile -> count:int -> float array -> (segmented, error) result
+  val segment : profile -> count:int -> Mathkit.Fvec.t -> (segmented, error) result
 end
 
 type segmenter = (module SEGMENTER)
@@ -89,7 +93,7 @@ val resilient_segmenter : segmenter
     per-window quality.  The fault-tolerant pipeline. *)
 
 val segmenter_name : segmenter -> string
-val run_segmenter : segmenter -> profile -> count:int -> float array -> (segmented, error) result
+val run_segmenter : segmenter -> profile -> count:int -> Mathkit.Fvec.t -> (segmented, error) result
 
 (** {1 Source stage}
 
@@ -100,9 +104,9 @@ val run_segmenter : segmenter -> profile -> count:int -> float array -> (segment
     [next] instead and return a constant thunk. *)
 
 type acquired = {
-  samples : float array;
+  samples : Mathkit.Fvec.t;
   noises : int array;  (** ground truth, for scoring *)
-  remeasure : (int -> float array) option;
+  remeasure : (int -> Mathkit.Fvec.t) option;
       (** live sources only: capture the same coefficients again
           (fresh scope/fault realisation); argument is the attempt
           number *)

@@ -29,7 +29,10 @@ let get_template ~path c =
     cov;
   let log_det = Traceio.Binio.get_f64 c in
   let pois = Traceio.Codec.get_ints c in
-  { Sca.Template.labels; means; inv_cov = Mathkit.Matrix.of_arrays cov; log_det; pois }
+  let inv_cov = Mathkit.Matrix.of_arrays cov in
+  (* the flat scoring copy is derived, never serialized — the cache
+     format is unchanged across the numeric-core refactor *)
+  { Sca.Template.labels; means; inv_cov; inv_cov_fm = Mathkit.Fmat.of_matrix inv_cov; log_det; pois }
 
 let put_threshold b = function
   | Sca.Segment.Auto -> Traceio.Binio.put_u8 b 0

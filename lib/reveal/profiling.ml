@@ -2,7 +2,7 @@
    in-memory and the archive-streamed profiling paths produce. *)
 let labelled_windows segment ~samples ~noises =
   let wins =
-    match Pipeline.raw_windows segment ~count:(Array.length noises) samples with
+    match Pipeline.raw_windows segment ~count:(Array.length noises) (Mathkit.Fvec.of_array samples) with
     | Ok wins -> wins
     | Error e -> failwith (Pipeline.error_to_string e)
   in
@@ -120,15 +120,19 @@ let profile_of_windows ~poi_count ~sign_poi_count (segment, window_length, class
   let sigma = Mathkit.Gaussian.seal_default.Mathkit.Gaussian.sigma in
   let attack = Sca.Attack.build ~poi_count ~sign_poi_count ~sigma classes in
   (* Calibrate the goodness-of-fit floors on the profiling windows
-     themselves — the reference for "what an honest window looks like". *)
+     themselves — the reference for "what an honest window looks like".
+     One scratch and one window buffer serve the whole sweep. *)
+  let scratch = Sca.Attack.make_scratch attack in
+  let wv = Mathkit.Fvec.create window_length in
   let sign_fits = ref [] and value_fits = ref [] in
   List.iter
     (fun (label, rows) ->
       let sign = Sca.Attack.sign_of_label label in
       Array.iter
         (fun w ->
-          sign_fits := Sca.Attack.sign_fit attack w :: !sign_fits;
-          if sign <> 0 then value_fits := Sca.Attack.value_fit attack ~sign w :: !value_fits)
+          Mathkit.Fvec.blit_from_array w wv;
+          sign_fits := Sca.Attack.sign_fit_fv attack scratch wv :: !sign_fits;
+          if sign <> 0 then value_fits := Sca.Attack.value_fit_fv attack scratch ~sign wv :: !value_fits)
         rows)
     classes;
   let sign_fit_floor = fit_floor (Array.of_list !sign_fits) in

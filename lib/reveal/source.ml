@@ -23,10 +23,14 @@ let live_item ~retry device index (scope_seed, sampler_seed) =
               (fun _attempt ->
                 let rng = Mathkit.Prng.split retry_master in
                 let draws = Array.map (fun v -> Device.profiling_draw device rng ~value:v) run.Device.noises in
-                (Device.run device ~scope_rng:rng ~draws).Device.trace.Power.Ptrace.samples)
+                Mathkit.Fvec.of_array (Device.run device ~scope_rng:rng ~draws).Device.trace.Power.Ptrace.samples)
           end
         in
-        { Pipeline.samples = run.Device.trace.Power.Ptrace.samples; noises = run.Device.noises; remeasure });
+        {
+          Pipeline.samples = Mathkit.Fvec.of_array run.Device.trace.Power.Ptrace.samples;
+          noises = run.Device.noises;
+          remeasure;
+        });
   }
 
 (* The full campaign's seed table is always drawn, whatever slice is
@@ -59,14 +63,16 @@ let device_live_range ?(retry = false) device ~traces ~lo ~hi ~scope_rng ~sample
 let device_live ?retry device ~traces ~scope_rng ~sampler_rng =
   device_live_range ?retry device ~traces ~lo:0 ~hi:traces ~scope_rng ~sampler_rng
 
-let item_of_record index (r : Traceio.Archive.record) =
+(* Replay items carry the record's samples in the decoder's own Fvec —
+   no per-record boxed [float array] is ever materialised. *)
+let item_of_record_fv index (r : Traceio.Archive.record_fv) =
   {
     Pipeline.index;
     acquire =
       (fun () ->
         {
-          Pipeline.samples = r.Traceio.Archive.trace.Power.Ptrace.samples;
-          noises = r.Traceio.Archive.noises;
+          Pipeline.samples = r.Traceio.Archive.fv_samples;
+          noises = r.Traceio.Archive.fv_noises;
           remeasure = None;
         });
   }
@@ -79,13 +85,13 @@ let of_trace_source stream =
     let name = Traceio.Source.name stream
 
     let next () =
-      match Traceio.Source.next stream with
+      match Traceio.Source.next_fv stream with
       | `End_of_archive -> `End
       | `Skipped reason -> `Skip reason
       | `Record r ->
           let i = !pos in
           incr pos;
-          `Item (item_of_record i r)
+          `Item (item_of_record_fv i r)
 
     let close () = Traceio.Source.close stream
   end in
@@ -114,7 +120,7 @@ let of_runs ~name runs =
             acquire =
               (fun () ->
                 {
-                  Pipeline.samples = run.Device.trace.Power.Ptrace.samples;
+                  Pipeline.samples = Mathkit.Fvec.of_array run.Device.trace.Power.Ptrace.samples;
                   noises = run.Device.noises;
                   remeasure = None;
                 });

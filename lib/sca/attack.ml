@@ -137,3 +137,170 @@ let posterior_all t window =
   let arr = Array.of_list !entries in
   Array.sort (fun (a, _) (b, _) -> compare a b) arr;
   arr
+
+type graded = {
+  g_verdict : verdict;
+  g_posterior_all : (int * float) array;
+  g_sign_confidence : float;
+  g_sign_fit : float;
+  g_value_fit : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Fvec scoring: one scratch per domain, zero allocation per window.  *)
+(* ------------------------------------------------------------------ *)
+
+module Scratch = struct
+  type t = {
+    gather : Mathkit.Fvec.t;  (* POI gather buffer, max over the three sets *)
+    sign : Template.scratch;
+    neg : Template.scratch;
+    pos : Template.scratch;
+  }
+end
+
+let make_scratch t =
+  let np = max (Array.length t.pois_sign) (max (Array.length t.pois_neg) (Array.length t.pois_pos)) in
+  let cap =
+    np + Template.dimension t.sign_template + Template.dimension t.neg_template
+    + Template.dimension t.pos_template
+  in
+  let arena = Mathkit.Fvec.Scratch.create cap in
+  {
+    Scratch.gather = Mathkit.Fvec.Scratch.alloc arena np;
+    sign = Template.make_scratch ~arena t.sign_template;
+    neg = Template.make_scratch ~arena t.neg_template;
+    pos = Template.make_scratch ~arena t.pos_template;
+  }
+
+(* Gather the POI samples into a prefix view of the scratch buffer.
+   The view is consumed before the next pick, so one buffer serves all
+   three POI sets. *)
+let pick_into (s : Scratch.t) pois window =
+  let out = Mathkit.Fvec.sub s.Scratch.gather 0 (Array.length pois) in
+  Sosd.pick_fv window pois ~out;
+  out
+
+let classify_sign_only_fv t s window =
+  Template.classify_fv t.sign_template s.Scratch.sign (pick_into s t.pois_sign window)
+
+let sign_confidence_fv t s window =
+  let post = Template.posterior_fv t.sign_template s.Scratch.sign (pick_into s t.pois_sign window) in
+  Array.fold_left Float.max 0.0 post
+
+let best_log_likelihood_fv template scratch vec =
+  Array.fold_left Float.max neg_infinity (Template.log_likelihoods_fv template scratch vec)
+
+let sign_fit_fv t s window =
+  best_log_likelihood_fv t.sign_template s.Scratch.sign (pick_into s t.pois_sign window)
+
+let value_fit_fv t s ~sign window =
+  match sign with
+  | -1 -> best_log_likelihood_fv t.neg_template s.Scratch.neg (pick_into s t.pois_neg window)
+  | 1 -> best_log_likelihood_fv t.pos_template s.Scratch.pos (pick_into s t.pois_pos window)
+  | _ -> sign_fit_fv t s window
+
+let group_posterior_fv t s sign window =
+  match sign with
+  | -1 -> (t.neg_template, Template.posterior_fv t.neg_template s.Scratch.neg (pick_into s t.pois_neg window))
+  | 1 -> (t.pos_template, Template.posterior_fv t.pos_template s.Scratch.pos (pick_into s t.pois_pos window))
+  | _ -> invalid_arg "Attack.group_posterior: sign must be -1 or 1"
+
+let classify_fv t s window =
+  let sign = classify_sign_only_fv t s window in
+  if sign = 0 then { sign; value = 0; posterior = [| (0, 1.0) |] }
+  else begin
+    let template, post = group_posterior_fv t s sign window in
+    let labels = template.Template.labels in
+    let best = Mathkit.Stats.argmax post in
+    { sign; value = labels.(best); posterior = Array.mapi (fun i l -> (l, post.(i))) labels }
+  end
+
+(* [posterior_all] over scratch.  The sign posterior is borrowed from
+   the sign scratch, which the value-group scoring below never touches,
+   so reading it after each group posterior is safe. *)
+let posterior_all_fv t s window =
+  let sign_post =
+    Template.posterior_fv ~priors:t.prior_of_sign t.sign_template s.Scratch.sign
+      (pick_into s t.pois_sign window)
+  in
+  let sign_labels = t.sign_template.Template.labels in
+  let p_of_sign sg =
+    let acc = ref 0.0 in
+    Array.iteri (fun i l -> if l = sg then acc := sign_post.(i)) sign_labels;
+    !acc
+  in
+  let entries = ref [] in
+  entries := (0, p_of_sign 0) :: !entries;
+  List.iter
+    (fun sg ->
+      let template, priors, pois, tsc =
+        match sg with
+        | -1 -> (t.neg_template, t.neg_priors, t.pois_neg, s.Scratch.neg)
+        | _ -> (t.pos_template, t.pos_priors, t.pois_pos, s.Scratch.pos)
+      in
+      let post = Template.posterior_fv ~priors template tsc (pick_into s pois window) in
+      let ps = p_of_sign sg in
+      Array.iteri (fun i l -> entries := (l, ps *. post.(i)) :: !entries) template.Template.labels)
+    [ -1; 1 ];
+  let arr = Array.of_list !entries in
+  Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+  arr
+
+(* The fused grading pass: everything the confidence gate consumes per
+   window, from ONE scoring of each template.  The separate entry
+   points above score the sign template up to four times and a value
+   template up to three times per graded window; [Template.scores_fv]
+   computes each template's rows once and this function derives the
+   five grading quantities from them.  Every derived value replicates
+   the arithmetic of the corresponding single call exactly, so the
+   fusion is bit-invisible (test_sca pins this) — it is the main
+   per-window win of the numeric-core refactor. *)
+let grade_fv t s window =
+  let sign_sc = Template.scores_fv ~priors:t.prior_of_sign t.sign_template s.Scratch.sign (pick_into s t.pois_sign window) in
+  let sign_labels = t.sign_template.Template.labels in
+  let sign = sign_labels.(Mathkit.Stats.argmax sign_sc.Template.s_post) in
+  let g_sign_confidence = Array.fold_left Float.max 0.0 sign_sc.Template.s_post in
+  let g_sign_fit = sign_sc.Template.s_best_ll in
+  (* Both value groups always feed the joint posterior, exactly like
+     posterior_all — but only the recovered sign's template has its
+     flat posterior (verdict) and best density (fit floor) read.  The
+     other group — both groups, under a zero sign — contributes its
+     priored row alone, so the rows no consumer reads are simply not
+     computed; every row that is carries full-[scores_fv] bits. *)
+  let verdict_of template (sc : Template.scores) =
+    let labels = template.Template.labels in
+    let best = Mathkit.Stats.argmax sc.Template.s_post in
+    { sign; value = labels.(best); posterior = Array.mapi (fun i l -> (l, sc.Template.s_post.(i))) labels }
+  in
+  let g_verdict, g_value_fit, neg_pp, pos_pp =
+    match sign with
+    | -1 ->
+        let neg_sc = Template.scores_fv ~priors:t.neg_priors t.neg_template s.Scratch.neg (pick_into s t.pois_neg window) in
+        let pos_pp = Template.priored_posterior_fv ~priors:t.pos_priors t.pos_template s.Scratch.pos (pick_into s t.pois_pos window) in
+        (verdict_of t.neg_template neg_sc, neg_sc.Template.s_best_ll, neg_sc.Template.s_post_p, pos_pp)
+    | 1 ->
+        let neg_pp = Template.priored_posterior_fv ~priors:t.neg_priors t.neg_template s.Scratch.neg (pick_into s t.pois_neg window) in
+        let pos_sc = Template.scores_fv ~priors:t.pos_priors t.pos_template s.Scratch.pos (pick_into s t.pois_pos window) in
+        (verdict_of t.pos_template pos_sc, pos_sc.Template.s_best_ll, neg_pp, pos_sc.Template.s_post_p)
+    | _ ->
+        let neg_pp = Template.priored_posterior_fv ~priors:t.neg_priors t.neg_template s.Scratch.neg (pick_into s t.pois_neg window) in
+        let pos_pp = Template.priored_posterior_fv ~priors:t.pos_priors t.pos_template s.Scratch.pos (pick_into s t.pois_pos window) in
+        ({ sign; value = 0; posterior = [| (0, 1.0) |] }, g_sign_fit, neg_pp, pos_pp)
+  in
+  let p_of_sign sg =
+    let acc = ref 0.0 in
+    Array.iteri (fun i l -> if l = sg then acc := sign_sc.Template.s_post_p.(i)) sign_labels;
+    !acc
+  in
+  let entries = ref [] in
+  entries := (0, p_of_sign 0) :: !entries;
+  List.iter
+    (fun sg ->
+      let template, pp = match sg with -1 -> (t.neg_template, neg_pp) | _ -> (t.pos_template, pos_pp) in
+      let ps = p_of_sign sg in
+      Array.iteri (fun i l -> entries := (l, ps *. pp.(i)) :: !entries) template.Template.labels)
+    [ -1; 1 ];
+  let g_posterior_all = Array.of_list !entries in
+  Array.sort (fun (a, _) (b, _) -> compare a b) g_posterior_all;
+  { g_verdict; g_posterior_all; g_sign_confidence; g_sign_fit; g_value_fit }

@@ -79,3 +79,41 @@ val value_fit : t -> sign:int -> float array -> float
 val posterior_all : t -> float array -> (int * float) array
 (** Joint posterior over all candidates:
     P(v) = P(sign of v) * P(v | its group) — the raw Table II rows. *)
+
+(** {1 Fvec scoring}
+
+    Allocation-free counterparts over {!Mathkit.Fvec} views.  A
+    {!Scratch.t} bundles the POI gather buffer and the three template
+    scratches in one arena; build one per domain ([make_scratch] once,
+    score many windows).  Arithmetic is bit-identical to the
+    [float array] path above. *)
+
+module Scratch : sig
+  type t
+end
+
+val make_scratch : t -> Scratch.t
+
+val classify_fv : t -> Scratch.t -> Mathkit.Fvec.t -> verdict
+val classify_sign_only_fv : t -> Scratch.t -> Mathkit.Fvec.t -> int
+val sign_confidence_fv : t -> Scratch.t -> Mathkit.Fvec.t -> float
+val sign_fit_fv : t -> Scratch.t -> Mathkit.Fvec.t -> float
+val value_fit_fv : t -> Scratch.t -> sign:int -> Mathkit.Fvec.t -> float
+val posterior_all_fv : t -> Scratch.t -> Mathkit.Fvec.t -> (int * float) array
+
+(** Everything the confidence gate consumes for one window. *)
+type graded = {
+  g_verdict : verdict;
+  g_posterior_all : (int * float) array;
+  g_sign_confidence : float;
+  g_sign_fit : float;
+  g_value_fit : float;
+}
+
+val grade_fv : t -> Scratch.t -> Mathkit.Fvec.t -> graded
+(** Fused grading: each template is scored exactly once and all five
+    quantities are derived from the shared score rows.  Calling the
+    five single-purpose entry points above performs the same template
+    scorings several times over; every field here is bit-identical to
+    the value the corresponding separate call returns, so the fusion
+    is observationally invisible — only faster. *)

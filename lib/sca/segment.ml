@@ -11,81 +11,125 @@ let default = { threshold = Auto; smooth_radius = 2; merge_gap = 55; min_burst =
 
 type window = { start : int; stop : int }
 
-let smooth radius samples =
-  if radius <= 0 then Array.copy samples
+(* The segmentation kernels are Fvec-native: one borrowed view of the
+   trace in, no per-stage copies.  The historical float-array entry
+   points below are thin of_array shims — same arithmetic, so the two
+   forms are bit-identical (pinned by test_sca). *)
+
+module Fvec = Mathkit.Fvec
+
+let smooth_fv radius samples =
+  if radius <= 0 then Fvec.copy samples
   else begin
-    let n = Array.length samples in
-    Array.init n (fun i ->
-        let lo = max 0 (i - radius) and hi = min (n - 1) (i + radius) in
-        let acc = ref 0.0 in
-        for j = lo to hi do
-          acc := !acc +. samples.(j)
-        done;
-        !acc /. float_of_int (hi - lo + 1))
+    let n = Fvec.length samples in
+    let buf = Fvec.buffer samples and off = Fvec.offset samples and str = Fvec.stride samples in
+    Fvec.check_range buf ~off ~stride:str ~len:n "Segment.smooth_fv";
+    let out = Fvec.create n in
+    let obuf = Fvec.buffer out in
+    let edge i =
+      let lo = max 0 (i - radius) and hi = min (n - 1) (i + radius) in
+      let acc = ref 0.0 in
+      for j = lo to hi do
+        (* srclint: allow unsafe-index j stays in [0,n) and the view range is check_range'd above *)
+        acc := !acc +. Bigarray.Array1.unsafe_get buf (off + (j * str))
+      done;
+      (* srclint: allow unsafe-index out is freshly created with length n *)
+      Bigarray.Array1.unsafe_set obuf i (!acc /. float_of_int (hi - lo + 1))
+    in
+    (* Steady interior: the [i - radius, i + radius] window never
+       clips, so the edge clamping and the per-sample width conversion
+       hoist out of the loop.  Summation order (ascending j) and the
+       divide match [edge] exactly — bit-identical, just leaner. *)
+    let interior_stop = n - 1 - radius in
+    let w = float_of_int ((2 * radius) + 1) in
+    for i = 0 to min (radius - 1) (n - 1) do
+      edge i
+    done;
+    for i = radius to interior_stop do
+      let base = off + ((i - radius) * str) in
+      let acc = ref 0.0 in
+      for j = 0 to 2 * radius do
+        (* srclint: allow unsafe-index the window stays inside the view range check_range'd above *)
+        acc := !acc +. Bigarray.Array1.unsafe_get buf (base + (j * str))
+      done;
+      (* srclint: allow unsafe-index out is freshly created with length n *)
+      Bigarray.Array1.unsafe_set obuf i (!acc /. w)
+    done;
+    for i = max radius (interior_stop + 1) to n - 1 do
+      edge i
+    done;
+    out
   end
+
+let smooth radius samples = Fvec.to_array (smooth_fv radius (Fvec.of_array samples))
 
 (* Otsu's method: pick the level that best separates the bimodal
    power histogram (busy divider vs ordinary code).  Unlike a
    percentile midpoint, it does not care what fraction of the trace is
    spent in each mode, so it survives very slow or very fast dividers. *)
-let otsu samples =
-  if Array.length samples = 0 then 0.0
+let otsu_fv samples =
+  if Fvec.length samples = 0 then 0.0
   else
-  let lo = Array.fold_left Float.min samples.(0) samples in
-  let hi = Array.fold_left Float.max samples.(0) samples in
-  if hi -. lo <= 0.0 then lo
-  else begin
-    let bins = 256 in
-    let hist = Mathkit.Stats.histogram ~bins ~lo ~hi:(hi +. 1e-9) samples in
-    let total = float_of_int (Array.length samples) in
-    let sum_all = ref 0.0 in
-    Array.iteri (fun b c -> sum_all := !sum_all +. (float_of_int b *. float_of_int c)) hist;
-    let best_t = ref 0 and best_var = ref neg_infinity in
-    let best_mu0 = ref 0.0 and best_mu1 = ref 0.0 in
-    let w0 = ref 0.0 and sum0 = ref 0.0 in
-    for t = 0 to bins - 1 do
-      w0 := !w0 +. float_of_int hist.(t);
-      sum0 := !sum0 +. (float_of_int t *. float_of_int hist.(t));
-      let w1 = total -. !w0 in
-      if !w0 > 0.0 && w1 > 0.0 then begin
-        let mu0 = !sum0 /. !w0 and mu1 = (!sum_all -. !sum0) /. w1 in
-        let between = !w0 *. w1 *. (mu0 -. mu1) *. (mu0 -. mu1) in
-        if between > !best_var then begin
-          best_var := between;
-          best_t := t;
-          best_mu0 := mu0;
-          best_mu1 := mu1
+    let lo, hi = Fvec.minmax samples in
+    if hi -. lo <= 0.0 then lo
+    else begin
+      let bins = 256 in
+      let hist = Fvec.histogram ~bins ~lo ~hi:(hi +. 1e-9) samples in
+      let total = float_of_int (Fvec.length samples) in
+      let sum_all = ref 0.0 in
+      Array.iteri (fun b c -> sum_all := !sum_all +. (float_of_int b *. float_of_int c)) hist;
+      let best_t = ref 0 and best_var = ref neg_infinity in
+      let best_mu0 = ref 0.0 and best_mu1 = ref 0.0 in
+      let w0 = ref 0.0 and sum0 = ref 0.0 in
+      for t = 0 to bins - 1 do
+        w0 := !w0 +. float_of_int hist.(t);
+        sum0 := !sum0 +. (float_of_int t *. float_of_int hist.(t));
+        let w1 = total -. !w0 in
+        if !w0 > 0.0 && w1 > 0.0 then begin
+          let mu0 = !sum0 /. !w0 and mu1 = (!sum_all -. !sum0) /. w1 in
+          let between = !w0 *. w1 *. (mu0 -. mu1) *. (mu0 -. mu1) in
+          if between > !best_var then begin
+            best_var := between;
+            best_t := t;
+            best_mu0 := mu0;
+            best_mu1 := mu1
+          end
         end
-      end
-    done;
-    let of_bin b = lo +. ((hi -. lo) *. (b +. 0.5) /. float_of_int bins) in
-    (* Bias the cut towards the high mode: only the divider plateau
-       should clear it, not the tallest loads/stores of ordinary code
-       (whose height is data-dependent and would wiggle the window
-       boundaries with the secret). *)
-    of_bin (!best_mu0 +. (0.75 *. (!best_mu1 -. !best_mu0)))
-  end
+      done;
+      let of_bin b = lo +. ((hi -. lo) *. (b +. 0.5) /. float_of_int bins) in
+      (* Bias the cut towards the high mode: only the divider plateau
+         should clear it, not the tallest loads/stores of ordinary code
+         (whose height is data-dependent and would wiggle the window
+         boundaries with the secret). *)
+      of_bin (!best_mu0 +. (0.75 *. (!best_mu1 -. !best_mu0)))
+    end
 
-let auto_threshold cfg samples =
-  let s = smooth cfg.smooth_radius samples in
-  otsu s
+let auto_threshold_fv cfg samples =
+  let s = smooth_fv cfg.smooth_radius samples in
+  otsu_fv s
 
-let burst_regions cfg samples =
-  let n = Array.length samples in
+let auto_threshold cfg samples = auto_threshold_fv cfg (Fvec.of_array samples)
+
+let burst_regions_fv cfg samples =
+  let n = Fvec.length samples in
   if n = 0 then [||]
   else begin
-    let s = smooth cfg.smooth_radius samples in
+    let s = smooth_fv cfg.smooth_radius samples in
     let threshold =
       match cfg.threshold with
       | Absolute t -> t
-      | Percentile p -> Mathkit.Stats.percentile s p
-      | Auto -> otsu s
+      | Percentile p -> Mathkit.Stats.percentile (Fvec.to_array s) p
+      | Auto -> otsu_fv s
     in
-    (* Raw above-threshold runs. *)
+    (* Raw above-threshold runs.  [s] is contiguous (fresh from
+       smooth_fv), so the scan reads the buffer directly. *)
+    let sbuf = Fvec.buffer s and soff = Fvec.offset s and sstr = Fvec.stride s in
+    Fvec.check_range sbuf ~off:soff ~stride:sstr ~len:n "Segment.burst_regions_fv";
     let runs = ref [] in
     let run_start = ref (-1) in
     for i = 0 to n - 1 do
-      if s.(i) > threshold then begin
+      (* srclint: allow unsafe-index i stays in [0,n) and the view range is check_range'd above *)
+      if Bigarray.Array1.unsafe_get sbuf (soff + (i * sstr)) > threshold then begin
         if !run_start < 0 then run_start := i
       end
       else if !run_start >= 0 then begin
@@ -119,14 +163,18 @@ let burst_regions cfg samples =
     List.filter_map anchor groups |> Array.of_list
   end
 
-let windows cfg samples =
-  let bursts = burst_regions cfg samples in
-  let n = Array.length samples in
+let burst_regions cfg samples = burst_regions_fv cfg (Fvec.of_array samples)
+
+let windows_of_bursts bursts ~trace_len =
   Array.mapi
     (fun i b ->
-      let stop = if i + 1 < Array.length bursts then bursts.(i + 1).start else n in
+      let stop = if i + 1 < Array.length bursts then bursts.(i + 1).start else trace_len in
       { start = b.stop; stop })
     bursts
+
+let windows_fv cfg samples = windows_of_bursts (burst_regions_fv cfg samples) ~trace_len:(Fvec.length samples)
+
+let windows cfg samples = windows_fv cfg (Fvec.of_array samples)
 
 let vectorize samples wins ~length =
   if length <= 0 then invalid_arg "Segment.vectorize: length must be positive";
@@ -135,6 +183,22 @@ let vectorize samples wins ~length =
       Array.init length (fun i ->
           let idx = w.start + i in
           if idx < w.stop && idx < Array.length samples then samples.(idx) else 0.0))
+    wins
+
+(* The Fvec counterpart of {!vectorize}: a window fully inside both
+   its burst span and the trace is a borrowed sub-view (no copy); a
+   short window gets the same zero-padded copy vectorize would build.
+   Values are identical either way. *)
+let views samples wins ~length =
+  if length <= 0 then invalid_arg "Segment.views: length must be positive";
+  let n = Fvec.length samples in
+  Array.map
+    (fun w ->
+      if w.start + length <= w.stop && w.start + length <= n then Fvec.sub samples w.start length
+      else
+        Fvec.init length (fun i ->
+            let idx = w.start + i in
+            if idx < w.stop && idx < n then Fvec.get samples idx else 0.0))
     wins
 
 (* --- resilient segmentation ------------------------------------------------ *)
@@ -219,19 +283,12 @@ let resync bursts ~expected ~trace_len =
     end
   end
 
-let windows_of_bursts bursts ~trace_len =
-  Array.mapi
-    (fun i b ->
-      let stop = if i + 1 < Array.length bursts then bursts.(i + 1).start else trace_len in
-      { start = b.stop; stop })
-    bursts
-
-let segment cfg ~expected samples =
+let segment_fv cfg ~expected samples =
   if expected <= 0 then invalid_arg "Segment.segment: expected must be positive";
-  let trace_len = Array.length samples in
+  let trace_len = Fvec.length samples in
   if trace_len = 0 then Error Empty_trace
   else begin
-    let bursts = burst_regions cfg samples in
+    let bursts = burst_regions_fv cfg samples in
     if Array.length bursts = 0 then Error Flat_trace
     else begin
       let bursts, removed =
@@ -272,3 +329,5 @@ let segment cfg ~expected samples =
       end
     end
   end
+
+let segment cfg ~expected samples = segment_fv cfg ~expected (Fvec.of_array samples)

@@ -95,3 +95,24 @@ val segment : config -> expected:int -> float array -> (segmented, segment_error
     [Suspect].  On a clean trace with the right burst count the result
     equals {!windows} with every flag [Clean].
     @raise Invalid_argument when [expected <= 0]. *)
+
+(** {1 Fvec-native segmentation}
+
+    The kernels above are implemented over borrowed {!Mathkit.Fvec}
+    views; the [float array] entry points are thin [of_array] shims.
+    Both forms compute identical values (pinned by the equivalence
+    tests), so a caller can adopt views incrementally. *)
+
+val smooth_fv : int -> Mathkit.Fvec.t -> Mathkit.Fvec.t
+val auto_threshold_fv : config -> Mathkit.Fvec.t -> float
+val burst_regions_fv : config -> Mathkit.Fvec.t -> window array
+val windows_fv : config -> Mathkit.Fvec.t -> window array
+
+val views : Mathkit.Fvec.t -> window array -> length:int -> Mathkit.Fvec.t array
+(** {!vectorize} without the copies: a window whose first [length]
+    samples lie inside both its span and the trace is returned as a
+    borrowed sub-view of [samples]; shorter windows get the same
+    zero-padded fresh vector {!vectorize} would build.  Views alias
+    the trace — treat them as read-only. *)
+
+val segment_fv : config -> expected:int -> Mathkit.Fvec.t -> (segmented, segment_error) result

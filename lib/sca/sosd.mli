@@ -35,3 +35,9 @@ val select : ?min_spacing:int -> count:int -> float array -> int array
 
 val pick : float array -> int array -> float array
 (** Project a window onto the chosen POIs. *)
+
+val pick_fv : Mathkit.Fvec.t -> int array -> out:Mathkit.Fvec.t -> unit
+(** [pick] over views: gather [window]'s POI samples into [out]
+    (length [Array.length pois]) without allocating.
+    @raise Invalid_argument on length mismatch or an out-of-bounds
+    POI. *)

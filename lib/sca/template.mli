@@ -14,6 +14,8 @@ type t = {
   labels : int array;  (** class labels, e.g. coefficient values *)
   means : float array array;
   inv_cov : Mathkit.Matrix.t;  (** inverse pooled covariance *)
+  inv_cov_fm : Mathkit.Fmat.t;
+      (** same matrix, flat row-major — the scoring-kernel copy *)
   log_det : float;
   pois : int array;  (** POI indices into the window, kept for bookkeeping *)
 }
@@ -37,3 +39,49 @@ val classify : ?priors:float array -> t -> float array -> int
 val restrict : t -> (int -> bool) -> t
 (** Keep only classes whose label satisfies the predicate — used to
     condition the value template on the recovered sign. *)
+
+(** {1 Fvec scoring}
+
+    Allocation-free counterparts of the scoring entry points above:
+    the caller owns a {!scratch} (one per domain — scratches must not
+    be shared across domains) and the [_fv] functions return rows
+    BORROWED from it, valid until the next call on the same scratch.
+    Arithmetic is bit-identical to the [float array] path. *)
+
+val dimension : t -> int
+(** POI-vector dimensionality the template scores (length of each
+    class mean). *)
+
+type scratch = {
+  diff : Mathkit.Fvec.t;  (** x - mu workspace, [dimension] long *)
+  ll : float array;  (** per-class log likelihoods, borrowed *)
+  post : float array;  (** per-class posterior, borrowed *)
+  post_p : float array;  (** per-class priored posterior, borrowed *)
+}
+
+val make_scratch : ?arena:Mathkit.Fvec.Scratch.t -> t -> scratch
+(** Scratch sized for [t]; [diff] is carved from [arena] when given,
+    freshly allocated otherwise. *)
+
+val log_likelihoods_fv : t -> scratch -> Mathkit.Fvec.t -> float array
+val posterior_fv : ?priors:float array -> t -> scratch -> Mathkit.Fvec.t -> float array
+val classify_fv : ?priors:float array -> t -> scratch -> Mathkit.Fvec.t -> int
+
+type scores = {
+  s_best_ll : float;  (** [Float.max] fold over the log likelihoods *)
+  s_post : float array;  (** flat-prior posterior, borrowed *)
+  s_post_p : float array;  (** posterior under [priors], borrowed *)
+}
+
+val scores_fv : priors:float array -> t -> scratch -> Mathkit.Fvec.t -> scores
+(** One log-likelihood pass, then every score a grading consumer
+    needs.  Each row is bit-identical to the corresponding
+    single-purpose entry point ([log_likelihoods] max, [posterior]
+    without and with [priors]), so one [scores_fv] call substitutes
+    for several separate scoring calls without observable effect.
+    Both rows are borrowed from the scratch. *)
+
+val priored_posterior_fv : priors:float array -> t -> scratch -> Mathkit.Fvec.t -> float array
+(** The [s_post_p] row of {!scores_fv} alone, bit-identical to it, for
+    a template whose flat posterior and best density go unread.
+    Borrowed from the scratch. *)

@@ -1,4 +1,4 @@
-(* The static pass proper: one Parsetree traversal per file, four rule
+(* The static pass proper: one Parsetree traversal per file, five rule
    classes, everything syntactic and conservative.  compiler-libs
    ships with the compiler, so this adds no external dependency.
 
@@ -28,6 +28,10 @@ let rec head e =
 let starts_with ~prefix s =
   String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
 
+let ends_with ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  n >= m && String.sub s (n - m) m = suffix
+
 (* --- rule 1: nondeterminism sources ------------------------------------- *)
 
 let nondet_detail name =
@@ -43,6 +47,16 @@ let nondet_detail name =
       | Some i when String.sub name 0 i = "Random" && not (starts_with ~prefix:"Random.State" name) ->
           Some (name ^ " draws from the global PRNG — use a seeded Mathkit.Prng (or Random.State)")
       | _ -> None)
+
+(* --- rule 5: bounds-unchecked indexing ------------------------------------ *)
+
+(* Any module's unsafe accessors ([Array.unsafe_get], [Bytes.unsafe_set],
+   [Bigarray.Array1.unsafe_get], [String.unsafe_get], ...): the dotted
+   path is matched on its tail so new containers are covered for free. *)
+let unsafe_index_detail name =
+  if ends_with ~suffix:".unsafe_get" name || ends_with ~suffix:".unsafe_set" name then
+    Some (name ^ " skips bounds checking — allowed only at audited kernel sites with a written reason")
+  else None
 
 (* --- rule 2: Hashtbl iteration order ------------------------------------- *)
 
@@ -161,6 +175,9 @@ let analyze structure =
         | Some name -> (
             (match nondet_detail name with
             | Some d -> emit (line_of e.pexp_loc) Rule.Nondet_source d
+            | None -> ());
+            (match unsafe_index_detail name with
+            | Some d -> emit (line_of e.pexp_loc) Rule.Unsafe_index d
             | None -> ());
             if List.mem name iterish then
               emit (line_of e.pexp_loc) Rule.Hashtbl_order

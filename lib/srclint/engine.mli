@@ -1,4 +1,4 @@
-(** The static pass: four syntactic, conservative rule classes over
+(** The static pass: five syntactic, conservative rule classes over
     one file's Parsetree (compiler-libs [Parse] + [Ast_iterator] — no
     external dependency).
 
@@ -16,6 +16,6 @@ type raw = { r_line : int; r_rule : Rule.t; r_detail : string }
 (** A pre-suppression finding: 1-based line, rule, one-line why. *)
 
 val analyze_string : file:string -> string -> (raw list, string) result
-(** Parse [src] (named [file] for locations) and run all four rules.
+(** Parse [src] (named [file] for locations) and run every rule.
     Findings are sorted by line then rule and deduplicated; a file
     that does not parse is an [Error]. *)

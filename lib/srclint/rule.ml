@@ -1,12 +1,13 @@
-type t = Nondet_source | Hashtbl_order | Domain_capture | Exn_message
+type t = Nondet_source | Hashtbl_order | Domain_capture | Exn_message | Unsafe_index
 
-let all = [ Nondet_source; Hashtbl_order; Domain_capture; Exn_message ]
+let all = [ Nondet_source; Hashtbl_order; Domain_capture; Exn_message; Unsafe_index ]
 
 let name = function
   | Nondet_source -> "nondet-source"
   | Hashtbl_order -> "hashtbl-order"
   | Domain_capture -> "domain-capture"
   | Exn_message -> "exn-message"
+  | Unsafe_index -> "unsafe-index"
 
 let of_name s = List.find_opt (fun r -> name r = s) all
 
@@ -22,3 +23,6 @@ let why = function
   | Exn_message ->
       "exception message strings are not a stable interface — match on the exception family (typed constructor) \
        instead"
+  | Unsafe_index ->
+      "unsafe_get/unsafe_set skip bounds checking — sanctioned only in audited numeric kernels whose loop bounds are \
+       validated up front and re-checkable via a debug flag"

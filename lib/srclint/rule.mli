@@ -1,4 +1,4 @@
-(** The four srclint rule classes.
+(** The five srclint rule classes.
 
     Each rule protects one leg of the repo's determinism contract
     (bit-identical sharded merges, byte-identical fuzz batches,
@@ -19,18 +19,23 @@
     - {!Exn_message}: pattern matches or comparisons on exception
       {e message strings} rather than exception families —
       [Triage.Signature] already learned this lesson the hard way.
+    - {!Unsafe_index}: [*.unsafe_get] / [*.unsafe_set] anywhere —
+      bounds-unchecked access is sanctioned only in the audited
+      {!Mathkit.Fvec} kernel loops (which validate bounds up front
+      and re-enable checked access under [REVEAL_FVEC_BOUNDS=1]),
+      each site carrying its own allow with a written reason.
 
     Suppression is per-site via an allow comment naming the rule and
     a written reason (syntax in DESIGN.md §15); unused suppressions
     are themselves reported. *)
 
-type t = Nondet_source | Hashtbl_order | Domain_capture | Exn_message
+type t = Nondet_source | Hashtbl_order | Domain_capture | Exn_message | Unsafe_index
 
 val all : t list
 
 val name : t -> string
 (** Kebab-case rule id: ["nondet-source"], ["hashtbl-order"],
-    ["domain-capture"], ["exn-message"]. *)
+    ["domain-capture"], ["exn-message"], ["unsafe-index"]. *)
 
 val of_name : string -> t option
 

@@ -25,6 +25,18 @@ type record = {
   trace : Power.Ptrace.t;
 }
 
+(* The replay-path record shape: samples stay in the unboxed vector
+   they were decoded into, and the event streams — which replay never
+   reads — are validated but not materialised. *)
+type record_fv = {
+  fv_index : int;
+  fv_noises : int array;
+  fv_samples : Mathkit.Fvec.t;
+}
+
+let fv_of_record (r : record) =
+  { fv_index = r.index; fv_noises = r.noises; fv_samples = Mathkit.Fvec.of_array r.trace.Power.Ptrace.samples }
+
 let variant_code = function
   | Riscv.Sampler_prog.Vulnerable -> 0
   | Riscv.Sampler_prog.Branchless -> 1
@@ -258,8 +270,29 @@ let record_of_payload ~path ~header ~expect_index payload =
     trace = { Power.Ptrace.samples; samples_per_cycle = header.samples_per_cycle; event_start; event_pc };
   }
 
-let next r =
-  if r.r_closed then invalid_arg "Archive.next: reader already closed";
+let record_fv_of_payload ~path ~header ~expect_index payload =
+  let c = Binio.cursor ~name:path payload in
+  let index = Binio.get_varint_int c in
+  if index <> expect_index then
+    Error.corruptf "%s: record %d found where record %d was expected — records reordered or lost" path index
+      expect_index;
+  let noises = Codec.get_ints c in
+  if Array.length noises <> header.n then
+    Error.corruptf "%s: record %d carries %d noise labels for an n=%d archive" path index (Array.length noises)
+      header.n;
+  let samples = Codec.get_floats_fv c in
+  let n_start = Codec.check_ints_delta c in
+  let n_pc = Codec.check_ints_delta c in
+  if n_start <> n_pc then
+    Error.corruptf "%s: record %d has %d event starts but %d event pcs" path index n_start n_pc;
+  Binio.expect_end c;
+  { fv_index = index; fv_noises = noises; fv_samples = samples }
+
+(* [next]/[next_fv] differ only in the payload decoder; the cursor
+   protocol (truncation/trailing-data checks, index advance, metrics)
+   is shared here so the two stay in lockstep. *)
+let next_gen ~fname ~decode r =
+  if r.r_closed then invalid_arg (Printf.sprintf "Archive.%s: reader already closed" fname);
   match Frame.read ~path:r.r_path r.ic with
   | None ->
       if r.next_index < r.header.trace_count then
@@ -269,10 +302,13 @@ let next r =
   | Some payload ->
       if r.next_index >= r.header.trace_count then
         Error.corruptf "%s: trailing data after the %d records the header declares" r.r_path r.header.trace_count;
-      let rec_ = record_of_payload ~path:r.r_path ~header:r.header ~expect_index:r.next_index payload in
+      let rec_ = decode ~path:r.r_path ~header:r.header ~expect_index:r.next_index payload in
       r.next_index <- r.next_index + 1;
       count_read r payload;
       Some rec_
+
+let next r = next_gen ~fname:"next" ~decode:record_of_payload r
+let next_fv r = next_gen ~fname:"next_fv" ~decode:record_fv_of_payload r
 
 (* Tolerant cursor: a record whose frame fails its CRC — or whose
    verified payload will not decode — is reported as [`Skipped] and the
@@ -280,8 +316,8 @@ let next r =
    over the skipped slot so the following records' index checks still
    line up.  Structural damage (truncation, bad length field) has no
    boundary to resume from and raises as in {!next}. *)
-let try_next r =
-  if r.r_closed then invalid_arg "Archive.try_next: reader already closed";
+let try_next_gen ~fname ~decode r =
+  if r.r_closed then invalid_arg (Printf.sprintf "Archive.%s: reader already closed" fname);
   match Frame.try_read ~path:r.r_path r.ic with
   | `End ->
       if r.next_index < r.header.trace_count then
@@ -297,7 +333,7 @@ let try_next r =
   | `Payload payload -> (
       if r.next_index >= r.header.trace_count then
         Error.corruptf "%s: trailing data after the %d records the header declares" r.r_path r.header.trace_count;
-      match record_of_payload ~path:r.r_path ~header:r.header ~expect_index:r.next_index payload with
+      match decode ~path:r.r_path ~header:r.header ~expect_index:r.next_index payload with
       | rec_ ->
           r.next_index <- r.next_index + 1;
           count_read r payload;
@@ -306,6 +342,9 @@ let try_next r =
           r.next_index <- r.next_index + 1;
           count_skip r msg;
           `Skipped msg)
+
+let try_next r = try_next_gen ~fname:"try_next" ~decode:record_of_payload r
+let try_next_fv r = try_next_gen ~fname:"try_next_fv" ~decode:record_fv_of_payload r
 
 let next_batch r ~max =
   if max <= 0 then invalid_arg "Archive.next_batch: max must be positive";

@@ -44,6 +44,19 @@ type record = {
   trace : Power.Ptrace.t;
 }
 
+type record_fv = {
+  fv_index : int;
+  fv_noises : int array;
+  fv_samples : Mathkit.Fvec.t;
+      (** samples in the unboxed vector they were decoded into *)
+}
+(** The replay-path record shape: no intermediate [float array], and
+    the event streams — which replay never reads — are validated but
+    not materialised. *)
+
+val fv_of_record : record -> record_fv
+(** Convert an already-decoded record (one copy of the samples). *)
+
 val variant_name : Riscv.Sampler_prog.variant -> string
 val meta_find : header -> string -> string option
 
@@ -72,6 +85,11 @@ val record_payload : index:int -> noises:int array -> Power.Ptrace.t -> string
 val record_of_payload : path:string -> header:header -> expect_index:int -> string -> record
 (** @raise Error.Corrupt on any decode failure, an index other than
     [expect_index], or a record inconsistent with [header]. *)
+
+val record_fv_of_payload : path:string -> header:header -> expect_index:int -> string -> record_fv
+(** [record_of_payload] into the replay shape: identical validation
+    (same errors on the same corrupt payloads), samples decoded
+    straight into the vector, event streams checked and discarded. *)
 
 (** {1 Writing}
 
@@ -138,6 +156,10 @@ val next : reader -> record option
 val next_batch : reader -> max:int -> record array
 (** Up to [max] records — the unit parallel ingestion works on. *)
 
+val next_fv : reader -> record_fv option
+(** {!next} decoding into the replay shape.  The two share the
+    reader's cursor — use one or the other, not both. *)
+
 val try_next : reader -> [ `Record of record | `Skipped of string | `End_of_archive ]
 (** Tolerant {!next}: a record whose frame fails its CRC, or whose
     verified payload will not decode, is reported as [`Skipped] (with
@@ -145,6 +167,9 @@ val try_next : reader -> [ `Record of record | `Skipped of string | `End_of_arch
     campaign replay can drop the one bad trace and keep going.
     Structural damage that destroys the framing (truncation, damaged
     length field, trailing data) still raises {!Error.Corrupt}. *)
+
+val try_next_fv : reader -> [ `Record of record_fv | `Skipped of string | `End_of_archive ]
+(** {!try_next} decoding into the replay shape (same skip policy). *)
 
 val close_reader : reader -> unit
 

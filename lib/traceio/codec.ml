@@ -25,6 +25,20 @@ let get_floats c =
       prev := bits;
       Int64.float_of_bits bits)
 
+(* Same decode, straight into a fresh unboxed vector: the archive
+   replay path never materialises a [float array] per record. *)
+let get_floats_fv c =
+  let n = Binio.get_varint_int c in
+  if n > Binio.remaining c then Error.corruptf "float array claims %d elements but only %d bytes remain" n (Binio.remaining c);
+  let v = Mathkit.Fvec.create n in
+  let prev = ref 0L in
+  for i = 0 to n - 1 do
+    let bits = Int64.add !prev (Binio.get_svarint c) in
+    prev := bits;
+    Mathkit.Fvec.set v i (Int64.float_of_bits bits)
+  done;
+  v
+
 (* Monotone-ish integer streams (event start indices): delta + zigzag. *)
 let put_ints_delta b xs =
   Binio.put_varint b (Int64.of_int (Array.length xs));
@@ -46,6 +60,21 @@ let get_ints_delta c =
       if Int64.compare v (Int64.of_int max_int) > 0 || Int64.compare v (Int64.of_int min_int) < 0 then
         Error.corruptf "int array element %Ld does not fit an OCaml int" v;
       Int64.to_int v)
+
+(* Validate-and-discard [get_ints_delta]: runs the exact same checks
+   (so corrupt streams raise the same errors) but allocates nothing.
+   Returns the element count for cross-field consistency checks. *)
+let check_ints_delta c =
+  let n = Binio.get_varint_int c in
+  if n > Binio.remaining c then Error.corruptf "int array claims %d elements but only %d bytes remain" n (Binio.remaining c);
+  let prev = ref 0L in
+  for _ = 1 to n do
+    let v = Int64.add !prev (Binio.get_svarint c) in
+    prev := v;
+    if Int64.compare v (Int64.of_int max_int) > 0 || Int64.compare v (Int64.of_int min_int) < 0 then
+      Error.corruptf "int array element %Ld does not fit an OCaml int" v
+  done;
+  n
 
 (* Small signed values around zero (noise labels, pcs): plain zigzag. *)
 let put_ints b xs =

@@ -11,8 +11,16 @@
 val put_floats : Buffer.t -> float array -> unit
 val get_floats : Binio.cursor -> float array
 
+val get_floats_fv : Binio.cursor -> Mathkit.Fvec.t
+(** [get_floats] decoding straight into a fresh unboxed vector — same
+    bytes, same errors, no intermediate [float array]. *)
+
 val put_ints_delta : Buffer.t -> int array -> unit
 val get_ints_delta : Binio.cursor -> int array
+
+val check_ints_delta : Binio.cursor -> int
+(** Decode-and-discard [get_ints_delta]: identical validation and
+    cursor advance, nothing allocated; returns the element count. *)
 
 val put_ints : Buffer.t -> int array -> unit
 val get_ints : Binio.cursor -> int array

@@ -16,6 +16,7 @@ let update crc s pos len =
   let t = Lazy.force table in
   let c = ref (crc lxor 0xFFFFFFFF) in
   for i = pos to pos + len - 1 do
+    (* srclint: allow unsafe-index i ranges over [pos, pos+len) validated above *)
     c := t.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF) lxor (!c lsr 8)
   done;
   !c lxor 0xFFFFFFFF

@@ -11,12 +11,20 @@ type event = [ `Record of Archive.record | `Skipped of string | `End_of_archive 
 (** One pull: a decoded record, a mid-stream corrupt record that was
     skipped (tolerant mode only; carries the reason), or the end. *)
 
+type event_fv = [ `Record of Archive.record_fv | `Skipped of string | `End_of_archive ]
+(** The same pull in the replay shape ({!Archive.record_fv}). *)
+
 type t
 
 val name : t -> string
 (** Where the stream comes from (the path, for archives). *)
 
 val next : t -> event
+
+val next_fv : t -> event_fv
+(** Pull in the replay shape.  Archive-backed sources decode natively
+    (no intermediate [float array]); other backends convert.  [next]
+    and [next_fv] advance the same cursor — pick one per consumer. *)
 
 val close : t -> unit
 (** Idempotent; releases the underlying reader, if any. *)
@@ -42,7 +50,13 @@ val of_records : name:string -> Archive.record array -> t
 val make : name:string -> next:(unit -> event) -> close:(unit -> unit) -> t
 (** Wrap an arbitrary acquisition backend (e.g. {!Wire.source}'s
     socket receiver).  [next] must keep returning [`End_of_archive]
-    once it has; [close] must be idempotent. *)
+    once it has; [close] must be idempotent.  {!next_fv} converts
+    [next]'s records. *)
+
+val make_fv :
+  name:string -> next:(unit -> event) -> next_fv:(unit -> event_fv) -> close:(unit -> unit) -> t
+(** {!make} with a native replay-shape decoder for backends that can
+    skip the boxed intermediate. *)
 
 val fold : t -> ('a -> Archive.record -> 'a) -> 'a -> ('a * int)
 (** Drain the stream; returns the accumulator and the number of

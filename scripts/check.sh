@@ -225,5 +225,21 @@ json_ok bench_out/BENCH_perf.json quota_s results
 # back-to-back runs on the same machine stay within the strict gate
 REVEAL_PERF_QUOTA=0.05 REVEAL_PERF_STRICT=1 dune exec bench/main.exe -- perf > "$tmp/perf-strict.out"
 grep -q "REVEAL_PERF_STRICT" "$tmp/perf-strict.out"
+# the numeric-core before/after pairs must be in the snapshot: the
+# boxed rows are the pre-refactor scoring path kept as the shim layer,
+# the fvec rows are the Bigarray kernels the pipeline actually runs
+grep -q "numeric: template scoring, boxed arrays" "$tmp/perf-strict.out"
+grep -q "numeric: template scoring, fvec+scratch" "$tmp/perf-strict.out"
+grep -q "numeric: replay attack, boxed arrays" "$tmp/perf-strict.out"
+grep -q "numeric: replay attack, fvec views+scratch" "$tmp/perf-strict.out"
+
+echo "== goldens re-verified after the numeric-core bench =="
+# the refactored kernels must still reproduce the committed report
+# goldens byte-for-byte — scoring through Fvec is required to be
+# observationally invisible, and this is the end-of-run proof
+dune exec bin/reveal_cli.exe -- report signs --seed 54398 -n 64 --per-value 80 --traces 2 \
+  | cmp - test/golden/signs.txt
+dune exec bin/reveal_cli.exe -- report fig3 --seed 54398 -n 64 --per-value 80 --traces 2 \
+  | cmp - test/golden/fig3.txt
 
 echo "== all checks passed =="

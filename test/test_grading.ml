@@ -17,19 +17,33 @@ let fixture =
 let first_window prof (run : Reveal.Device.run) =
   let samples = run.Reveal.Device.trace.Power.Ptrace.samples in
   let wins = Sca.Segment.windows prof.Reveal.Campaign.segment samples in
-  (Sca.Segment.vectorize samples (Array.sub wins 0 1) ~length:prof.Reveal.Campaign.window_length).(0)
+  Mathkit.Fvec.of_array
+    (Sca.Segment.vectorize samples (Array.sub wins 0 1) ~length:prof.Reveal.Campaign.window_length).(0)
 
 (* a classifier stage instance with fully scripted outputs *)
 let mock ?(value = 1) ?(sign = 1) ~sign_fit ~value_fit ~sign_conf posterior =
   let module M = struct
     type t = unit
+    type scratch = unit
 
     let name = "mock"
-    let classify () _ = { Sca.Attack.sign; value; posterior }
-    let posterior_all () _ = posterior
-    let sign_confidence () _ = sign_conf
-    let sign_fit () _ = sign_fit
-    let value_fit () ~sign:_ _ = value_fit
+    let make_scratch () = ()
+    let classify () () _ = { Sca.Attack.sign; value; posterior }
+    let posterior_all () () _ = posterior
+    let sign_confidence () () _ = sign_conf
+    let sign_fit () () _ = sign_fit
+    let value_fit () () ~sign:_ _ = value_fit
+
+    (* the bundled form the contract allows for classifiers with no
+       shared work: just the five calls *)
+    let grade t s w =
+      {
+        Sca.Attack.g_verdict = classify t s w;
+        g_posterior_all = posterior_all t s w;
+        g_sign_confidence = sign_confidence t s w;
+        g_sign_fit = sign_fit t s w;
+        g_value_fit = value_fit t s ~sign w;
+      }
   end in
   Reveal.Pipeline.Classifier ((module M), ())
 
@@ -87,8 +101,9 @@ let test_fit_exactly_at_floor_passes () =
   let prof, run = Lazy.force fixture in
   let w = first_window prof run in
   let (Reveal.Pipeline.Classifier ((module C), cls)) = Reveal.Pipeline.classifier_of_profile prof in
-  let verdict = C.classify cls w in
-  let sfit = C.sign_fit cls w and vfit = C.value_fit cls ~sign:verdict.Sca.Attack.sign w in
+  let s = C.make_scratch cls in
+  let verdict = C.classify cls s w in
+  let sfit = C.sign_fit cls s w and vfit = C.value_fit cls s ~sign:verdict.Sca.Attack.sign w in
   (* floors moved up to exactly the window's own fit: the boundary is
      inclusive (demotion is strictly-below), so the grade still carries
      value information *)
@@ -108,7 +123,7 @@ let test_fit_exactly_at_floor_passes () =
     (demoted = Reveal.Grading.SignOnly || demoted = Reveal.Grading.Unknown)
 
 let test_empty_posterior_boundary () =
-  let w = [| 0.0 |] in
+  let w = Mathkit.Fvec.of_array [| 0.0 |] in
   (* an empty posterior has joint confidence 0.0; the default tentative
      threshold is 0.0 and the comparison is inclusive, so the grade is
      Tentative — a posterior with no mass still names a verdict *)
@@ -122,7 +137,7 @@ let test_empty_posterior_boundary () =
     (grade_of ~gate ~classifier:(mock ~sign_fit:infinity ~value_fit:infinity ~sign_conf:0.4 [||]) w)
 
 let test_confidence_thresholds_inclusive () =
-  let w = [| 0.0 |] in
+  let w = Mathkit.Fvec.of_array [| 0.0 |] in
   let at threshold = mock ~sign_fit:infinity ~value_fit:infinity ~sign_conf:1.0 [| (1, threshold) |] in
   check_grade "confidence exactly at the Confident threshold" Reveal.Grading.Confident
     (grade_of ~classifier:(at Reveal.Constants.gate_confident_threshold) w);
@@ -146,7 +161,7 @@ let test_confidence_thresholds_inclusive () =
 let test_unrecoverable_when_retries_exhausted () =
   let prof, _ = Lazy.force fixture in
   let noises = Array.make 8 0 in
-  let flat = Array.make 4096 0.0 in
+  let flat = Mathkit.Fvec.of_array (Array.make 4096 0.0) in
   let retries = ref 0 in
   let results =
     Reveal.Grading.attack_resilient prof ~samples:flat ~noises
@@ -166,8 +181,8 @@ let test_unrecoverable_when_retries_exhausted () =
 
 let test_retry_rescues_a_garbage_first_measurement () =
   let prof, run = Lazy.force fixture in
-  let good = run.Reveal.Device.trace.Power.Ptrace.samples in
-  let flat = Array.make (Array.length good) 0.0 in
+  let good = Mathkit.Fvec.of_array run.Reveal.Device.trace.Power.Ptrace.samples in
+  let flat = Mathkit.Fvec.of_array (Array.make (Mathkit.Fvec.length good) 0.0) in
   let results =
     Reveal.Grading.attack_resilient prof ~samples:flat ~noises:run.Reveal.Device.noises ~retry:(fun _ -> good)
   in

@@ -713,3 +713,138 @@ let eigen_cases =
   ]
 
 let suite = suite @ List.map (fun (name, f) -> Alcotest.test_case name `Quick f) eigen_cases
+
+(* --- Fvec kernels vs the historical float-array implementations --------- *)
+
+(* The refactor's correctness contract is bit-identity: every Fvec
+   kernel must reproduce the float-array implementation it replaced
+   exactly, including fold direction and tie-breaking, and must not
+   care whether the view is contiguous or strided.  Comparisons are on
+   the IEEE bit pattern, not within an epsilon. *)
+
+let bits = Int64.bits_of_float
+
+let check_bits msg a b = Alcotest.(check int64) msg (bits a) (bits b)
+
+(* Embed [xs] as a strided view of a larger poisoned buffer, so any
+   kernel that walks the wrong indices reads the poison and fails. *)
+let strided_of_array ~pad ~stride xs =
+  let n = Array.length xs in
+  let v = Fvec.create (pad + (max 1 n * stride) + 3) in
+  Fvec.fill v 7.25e11;
+  Array.iteri (fun i x -> Fvec.set v (pad + (i * stride)) x) xs;
+  Fvec.strided v ~pos:pad ~len:n ~stride
+
+(* reference sqdist: the pre-refactor accumulation order *)
+let sqdist_ref a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let fvec_view_gen =
+  (* arrays through the interesting sizes (empty, singleton, longer),
+     every view embedded with a generated pad and stride *)
+  QCheck.make
+    ~print:(fun (xs, pad, stride) ->
+      Printf.sprintf "pad=%d stride=%d [%s]" pad stride
+        (String.concat "; " (Array.to_list (Array.map string_of_float xs))))
+    QCheck.Gen.(
+      triple
+        (array_size (int_bound 24) (float_bound_exclusive 1e6 >>= fun m -> return (m -. 5e5)))
+        (int_bound 3)
+        (int_range 1 4))
+
+let fvec_qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~name:"fvec: sum/mean match Stats.mean_a bitwise" ~count:300 fvec_view_gen
+      (fun (xs, pad, stride) ->
+        let v = strided_of_array ~pad ~stride xs in
+        if Array.length xs = 0 then (
+          (try
+             ignore (Fvec.mean v);
+             false
+           with Invalid_argument _ -> true)
+          && bits (Fvec.sum v) = bits 0.0)
+        else bits (Fvec.mean v) = bits (Stats.mean_a xs));
+    Test.make ~name:"fvec: variance matches Stats.variance_a bitwise" ~count:300 fvec_view_gen
+      (fun (xs, pad, stride) ->
+        let v = strided_of_array ~pad ~stride xs in
+        bits (Fvec.variance v) = bits (Stats.variance_a xs));
+    Test.make ~name:"fvec: dot matches Matrix.dot bitwise" ~count:300
+      (pair fvec_view_gen fvec_view_gen)
+      (fun ((xs, pad1, stride1), (ys, pad2, stride2)) ->
+        let n = min (Array.length xs) (Array.length ys) in
+        let xs = Array.sub xs 0 n and ys = Array.sub ys 0 n in
+        let a = strided_of_array ~pad:pad1 ~stride:stride1 xs in
+        let b = strided_of_array ~pad:pad2 ~stride:stride2 ys in
+        bits (Fvec.dot a b) = bits (Matrix.dot xs ys));
+    Test.make ~name:"fvec: sqdist matches the array accumulation bitwise" ~count:300
+      (pair fvec_view_gen fvec_view_gen)
+      (fun ((xs, pad1, stride1), (ys, pad2, stride2)) ->
+        let n = min (Array.length xs) (Array.length ys) in
+        let xs = Array.sub xs 0 n and ys = Array.sub ys 0 n in
+        let a = strided_of_array ~pad:pad1 ~stride:stride1 xs in
+        let b = strided_of_array ~pad:pad2 ~stride:stride2 ys in
+        bits (Fvec.sqdist a b) = bits (sqdist_ref xs ys));
+    Test.make ~name:"fvec: argmax/argmin match Stats bitwise ties included" ~count:300 fvec_view_gen
+      (fun (xs, pad, stride) ->
+        let v = strided_of_array ~pad ~stride xs in
+        if Array.length xs = 0 then
+          try
+            ignore (Fvec.argmax v);
+            false
+          with Invalid_argument _ -> true
+        else Fvec.argmax v = Stats.argmax xs && Fvec.argmin v = Stats.argmin xs);
+    Test.make ~name:"fvec: minmax equals (minimum, maximum)" ~count:300 fvec_view_gen
+      (fun (xs, pad, stride) ->
+        let v = strided_of_array ~pad ~stride xs in
+        if Array.length xs = 0 then
+          try
+            ignore (Fvec.minmax v);
+            false
+          with Invalid_argument _ -> true
+        else begin
+          let mn, mx = Fvec.minmax v in
+          bits mn = bits (Fvec.minimum v)
+          && bits mx = bits (Fvec.maximum v)
+          && bits mn = bits (Array.fold_left Float.min xs.(0) xs)
+          && bits mx = bits (Array.fold_left Float.max xs.(0) xs)
+        end);
+    Test.make ~name:"fvec: of_array/to_array round-trip through strided views" ~count:300
+      fvec_view_gen
+      (fun (xs, pad, stride) ->
+        let v = strided_of_array ~pad ~stride xs in
+        Fvec.to_array v = xs && Fvec.to_array (Fvec.of_array xs) = xs);
+  ]
+
+(* deterministic edge cases the generators cover only probabilistically *)
+let test_fvec_edges () =
+  let empty = Fvec.create 0 in
+  Alcotest.(check (array (float 0.0))) "to_array empty" [||] (Fvec.to_array empty);
+  check_bits "sum empty" 0.0 (Fvec.sum empty);
+  check_bits "variance empty" 0.0 (Fvec.variance empty);
+  (try
+     ignore (Fvec.mean empty);
+     Alcotest.fail "mean of empty must raise"
+   with Invalid_argument _ -> ());
+  let one = Fvec.of_array [| 3.5 |] in
+  check_bits "mean singleton" 3.5 (Fvec.mean one);
+  check_bits "variance singleton" 0.0 (Fvec.variance one);
+  Alcotest.(check int) "argmax singleton" 0 (Fvec.argmax one);
+  let mn, mx = Fvec.minmax one in
+  check_bits "minmax singleton lo" 3.5 mn;
+  check_bits "minmax singleton hi" 3.5 mx;
+  (* a strided view writes through to the shared buffer *)
+  let base = Fvec.of_array [| 0.; 1.; 2.; 3.; 4.; 5. |] in
+  let odd = Fvec.strided base ~pos:1 ~len:3 ~stride:2 in
+  Fvec.set odd 1 99.0;
+  check_bits "write through view" 99.0 (Fvec.get base 3)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "fvec edge cases" `Quick test_fvec_edges ]
+  @ List.map QCheck_alcotest.to_alcotest fvec_qcheck_cases

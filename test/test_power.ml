@@ -288,3 +288,84 @@ let fault_reproducible_prop =
       corrupt () = corrupt ())
 
 let suite = suite @ List.map QCheck_alcotest.to_alcotest [ fault_noop_prop; fault_reproducible_prop ]
+
+(* --- CSV round-trip and Fvec synthesis (numeric core refactor) ------------- *)
+
+let test_ptrace_csv_roundtrip () =
+  let events = events_of_program [ Riscv.Asm.li (Riscv.Inst.a 0) 0xAB; Riscv.Asm.halt ] in
+  let t = Power.Synth.synthesize Power.Synth.quiet events in
+  let path = Filename.temp_file "reveal_ptrace" ".csv" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) @@ fun () ->
+  Power.Ptrace.save_csv path t;
+  (* the streaming writer must produce byte-for-byte what the
+     string-building [to_csv] renders *)
+  let ic = open_in_bin path in
+  let written = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "save_csv = to_csv" (Power.Ptrace.to_csv t) written;
+  let back = Power.Ptrace.load_csv ~samples_per_cycle:t.Power.Ptrace.samples_per_cycle path in
+  Alcotest.(check int) "sample count" (Power.Ptrace.length t) (Power.Ptrace.length back);
+  (* %.6f rendering quantises: compare at that precision *)
+  Array.iteri
+    (fun i s -> Alcotest.(check (float 1e-6)) (Printf.sprintf "sample %d" i) s back.Power.Ptrace.samples.(i))
+    t.Power.Ptrace.samples;
+  (* the Fvec writer streams the same bytes from a view *)
+  let path_fv = Filename.temp_file "reveal_ptrace_fv" ".csv" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path_fv with Sys_error _ -> ()) @@ fun () ->
+  let oc = open_out path_fv in
+  Power.Ptrace.write_csv_fv oc (Mathkit.Fvec.of_array t.Power.Ptrace.samples);
+  close_out oc;
+  let ic = open_in_bin path_fv in
+  let written_fv = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "write_csv_fv = to_csv" (Power.Ptrace.to_csv t) written_fv
+
+let test_ptrace_load_csv_reports_path () =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "no-such-dir-reveal/missing.csv" in
+  match Power.Ptrace.load_csv path with
+  | exception Failure msg ->
+      let contains affix =
+        let n = String.length affix and m = String.length msg in
+        let rec go i = i + n <= m && (String.sub msg i n = affix || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "error names the missing path" true (contains path)
+  | _ -> Alcotest.fail "load_csv of a missing file succeeded"
+
+let test_synthesize_into_bit_identity () =
+  let events =
+    events_of_program
+      [ Riscv.Asm.li (Riscv.Inst.a 0) 0x5A; Riscv.Asm.li (Riscv.Inst.a 1) 3; Riscv.Asm.halt ]
+  in
+  let check_config name config rng_seed =
+    let rng = Mathkit.Prng.create ~seed:rng_seed () in
+    let reference = Power.Synth.synthesize ~rng config events in
+    let n_ref = Power.Ptrace.length reference in
+    let out = Mathkit.Fvec.create (n_ref + 7) in
+    let rng2 = Mathkit.Prng.create ~seed:rng_seed () in
+    let n = Power.Synth.synthesize_into ~rng:rng2 config events ~out in
+    Alcotest.(check int) (name ^ ": sample count") n_ref n;
+    Array.iteri
+      (fun i s ->
+        Alcotest.(check int64)
+          (Printf.sprintf "%s: sample %d bits" name i)
+          (Int64.bits_of_float s)
+          (Int64.bits_of_float (Mathkit.Fvec.get out i)))
+      reference.Power.Ptrace.samples
+  in
+  check_config "quiet" Power.Synth.quiet 9L;
+  check_config "noisy" Power.Synth.default 9L;
+  (* an undersized output must raise, not truncate *)
+  let tiny = Mathkit.Fvec.create 1 in
+  match Power.Synth.synthesize_into Power.Synth.quiet events ~out:tiny with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "synthesize_into into a short buffer succeeded"
+
+let numeric_cases =
+  [
+    ("ptrace csv round-trip (streaming + fvec writers)", test_ptrace_csv_roundtrip);
+    ("ptrace load_csv reports path", test_ptrace_load_csv_reports_path);
+    ("synthesize_into bit-identical to synthesize", test_synthesize_into_bit_identity);
+  ]
+
+let suite = suite @ List.map (fun (name, f) -> Alcotest.test_case name `Quick f) numeric_cases

@@ -542,3 +542,81 @@ let resilient_cases =
   ]
 
 let suite = suite @ List.map (fun (name, f) -> Alcotest.test_case name `Quick f) resilient_cases
+
+(* --- Fvec scoring bit-identity (numeric core refactor) --------------------- *)
+
+(* The refactor's contract: the Fvec scoring path — including the fused
+   [grade_fv] — must reproduce the boxed [float array] entry points bit
+   for bit, for every grading quantity.  Checked on IEEE bit patterns
+   over randomly drawn windows at the pinned seed 54398. *)
+
+let scoring_fixture =
+  lazy
+    (let g = Mathkit.Prng.create ~seed:54398L () in
+     let dim = 30 in
+     let mu_of label = Array.init dim (fun j -> float_of_int (label * ((j mod 5) - 2)) *. 0.6) in
+     let classes =
+       List.map
+         (fun label -> (label, gaussian_rows g ~mu:(mu_of label) ~sigma:0.8 ~count:14 ~dim))
+         [ -2; -1; 0; 1; 2 ]
+     in
+     let attack = Sca.Attack.build ~poi_count:6 ~sign_poi_count:4 ~sigma:2.0 classes in
+     (attack, Sca.Attack.make_scratch attack, dim))
+
+let scoring_window ~dim seed =
+  let g = Mathkit.Prng.create ~seed:(Int64.of_int (54398 + seed)) () in
+  let p = Mathkit.Gaussian.polar () in
+  let label = Mathkit.Prng.int_in g (-2) 2 in
+  Array.init dim (fun j ->
+      (float_of_int (label * ((j mod 5) - 2)) *. 0.6) +. Mathkit.Gaussian.normal p g ~mu:0.0 ~sigma:0.8)
+
+let sbits = Int64.bits_of_float
+
+let posterior_eq a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun (la, pa) (lb, pb) -> la = lb && sbits pa = sbits pb) a b
+
+let verdict_eq (a : Sca.Attack.verdict) (b : Sca.Attack.verdict) =
+  a.Sca.Attack.sign = b.Sca.Attack.sign
+  && a.Sca.Attack.value = b.Sca.Attack.value
+  && posterior_eq a.Sca.Attack.posterior b.Sca.Attack.posterior
+
+let fv_scoring_qcheck =
+  let open QCheck in
+  [
+    Test.make ~name:"attack: fvec path bit-identical to boxed (seed 54398)" ~count:60
+      (int_bound 1_000_000)
+      (fun seed ->
+        let attack, scratch, dim = Lazy.force scoring_fixture in
+        let window = scoring_window ~dim seed in
+        let wfv = Mathkit.Fvec.of_array window in
+        let v_b = Sca.Attack.classify attack window in
+        verdict_eq v_b (Sca.Attack.classify_fv attack scratch wfv)
+        && Sca.Attack.classify_sign_only attack window
+           = Sca.Attack.classify_sign_only_fv attack scratch wfv
+        && sbits (Sca.Attack.sign_confidence attack window)
+           = sbits (Sca.Attack.sign_confidence_fv attack scratch wfv)
+        && sbits (Sca.Attack.sign_fit attack window)
+           = sbits (Sca.Attack.sign_fit_fv attack scratch wfv)
+        && sbits (Sca.Attack.value_fit attack ~sign:v_b.Sca.Attack.sign window)
+           = sbits (Sca.Attack.value_fit_fv attack scratch ~sign:v_b.Sca.Attack.sign wfv)
+        && posterior_eq
+             (Sca.Attack.posterior_all attack window)
+             (Sca.Attack.posterior_all_fv attack scratch wfv));
+    Test.make ~name:"attack: fused grade_fv equals the five separate calls (seed 54398)" ~count:60
+      (int_bound 1_000_000)
+      (fun seed ->
+        let attack, scratch, dim = Lazy.force scoring_fixture in
+        let window = scoring_window ~dim seed in
+        let wfv = Mathkit.Fvec.of_array window in
+        let g = Sca.Attack.grade_fv attack scratch wfv in
+        let v = Sca.Attack.classify attack window in
+        verdict_eq g.Sca.Attack.g_verdict v
+        && posterior_eq g.Sca.Attack.g_posterior_all (Sca.Attack.posterior_all attack window)
+        && sbits g.Sca.Attack.g_sign_confidence = sbits (Sca.Attack.sign_confidence attack window)
+        && sbits g.Sca.Attack.g_sign_fit = sbits (Sca.Attack.sign_fit attack window)
+        && sbits g.Sca.Attack.g_value_fit
+           = sbits (Sca.Attack.value_fit attack ~sign:v.Sca.Attack.sign window));
+  ]
+
+let suite = suite @ List.map QCheck_alcotest.to_alcotest fv_scoring_qcheck

@@ -85,6 +85,30 @@ let test_exn_message () =
     "family match is clean" []
     (rule_names (report (src [ "let _h f = try f () with Failure _ -> ()" ])))
 
+(* --- rule 5: bounds-unchecked indexing --------------------------------------- *)
+
+let test_unsafe_index () =
+  Alcotest.(check (list string))
+    "Array.unsafe_get flagged" [ "unsafe-index" ]
+    (rule_names (report (src [ "let _f xs i = Array.unsafe_get xs i" ])));
+  Alcotest.(check (list string))
+    "Bigarray unsafe_set flagged" [ "unsafe-index" ]
+    (rule_names (report (src [ "let _f b i v = Bigarray.Array1.unsafe_set b i v" ])));
+  Alcotest.(check (list string))
+    "checked access is clean" []
+    (rule_names (report (src [ "let _f xs i = Array.get xs i"; "let _g (s : string) = String.get s 0" ])));
+  (* the sanctioned-kernel shape: an allow with a reason on the site *)
+  let r =
+    report
+      (src
+         [
+           allow Srclint.Rule.Unsafe_index "loop bounds validated up front";
+           "let _f xs i = Array.unsafe_get xs i";
+         ])
+  in
+  Alcotest.(check (list string)) "allowed kernel site is suppressed" [] (rule_names r);
+  Alcotest.(check int) "and counted" 1 r.Srclint.Driver.suppressed
+
 (* --- suppression directives -------------------------------------------------- *)
 
 let test_suppression () =
@@ -179,6 +203,7 @@ let unit_cases =
     ("srclint: hashtbl order", test_hashtbl_order);
     ("srclint: domain capture", test_domain_capture);
     ("srclint: exn message", test_exn_message);
+    ("srclint: unsafe index", test_unsafe_index);
     ("srclint: suppression directives", test_suppression);
     ("srclint: expect drift", test_drift);
     ("srclint: parse error is an Error", test_parse_error);

@@ -438,3 +438,38 @@ let suite =
       Alcotest.test_case "try_next skips a bad-CRC record" `Quick test_archive_try_next_skips_bad_crc;
       Alcotest.test_case "attack_archive tolerant vs strict" `Quick test_attack_archive_skips_corrupt_record;
     ]
+
+(* --- Fvec decode path (numeric core refactor) ---------------------------- *)
+
+let test_next_fv_matches_next_bitwise () =
+  (* the replay decode path ([next_fv], no float-array intermediate)
+     must hand back exactly the samples the boxed decode produces *)
+  let device = Reveal.Device.create ~n:8 () in
+  let runs = sample_runs device 3 in
+  with_tmp "fvdecode.rvt" (fun path ->
+      write_archive path device runs;
+      Traceio.Archive.with_reader path (fun boxed ->
+          Traceio.Archive.with_reader path (fun fv ->
+              let rec go seen =
+                match (Traceio.Archive.next boxed, Traceio.Archive.next_fv fv) with
+                | None, None -> seen
+                | Some r, Some rf ->
+                    Alcotest.(check int) "index" r.Traceio.Archive.index rf.Traceio.Archive.fv_index;
+                    Alcotest.(check (array int)) "noises" r.Traceio.Archive.noises rf.Traceio.Archive.fv_noises;
+                    let xs = r.Traceio.Archive.trace.Power.Ptrace.samples in
+                    Alcotest.(check int) "length" (Array.length xs) (Mathkit.Fvec.length rf.Traceio.Archive.fv_samples);
+                    Array.iteri
+                      (fun i s ->
+                        Alcotest.(check int64)
+                          (Printf.sprintf "sample %d bits" i)
+                          (Int64.bits_of_float s)
+                          (Int64.bits_of_float (Mathkit.Fvec.get rf.Traceio.Archive.fv_samples i)))
+                      xs;
+                    go (seen + 1)
+                | Some _, None | None, Some _ -> Alcotest.fail "decode paths disagree on record count"
+              in
+              let n = go 0 in
+              Alcotest.(check int) "all records compared" 3 n)))
+
+let suite =
+  suite @ [ Alcotest.test_case "next_fv decode = next decode (bit-identical)" `Quick test_next_fv_matches_next_bitwise ]
