@@ -381,6 +381,31 @@ let perf_tests () =
     Test.make ~name:"fabric: wire-frame one 64-coeff record"
       (Staged.stage (fun () -> Traceio.Wire.send wire_sender ~noises:run.Reveal.Device.noises run.Reveal.Device.trace))
   in
+  (* telemetry pair: the same archive replay with live streaming armed
+     (bounded queue -> background sender -> framed telemetry into
+     /dev/null) and with the disabled context — the delta is what a
+     campaign pays for being watchable *)
+  let telemetry_archive = Filename.temp_file "reveal_bench_telemetry" ".rvt" in
+  at_exit (fun () -> try Sys.remove telemetry_archive with Sys_error _ -> ());
+  let tel_g = Mathkit.Prng.create ~seed:3L () in
+  Reveal.Device.record device ~path:telemetry_archive ~seed:3L ~traces:2 ~scope_rng:tel_g ~sampler_rng:tel_g;
+  let telemetry_replay obs () =
+    ignore (Reveal.Campaign.run_source ?obs ~domains:1 prof (Reveal.Source.archive_replay telemetry_archive))
+  in
+  let telemetry_disabled_kernel =
+    Test.make ~name:"telemetry: replay 2-trace campaign, obs disabled"
+      (Staged.stage (telemetry_replay None))
+  in
+  let tel_oc = open_out "/dev/null" in
+  let tel_sender = Traceio.Wire.create_telemetry_sender ~peer:"bench" tel_oc in
+  let tel_sink, _ =
+    Obs.Sink.stream ~send:(Traceio.Wire.telemetry_send tel_sender) ~close:(fun () -> ()) ()
+  in
+  let tel_obs = Obs.Ctx.create ~clock:(Obs.Clock.logical ()) ~source:"bench" ~sink:tel_sink () in
+  let telemetry_streaming_kernel =
+    Test.make ~name:"telemetry: replay 2-trace campaign, streaming sink"
+      (Staged.stage (telemetry_replay (Some tel_obs)))
+  in
   [
     fig3_kernel;
     table1_kernel;
@@ -397,6 +422,8 @@ let perf_tests () =
     lll_kernel;
     shard_kernel;
     wire_kernel;
+    telemetry_disabled_kernel;
+    telemetry_streaming_kernel;
   ]
 
 (* --- perf snapshots ------------------------------------------------------ *)

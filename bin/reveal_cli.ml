@@ -15,7 +15,8 @@
      report        render any experiment artefact of the paper (text or JSON)
      worker        attack one shard of a campaign, write a shard result file
      shard         run a campaign sharded over N worker processes, merge deterministically
-     obs           summarize / merge observability traces
+     obs           summarize / merge / export observability traces
+     monitor       watch a worker fleet's telemetry live, or replay recorded streams
      trial         run one randomized-campaign trial scenario, print its typed verdict
      fuzz          run a randomized trial campaign, surface novel deduped failures
      reduce        shrink a failing trial archive to a minimal reproducer
@@ -69,31 +70,102 @@ let obs_clock_arg =
     & opt (Arg.enum [ ("wall", Obs.Clock.Wall); ("logical", Obs.Clock.Logical) ]) Obs.Clock.Wall
     & info [ "obs-clock" ] ~docv:"CLOCK" ~doc)
 
-let obs_args = Term.(const (fun out clock -> (out, clock)) $ obs_out_arg $ obs_clock_arg)
+let obs_stream_arg =
+  let doc =
+    "Stream the observability trace live as CRC-framed telemetry to $(docv) — a fabric endpoint (\"unix:PATH\" or \
+     \"tcp:HOST:PORT\", attach $(b,reveal monitor --listen) there first) or a plain file path, replayable with \
+     $(b,reveal monitor FILE). Combines with $(b,--obs-out): both carry the identical event sequence."
+  in
+  Arg.(value & opt (some string) None & info [ "obs-stream" ] ~docv:"DEST" ~doc)
 
-(* Every subcommand routes through this wrapper: without --obs-out the
-   disabled context makes every probe a no-op; with it the whole body
-   runs inside a [cli.<name>] span and the final metrics record is
-   flushed even when the body calls [exit] (close is idempotent, so
-   the at_exit and the Fun.protect flush coexist). *)
-let with_obs name (out, clock_kind) f =
-  match out with
-  | None -> f Obs.Ctx.disabled
-  | Some path ->
-      let sink =
-        try Obs.Sink.file path
-        with Failure msg ->
-          prerr_endline ("reveal: " ^ msg);
-          exit 3
-      in
-      let clock =
-        match clock_kind with Obs.Clock.Wall -> Obs.Clock.wall () | Obs.Clock.Logical -> Obs.Clock.logical ()
-      in
-      let obs = Obs.Ctx.create ~clock ~sink () in
-      at_exit (fun () -> Obs.Ctx.close obs);
-      Fun.protect
-        ~finally:(fun () -> Obs.Ctx.close obs)
-        (fun () -> Obs.Ctx.span obs ("cli." ^ name) (fun () -> f obs))
+let obs_source_arg =
+  let doc =
+    "Name stamped into the trace's start record so a fleet aggregator can tell worker streams apart (e.g. \
+     $(b,shard-0))."
+  in
+  Arg.(value & opt (some string) None & info [ "obs-source" ] ~docv:"NAME" ~doc)
+
+let obs_args =
+  Term.(
+    const (fun out clock stream source -> (out, clock, stream, source))
+    $ obs_out_arg $ obs_clock_arg $ obs_stream_arg $ obs_source_arg)
+
+(* The --obs-stream sink: a live fabric connection when DEST parses as
+   an endpoint, else a plain file carrying the same framed stream.
+   Events ride a bounded queue to a background sender, so a slow or
+   dead monitor never stalls the pipeline (drops are counted). *)
+let stream_sink dest =
+  let framed oc close_channel =
+    let sender = Traceio.Wire.create_telemetry_sender ~peer:dest oc in
+    Obs.Sink.stream
+      ~send:(Traceio.Wire.telemetry_send sender)
+      ~close:(fun () ->
+        Traceio.Wire.telemetry_finish sender;
+        close_channel ())
+      ()
+  in
+  try
+    match Fabric.Transport.parse dest with
+    | Ok ep ->
+        let conn = Fabric.Transport.connect ~retries:8 ep in
+        framed conn.Fabric.Transport.oc (fun () -> Fabric.Transport.close_connection conn)
+    | Error _ ->
+        let oc =
+          try open_out_bin dest
+          with Sys_error msg -> failwith (Printf.sprintf "cannot write %s: %s" dest msg)
+        in
+        framed oc (fun () -> close_out oc)
+  with
+  | (Traceio.Error.Io _ | Traceio.Error.Corrupt _) as e ->
+      prerr_endline ("reveal: --obs-stream: " ^ Traceio.Error.to_string e);
+      exit 3
+  | Failure msg ->
+      prerr_endline ("reveal: --obs-stream: " ^ msg);
+      exit 3
+
+(* Every subcommand routes through this wrapper: without --obs-out or
+   --obs-stream the disabled context makes every probe a no-op; with
+   either the whole body runs inside a [cli.<name>] span and the final
+   metrics record is flushed even when the body calls [exit] (close is
+   idempotent, so the at_exit and the Fun.protect flush coexist).
+   With both, the file and the stream are tee'd under one lock and
+   carry the identical line sequence — the monitor's end-of-run
+   summary is bit-identical to [obs merge] over the files. *)
+let with_obs name (out, clock_kind, stream, source) f =
+  if out = None && stream = None then f Obs.Ctx.disabled
+  else begin
+    let file_sink =
+      match out with
+      | None -> None
+      | Some path -> (
+          try Some (Obs.Sink.file path)
+          with Failure msg ->
+            prerr_endline ("reveal: " ^ msg);
+            exit 3)
+    in
+    let streaming = Option.map stream_sink stream in
+    let sink =
+      match (file_sink, streaming) with
+      | Some a, Some (b, _) -> Obs.Sink.tee a b
+      | Some a, None -> a
+      | None, Some (b, _) -> b
+      | None, None -> assert false
+    in
+    let clock =
+      match clock_kind with Obs.Clock.Wall -> Obs.Clock.wall () | Obs.Clock.Logical -> Obs.Clock.logical ()
+    in
+    let obs = Obs.Ctx.create ?source ~clock ~sink () in
+    at_exit (fun () -> Obs.Ctx.close obs);
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Ctx.close obs;
+        match streaming with
+        | Some (_, drops) ->
+            let d = drops () in
+            if d > 0 then Printf.eprintf "reveal: obs stream: %d event(s) dropped\n" d
+        | None -> ())
+      (fun () -> Obs.Ctx.span obs ("cli." ^ name) (fun () -> f obs))
+  end
 
 (* --- disasm ------------------------------------------------------------ *)
 
@@ -822,7 +894,7 @@ let worker_impl seed n traces lo hi shard_id profile_path out sabotage obsa =
       let prof = Reveal.Campaign.load_profile profile_path in
       let device = Reveal.Device.create ~n () in
       let source = shard_source device ~seed ~traces ~lo ~hi in
-      let stats, results = Reveal.Campaign.run_source ~obs prof source in
+      let stats, results = Reveal.Campaign.run_source ~obs ~expected:((hi - lo) * n) prof source in
       Fabric.Shard.save out
         {
           Fabric.Shard.shard = shard_id;
@@ -874,7 +946,7 @@ let worker_cmd =
       const worker_impl $ seed_arg $ n_arg 128 $ traces $ lo $ hi $ shard_id $ profile_path $ out $ sabotage
       $ obs_args)
 
-let shard_impl seed n per_value traces workers retries timeout work_dir keep sabotage obs_dir json obsa =
+let shard_impl seed n per_value traces workers retries timeout work_dir keep sabotage obs_dir telemetry json obsa =
   with_obs "shard" obsa @@ fun obs ->
   traceio_guard (fun () ->
       if traces <= 0 then invalid_arg "shard: traces must be positive";
@@ -913,6 +985,7 @@ let shard_impl seed n per_value traces workers retries timeout work_dir keep sab
       let stats, results =
         if workers = 1 then begin
           if obs_dir <> None then chatter "note: --obs-dir collects worker traces; with 1 worker none are spawned";
+          if telemetry <> None then chatter "note: --telemetry streams worker traces; with 1 worker none are spawned";
           chatter "single worker: running the campaign in-process";
           Reveal.Campaign.run_source ~obs prof (shard_source device ~seed ~traces ~lo:0 ~hi:traces)
         end
@@ -940,10 +1013,18 @@ let shard_impl seed n per_value traces workers retries timeout work_dir keep sab
                  "--out";
                  out;
                ]
-              @ (match obs_dir with
-                | Some dir ->
-                    [ "--obs-out"; Filename.concat dir (Printf.sprintf "shard-%d.jsonl" shard); "--obs-clock"; "logical" ]
-                | None -> [])
+              @ (* both obs destinations share one logical-clock context
+                   named after the shard, so a live monitor's merge and
+                   [obs merge] over the files fold the same streams *)
+              (let obs_flags =
+                 (match obs_dir with
+                 | Some dir -> [ "--obs-out"; Filename.concat dir (Printf.sprintf "shard-%d.jsonl" shard) ]
+                 | None -> [])
+                 @ match telemetry with Some dest -> [ "--obs-stream"; dest ] | None -> []
+               in
+               match obs_flags with
+               | [] -> []
+               | flags -> flags @ [ "--obs-clock"; "logical"; "--obs-source"; Printf.sprintf "shard-%d" shard ])
               @ if sabotage = Some shard && attempt = 0 then [ "--sabotage" ] else [])
           in
           let config =
@@ -1091,10 +1172,20 @@ let shard_cmd =
       & info [ "obs-dir" ] ~docv:"DIR"
           ~doc:"Collect per-worker observability traces (logical clock) in $(docv) and fold them into summary.json.")
   in
+  let telemetry =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"ENDPOINT"
+          ~doc:
+            "Stream each worker's observability trace live to $(docv) (\"unix:PATH\" or \"tcp:HOST:PORT\") — attach \
+             $(b,reveal monitor --listen) $(docv) $(b,--workers) W first. Workers stream under the logical clock, \
+             named shard-0, shard-1, ...")
+  in
   Cmd.v (Cmd.info "shard" ~doc ~man)
     Term.(
       const shard_impl $ seed_arg $ n_arg 128 $ per_value $ traces $ workers $ retries $ timeout $ work_dir $ keep
-      $ sabotage $ obs_dir $ json_arg $ obs_args)
+      $ sabotage $ obs_dir $ telemetry $ json_arg $ obs_args)
 
 (* --- obs ------------------------------------------------------------------- *)
 
@@ -1120,6 +1211,15 @@ let obs_merge paths sample_events json =
       prerr_endline ("reveal: " ^ msg);
       exit 3
   | Ok s -> if json then Reveal.Report.print (Obs.Summary.to_json s) else print_string (Obs.Summary.render s)
+
+let obs_export paths sample_events json =
+  traceio_guard @@ fun () ->
+  match Obs.Summary.merge_files ~sample_events paths with
+  | Error msg ->
+      prerr_endline ("reveal: " ^ msg);
+      exit 3
+  | Ok s ->
+      if json then Reveal.Report.print (Obs.Summary.to_json s) else print_string (Obs.Summary.to_prometheus s)
 
 let obs_cmd =
   let doc = "Work with observability traces (files written by --obs-out)." in
@@ -1156,7 +1256,175 @@ let obs_cmd =
     in
     Cmd.v (Cmd.info "merge" ~doc ~man) Term.(const obs_merge $ files $ sample_events_arg $ json_arg)
   in
-  Cmd.group (Cmd.info "obs" ~doc) [ summarize; merge ]
+  let export =
+    let doc = "Export merged observability traces in the Prometheus text exposition format." in
+    let man =
+      [
+        `S Manpage.s_description;
+        `P
+          "Aggregates the traces like $(b,merge), then renders the summary as Prometheus-style text metrics \
+           ($(b,reveal_span_count), $(b,reveal_counter_total), $(b,reveal_histogram_bucket) with cumulative \
+           $(b,le) labels, ...) for scraping into an existing metrics stack. $(b,--json) emits the same aggregate \
+           as the $(b,summarize) JSON object instead.";
+      ]
+    in
+    let files =
+      Arg.(non_empty & pos_all string [] & info [] ~docv:"TRACE" ~doc:"Trace files written by --obs-out.")
+    in
+    Cmd.v (Cmd.info "export" ~doc ~man) Term.(const obs_export $ files $ sample_events_arg $ json_arg)
+  in
+  Cmd.group (Cmd.info "obs" ~doc) [ summarize; merge; export ]
+
+(* --- monitor --------------------------------------------------------------- *)
+
+let report_json (r : Fabric.Telemetry.report) =
+  Reveal.Report.(
+    Obj
+      ([
+         ("name", String r.Fabric.Telemetry.r_name);
+         ("heartbeats", Int r.Fabric.Telemetry.r_heartbeats);
+         ("done", Int r.Fabric.Telemetry.r_done);
+       ]
+      @ (match r.Fabric.Telemetry.r_total with Some t -> [ ("total", Int t) ] | None -> [])
+      @ [ ("skipped", Int r.Fabric.Telemetry.r_skipped) ]
+      @ (match r.Fabric.Telemetry.r_truncated with Some m -> [ ("truncated", String m) ] | None -> [])
+      @ [ ("missed_heartbeats", Bool (Fabric.Telemetry.missed_heartbeats r)) ]))
+
+let monitor_impl listen workers files json obsa =
+  with_obs "monitor" obsa @@ fun _obs ->
+  traceio_guard (fun () ->
+      (* Progress chatter goes to stderr; stdout carries only the final
+         summary, so the text output is byte-comparable to [obs merge]
+         over the workers' --obs-out files. *)
+      let chatter_lock = Mutex.create () in
+      let chatter fmt =
+        Printf.ksprintf
+          (fun s ->
+            if not json then begin
+              Mutex.lock chatter_lock;
+              prerr_endline ("monitor: " ^ s);
+              Mutex.unlock chatter_lock
+            end)
+          fmt
+      in
+      let on_heartbeat ~source ~done_ ~total ~t:_ =
+        match total with
+        | Some total -> chatter "%s: %d/%d coefficients" source done_ total
+        | None -> chatter "%s: %d coefficients" source done_
+      in
+      let reports =
+        match (listen, files) with
+        | Some _, _ :: _ -> invalid_arg "monitor: --listen and telemetry FILE replay are mutually exclusive"
+        | None, [] -> invalid_arg "monitor: pass --listen ENDPOINT or at least one recorded telemetry FILE"
+        | Some dest, [] ->
+            if workers <= 0 then invalid_arg "monitor: workers must be positive";
+            let ep =
+              match Fabric.Transport.parse dest with Ok ep -> ep | Error msg -> invalid_arg ("monitor: " ^ msg)
+            in
+            let listener = Fabric.Transport.listen ep in
+            Fun.protect ~finally:(fun () -> Fabric.Transport.close_listener listener) @@ fun () ->
+            chatter "listening on %s for %d worker stream(s)" dest workers;
+            (* Accept serially (the backlog holds early connectors) but
+               drain concurrently: one domain per stream, so a chatty
+               worker cannot stall a quiet one's heartbeats. *)
+            let drain conn =
+              Fun.protect
+                ~finally:(fun () -> Fabric.Transport.close_connection conn)
+                (fun () ->
+                  Fabric.Telemetry.drain ~on_heartbeat ~peer:conn.Fabric.Transport.peer conn.Fabric.Transport.ic)
+            in
+            let rec accept_all acc k =
+              if k = 0 then List.rev acc
+              else
+                let conn = Fabric.Transport.accept listener in
+                accept_all (Domain.spawn (fun () -> drain conn) :: acc) (k - 1)
+            in
+            List.map Domain.join (accept_all [] workers)
+        | None, files ->
+            List.map
+              (fun path ->
+                let ic = Traceio.Error.open_in_bin path in
+                Fun.protect
+                  ~finally:(fun () -> try close_in ic with Sys_error _ -> ())
+                  (fun () -> Fabric.Telemetry.drain ~peer:path ic))
+              files
+      in
+      let reports =
+        List.sort (fun a b -> compare a.Fabric.Telemetry.r_name b.Fabric.Telemetry.r_name) reports
+      in
+      let lagging =
+        Fabric.Telemetry.stragglers
+          (List.filter_map
+             (fun r ->
+               match (r.Fabric.Telemetry.r_first_hb, r.Fabric.Telemetry.r_last_hb) with
+               | Some a, Some b when b > a -> Some (r.Fabric.Telemetry.r_name, r.Fabric.Telemetry.r_done, b -. a)
+               | _ -> None)
+             reports)
+      in
+      List.iter
+        (fun r ->
+          if r.Fabric.Telemetry.r_truncated <> None then
+            chatter "%s: stream cut mid-run (worker died?)" r.Fabric.Telemetry.r_name
+          else if Fabric.Telemetry.missed_heartbeats r then
+            chatter "%s: missed heartbeats" r.Fabric.Telemetry.r_name;
+          if r.Fabric.Telemetry.r_skipped > 0 then
+            chatter "%s: %d damaged/unparseable slot(s) skipped" r.Fabric.Telemetry.r_name
+              r.Fabric.Telemetry.r_skipped)
+        reports;
+      List.iter (fun name -> chatter "%s: straggling (rate below half the fleet median)" name) lagging;
+      match Fabric.Telemetry.merge_reports reports with
+      | None ->
+          prerr_endline "reveal: monitor: no telemetry streams to summarize";
+          exit 3
+      | Some s ->
+          if json then
+            Reveal.Report.(
+              print
+                (Obj
+                   [
+                     ("workers", List (List.map report_json reports));
+                     ("stragglers", List (List.map (fun n -> String n) lagging));
+                     ("summary", Obs.Summary.to_json s);
+                   ]))
+          else print_string (Obs.Summary.render s))
+
+let monitor_cmd =
+  let doc = "Watch a worker fleet's telemetry live, or replay recorded telemetry streams." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "With $(b,--listen), binds the endpoint, accepts one framed telemetry stream per expected worker (point \
+         $(b,reveal shard --telemetry) or any subcommand's $(b,--obs-stream) at it), narrates heartbeat progress \
+         and anomalies — streams cut mid-run, missed heartbeats, stragglers running below half the fleet's median \
+         rate — to stderr, and prints the merged end-of-run summary to stdout. The merge is the $(b,reveal obs \
+         merge) fold in sorted source order, so when workers also write $(b,--obs-out) files the two summaries are \
+         bit-identical.";
+      `P
+        "With FILE arguments instead, replays recorded telemetry streams ($(b,--obs-stream) pointed at a plain \
+         path) through the same aggregation — deterministic under the logical clock. A stream cut before its end \
+         frame is reported, not fatal: a dead worker is a finding. Note the aggregator drains exactly one stream \
+         per expected worker; a retried worker attempt opens a fresh connection the monitor will not count.";
+    ]
+  in
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ENDPOINT"
+          ~doc:"Accept live telemetry streams on $(docv) (\"unix:PATH\" or \"tcp:HOST:PORT\").")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"W" ~doc:"Streams to accept before summarizing (match the fleet size).")
+  in
+  let files =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"Recorded telemetry stream (written by --obs-stream with a file DEST).")
+  in
+  Cmd.v (Cmd.info "monitor" ~doc ~man) Term.(const monitor_impl $ listen $ workers $ files $ json_arg $ obs_args)
 
 (* --- trial / fuzz / reduce (triage) ---------------------------------------- *)
 
@@ -1204,17 +1472,39 @@ let trial_of_flags seed variant intensity segmenter gate traces per_value =
     per_value;
   }
 
-let trial_impl seed variant intensity segmenter gate traces per_value archive archive_out out json obsa =
-  with_obs "trial" obsa @@ fun _obs ->
+let trial_impl seed variant intensity segmenter gate traces per_value archive archive_out out flight json obsa =
+  with_obs "trial" obsa @@ fun obs ->
   traceio_guard (fun () ->
       if archive <> None && archive_out <> None then
         invalid_arg "trial: --archive and --archive-out are mutually exclusive";
       let t = trial_of_flags seed variant intensity segmenter gate traces per_value in
+      (* The flight recorder: a ring-buffer obs context feeding the
+         pipeline's spans and heartbeats, dumped to --flight on a
+         failure verdict, a pipeline crash, or SIGTERM (the
+         orchestrator's timeout kill arrives as SIGTERM first, leaving
+         a grace window exactly for this dump). *)
+      let run_obs, dump =
+        match flight with
+        | None -> (obs, fun () -> ())
+        | Some path ->
+            let sink, ring = Obs.Sink.ring () in
+            let fobs = Obs.Ctx.create ~clock:(Obs.Clock.logical ()) ~source:"trial" ~sink () in
+            let dump () =
+              Obs.Ctx.close fobs;
+              try Obs.Sink.ring_dump ring path with Failure _ -> ()
+            in
+            Sys.set_signal Sys.sigterm
+              (Sys.Signal_handle
+                 (fun _ ->
+                   dump ();
+                   exit 143));
+            (fobs, dump)
+      in
       let measure () =
         match (archive, archive_out) with
-        | Some path, _ -> Triage.Runner.run ~archive:path t
-        | None, Some path -> Triage.Runner.record_and_measure t ~archive:path
-        | None, None -> Triage.Runner.run t
+        | Some path, _ -> Triage.Runner.run ~obs:run_obs ~archive:path t
+        | None, Some path -> Triage.Runner.record_and_measure ~obs:run_obs t ~archive:path
+        | None, None -> Triage.Runner.run ~obs:run_obs t
       in
       let result_json verdict m =
         Reveal.Report.(
@@ -1240,6 +1530,7 @@ let trial_impl seed variant intensity segmenter gate traces per_value archive ar
             | exception (Unix.Unix_error _ as e) -> raise e
             | exception e -> (Triage.Verdict.crash_of_exn e, None)
           in
+          if Triage.Verdict.is_failure verdict then dump ();
           let oc = open_out path in
           Fun.protect
             ~finally:(fun () -> close_out oc)
@@ -1247,6 +1538,7 @@ let trial_impl seed variant intensity segmenter gate traces per_value archive ar
       | None ->
           let m = measure () in
           let verdict = Triage.Verdict.classify m in
+          if Triage.Verdict.is_failure verdict then dump ();
           let signature = Triage.Signature.of_verdict t verdict in
           if json then Reveal.Report.print (result_json verdict (Some m))
           else begin
@@ -1301,10 +1593,20 @@ let trial_cmd =
       & info [ "out" ] ~docv:"FILE"
           ~doc:"Worker mode: write the JSON verdict record to $(docv) and exit 0 for any classified verdict.")
   in
+  let flight =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:
+            "Arm the flight recorder: keep the last obs events of the run in a fixed ring and dump them to $(docv) \
+             on a failure verdict, a pipeline crash, or SIGTERM (how the orchestrator's timeout kill announces \
+             itself) — crash forensics for $(b,reveal fuzz).")
+  in
   Cmd.v (Cmd.info "trial" ~doc ~man)
     Term.(
       const trial_impl $ seed_arg $ variant_arg $ intensity_arg $ segmenter_arg $ gate_arg $ traces $ per_value
-      $ archive $ archive_out $ out $ json_arg $ obs_args)
+      $ archive $ archive_out $ out $ flight $ json_arg $ obs_args)
 
 let fuzz_impl master_seed trials workers timeout work_dir known_path update_known no_minimize json obsa =
   with_obs "fuzz" obsa @@ fun _obs ->
@@ -1350,6 +1652,7 @@ let fuzz_impl master_seed trials workers timeout work_dir known_path update_know
                  ("repro", String o.Triage.Fuzz.o_repro);
                ]
               @ (match o.Triage.Fuzz.o_archive with Some a -> [ ("archive", String a) ] | None -> [])
+              @ (match o.Triage.Fuzz.o_flight with Some f -> [ ("flight", String f) ] | None -> [])
               @
               match o.Triage.Fuzz.o_minimized with
               | Some (path, report) ->
@@ -1402,6 +1705,9 @@ let fuzz_impl master_seed trials workers timeout work_dir known_path update_know
             Printf.printf "  repro: %s\n" o.Triage.Fuzz.o_repro;
             (match o.Triage.Fuzz.o_archive with
             | Some a -> Printf.printf "  archive: %s\n" a
+            | None -> ());
+            (match o.Triage.Fuzz.o_flight with
+            | Some f -> Printf.printf "  flight: %s\n" f
             | None -> ());
             match o.Triage.Fuzz.o_minimized with
             | Some (path, report) ->
@@ -1572,7 +1878,8 @@ let () =
       `I ("$(b,report)", "render any experiment artefact of the paper (text or JSON).");
       `I ("$(b,shard)", "run a campaign sharded over N worker processes, merged deterministically.");
       `I ("$(b,worker)", "attack one shard of a campaign and write a shard result file.");
-      `I ("$(b,obs)", "summarize or merge observability traces written by --obs-out.");
+      `I ("$(b,obs)", "summarize, merge or export observability traces written by --obs-out.");
+      `I ("$(b,monitor)", "watch a worker fleet's telemetry live, or replay recorded telemetry streams.");
       `I ("$(b,trial)", "run one randomized-campaign trial scenario and print its typed verdict.");
       `I ("$(b,fuzz)", "run a randomized trial campaign; surface novel, deduplicated, pre-minimized failures.");
       `I ("$(b,reduce)", "shrink a failing trial archive to a minimal reproducer.");
@@ -1610,6 +1917,7 @@ let () =
             worker_cmd;
             shard_cmd;
             obs_cmd;
+            monitor_cmd;
             trial_cmd;
             fuzz_cmd;
             reduce_cmd;

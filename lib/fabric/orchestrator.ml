@@ -60,6 +60,45 @@ type 'a pool_report = {
 
 type job = { j_id : int; mutable j_attempt : int; mutable j_failures : failure list (* newest first *) }
 
+type tracked = {
+  tk_job : job;
+  tk_deadline : float option;  (* absolute, when a timeout is armed *)
+  tk_spawned : float;
+  mutable tk_first_out : float option;  (* first time the result file had bytes *)
+}
+
+(* Post-mortem breadcrumbs appended to the attempt log when a worker
+   settles: whether it ever produced its first result byte and when
+   its log last moved distinguish "never started" from "wedged
+   mid-run" when reading a Timed_out attempt. *)
+let stamp_log jobs tk status_str =
+  let job = tk.tk_job in
+  let log = jobs.log_path ~job:job.j_id ~attempt:job.j_attempt in
+  (* srclint: allow nondet-source post-mortem stamps are real wall-clock timings by design *)
+  let now = Unix.gettimeofday () in
+  let last_activity =
+    match Unix.stat log with
+    | st -> Printf.sprintf "%.3fs after spawn" (st.Unix.st_mtime -. tk.tk_spawned)
+    | exception Unix.Unix_error _ -> "unknown"
+  in
+  let first_out =
+    match tk.tk_first_out with
+    | Some t -> Printf.sprintf "%.3fs after spawn" (t -. tk.tk_spawned)
+    | None -> "never"
+  in
+  try
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 log in
+    Printf.fprintf oc
+      "orchestrator: attempt %d %s %.3fs after spawn; first result byte: %s; last log write: %s\n"
+      job.j_attempt status_str (now -. tk.tk_spawned) first_out last_activity;
+    close_out_noerr oc
+  with Sys_error _ -> ()
+
+let process_status_string = function
+  | Unix.WEXITED c -> Printf.sprintf "exited %d" c
+  | Unix.WSIGNALED s -> "killed by " ^ signal_name s
+  | Unix.WSTOPPED s -> "stopped by " ^ signal_name s
+
 let spawn jobs job =
   let out = jobs.out_path ~job:job.j_id in
   (try Sys.remove out with Sys_error _ -> ());
@@ -92,8 +131,10 @@ let run_pool ?(skip = fun (_ : int) -> None) pool jobs =
     | Some v -> outcomes.(id) <- Ok v
     | None -> Queue.add { j_id = id; j_attempt = 0; j_failures = [] } queue
   done;
-  (* pid -> (job, absolute deadline if a timeout is armed) *)
-  let running : (int, job * float option) Hashtbl.t = Hashtbl.create 8 in
+  (* pid -> the job plus its post-mortem breadcrumbs: when it was
+     spawned, when a timeout will fire, and when its result file first
+     grew a byte (polled during reap passes) *)
+  let running : (int, tracked) Hashtbl.t = Hashtbl.create 8 in
   let failures = ref [] in
   let retried = ref [] in
   let aborted = ref false in
@@ -143,25 +184,46 @@ let run_pool ?(skip = fun (_ : int) -> None) pool jobs =
       |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
     in
     List.iter
-      (fun (pid, (job, deadline)) ->
+      (fun (pid, tk) ->
         match Unix.waitpid [ Unix.WNOHANG ] pid with
         | 0, _ -> (
-            match deadline with
+            (if tk.tk_first_out = None then
+               match Unix.stat (jobs.out_path ~job:tk.tk_job.j_id) with
+               | st when st.Unix.st_size > 0 ->
+                   (* srclint: allow nondet-source first-byte stamps are real wall-clock timings by design *)
+                   tk.tk_first_out <- Some (Unix.gettimeofday ())
+               | _ | (exception Unix.Unix_error _) -> ());
+            match tk.tk_deadline with
             (* srclint: allow nondet-source worker deadlines are real wall-clock time by design *)
             | Some d when Unix.gettimeofday () > d ->
-                (* hung worker: kill, reap synchronously, charge the
-                   retry budget with a typed timeout failure *)
-                (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
-                (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+                (* hung worker: SIGTERM first — the grace window is what
+                   lets a worker's flight recorder dump its final
+                   moments — then SIGKILL, reap synchronously, charge
+                   the retry budget with a typed timeout failure *)
+                (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+                let rec grace tries =
+                  match Unix.waitpid [ Unix.WNOHANG ] pid with
+                  | 0, _ when tries > 0 ->
+                      Unix.sleepf 0.02;
+                      grace (tries - 1)
+                  | 0, _ ->
+                      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+                      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+                  | _, _ -> ()
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> grace tries
+                in
+                grace 25;
                 Hashtbl.remove running pid;
                 settled := true;
                 let t = match pool.timeout_s with Some t -> t | None -> 0.0 in
-                fail job (Timed_out t) "worker exceeded its wall-clock budget"
+                stamp_log jobs tk "timed out and was killed";
+                fail tk.tk_job (Timed_out t) "worker exceeded its wall-clock budget"
             | _ -> ())
         | _, st ->
             Hashtbl.remove running pid;
             settled := true;
-            settle job st
+            stamp_log jobs tk (process_status_string st);
+            settle tk.tk_job st
               (match st with
               | Unix.WEXITED _ -> "worker exited nonzero"
               | _ -> "worker killed by signal")
@@ -174,8 +236,9 @@ let run_pool ?(skip = fun (_ : int) -> None) pool jobs =
       let job = Queue.pop queue in
       let pid = spawn jobs job in
       (* srclint: allow nondet-source worker deadlines are real wall-clock time by design *)
-      let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) pool.timeout_s in
-      Hashtbl.add running pid (job, deadline)
+      let now = Unix.gettimeofday () in
+      let deadline = Option.map (fun t -> now +. t) pool.timeout_s in
+      Hashtbl.add running pid { tk_job = job; tk_deadline = deadline; tk_spawned = now; tk_first_out = None }
     done;
     if Hashtbl.length running > 0 && not (reap_pass ()) then Unix.sleepf poll_interval_s
   done;

@@ -50,9 +50,10 @@ type pool = {
   retries : int;  (** extra attempts per job after the first *)
   timeout_s : float option;
       (** wall-clock budget per attempt; a worker that outlives it is
-          SIGKILLed and charged a {!Timed_out} failure against the
-          job's retry budget, so a hung worker can never stall the
-          pool forever *)
+          sent SIGTERM (a short grace window lets its flight recorder
+          dump the final moments), SIGKILLed if it lingers, and charged
+          a {!Timed_out} failure against the job's retry budget — a
+          hung worker can never stall the pool forever *)
   fail_fast : bool;
       (** [true]: the first job to exhaust its budget aborts the pool
           (remaining workers are killed and reaped).  [false]: every
@@ -74,7 +75,12 @@ val run_pool : ?skip:(int -> 'a option) -> pool -> 'a jobs -> 'a pool_report
 (** Execute the jobs.  [skip id = Some v] satisfies job [id] with [v]
     without spawning a process (empty shard ranges, cached trials).
     Workers run with stdin from [/dev/null] and stdout+stderr captured
-    to the attempt's log file.
+    to the attempt's log file.  When an attempt settles (exit, signal
+    or timeout) the pool appends an [orchestrator:] stamp line to that
+    log recording how long the worker ran, when its result file first
+    had bytes ("never" for a worker that made no progress) and when
+    its log last moved — the post-mortem breadcrumbs for {!Timed_out}
+    attempts.
     @raise Invalid_argument when [max_inflight <= 0], [retries < 0] or
     [timeout_s <= 0].
     @raise Traceio.Error.Io when a log cannot be written. *)

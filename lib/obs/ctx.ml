@@ -30,19 +30,20 @@ let disabled =
 
 let schema_version = 1
 
-let create ?clock ~sink () =
+let create ?clock ?source ~sink () =
   let clock = match clock with Some c -> c | None -> Clock.wall () in
   let t =
     { enabled = true; sink; clock; metrics = Metrics.create (); ids = Atomic.make 0; closed = false }
   in
   Sink.emit sink
     (Json.Obj
-       [
-         ("v", Json.Int schema_version);
-         ("ev", Json.String "start");
-         ("clock", Json.String (Clock.kind_name clock));
-         ("t", Json.Float (Clock.now clock));
-       ]);
+       ([
+          ("v", Json.Int schema_version);
+          ("ev", Json.String "start");
+          ("clock", Json.String (Clock.kind_name clock));
+        ]
+       @ (match source with Some s -> [ ("source", Json.String s) ] | None -> [])
+       @ [ ("t", Json.Float (Clock.now clock)) ]));
   t
 
 let enabled t = t.enabled

@@ -24,10 +24,12 @@ val disabled : t
 (** The shared no-op context: [enabled] is [false], spans and events
     cost nothing, the metrics registry is live but never exported. *)
 
-val create : ?clock:Clock.t -> sink:Sink.t -> unit -> t
+val create : ?clock:Clock.t -> ?source:string -> sink:Sink.t -> unit -> t
 (** Fresh enabled context; emits the ["start"] record immediately.
     [clock] defaults to {!Clock.wall}; pass {!Clock.logical} for
-    byte-reproducible traces. *)
+    byte-reproducible traces.  [source], when given, is stamped into
+    the ["start"] record so a fleet aggregator can tell the workers'
+    streams apart (e.g. ["shard-0"]). *)
 
 val enabled : t -> bool
 val metrics : t -> Metrics.t

@@ -150,6 +150,52 @@ let histogram_snapshot h =
 
 let histogram_name h = h.h_name
 
+(* --- quantile estimation ---------------------------------------------------- *)
+
+(* A fixed-bucket histogram only bounds each observation, so quantiles
+   are estimates: walk the buckets to the one containing the rank and
+   interpolate linearly inside it.  The observed min and max stand in
+   for the open outer edges (the first bucket's lower edge, the
+   overflow bucket's upper edge), and the result is clamped to
+   [min, max] so an estimate can never leave the observed range.
+   Pure arithmetic over the snapshot — deterministic for a fixed
+   bucket layout, which is what lets merged summaries report the same
+   p50/p95/p99 whatever process computed them. *)
+let estimate_quantile ~count ~min:mn ~max:mx ~buckets ~overflow q =
+  if count <= 0 then None
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank = q *. float_of_int count in
+    let clamp v =
+      let v = match mx with Some m when v > m -> m | _ -> v in
+      match mn with Some m when v < m -> m | _ -> v
+    in
+    let interp lo hi frac =
+      let frac = if frac < 0.0 then 0.0 else if frac > 1.0 then 1.0 else frac in
+      if Float.is_finite lo && Float.is_finite hi then lo +. ((hi -. lo) *. frac)
+      else if Float.is_finite hi then hi
+      else lo
+    in
+    let lo0 = match mn with Some m -> m | None -> Float.neg_infinity in
+    let hi_last = match mx with Some m -> m | None -> Float.infinity in
+    let rec walk seen lo = function
+      | [] ->
+          (* the overflow bucket: (last bound, max] *)
+          if overflow <= 0 then Some (clamp lo)
+          else Some (clamp (interp lo hi_last ((rank -. float_of_int seen) /. float_of_int overflow)))
+      | (le, c) :: rest ->
+          if c > 0 && rank <= float_of_int (seen + c) then
+            Some (clamp (interp lo le ((rank -. float_of_int seen) /. float_of_int c)))
+          else walk (seen + c) le rest
+    in
+    walk 0 lo0 buckets
+  end
+
+let quantile s q =
+  estimate_quantile ~count:s.count ~min:s.min ~max:s.max
+    ~buckets:(Array.to_list (Array.mapi (fun i le -> (le, s.counts.(i))) s.bounds))
+    ~overflow:s.overflow q
+
 (* --- snapshot --------------------------------------------------------------- *)
 
 (* Hash order must never reach a snapshot: collect, then sort by the

@@ -62,6 +62,27 @@ type histogram_snapshot = {
 val histogram_snapshot : histogram -> histogram_snapshot
 val histogram_name : histogram -> string
 
+val estimate_quantile :
+  count:int ->
+  min:float option ->
+  max:float option ->
+  buckets:(float * int) list ->
+  overflow:int ->
+  float ->
+  float option
+(** [estimate_quantile ~count ~min ~max ~buckets ~overflow q] estimates
+    the [q]-quantile (0 ≤ q ≤ 1, clamped) of a bucketed distribution by
+    linear interpolation inside the bucket containing the rank.
+    [buckets] pairs each ascending upper bound with its (non-cumulative)
+    count; [overflow] counts observations above the last bound.  The
+    observed [min]/[max] bound the open outer bucket edges and clamp the
+    result, so estimates never leave the observed range.  [None] when
+    [count <= 0].  Pure and deterministic — merged summaries report the
+    same estimate regardless of which process computes it. *)
+
+val quantile : histogram_snapshot -> float -> float option
+(** {!estimate_quantile} applied to a snapshot's buckets. *)
+
 val snapshot : t -> Json.t
 (** [{"counters":{...},"gauges":{...},"histograms":{...}}], each
     sub-object sorted by instrument name. *)

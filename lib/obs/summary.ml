@@ -315,6 +315,10 @@ let name_width floor names =
 
 let fopt = function Some v -> Printf.sprintf "%.6g" v | None -> "-"
 
+let hist_quantile h q =
+  Metrics.estimate_quantile ~count:h.hist_count ~min:h.hist_min ~max:h.hist_max
+    ~buckets:h.hist_buckets ~overflow:h.hist_overflow q
+
 let render t =
   let buf = Buffer.create 2048 in
   Printf.bprintf buf "obs summary: %d records, %s clock\n" t.records
@@ -344,8 +348,11 @@ let render t =
     Buffer.add_string buf "histograms\n";
     List.iter
       (fun h ->
-        Printf.bprintf buf "  %s: count %d  sum %.6g  min %s  max %s\n" h.hist_name h.hist_count
-          h.hist_sum (fopt h.hist_min) (fopt h.hist_max);
+        Printf.bprintf buf "  %s: count %d  sum %.6g  min %s  max %s  p50 %s  p95 %s  p99 %s\n"
+          h.hist_name h.hist_count h.hist_sum (fopt h.hist_min) (fopt h.hist_max)
+          (fopt (hist_quantile h 0.50))
+          (fopt (hist_quantile h 0.95))
+          (fopt (hist_quantile h 0.99));
         List.iter (fun (le, c) -> Printf.bprintf buf "    <= %-10.6g  %6d\n" le c) h.hist_buckets;
         Printf.bprintf buf "    overflow       %6d\n" h.hist_overflow)
       t.histograms
@@ -390,6 +397,9 @@ let to_json t =
                      ("sum", Json.Float h.hist_sum);
                      ("min", fopt_json h.hist_min);
                      ("max", fopt_json h.hist_max);
+                     ("p50", fopt_json (hist_quantile h 0.50));
+                     ("p95", fopt_json (hist_quantile h 0.95));
+                     ("p99", fopt_json (hist_quantile h 0.99));
                      ( "buckets",
                        Json.List
                          (List.map
@@ -411,3 +421,80 @@ let to_json t =
                  ])
              t.events) );
     ]
+
+(* --- prometheus export ------------------------------------------------------ *)
+
+(* Prometheus text exposition of a summary.  Every section list is
+   already sorted by name, so the rendering is deterministic; bucket
+   counts are re-emitted cumulatively with the conventional "+Inf"
+   terminal bucket.  Label values are escaped per the exposition
+   format (backslash, quote, newline). *)
+let prom_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_float v = Printf.sprintf "%.12g" v
+
+let to_prometheus t =
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.bprintf buf fmt in
+  line "# reveal obs summary, prometheus text exposition\n";
+  line "# TYPE reveal_obs_records gauge\n";
+  line "reveal_obs_records %d\n" t.records;
+  if t.spans <> [] then begin
+    line "# TYPE reveal_span_count counter\n";
+    line "# TYPE reveal_span_seconds_total counter\n";
+    line "# TYPE reveal_span_seconds_max gauge\n";
+    List.iter
+      (fun s ->
+        let l = prom_escape s.span_name in
+        line "reveal_span_count{name=\"%s\"} %d\n" l s.span_count;
+        line "reveal_span_seconds_total{name=\"%s\"} %s\n" l (prom_float s.span_total);
+        line "reveal_span_seconds_max{name=\"%s\"} %s\n" l (prom_float s.span_max))
+      t.spans
+  end;
+  if t.counters <> [] then begin
+    line "# TYPE reveal_counter_total counter\n";
+    List.iter
+      (fun (k, v) -> line "reveal_counter_total{name=\"%s\"} %d\n" (prom_escape k) v)
+      t.counters
+  end;
+  if t.gauges <> [] then begin
+    line "# TYPE reveal_gauge gauge\n";
+    List.iter
+      (fun (k, v) -> line "reveal_gauge{name=\"%s\"} %s\n" (prom_escape k) (prom_float v))
+      t.gauges
+  end;
+  if t.histograms <> [] then begin
+    line "# TYPE reveal_histogram histogram\n";
+    List.iter
+      (fun h ->
+        let l = prom_escape h.hist_name in
+        let cum = ref 0 in
+        List.iter
+          (fun (le, c) ->
+            cum := !cum + c;
+            line "reveal_histogram_bucket{name=\"%s\",le=\"%s\"} %d\n" l (prom_float le) !cum)
+          h.hist_buckets;
+        line "reveal_histogram_bucket{name=\"%s\",le=\"+Inf\"} %d\n" l h.hist_count;
+        line "reveal_histogram_sum{name=\"%s\"} %s\n" l (prom_float h.hist_sum);
+        line "reveal_histogram_count{name=\"%s\"} %d\n" l h.hist_count)
+      t.histograms
+  end;
+  if t.events <> [] then begin
+    line "# TYPE reveal_event_total counter\n";
+    List.iter
+      (fun e ->
+        line "reveal_event_total{name=\"%s\",level=\"%s\"} %d\n" (prom_escape e.event_name)
+          (prom_escape e.event_level) e.event_count)
+      t.events
+  end;
+  Buffer.contents buf

@@ -30,6 +30,33 @@ type t = {
   events : event_row list;
 }
 
+exception Malformed of string
+(** Raised by {!state_add} on a structurally broken record. *)
+
+(** {1 Incremental aggregation}
+
+    The streaming core behind {!load} and the live fleet aggregator:
+    records are folded in one at a time, so paper-scale traces (and
+    open-ended telemetry streams) aggregate in bounded memory. *)
+
+type state
+
+val state_create : unit -> state
+
+val state_add : ?weight:int -> state -> Json.t -> unit
+(** Fold one parsed record in.  [weight] (default 1) multiplies point
+    events — the event-sampling compensation.  @raise Malformed on a
+    record with a missing/unknown ["ev"] or broken required fields,
+    with a message naming the 1-based record index. *)
+
+val state_skip : state -> unit
+(** Count a record that was deliberately not parsed. *)
+
+val state_finish : state -> t
+(** Freeze the state into a summary (sections sorted by name).  The
+    state may keep accumulating afterwards; finish again for an
+    updated snapshot. *)
+
 val of_records : Json.t list -> (t, string) result
 (** Aggregate parsed trace records.  Unknown ["ev"] values and
     structurally broken records are errors naming the record index. *)
@@ -62,7 +89,19 @@ val merge_files : ?sample_events:int -> string list -> (t, string) result
     empty list is an error. *)
 
 val render : t -> string
-(** The text tree [obs summarize] prints. *)
+(** The text tree [obs summarize] prints.  Histogram header lines
+    include p50/p95/p99 estimates ({!Metrics.estimate_quantile} over
+    the merged buckets — deterministic, clamped to observed min/max). *)
 
 val to_json : t -> Json.t
-(** The [--json] rendering: same data, machine shape. *)
+(** The [--json] rendering: same data, machine shape; histograms carry
+    ["p50"]/["p95"]/["p99"] estimate fields ([null] when empty). *)
+
+val to_prometheus : t -> string
+(** Prometheus text-exposition rendering ([obs export]): spans as
+    [reveal_span_count]/[reveal_span_seconds_total]/[..._max],
+    counters as [reveal_counter_total], gauges as [reveal_gauge],
+    histograms as cumulative [reveal_histogram_bucket] series with the
+    conventional [+Inf] terminal bucket, events as
+    [reveal_event_total{name,level}].  Deterministic: every section is
+    pre-sorted and label values escaped. *)

@@ -188,14 +188,29 @@ let export_stats obs stats results =
 (* Pull up to [batch] items, attack them in parallel, tally in item
    order; a `Skip (corrupt record a tolerant source dropped) counts
    toward the batch budget and the corrupt counter, exactly as the
-   record it replaced would have. *)
-let run_source ?(obs = Obs.Ctx.disabled) ?domains ?(batch = Constants.default_batch)
+   record it replaced would have.
+
+   With an enabled obs context every batch ends with a
+   "campaign.heartbeat" event carrying the coefficients graded so far
+   (and, when [expected] names the campaign size, the total) — the
+   progress frames a live monitor consumes.  Emission goes through the
+   ctx sink like every other record, so a streaming tee carries it
+   without touching the hot path: the batch has already been tallied
+   when the heartbeat fires. *)
+let run_source ?(obs = Obs.Ctx.disabled) ?expected ?domains ?(batch = Constants.default_batch)
     ?(mode = Resilient Grading.default_gate) prof source =
   if batch <= 0 then invalid_arg "Campaign.run_source: batch must be positive";
   let tally = tally_create prof in
   let corrupt = ref 0 in
   let source = Pipeline.instrument_source obs source in
   let c_batches = if Obs.Ctx.enabled obs then Some (Obs.Ctx.counter obs "campaign.batches") else None in
+  let heartbeat () =
+    if Obs.Ctx.enabled obs then
+      Obs.Ctx.event obs "campaign.heartbeat"
+        ~attrs:
+          (("done", Obs.Json.Int tally.t_sign_total)
+          :: (match expected with Some total -> [ ("total", Obs.Json.Int total) ] | None -> []))
+  in
   Obs.Ctx.span obs "campaign.run" (fun () ->
       Fun.protect
         ~finally:(fun () -> Pipeline.close_source source)
@@ -227,7 +242,8 @@ let run_source ?(obs = Obs.Ctx.disabled) ?domains ?(batch = Constants.default_ba
                         attack_acquired ~obs ~ctx mode prof (it.Pipeline.acquire ()))
                       items)
               in
-              Obs.Ctx.span obs "stage.tally" (fun () -> Array.iter (tally_add tally) per_item)
+              Obs.Ctx.span obs "stage.tally" (fun () -> Array.iter (tally_add tally) per_item);
+              heartbeat ()
             end
           done));
   let stats, results = tally_finish ~corrupt_skipped:!corrupt tally in

@@ -203,6 +203,7 @@ type mode =
 
 val run_source :
   ?obs:Obs.Ctx.t ->
+  ?expected:int ->
   ?domains:int ->
   ?batch:int ->
   ?mode:mode ->
@@ -226,6 +227,11 @@ val run_source :
     trace is a self-contained run record.  Span timings are only
     meaningful per-domain; counters and histograms aggregate correctly
     across domains.
+
+    Each batch additionally ends with a [campaign.heartbeat] event
+    whose attrs carry the coefficients graded so far (["done"]) and,
+    when [expected] names the campaign size, the ["total"] — the
+    progress frames a live monitor consumes over a streaming sink.
     @raise Invalid_argument when [batch <= 0]. *)
 
 val run_attacks :

@@ -87,3 +87,61 @@ val source :
 (** The receiver as a {!Source.t}, so remote acquisition plugs into
     anything that replays archives.  Opens the receiver immediately
     (the header is read before this returns). *)
+
+(** {1 Telemetry streams}
+
+    A second stream kind over the same preamble and {!Frame} layout,
+    carrying live observability lines instead of trace records:
+
+    {v
+    "REVEALWS"  8-byte magic
+    u16         wire version (currently 1)
+    FRAME*      'T' tag + one obs JSONL line (verbatim bytes)
+    FRAME       'E' tag + u32 count of telemetry slots streamed
+    v}
+
+    There is no header frame — the obs trace's own ["start"] record is
+    the stream's self-description.  The corruption discipline is the
+    archive stream's: a 'T' frame failing its CRC is skippable (the
+    slot is counted and the receiver moves on); preamble or framing
+    damage, an archive tag on a telemetry endpoint, or a cut before
+    the end frame is structural {!Error.Corrupt}. *)
+
+type telemetry_sender
+
+val create_telemetry_sender : peer:string -> out_channel -> telemetry_sender
+(** Writes the preamble immediately and flushes.
+    @raise Error.Io when the channel refuses the write. *)
+
+val telemetry_send : telemetry_sender -> string -> unit
+(** Frame one JSONL line (without its newline) and flush, so a live
+    monitor sees it immediately.
+    @raise Invalid_argument on an empty line or a finished sender. *)
+
+val telemetry_count : telemetry_sender -> int
+
+val telemetry_finish : telemetry_sender -> unit
+(** Write the end frame and flush.  Idempotent; the channel stays the
+    caller's to close. *)
+
+type telemetry_receiver
+
+val open_telemetry_receiver :
+  ?strict:bool -> ?close:(unit -> unit) -> peer:string -> in_channel -> telemetry_receiver
+(** Reads and validates the preamble.  Tolerant by default;
+    [~strict:true] turns every skippable frame into {!Error.Corrupt}.
+    [close] is invoked (once) by {!close_telemetry_receiver}.
+    @raise Error.Corrupt on a bad preamble or version. *)
+
+val telemetry_recv : telemetry_receiver -> [ `Line of string | `Skipped of string | `End_of_stream ]
+(** Pull the next telemetry slot.  [`End_of_stream] at (and after) the
+    end frame, whose count must equal the slots streamed.
+    @raise Error.Corrupt when the connection ends without an end
+    frame, on structural damage, on an archive-tagged frame, or
+    (strict mode) on any skippable frame. *)
+
+val telemetry_skipped : telemetry_receiver -> int
+(** Slots lost to CRC damage so far (tolerant mode). *)
+
+val close_telemetry_receiver : telemetry_receiver -> unit
+(** Runs the [close] callback.  Idempotent. *)

@@ -16,6 +16,7 @@ type outcome = {
   o_minimized : (string * Minimize.report) option;
   o_repro : string;
   o_log : string;  (** the attempt's captured output, for diagnosis *)
+  o_flight : string option;  (** the worker's flight-recorder dump, for failures that left one *)
 }
 
 type batch = {
@@ -51,7 +52,7 @@ let verdict_of_failures = function
           let s = Fabric.Orchestrator.status_to_string last.Fabric.Orchestrator.f_status in
           Verdict.Crash (String.map (fun c -> if c = ' ' then '-' else Char.lowercase_ascii c) s))
 
-let trial_argv ~exe ~archive ~out t =
+let trial_argv ~exe ~archive ~out ~flight t =
   Array.of_list
     [
       exe;
@@ -74,6 +75,8 @@ let trial_argv ~exe ~archive ~out t =
       archive;
       "--out";
       out;
+      "--flight";
+      flight;
     ]
 
 (* Auto-minimization re-derives the expected verdict by an in-process
@@ -106,11 +109,13 @@ let run ?(minimize = true) ~exe ~work_dir ~workers ~timeout_s ~known trials =
   let dir id = Filename.concat work_dir (Printf.sprintf "trial-%d" id) in
   Array.iter (fun (t : Plan.trial) -> mkdir_p (dir t.Plan.id)) trials;
   let archive_path id = Filename.concat (dir id) "campaign.rvt" in
+  let flight_path id = Filename.concat (dir id) "flight.jsonl" in
   let jobs =
     {
       Fabric.Orchestrator.job_count = count;
       command =
-        (fun ~job ~attempt:_ ~out ~log:_ -> trial_argv ~exe ~archive:(archive_path job) ~out trials.(job));
+        (fun ~job ~attempt:_ ~out ~log:_ ->
+          trial_argv ~exe ~archive:(archive_path job) ~out ~flight:(flight_path job) trials.(job));
       out_path = (fun ~job -> Filename.concat (dir job) "result.json");
       log_path = (fun ~job ~attempt -> Filename.concat (dir job) (Printf.sprintf "attempt-%d.log" attempt));
       collect =
@@ -153,6 +158,12 @@ let run ?(minimize = true) ~exe ~work_dir ~workers ~timeout_s ~known trials =
           if Sys.file_exists p then Some p else None
         in
         let minimized = if status = Novel && minimize then try_minimize t ~trial_dir:(dir id) ~archive else None in
+        (* the flight dump only matters for failures: a clean trial's
+           final moments are its result file *)
+        let flight =
+          let p = flight_path id in
+          if Verdict.is_failure verdict && Sys.file_exists p then Some p else None
+        in
         {
           o_trial = t;
           o_verdict = verdict;
@@ -162,6 +173,7 @@ let run ?(minimize = true) ~exe ~work_dir ~workers ~timeout_s ~known trials =
           o_minimized = minimized;
           o_repro = Plan.repro_command ~exe t;
           o_log = log;
+          o_flight = flight;
         })
       r.Fabric.Orchestrator.outcomes
   in

@@ -28,6 +28,11 @@ type outcome = {
   o_minimized : (string * Minimize.report) option;  (** minimal archive + reduction report *)
   o_repro : string;  (** the one-line repro command *)
   o_log : string;  (** captured worker output path *)
+  o_flight : string option;
+      (** the worker's flight-recorder dump ([flight.jsonl] beside the
+          verdict): the last obs events before a crash, or — for a
+          timeout — what the SIGTERM handler managed to save in the
+          orchestrator's grace window.  Only attached to failures. *)
 }
 
 type batch = {

@@ -41,13 +41,15 @@ let mode_of t =
   | Plan.Strict -> Reveal.Campaign.Classic
   | Plan.Resilient -> Reveal.Campaign.Resilient (gate_of t.Plan.gate)
 
-let attack t prof ~archive =
+let attack ?(obs = Obs.Ctx.disabled) t prof ~archive =
   (* one domain: trials are tiny and run many-per-machine under the
      orchestrator; nested domain pools would only fight each other *)
-  Reveal.Campaign.run_source ~domains:1 ~mode:(mode_of t) prof (Reveal.Source.archive_replay archive)
+  Reveal.Campaign.run_source ~obs ~expected:(t.Plan.traces * t.Plan.n) ~domains:1 ~mode:(mode_of t)
+    prof
+    (Reveal.Source.archive_replay archive)
 
-let measure t prof ~archive =
-  let stats, results = attack t prof ~archive in
+let measure ?obs t prof ~archive =
+  let stats, results = attack ?obs t prof ~archive in
   let confident, tentative, sign_only, unknown = Reveal.Campaign.grade_counts results in
   let violations = ref [] in
   let check name ok = if not ok then violations := name :: !violations in
@@ -84,22 +86,22 @@ let measure t prof ~archive =
     m_violations = List.rev !violations;
   }
 
-let run ?archive t =
+let run ?(obs = Obs.Ctx.disabled) ?archive t =
   let prof = profile_for t in
   match archive with
-  | Some path -> measure t prof ~archive:path
+  | Some path -> measure ~obs t prof ~archive:path
   | None ->
       let path = Filename.temp_file "reveal_trial" ".rvt" in
       Fun.protect
         ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
         (fun () ->
-          record_archive t ~path;
-          measure t prof ~archive:path)
+          Obs.Ctx.span obs "trial.record" (fun () -> record_archive t ~path);
+          measure ~obs t prof ~archive:path)
 
-let record_and_measure t ~archive =
+let record_and_measure ?(obs = Obs.Ctx.disabled) t ~archive =
   let prof = profile_for t in
-  record_archive t ~path:archive;
-  measure t prof ~archive
+  Obs.Ctx.span obs "trial.record" (fun () -> record_archive t ~path:archive);
+  measure ~obs t prof ~archive
 
 (* The minimizer's probe: never raises — an exception IS a verdict
    (the crash family), because a candidate archive that crashes the

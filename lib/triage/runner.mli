@@ -26,28 +26,32 @@ val record_archive : Plan.trial -> path:string -> unit
     {!Power.Fault.of_intensity}[ intensity]) into an archive. *)
 
 val attack :
+  ?obs:Obs.Ctx.t ->
   Plan.trial ->
   Reveal.Campaign.profile ->
   archive:string ->
   Reveal.Campaign.stats * Reveal.Campaign.coefficient_result array
 (** Replay the attack over an archive in the trial's mode (strict
     segmenter = Classic, resilient = gated).  Single-domain: trials
-    parallelise across orchestrator workers, not within. *)
+    parallelise across orchestrator workers, not within.  [obs]
+    threads into the campaign driver (heartbeats and stage spans) —
+    the flight recorder's feed. *)
 
-val measure : Plan.trial -> Reveal.Campaign.profile -> archive:string -> Verdict.measurements
+val measure : ?obs:Obs.Ctx.t -> Plan.trial -> Reveal.Campaign.profile -> archive:string -> Verdict.measurements
 (** {!attack} plus the invariant checks (grade-count accounting,
     correct-vs-total bounds, result-array length, and — for
     zero-intensity resilient/default trials — bit-identity with the
     classic pipeline).  Violated invariants land in
     [m_violations] as stable identifiers. *)
 
-val run : ?archive:string -> Plan.trial -> Verdict.measurements
+val run : ?obs:Obs.Ctx.t -> ?archive:string -> Plan.trial -> Verdict.measurements
 (** The whole trial: profile, record (into [archive] if given, else a
-    temp file removed afterwards), measure.  Raises whatever the
-    pipeline raises — the caller decides whether that is a crash
-    verdict (fuzzer) or a reported error (CLI). *)
+    temp file removed afterwards — a [trial.record] span with an
+    enabled [obs]), measure.  Raises whatever the pipeline raises —
+    the caller decides whether that is a crash verdict (fuzzer) or a
+    reported error (CLI). *)
 
-val record_and_measure : Plan.trial -> archive:string -> Verdict.measurements
+val record_and_measure : ?obs:Obs.Ctx.t -> Plan.trial -> archive:string -> Verdict.measurements
 (** {!run} keeping the archive at [archive] — the worker entry
     point. *)
 

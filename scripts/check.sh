@@ -171,6 +171,56 @@ if dune exec bin/reveal_cli.exe -- shard $shard_args --workers 2 --sabotage 0 --
   exit 1
 fi
 
+echo "== smoke: live fleet telemetry — monitor summary bit-identical to obs merge =="
+# a monitor listening on a Unix socket drains both workers' telemetry
+# streams live; its end-of-run summary must be the exact bytes obs
+# merge later recovers from the workers' JSONL files (the stream is a
+# tee of the same sink).  The binary is already built: run it directly
+# so the backgrounded monitor never races dune's build lock.
+bin=_build/default/bin/reveal_cli.exe
+mon_sock="$tmp/monitor.sock"
+"$bin" monitor --listen "unix:$mon_sock" --workers 2 > "$tmp/live.txt" 2> "$tmp/monitor.err" &
+mon_pid=$!
+"$bin" shard $shard_args --workers 2 --obs-dir "$tmp/mon-obs" --telemetry "unix:$mon_sock" \
+  > /dev/null 2> /dev/null
+wait "$mon_pid"
+"$bin" obs merge "$tmp/mon-obs/shard-0.jsonl" "$tmp/mon-obs/shard-1.jsonl" > "$tmp/merged.txt"
+cmp "$tmp/live.txt" "$tmp/merged.txt"
+# the live feed narrated progress on stderr while stdout stayed cmp-able
+grep -q "coefficients" "$tmp/monitor.err"
+# replay mode: a file DEST records the stream, monitor replays it offline
+"$bin" replay-attack "$tmp/smoke.rvt" --per-value 40 --obs-out "$tmp/streamed.jsonl" \
+  --obs-stream "$tmp/tele.bin" --obs-clock logical > /dev/null
+test -s "$tmp/tele.bin"
+"$bin" monitor "$tmp/tele.bin" > "$tmp/replay-live.txt" 2> /dev/null
+"$bin" obs merge "$tmp/streamed.jsonl" > "$tmp/replay-merged.txt"
+cmp "$tmp/replay-live.txt" "$tmp/replay-merged.txt"
+"$bin" monitor "$tmp/tele.bin" --json > "$tmp/monitor.json" 2> /dev/null
+json_ok "$tmp/monitor.json" workers stragglers summary
+# quantile columns reach the rendered summaries
+grep -q "p50" "$tmp/live.txt"
+# prometheus-style export of the same trace data
+"$bin" obs export "$tmp/mon-obs/shard-0.jsonl" > "$tmp/obs.prom"
+grep -q "reveal_obs_records" "$tmp/obs.prom"
+grep -q "reveal_span_count" "$tmp/obs.prom"
+"$bin" obs export "$tmp/mon-obs/shard-0.jsonl" --json > "$tmp/obs-export.json"
+json_ok "$tmp/obs-export.json" clock spans counters histograms
+
+echo "== smoke: flight recorder — a killed trial leaves its last moments =="
+# trials under a tight timeout are SIGTERMed by the orchestrator; the
+# worker's handler dumps its flight ring in the grace window and the
+# fuzzer attaches the dump to the crash/timeout verdict
+if "$bin" fuzz --master-seed 42 --trials 4 --workers 2 --trial-timeout 0.3 \
+  --work-dir "$tmp/fuzz-flight" --no-minimize --json > "$tmp/fuzz-flight.json" 2> /dev/null; then
+  echo "fuzz: expected a novel-failure exit under a 0.3s trial timeout" >&2
+  exit 1
+fi
+grep -q '"flight":' "$tmp/fuzz-flight.json"
+# the referenced dump exists, is non-empty, and opens with the flight header
+flight=$(sed -n 's/.*"flight": *"\([^"]*\)".*/\1/p' "$tmp/fuzz-flight.json" | head -n 1)
+test -s "$flight"
+head -n 1 "$flight" | grep -q '"ev":"flight"'
+
 echo "== smoke: triage fuzzer — deterministic batch, known-file suppression =="
 # one master seed expands to one trial table; the first run surfaces
 # novel misgrades (exit 1) and graduates them to the known file, the
@@ -232,6 +282,11 @@ grep -q "numeric: template scoring, boxed arrays" "$tmp/perf-strict.out"
 grep -q "numeric: template scoring, fvec+scratch" "$tmp/perf-strict.out"
 grep -q "numeric: replay attack, boxed arrays" "$tmp/perf-strict.out"
 grep -q "numeric: replay attack, fvec views+scratch" "$tmp/perf-strict.out"
+# the telemetry pair: replaying with a streaming sink attached vs obs
+# disabled — both land in BENCH_perf.json so the streaming overhead is
+# tracked run-over-run
+grep -q "telemetry: replay 2-trace campaign, obs disabled" "$tmp/perf-strict.out"
+grep -q "telemetry: replay 2-trace campaign, streaming sink" "$tmp/perf-strict.out"
 
 echo "== goldens re-verified after the numeric-core bench =="
 # the refactored kernels must still reproduce the committed report

@@ -621,6 +621,219 @@ let test_transport_connect_retry () =
   Fabric.Transport.close_connection conn;
   Domain.join listener
 
+(* --- telemetry streams -------------------------------------------------------- *)
+
+(* Real obs lines: a logical-clock context with a named source, a few
+   heartbeats (the campaign driver's per-batch event) and optional
+   trailing chatter — serialized exactly as Sink.stream would hand
+   them to the wire. *)
+let telemetry_lines ?(source = "shard-0") ?(trailing = 0) beats =
+  let sink, drain = Obs.Sink.memory () in
+  let obs = Obs.Ctx.create ~clock:(Obs.Clock.logical ()) ~source ~sink () in
+  List.iter
+    (fun (d, total) ->
+      Obs.Ctx.event
+        ~attrs:[ ("done", Obs.Json.Int d); ("total", Obs.Json.Int total) ]
+        obs Fabric.Telemetry.heartbeat_event)
+    beats;
+  for _ = 1 to trailing do
+    Obs.Ctx.event obs "chatter"
+  done;
+  Obs.Ctx.close obs;
+  List.map Obs.Json.to_string (drain ())
+
+let telemetry_image lines =
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      let s = Traceio.Wire.create_telemetry_sender ~peer:"test" oc in
+      List.iter (Traceio.Wire.telemetry_send s) lines;
+      Traceio.Wire.telemetry_finish s;
+      close_out oc;
+      read_file path)
+
+let receive_telemetry ?strict image =
+  with_temp_file (fun path ->
+      write_file path image;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let r = Traceio.Wire.open_telemetry_receiver ?strict ~peer:"test" ic in
+          let rec loop acc skips =
+            match Traceio.Wire.telemetry_recv r with
+            | `Line l -> loop (l :: acc) skips
+            | `Skipped _ -> loop acc (skips + 1)
+            | `End_of_stream -> (List.rev acc, skips)
+          in
+          loop [] 0))
+
+let drain_telemetry ?strict ?on_heartbeat image =
+  with_temp_file (fun path ->
+      write_file path image;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Fabric.Telemetry.drain ?strict ?on_heartbeat ~peer:"peer" ic))
+
+let test_telemetry_roundtrip () =
+  let lines = telemetry_lines [ (32, 128); (64, 128) ] in
+  let received, skips = receive_telemetry (telemetry_image lines) in
+  Alcotest.(check int) "no skips on a clean stream" 0 skips;
+  Alcotest.(check (list string)) "every line arrives verbatim, in order" lines received;
+  (* sender contract: empty lines and finished senders are caller bugs *)
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      let s = Traceio.Wire.create_telemetry_sender ~peer:"test" oc in
+      Alcotest.check_raises "empty line rejected"
+        (Invalid_argument "Wire.telemetry_send: empty line") (fun () -> Traceio.Wire.telemetry_send s "");
+      Traceio.Wire.telemetry_send s "{}";
+      Alcotest.(check int) "count tracks sends" 1 (Traceio.Wire.telemetry_count s);
+      Traceio.Wire.telemetry_finish s;
+      Traceio.Wire.telemetry_finish s;
+      (* idempotent *)
+      Alcotest.(check bool) "send after finish rejected" true
+        (match Traceio.Wire.telemetry_send s "{}" with
+        | () -> false
+        | exception Invalid_argument _ -> true);
+      close_out oc)
+
+(* Telemetry frames start right after the preamble (magic 8 + version
+   2): there is no header frame, the first 'T' frame sits at offset 10. *)
+let first_telemetry_frame_offset = 10
+
+let test_telemetry_corruption_discipline () =
+  let lines = telemetry_lines [ (32, 128) ] in
+  let image = telemetry_image lines in
+  (* flip a byte inside the first frame's JSON payload (past len + tag):
+     that slot is skipped, the rest of the stream survives *)
+  let mutated = flip_byte image (first_telemetry_frame_offset + 4 + 2) in
+  let received, skips = receive_telemetry mutated in
+  Alcotest.(check int) "damaged slot skipped" 1 skips;
+  Alcotest.(check (list string)) "survivors arrive verbatim" (List.tl lines) received;
+  Alcotest.(check bool) "strict mode raises instead" true (rejected (fun () -> receive_telemetry ~strict:true mutated));
+  (* cutting the end frame off must be loud, not a clean end *)
+  let cut = String.sub image 0 (String.length image - 13) in
+  (match receive_telemetry cut with
+  | _ -> Alcotest.fail "truncated telemetry accepted as complete"
+  | exception Traceio.Error.Corrupt msg ->
+      Alcotest.(check bool) "error names the mid-stream close" true (contains msg "closed mid-stream"));
+  (* preamble damage is structural, and an archive stream is not telemetry *)
+  Alcotest.(check bool) "bad magic rejected" true (rejected (fun () -> receive_telemetry (flip_byte image 0)));
+  Alcotest.(check bool) "bad version rejected" true (rejected (fun () -> receive_telemetry (flip_byte image 8)));
+  Alcotest.(check bool) "archive stream on a telemetry endpoint rejected" true
+    (rejected (fun () -> receive_telemetry (wire_image ())))
+
+let qcheck_telemetry =
+  let fixture = lazy (let lines = telemetry_lines [ (16, 64); (32, 64) ] ~trailing:2 in (lines, telemetry_image lines)) in
+  QCheck.Test.make ~count:60 ~name:"telemetry: single bit flip is never silently accepted"
+    QCheck.(float_range 0.0 1.0)
+    (fun frac ->
+      let lines, image = Lazy.force fixture in
+      let bit = int_of_float (frac *. float_of_int ((String.length image * 8) - 1)) in
+      let mutated = Bytes.of_string image in
+      Bytes.set mutated (bit / 8) (Char.chr (Char.code image.[bit / 8] lxor (1 lsl (bit mod 8))));
+      match receive_telemetry (Bytes.to_string mutated) with
+      | exception Traceio.Error.Corrupt _ -> true
+      | exception Traceio.Error.Io _ -> true
+      | received, skips -> skips > 0 || received <> lines)
+
+let test_telemetry_drain () =
+  let beats = ref [] in
+  let on_heartbeat ~source ~done_ ~total ~t = beats := (source, done_, total, t) :: !beats in
+  let lines = telemetry_lines ~source:"shard-3" [ (32, 128); (64, 128) ] in
+  let r = drain_telemetry ~on_heartbeat (telemetry_image lines) in
+  Alcotest.(check string) "name is the start record's source" "shard-3" r.Fabric.Telemetry.r_name;
+  Alcotest.(check (option string)) "source recorded" (Some "shard-3") r.Fabric.Telemetry.r_source;
+  Alcotest.(check int) "heartbeats counted" 2 r.Fabric.Telemetry.r_heartbeats;
+  Alcotest.(check int) "progress is the last heartbeat's" 64 r.Fabric.Telemetry.r_done;
+  Alcotest.(check (option int)) "expected total known" (Some 128) r.Fabric.Telemetry.r_total;
+  Alcotest.(check int) "nothing skipped" 0 r.Fabric.Telemetry.r_skipped;
+  Alcotest.(check bool) "stream complete" true (r.Fabric.Telemetry.r_truncated = None);
+  (* logical clock: start=1, heartbeats tick 2 and 3 *)
+  Alcotest.(check (option (float 1e-9))) "first heartbeat time" (Some 2.0) r.Fabric.Telemetry.r_first_hb;
+  Alcotest.(check (option (float 1e-9))) "last heartbeat time" (Some 3.0) r.Fabric.Telemetry.r_last_hb;
+  Alcotest.(check int) "summary folded every line" (List.length lines) r.Fabric.Telemetry.r_summary.Obs.Summary.records;
+  Alcotest.(check bool) "live feed fired per heartbeat, in order" true
+    (List.rev !beats = [ ("shard-3", 32, Some 128, 2.0); ("shard-3", 64, Some 128, 3.0) ]);
+  (* a worker cut mid-stream is a finding: partial summary, truncation named *)
+  let image = telemetry_image lines in
+  let cut = String.sub image 0 (String.length image - 13) in
+  let r = drain_telemetry cut in
+  Alcotest.(check bool) "truncation recorded, not raised" true
+    (match r.Fabric.Telemetry.r_truncated with Some m -> contains m "closed mid-stream" | None -> false);
+  Alcotest.(check int) "partial progress retained" 64 r.Fabric.Telemetry.r_done;
+  Alcotest.(check bool) "strict drain raises instead" true (rejected (fun () -> drain_telemetry ~strict:true cut))
+
+let test_telemetry_merge_reports () =
+  Alcotest.(check bool) "empty fleet merges to nothing" true (Fabric.Telemetry.merge_reports [] = None);
+  let report source = drain_telemetry (telemetry_image (telemetry_lines ~source [ (8, 16) ])) in
+  let a = report "shard-0" and b = report "shard-1" in
+  (* merge folds in sorted name order regardless of arrival order *)
+  let expected = Obs.Summary.merge a.Fabric.Telemetry.r_summary b.Fabric.Telemetry.r_summary in
+  (match Fabric.Telemetry.merge_reports [ b; a ] with
+  | None -> Alcotest.fail "non-empty fleet must merge"
+  | Some m ->
+      Alcotest.(check int) "records sum across the fleet" expected.Obs.Summary.records m.Obs.Summary.records;
+      Alcotest.(check string) "merge order is name order, as obs merge"
+        (Obs.Summary.render expected) (Obs.Summary.render m))
+
+let test_stragglers_and_missed_heartbeats () =
+  let s = Fabric.Telemetry.stragglers in
+  Alcotest.(check (list string)) "slow worker flagged" [ "c" ]
+    (s [ ("a", 100, 10.0); ("b", 100, 10.0); ("c", 10, 10.0) ]);
+  Alcotest.(check (list string)) "uniform fleet has no stragglers" []
+    (s [ ("a", 50, 5.0); ("b", 50, 5.0); ("c", 50, 5.0) ]);
+  Alcotest.(check (list string)) "a fleet of one has no peers to lag" [] (s [ ("only", 1, 100.0) ]);
+  Alcotest.(check (list string)) "factor is tunable" []
+    (s ~factor:0.05 [ ("a", 100, 10.0); ("b", 100, 10.0); ("c", 10, 10.0) ]);
+  Alcotest.(check (list string)) "zero-elapsed progress is infinitely fast, not a straggler" [ "c" ]
+    (s [ ("a", 5, 0.0); ("b", 100, 10.0); ("c", 10, 10.0) ]);
+  (* missed heartbeats, over real drained streams *)
+  let drained ?source ?trailing beats = drain_telemetry (telemetry_image (telemetry_lines ?source ?trailing beats)) in
+  Alcotest.(check bool) "a stream with no heartbeat at all is flagged" true
+    (Fabric.Telemetry.missed_heartbeats (drained []));
+  Alcotest.(check bool) "a stream ending right after its last heartbeat is healthy" false
+    (Fabric.Telemetry.missed_heartbeats (drained [ (1, 4); (2, 4); (3, 4) ]));
+  Alcotest.(check bool) "a stream chattering far past its last heartbeat is flagged" true
+    (Fabric.Telemetry.missed_heartbeats (drained ~trailing:5 [ (1, 4); (2, 4) ]))
+
+(* --- monitor replay: bit-identical to the post-hoc merge ---------------------- *)
+
+let sh cmd = Sys.command (cmd ^ " 2> /dev/null")
+
+(* A real worker streams telemetry to a file (the tee of its JSONL
+   sink); [monitor FILE] replaying that stream must render exactly the
+   bytes [obs merge] produces from the worker's obs file.  Logical
+   clock, fixed seed: the whole comparison is deterministic. *)
+let test_monitor_replay_matches_merge () =
+  require_exe ();
+  let prof, _ = Lazy.force baseline in
+  with_work_dir @@ fun wd ->
+  let ppath = Filename.concat wd "profile.bin" in
+  Reveal.Campaign.save_profile ppath prof;
+  let obs_file = Filename.concat wd "shard-0.jsonl" in
+  let stream_file = Filename.concat wd "shard-0.tele" in
+  let worker =
+    Printf.sprintf
+      "%s worker --seed %d -n %d --traces %d --shard-id 0 --shard-lo 0 --shard-hi %d --profile %s --out %s \
+       --obs-out %s --obs-stream %s --obs-clock logical --obs-source shard-0"
+      (Filename.quote exe) golden_seed golden_n golden_traces golden_traces (Filename.quote ppath)
+      (Filename.quote (Filename.concat wd "out.bin"))
+      (Filename.quote obs_file) (Filename.quote stream_file)
+  in
+  Alcotest.(check int) "worker runs clean" 0 (sh worker);
+  let live = Filename.concat wd "live.txt" and merged = Filename.concat wd "merged.txt" in
+  Alcotest.(check int) "monitor replays the stream" 0
+    (sh (Printf.sprintf "%s monitor %s > %s" (Filename.quote exe) (Filename.quote stream_file) (Filename.quote live)));
+  Alcotest.(check int) "obs merge reads the worker file" 0
+    (sh (Printf.sprintf "%s obs merge %s > %s" (Filename.quote exe) (Filename.quote obs_file) (Filename.quote merged)));
+  Alcotest.(check string) "monitor replay is bit-identical to obs merge" (read_file merged) (read_file live);
+  (* and the replay is deterministic: a second pass renders the same bytes *)
+  let live2 = Filename.concat wd "live2.txt" in
+  Alcotest.(check int) "second replay runs" 0
+    (sh (Printf.sprintf "%s monitor %s > %s" (Filename.quote exe) (Filename.quote stream_file) (Filename.quote live2)));
+  Alcotest.(check string) "replay is deterministic" (read_file live) (read_file live2)
+
 let suite =
   [
     ("shard plan: directed cases", `Quick, test_plan_directed);
@@ -644,4 +857,11 @@ let suite =
       ("killed worker retried, merge still identical", `Quick, test_killed_worker_retried_still_identical);
       ("transport endpoint parsing", `Quick, test_transport_parse);
       ("transport connect: bounded retry rides out a late listener", `Quick, test_transport_connect_retry);
+      ("telemetry: clean stream round-trips", `Quick, test_telemetry_roundtrip);
+      ("telemetry: corruption discipline", `Quick, test_telemetry_corruption_discipline);
+      QCheck_alcotest.to_alcotest qcheck_telemetry;
+      ("telemetry drain: summary, progress, truncation", `Quick, test_telemetry_drain);
+      ("telemetry merge: name order, as obs merge", `Quick, test_telemetry_merge_reports);
+      ("telemetry: stragglers and missed heartbeats", `Quick, test_stragglers_and_missed_heartbeats);
+      ("monitor replay bit-identical to obs merge", `Quick, test_monitor_replay_matches_merge);
     ]

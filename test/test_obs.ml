@@ -158,6 +158,99 @@ let test_snapshot_shape () =
   Alcotest.(check string) "snapshot shape, names sorted" "{\"counters\":{\"a\":1,\"b\":1},\"gauges\":{\"g\":1.5},\"histograms\":{}}"
     (Obs.Json.to_string j)
 
+let test_quantiles () =
+  (* directed distribution: 8 observations, 4 per bucket, known range *)
+  let q p =
+    Obs.Metrics.estimate_quantile ~count:8 ~min:(Some 0.0) ~max:(Some 2.0)
+      ~buckets:[ (1.0, 4); (2.0, 4) ] ~overflow:0 p
+  in
+  Alcotest.(check (option (float 1e-9))) "p50 at the bucket bound" (Some 1.0) (q 0.5);
+  Alcotest.(check (option (float 1e-9))) "p25 interpolates inside the bucket" (Some 0.5) (q 0.25);
+  Alcotest.(check (option (float 1e-9))) "p100 is the max" (Some 2.0) (q 1.0);
+  Alcotest.(check (option (float 1e-9))) "p0 is the min" (Some 0.0) (q 0.0);
+  Alcotest.(check (option (float 1e-9))) "q below 0 clamps to the min" (Some 0.0) (q (-3.0));
+  Alcotest.(check (option (float 1e-9))) "q above 1 clamps to the max" (Some 2.0) (q 7.0);
+  Alcotest.(check bool) "empty distribution has no quantiles" true
+    (Obs.Metrics.estimate_quantile ~count:0 ~min:None ~max:None ~buckets:[] ~overflow:0 0.5 = None);
+  (* ranks landing in the overflow bucket interpolate toward the observed max *)
+  let qo p =
+    Obs.Metrics.estimate_quantile ~count:4 ~min:(Some 0.5) ~max:(Some 9.0)
+      ~buckets:[ (1.0, 1) ] ~overflow:3 p
+  in
+  Alcotest.(check (option (float 1e-9))) "overflow p100 is the max" (Some 9.0) (qo 1.0);
+  Alcotest.(check (option (float 1e-9))) "overflow interpolates to the max" (Some (1.0 +. (8.0 /. 3.0))) (qo 0.5);
+  (* the snapshot-level wrapper agrees with the raw estimator *)
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram ~buckets:[| 1.0; 2.0; 5.0 |] m "q" in
+  List.iter (Obs.Metrics.observe h) [ 1.0; 1.5; 2.0; 5.0; 5.0001; 0.0 ];
+  let s = Obs.Metrics.histogram_snapshot h in
+  Alcotest.(check (option (float 1e-9))) "snapshot p50" (Some 1.5) (Obs.Metrics.quantile s 0.5);
+  Alcotest.(check bool) "snapshot quantiles stay within the observed range" true
+    (match Obs.Metrics.quantile s 1.0 with Some v -> v <= 5.0001 && v >= 0.0 | None -> false)
+
+(* --- sinks: tee, stream, flight-recorder ring ------------------------------- *)
+
+let test_sink_tee () =
+  let a, drain_a = Obs.Sink.memory () in
+  let b, drain_b = Obs.Sink.memory () in
+  let t = Obs.Sink.tee a b in
+  List.iter (fun i -> Obs.Sink.emit t (Obs.Json.Int i)) [ 1; 2; 3 ];
+  Obs.Sink.close t;
+  let expected = List.map (fun i -> Obs.Json.Int i) [ 1; 2; 3 ] in
+  Alcotest.(check bool) "first sink saw the sequence" true (drain_a () = expected);
+  Alcotest.(check bool) "second sink saw the identical sequence" true (drain_b () = expected);
+  (* teeing with null is the identity — the disabled path stays free *)
+  Alcotest.(check bool) "tee with null on the right is physically the other sink" true (Obs.Sink.tee a Obs.Sink.null == a);
+  Alcotest.(check bool) "tee with null on the left is physically the other sink" true (Obs.Sink.tee Obs.Sink.null b == b)
+
+let test_sink_stream () =
+  (* ordering: the background sender hands lines over in emission order;
+     Sink.close joins the sender domain, so reading afterwards is safe *)
+  let lines = ref [] in
+  let closed = ref 0 in
+  let sink, drops =
+    Obs.Sink.stream ~send:(fun l -> lines := l :: !lines) ~close:(fun () -> incr closed) ()
+  in
+  List.iter (fun i -> Obs.Sink.emit sink (Obs.Json.Int i)) [ 1; 2; 3; 4 ];
+  Obs.Sink.close sink;
+  Alcotest.(check (list string)) "lines arrive in emission order" [ "1"; "2"; "3"; "4" ] (List.rev !lines);
+  Alcotest.(check int) "nothing dropped" 0 (drops ());
+  Alcotest.(check int) "close callback ran exactly once" 1 !closed;
+  Obs.Sink.close sink;
+  Alcotest.(check int) "close is idempotent" 1 !closed;
+  (* a send that raises (receiver went away) drops and counts — never raises *)
+  let sink, drops = Obs.Sink.stream ~send:(fun _ -> raise Exit) ~close:(fun () -> ()) () in
+  List.iter (fun i -> Obs.Sink.emit sink (Obs.Json.Int i)) [ 1; 2; 3; 4; 5 ];
+  Obs.Sink.close sink;
+  Alcotest.(check int) "every rejected line is counted" 5 (drops ());
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Obs.Sink.stream: capacity must be positive") (fun () ->
+      ignore (Obs.Sink.stream ~capacity:0 ~send:ignore ~close:(fun () -> ()) ()))
+
+let test_sink_ring () =
+  let sink, ring = Obs.Sink.ring ~capacity:3 () in
+  for i = 1 to 5 do
+    Obs.Sink.emit sink (Obs.Json.Int i)
+  done;
+  Obs.Sink.close sink;
+  (* close is a no-op: the ring outlives the sink for the crash dump *)
+  Alcotest.(check int) "total counts every event ever recorded" 5 (Obs.Sink.ring_total ring);
+  Alcotest.(check bool) "contents are the last capacity events, oldest first" true
+    (Obs.Sink.ring_contents ring = [ Obs.Json.Int 3; Obs.Json.Int 4; Obs.Json.Int 5 ]);
+  let path = Filename.temp_file "obs_ring" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Sink.ring_dump ring path;
+      match String.split_on_char '\n' (String.trim (read_file path)) with
+      | header :: rest ->
+          Alcotest.(check string) "dump header declares capacity and wraparound"
+            "{\"v\":1,\"ev\":\"flight\",\"capacity\":3,\"total\":5}" header;
+          Alcotest.(check (list string)) "dump body is the retained events" [ "3"; "4"; "5" ] rest
+      | [] -> Alcotest.fail "empty dump");
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Obs.Sink.ring: capacity must be positive") (fun () -> ignore (Obs.Sink.ring ~capacity:0 ()))
+
 (* --- disabled path is a no-op ---------------------------------------------- *)
 
 let test_disabled_noop () =
@@ -385,6 +478,10 @@ let suite =
     ("metrics: counters and gauges", `Quick, test_counters_and_gauges);
     ("metrics: histogram bucket boundaries", `Quick, test_histogram_boundaries);
     ("metrics: snapshot shape", `Quick, test_snapshot_shape);
+    ("metrics: bucketed quantile estimation", `Quick, test_quantiles);
+    ("sink tee: both destinations see one sequence", `Quick, test_sink_tee);
+    ("sink stream: ordered, non-blocking, drops counted", `Quick, test_sink_stream);
+    ("sink ring: wraparound and flight dump shape", `Quick, test_sink_ring);
     ("disabled context is a no-op", `Quick, test_disabled_noop);
     ("event stream shape", `Quick, test_event_stream);
     ("event codec round-trip", `Quick, test_event_codec_roundtrip);
